@@ -1,0 +1,133 @@
+// Command datagen materializes the synthetic corpus into a durable QATK
+// database directory plus the taxonomy XML and an ODI-style complaints
+// flat file:
+//
+//	datagen -out ./data [-small] [-seed 1] [-complaints 2500]
+//
+// The directory then serves cmd/qatk and cmd/questd.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bundle"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/nhtsa"
+	"repro/internal/quest"
+	"repro/internal/reldb"
+)
+
+func main() {
+	out := flag.String("out", "data", "output directory")
+	small := flag.Bool("small", false, "generate the small test corpus")
+	seed := flag.Int64("seed", 1, "generation seed")
+	complaints := flag.Int("complaints", 2500, "number of ODI-style complaints")
+	flag.Parse()
+
+	if err := run(*out, *small, *seed, *complaints); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, small bool, seed int64, complaints int) error {
+	cfg := datagen.DefaultConfig()
+	if small {
+		cfg = datagen.SmallConfig()
+	}
+	cfg.Seed = seed
+	fmt.Fprintf(os.Stderr, "generating %d bundles (seed %d)...\n", cfg.Bundles, seed)
+	corpus, err := datagen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+
+	// Taxonomy XML.
+	taxPath := filepath.Join(out, "taxonomy.xml")
+	if err := corpus.Taxonomy.SaveFile(taxPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d concepts)\n", taxPath, corpus.Taxonomy.Len())
+
+	// Relational database with bundles, QUEST catalog and users.
+	dbDir := filepath.Join(out, "db")
+	db, err := reldb.Open(dbDir)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	for _, create := range []func(*reldb.DB) error{
+		bundle.CreateTables, core.CreateResultsTable,
+		quest.CreateUserTables, quest.CreateCatalogTables,
+		quest.CreateAuditTables, nhtsa.CreateTables,
+	} {
+		if err := create(db); err != nil {
+			return err
+		}
+	}
+	// Every 20th bundle is stored as pending: no final error code yet, and
+	// consequently no final OEM report and no error-code description — the
+	// application-phase state the QUEST suggestion screen works on (§3.2).
+	for i, b := range corpus.Bundles {
+		if i%20 == 7 {
+			pending := *b
+			pending.ErrorCode = ""
+			pending.Reports = nil
+			for _, r := range b.Reports {
+				if r.Source == bundle.SourceFinalOEM || r.Source == bundle.SourceErrorDesc {
+					continue
+				}
+				pending.Reports = append(pending.Reports, r)
+			}
+			corpus.Bundles[i] = &pending
+		}
+	}
+	if err := bundle.StoreAll(db, corpus.Bundles); err != nil {
+		return err
+	}
+	for _, spec := range corpus.SortedCodes() {
+		if err := quest.AddCode(db, quest.CatalogEntry{
+			Code: spec.Code, PartID: spec.PartID,
+			Description: fmt.Sprintf("standardized description of %s", spec.Code),
+		}); err != nil {
+			return err
+		}
+	}
+	if _, err := quest.AddUser(db, "admin", quest.RoleAdmin); err != nil {
+		return err
+	}
+	if _, err := quest.AddUser(db, "expert", quest.RoleExpert); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d bundles)\n", dbDir, len(corpus.Bundles))
+
+	// ODI-style complaints: flat file plus relational import.
+	gcfg := nhtsa.DefaultGenerateConfig()
+	gcfg.Complaints = complaints
+	gcfg.Seed = seed + 1
+	odi := nhtsa.Generate(gcfg, corpus)
+	flatPath := filepath.Join(out, "odi_complaints.tsv")
+	f, err := os.Create(flatPath)
+	if err != nil {
+		return err
+	}
+	if err := nhtsa.WriteFlat(f, odi); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := nhtsa.Store(db, odi); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d complaints)\n", flatPath, len(odi))
+	return db.Checkpoint()
+}

@@ -1,0 +1,192 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (chapter 5) on the synthetic corpus:
+//
+//	experiments -fig 11        error-code prediction, all reports (Fig. 11)
+//	experiments -fig 12        mechanic report only (Fig. 12)
+//	experiments -fig 13        supplier report only (Fig. 13)
+//	experiments -fig 14        error distribution vs public source (Fig. 14)
+//	experiments -stats         corpus statistics vs §3.2
+//	experiments -feasibility   runtime per bundle, §5.2.2
+//	experiments -coverage      legacy vs trie annotator coverage, §4.5.3
+//	experiments -extension     taxonomy-adaptation extension experiment, §6
+//	experiments -preproc       linguistic-preprocessing extension experiment, §6
+//	experiments -all           everything above
+//
+// Use -small for a fast scaled-down corpus (shapes become noisier) and
+// -csv <dir> to export the accuracy tables for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/annotate"
+	"repro/internal/bundle"
+	"repro/internal/datagen"
+	"repro/internal/eval"
+	"repro/internal/kb"
+	"repro/internal/pipeline"
+	"repro/internal/textproc"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (11, 12, 13, 14)")
+	stats := flag.Bool("stats", false, "print corpus statistics (§3.2)")
+	feas := flag.Bool("feasibility", false, "print runtime feasibility (§5.2.2)")
+	coverage := flag.Bool("coverage", false, "print annotator coverage ablation (§4.5.3)")
+	extension := flag.Bool("extension", false, "print the taxonomy-adaptation extension experiment (§5.2.2/§6)")
+	preproc := flag.Bool("preproc", false, "print the linguistic-preprocessing extension experiment (§6)")
+	all := flag.Bool("all", false, "run everything")
+	small := flag.Bool("small", false, "use the small test corpus instead of paper scale")
+	seed := flag.Int64("seed", 1, "corpus generation seed")
+	csvDir := flag.String("csv", "", "also write accuracy tables as CSV into this directory")
+	flag.Parse()
+	csvOut = *csvDir
+	if csvOut != "" {
+		if err := os.MkdirAll(csvOut, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "csv dir:", err)
+			os.Exit(1)
+		}
+	}
+
+	cfg := datagen.DefaultConfig()
+	if *small {
+		cfg = datagen.SmallConfig()
+	}
+	cfg.Seed = *seed
+
+	fmt.Fprintf(os.Stderr, "generating corpus (%d bundles, seed %d)...\n", cfg.Bundles, cfg.Seed)
+	corpus, err := datagen.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+
+	ran := false
+	if *stats || *all {
+		runStats(corpus, !*small)
+		ran = true
+	}
+	if *fig == 11 || *all {
+		runFig11(corpus)
+		ran = true
+	}
+	if *fig == 12 || *all {
+		runFig1213(corpus, bundle.SourceMechanic, "Figure 12 — mechanic reports only")
+		ran = true
+	}
+	if *fig == 13 || *all {
+		runFig1213(corpus, bundle.SourceSupplier, "Figure 13 — supplier reports only")
+		ran = true
+	}
+	if *fig == 14 || *all {
+		runFig14(corpus)
+		ran = true
+	}
+	if *feas || *all {
+		runFeasibility(corpus)
+		ran = true
+	}
+	if *coverage || *all {
+		runCoverage(corpus)
+		ran = true
+	}
+	if *extension || *all {
+		runExtension(corpus)
+		ran = true
+	}
+	if *preproc || *all {
+		runPreprocessing(corpus)
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runStats(corpus *datagen.Corpus, paperScale bool) {
+	fmt.Println("== Corpus statistics (§3.2) ==")
+	corpus.Stats().Print(os.Stdout, paperScale)
+	fmt.Println()
+}
+
+// csvOut is the directory for CSV exports ("" = disabled).
+var csvOut string
+
+// writeCSV exports one figure's accuracy table when -csv is set.
+func writeCSV(name string, results []*eval.Result) {
+	if csvOut == "" {
+		return
+	}
+	f, err := os.Create(csvOut + "/" + name + ".csv")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csv:", err)
+		return
+	}
+	defer f.Close()
+	if err := eval.WriteCSV(f, results, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "csv:", err)
+	}
+}
+
+func runFig11(corpus *datagen.Corpus) {
+	e := eval.New(corpus.Taxonomy, corpus.Bundles)
+	results := e.RunAll(eval.StandardVariants())
+	results = append(results, e.RunFrequencyBaseline())
+	results = append(results, e.RunCandidateSetBaseline(kb.BagOfWords, nil))
+	results = append(results, e.RunCandidateSetBaseline(kb.BagOfConcepts, nil))
+	eval.PrintTable(os.Stdout, "== Figure 11 — experiment 1: all reports ==", results, nil)
+	writeCSV("fig11", results)
+	fmt.Println()
+}
+
+func runFig1213(corpus *datagen.Corpus, src bundle.Source, title string) {
+	e := eval.New(corpus.Taxonomy, corpus.Bundles)
+	variants := eval.SourceVariants(string(src)+":", src)
+	results := e.RunAll(variants)
+	results = append(results, e.RunFrequencyBaseline())
+	results = append(results, e.RunCandidateSetBaseline(kb.BagOfWords, []bundle.Source{src}))
+	results = append(results, e.RunCandidateSetBaseline(kb.BagOfConcepts, []bundle.Source{src}))
+	eval.PrintTable(os.Stdout, "== "+title+" ==", results, nil)
+	writeCSV("fig"+map[bundle.Source]string{bundle.SourceMechanic: "12", bundle.SourceSupplier: "13"}[src], results)
+	fmt.Println()
+}
+
+func runFeasibility(corpus *datagen.Corpus) {
+	e := eval.New(corpus.Taxonomy, corpus.Bundles)
+	variants := []eval.Variant{
+		{Name: "bag-of-words + jaccard", Model: kb.BagOfWords, Sim: jaccard()},
+		{Name: "bag-of-words + jaccard + stopword removal", Model: kb.BagOfWords, Sim: jaccard(), Stopwords: true},
+		{Name: "bag-of-concepts + jaccard", Model: kb.BagOfConcepts, Sim: jaccard()},
+	}
+	results := e.RunAll(variants)
+	fmt.Println("== Feasibility (§5.2.2) — classification runtime ==")
+	eval.PrintTiming(os.Stdout, results)
+	fmt.Println()
+	fmt.Println("accuracy (stopword removal must not change accuracy materially):")
+	eval.PrintTable(os.Stdout, "", results, nil)
+	fmt.Println()
+
+	// Per-engine preprocessing cost over the full corpus, via the
+	// instrumented pipeline (where the time goes before classification).
+	engines, timed := pipeline.InstrumentAll(
+		textproc.Tokenizer{},
+		textproc.LanguageDetector{},
+		annotate.NewConceptAnnotator(corpus.Taxonomy),
+	)
+	p, err := pipeline.New(engines...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipeline:", err)
+		os.Exit(1)
+	}
+	reader := bundle.NewReader(corpus.Bundles, bundle.TrainingSources())
+	if _, err := p.Run(reader, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "pipeline:", err)
+		os.Exit(1)
+	}
+	fmt.Println("preprocessing cost per engine (full corpus):")
+	pipeline.PrintReport(os.Stdout, timed)
+	fmt.Println()
+}

@@ -1,0 +1,245 @@
+// Command qatk drives the Quality Analytics Toolkit over a database
+// directory produced by cmd/datagen:
+//
+//	qatk -data ./data train                   build + persist the knowledge base
+//	qatk -data ./data classify                classify pending bundles, store suggestions
+//	qatk -data ./data recommend -ref R000042  print the ranked codes for one bundle
+//	qatk -data ./data sql "SELECT COUNT(*) FROM bundles"
+//	qatk -data ./data export                  dump bundles as TSV interchange files
+//	qatk -data ./data import                  load bundles from TSV interchange files
+//
+// Flags -model (concepts|words) and -sim (jaccard|overlap) select the
+// classifier variant; the default is the industrial configuration of the
+// paper: bag-of-concepts with Jaccard similarity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bundle"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/kb"
+	"repro/internal/qatk"
+	"repro/internal/reldb"
+	"repro/internal/taxonomy"
+)
+
+func main() {
+	data := flag.String("data", "data", "data directory (from cmd/datagen)")
+	model := flag.String("model", "concepts", "feature model: concepts | words")
+	sim := flag.String("sim", "jaccard", "similarity: jaccard | overlap")
+	ref := flag.String("ref", "", "bundle reference number (for recommend)")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*data, *model, *sim, *ref, flag.Arg(0), flag.Args()[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "qatk:", err)
+		os.Exit(1)
+	}
+}
+
+func run(data, model, sim, ref, cmd string, rest []string) error {
+	db, err := reldb.Open(filepath.Join(data, "db"))
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	if cmd == "sql" {
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: qatk sql <statement>")
+		}
+		res, n, err := db.Exec(rest[0])
+		if err != nil {
+			return err
+		}
+		if res == nil {
+			fmt.Printf("%d rows affected\n", n)
+			return nil
+		}
+		for _, c := range res.Cols {
+			fmt.Printf("%v\t", c)
+		}
+		fmt.Println()
+		for _, row := range res.Rows {
+			for _, v := range row {
+				fmt.Printf("%v\t", v)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+
+	tax, err := taxonomy.LoadFile(filepath.Join(data, "taxonomy.xml"))
+	if err != nil {
+		return err
+	}
+	opts := []qatk.Option{}
+	switch model {
+	case "concepts":
+		opts = append(opts, qatk.WithModel(kb.BagOfConcepts))
+	case "words":
+		opts = append(opts, qatk.WithModel(kb.BagOfWords))
+	default:
+		return fmt.Errorf("unknown model %q", model)
+	}
+	switch sim {
+	case "jaccard":
+		opts = append(opts, qatk.WithSimilarity(core.Jaccard{}))
+	case "overlap":
+		opts = append(opts, qatk.WithSimilarity(core.Overlap{}))
+	default:
+		return fmt.Errorf("unknown similarity %q", sim)
+	}
+	tk := qatk.New(tax, opts...)
+
+	bundles, err := bundle.LoadAll(db)
+	if err != nil {
+		return err
+	}
+	assigned := make([]*bundle.Bundle, 0, len(bundles))
+	for _, b := range bundles {
+		if b.ErrorCode != "" {
+			assigned = append(assigned, b)
+		}
+	}
+	assigned = bundle.FilterMultiOccurrence(assigned)
+
+	switch cmd {
+	case "train":
+		mem, err := tk.Train(assigned)
+		if err != nil {
+			return err
+		}
+		if err := tk.PersistKB(db, mem); err != nil {
+			return err
+		}
+		fmt.Printf("knowledge base: %d nodes from %d bundles (%d distinct codes)\n",
+			mem.NodeCount(), mem.BundleCount(), mem.DistinctCodes())
+		return db.Checkpoint()
+	case "classify":
+		store, err := kb.OpenDB(db)
+		if err != nil {
+			return fmt.Errorf("open knowledge base (run train first): %w", err)
+		}
+		n, err := tk.ClassifyAndPersist(db, store, bundles)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("classified %d pending bundles\n", n)
+		return db.Checkpoint()
+	case "recommend":
+		if ref == "" && len(rest) > 0 {
+			// Accept `qatk recommend -ref R…` (flags after the subcommand).
+			fs := flag.NewFlagSet("recommend", flag.ContinueOnError)
+			fs.StringVar(&ref, "ref", "", "bundle reference number")
+			if err := fs.Parse(rest); err != nil {
+				return err
+			}
+		}
+		if ref == "" {
+			return fmt.Errorf("recommend needs -ref")
+		}
+		b, err := bundle.Load(db, ref)
+		if err != nil {
+			return err
+		}
+		store, err := kb.OpenDB(db)
+		if err != nil {
+			return fmt.Errorf("open knowledge base (run train first): %w", err)
+		}
+		list, err := tk.Recommend(store, b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bundle %s (part %s):\n", b.RefNo, b.PartID)
+		for i, sc := range list {
+			marker := ""
+			if sc.Code == b.ErrorCode {
+				marker = "  <- assigned code"
+			}
+			fmt.Printf("%3d. %-8s %.4f%s\n", i+1, sc.Code, sc.Score, marker)
+		}
+		return nil
+	case "export":
+		// Dump the bundle data as the two-file TSV interchange format.
+		bf, err := os.Create(filepath.Join(data, "bundles.tsv"))
+		if err != nil {
+			return err
+		}
+		rf, err := os.Create(filepath.Join(data, "reports.tsv"))
+		if err != nil {
+			bf.Close()
+			return err
+		}
+		if err := bundle.WriteTSV(bf, rf, bundles); err != nil {
+			bf.Close()
+			rf.Close()
+			return err
+		}
+		if err := bf.Close(); err != nil {
+			return err
+		}
+		if err := rf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("exported %d bundles to %s/{bundles,reports}.tsv\n", len(bundles), data)
+		return nil
+	case "import":
+		// Load additional bundles from the TSV interchange files.
+		bf, err := os.Open(filepath.Join(data, "bundles.tsv"))
+		if err != nil {
+			return err
+		}
+		defer bf.Close()
+		rf, err := os.Open(filepath.Join(data, "reports.tsv"))
+		if err != nil {
+			return err
+		}
+		defer rf.Close()
+		imported, err := bundle.ReadTSV(bf, rf)
+		if err != nil {
+			return err
+		}
+		n := 0
+		for _, b := range imported {
+			if err := bundle.Store(db, b); err != nil {
+				fmt.Fprintf(os.Stderr, "skipping %s: %v\n", b.RefNo, err)
+				continue
+			}
+			n++
+		}
+		fmt.Printf("imported %d of %d bundles\n", n, len(imported))
+		return db.Checkpoint()
+	case "evaluate":
+		// Stratified 5-fold CV of the selected variant over the assigned
+		// bundles, exactly the §5.1 protocol.
+		e := eval.New(tax, assigned)
+		var simObj core.Similarity = core.Jaccard{}
+		if sim == "overlap" {
+			simObj = core.Overlap{}
+		}
+		modelObj := kb.BagOfConcepts
+		if model == "words" {
+			modelObj = kb.BagOfWords
+		}
+		res := e.Run(eval.Variant{
+			Name:  fmt.Sprintf("bag-of-%s + %s", model, sim),
+			Model: modelObj, Sim: simObj,
+		})
+		freq := e.RunFrequencyBaseline()
+		eval.PrintTable(os.Stdout, "5-fold cross-validation", []*eval.Result{res, freq}, nil)
+		fmt.Printf("\nclassification: %.2f ms/bundle, %d knowledge nodes/fold\n",
+			1000*res.SecPerBundle, res.KBNodes)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (train | classify | recommend | evaluate | export | import | sql)", cmd)
+	}
+}

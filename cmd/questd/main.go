@@ -1,0 +1,85 @@
+// Command questd serves the QUEST web application over a data directory
+// produced by cmd/datagen (and, for the suggestion screens, classified by
+// `qatk train` + `qatk classify`):
+//
+//	questd -data ./data -addr :8080
+//
+// Log in as "admin" (extended rights) or "expert".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bundle"
+	"repro/internal/compare"
+	"repro/internal/core"
+	"repro/internal/kb"
+	"repro/internal/nhtsa"
+	"repro/internal/quest"
+	"repro/internal/reldb"
+	"repro/internal/taxonomy"
+)
+
+func main() {
+	data := flag.String("data", "data", "data directory (from cmd/datagen)")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	if err := run(*data, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, "questd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(data, addr string) error {
+	db, err := reldb.Open(filepath.Join(data, "db"))
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	cfg := quest.Config{DB: db}
+	if internal, public, err := buildComparison(data, db); err != nil {
+		fmt.Fprintf(os.Stderr, "comparison screen disabled: %v\n", err)
+	} else {
+		cfg.Internal, cfg.Public = internal, public
+	}
+
+	srv, err := quest.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "QUEST listening on %s\n", addr)
+	return http.ListenAndServe(addr, srv)
+}
+
+// buildComparison classifies the imported ODI complaints through the
+// persisted knowledge base and prepares both distributions (§5.4).
+func buildComparison(data string, db *reldb.DB) (*compare.Distribution, *compare.Distribution, error) {
+	tax, err := taxonomy.LoadFile(filepath.Join(data, "taxonomy.xml"))
+	if err != nil {
+		return nil, nil, err
+	}
+	store, err := kb.OpenDB(db)
+	if err != nil {
+		return nil, nil, fmt.Errorf("knowledge base not trained yet: %w", err)
+	}
+	complaints, err := nhtsa.LoadAll(db)
+	if err != nil || len(complaints) == 0 {
+		return nil, nil, fmt.Errorf("no ODI complaints imported: %w", err)
+	}
+	clf := compare.NewClassifier(store, tax, kb.BagOfConcepts, core.Jaccard{})
+	public, err := clf.ComplaintDistribution(complaints)
+	if err != nil {
+		return nil, nil, err
+	}
+	bundles, err := bundle.LoadAll(db)
+	if err != nil {
+		return nil, nil, err
+	}
+	return compare.InternalDistribution(bundles), public, nil
+}

@@ -1,0 +1,84 @@
+// Quickstart: the smallest complete tour of the QATK API — build a
+// taxonomy, create a couple of historical data bundles, train the
+// knowledge base, and rank error codes for a new damaged-part report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bundle"
+	"repro/internal/core"
+	"repro/internal/kb"
+	"repro/internal/qatk"
+	"repro/internal/taxonomy"
+)
+
+func main() {
+	// 1. A miniature domain-specific taxonomy (normally loaded from XML,
+	//    see internal/taxonomy and examples/taxonomy_tools).
+	tax := taxonomy.New()
+	must(tax.Add(taxonomy.Concept{
+		ID: 1, Kind: taxonomy.KindComponent, Path: "Electric/Radio",
+		Synonyms: map[string][]string{"en": {"radio", "head unit"}, "de": {"radio", "radiogerät"}},
+	}))
+	must(tax.Add(taxonomy.Concept{
+		ID: 2, Kind: taxonomy.KindSymptom, Path: "Electric/Short",
+		Synonyms: map[string][]string{"en": {"crackling sound", "crackles"}, "de": {"knistern"}},
+	}))
+	must(tax.Add(taxonomy.Concept{
+		ID: 3, Kind: taxonomy.KindSymptom, Path: "Electric/Dead",
+		Synonyms: map[string][]string{"en": {"no function", "dead"}, "de": {"ohne funktion"}},
+	}))
+
+	// 2. Historical data bundles with assigned error codes.
+	history := []*bundle.Bundle{
+		mkBundle("R1", "E100", "Kleint says taht radio turns on and off. crackling sound", "Kontakt defekt, knistern, durchgeschmort."),
+		mkBundle("R2", "E100", "customer hears crackles from the head unit", "radio crackles, contact burnt"),
+		mkBundle("R3", "E200", "radio dead on arrival, no function", "unit dead, internal fuse blown"),
+		mkBundle("R4", "E200", "radiogerät ohne funktion", "sicherung defekt, ohne funktion"),
+	}
+
+	// 3. Train the domain-specific (bag-of-concepts) toolkit.
+	tk := qatk.New(tax, qatk.WithModel(kb.BagOfConcepts), qatk.WithSimilarity(core.Jaccard{}))
+	store, err := tk.Train(history)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("knowledge base: %d nodes from %d bundles\n\n", store.NodeCount(), store.BundleCount())
+
+	// 4. A new damaged part arrives — only mechanic + supplier reports, no
+	//    final error code yet.
+	incoming := &bundle.Bundle{
+		RefNo: "R5", ArticleCode: "A1", PartID: "P1",
+		Reports: []bundle.Report{
+			{Source: bundle.SourceMechanic, Text: "customer says radio makes knistern noise"},
+			{Source: bundle.SourceSupplier, Text: "head unit crackles when warm"},
+		},
+	}
+	list, err := tk.Recommend(store, incoming)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recommended error codes for", incoming.RefNo)
+	for i, sc := range list {
+		fmt.Printf("%d. %s (score %.3f)\n", i+1, sc.Code, sc.Score)
+	}
+}
+
+func mkBundle(ref, code, mechanic, supplier string) *bundle.Bundle {
+	return &bundle.Bundle{
+		RefNo: ref, ArticleCode: "A1", PartID: "P1", ErrorCode: code,
+		Reports: []bundle.Report{
+			{Source: bundle.SourceMechanic, Text: mechanic},
+			{Source: bundle.SourceSupplier, Text: supplier},
+			{Source: bundle.SourcePartDesc, Text: "radio, head unit, Radiogerät"},
+		},
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+package repro_bench
+
+import (
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/bundle"
+	"repro/internal/compare"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/kb"
+	"repro/internal/nhtsa"
+	"repro/internal/qatk"
+	"repro/internal/quest"
+	"repro/internal/reldb"
+	"repro/internal/taxonomy"
+)
+
+// TestEndToEnd drives the full production flow on a durable database:
+// corpus generation → relational storage → taxonomy XML round trip →
+// knowledge-base training and persistence → classification of pending
+// bundles → database reopen → QUEST web app serving suggestions → final
+// code assignment with audit trail. This is the life of one damaged car
+// part through the whole system (Fig. 2 + Fig. 8 + §4.5.4).
+func TestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end flow in -short mode")
+	}
+	dir := t.TempDir()
+
+	// 1. Generate and store the corpus.
+	cfg := datagen.SmallConfig()
+	corpus, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taxPath := dir + "/taxonomy.xml"
+	if err := corpus.Taxonomy.SaveFile(taxPath); err != nil {
+		t.Fatal(err)
+	}
+	db, err := reldb.Open(dir + "/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, create := range []func(*reldb.DB) error{
+		bundle.CreateTables, core.CreateResultsTable,
+		quest.CreateUserTables, quest.CreateCatalogTables, quest.CreateAuditTables,
+		nhtsa.CreateTables,
+	} {
+		if err := create(db); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Mark a few bundles pending (application phase).
+	pendingRefs := map[string]bool{}
+	for i, b := range corpus.Bundles {
+		if i%25 == 3 {
+			cp := *b
+			cp.ErrorCode = ""
+			var reports []bundle.Report
+			for _, r := range b.Reports {
+				if r.Source != bundle.SourceFinalOEM && r.Source != bundle.SourceErrorDesc {
+					reports = append(reports, r)
+				}
+			}
+			cp.Reports = reports
+			corpus.Bundles[i] = &cp
+			pendingRefs[cp.RefNo] = true
+		}
+	}
+	if err := bundle.StoreAll(db, corpus.Bundles); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range corpus.SortedCodes() {
+		if err := quest.AddCode(db, quest.CatalogEntry{Code: spec.Code, PartID: spec.PartID}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := quest.AddUser(db, "expert", quest.RoleExpert); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Train from the assigned bundles, persist the knowledge base,
+	//    classify the pending ones.
+	tax, err := taxonomy.LoadFile(taxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk := qatk.New(tax, qatk.WithModel(kb.BagOfConcepts))
+	all, err := bundle.LoadAll(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var assigned []*bundle.Bundle
+	for _, b := range all {
+		if b.ErrorCode != "" {
+			assigned = append(assigned, b)
+		}
+	}
+	mem, err := tk.Train(bundle.FilterMultiOccurrence(assigned))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.PersistKB(db, mem); err != nil {
+		t.Fatal(err)
+	}
+	n, err := tk.ClassifyAndPersist(db, mem, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(pendingRefs) {
+		t.Fatalf("classified %d, want %d", n, len(pendingRefs))
+	}
+
+	// 3. Close and reopen: everything must survive the WAL/snapshot cycle.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db, err = reldb.Open(dir + "/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	store, err := kb.OpenDB(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.NodeCount() != mem.NodeCount() {
+		t.Fatalf("knowledge base lost rows: %d vs %d", store.NodeCount(), mem.NodeCount())
+	}
+
+	// 4. Serve QUEST and walk the expert flow over HTTP.
+	internal := compare.InternalDistribution(assigned)
+	srv, err := quest.NewServer(quest.Config{DB: db, Internal: internal, Public: internal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	web := httptest.NewServer(srv)
+	defer web.Close()
+
+	jar, _ := cookiejar.New(nil)
+	client := &http.Client{Jar: jar}
+	if _, err := client.PostForm(web.URL+"/login", url.Values{"name": {"expert"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	var ref string
+	for r := range pendingRefs {
+		ref = r
+		break
+	}
+	resp, err := client.Get(web.URL + "/bundle/" + ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if !strings.Contains(body, "Suggested error codes") {
+		t.Fatalf("bundle page missing suggestions:\n%.400s", body)
+	}
+	sugg, err := core.LoadRecommendations(db, ref, 1)
+	if err != nil || len(sugg) == 0 {
+		t.Fatalf("no stored suggestions for %s: %v", ref, err)
+	}
+	if !strings.Contains(body, sugg[0].Code) {
+		t.Fatal("top suggestion not rendered")
+	}
+
+	// Assign the top suggestion.
+	if _, err := client.PostForm(web.URL+"/bundle/"+ref+"/assign",
+		url.Values{"code": {sugg[0].Code}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bundle.Load(db, ref)
+	if err != nil || got.ErrorCode != sugg[0].Code {
+		t.Fatalf("assignment not persisted: %+v, %v", got, err)
+	}
+	entries, err := quest.RecentAssignments(db, 5)
+	if err != nil || len(entries) != 1 || entries[0].SuggRank != 1 {
+		t.Fatalf("audit = %+v, %v", entries, err)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 8192)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}

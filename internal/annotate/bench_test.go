@@ -1,0 +1,90 @@
+package annotate
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cas"
+	"repro/internal/taxonomy"
+	"repro/internal/textproc"
+)
+
+// benchTaxonomy builds a synthetic taxonomy of paper-like size for
+// annotator throughput measurement.
+func benchTaxonomy(b *testing.B, concepts int) *taxonomy.Taxonomy {
+	b.Helper()
+	tax := taxonomy.New()
+	for i := 0; i < concepts; i++ {
+		kind := taxonomy.KindComponent
+		if i%2 == 1 {
+			kind = taxonomy.KindSymptom
+		}
+		c := taxonomy.Concept{
+			ID: i + 1, Kind: kind, Path: fmt.Sprintf("X/C%d", i+1),
+			Synonyms: map[string][]string{
+				"de": {fmt.Sprintf("wortde%d", i)},
+				"en": {fmt.Sprintf("worden%d", i), fmt.Sprintf("worden%d unit", i)},
+			},
+		}
+		if err := tax.Add(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tax
+}
+
+func benchText(concepts int) string {
+	var sb strings.Builder
+	for i := 0; i < 70; i++ {
+		if i%5 == 0 {
+			fmt.Fprintf(&sb, "wortde%d ", (i*37)%concepts)
+			continue
+		}
+		fmt.Fprintf(&sb, "filler%d ", i)
+	}
+	return sb.String()
+}
+
+func BenchmarkTrieAnnotator(b *testing.B) {
+	tax := benchTaxonomy(b, 1800)
+	ann := NewConceptAnnotator(tax)
+	text := benchText(1800)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cas.New(text)
+		if err := (textproc.Tokenizer{}).Process(c); err != nil {
+			b.Fatal(err)
+		}
+		if err := ann.Process(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLegacyAnnotator(b *testing.B) {
+	tax := benchTaxonomy(b, 1800)
+	ann := NewLegacyAnnotator(tax)
+	text := benchText(1800)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cas.New(text)
+		if err := (textproc.Tokenizer{}).Process(c); err != nil {
+			b.Fatal(err)
+		}
+		if err := ann.Process(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnnotatorBuild(b *testing.B) {
+	tax := benchTaxonomy(b, 1800)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewConceptAnnotator(tax)
+	}
+}

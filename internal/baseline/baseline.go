@@ -1,0 +1,82 @@
+// Package baseline implements the two text-ignoring baselines of §5.1:
+// the code-frequency baseline, which sorts the error codes available for a
+// part ID by their frequency in the database, and the unsorted candidate-
+// set baseline, which returns the error codes of all knowledge nodes that
+// share the part ID and at least one feature with the data bundle, in no
+// meaningful order.
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/kb"
+)
+
+// CodeFrequency recommends a part's error codes by descending training
+// frequency. "Sorting available codes by their frequency can be a first
+// step towards supporting quality workers" (§5.1).
+type CodeFrequency struct {
+	Store kb.Store
+}
+
+// Recommend returns the frequency-ranked code list for a part ID; the
+// score of each entry is its training-set count.
+func (b CodeFrequency) Recommend(partID string) []core.ScoredCode {
+	counts := b.Store.CodeFrequencies(partID)
+	out := make([]core.ScoredCode, len(counts))
+	for i, cc := range counts {
+		out[i] = core.ScoredCode{Code: cc.Code, Score: float64(cc.Count)}
+	}
+	return out
+}
+
+// CandidateSet returns the unsorted candidate set (§4.3 selection, §5.1
+// baseline 2): the distinct error codes of all candidate nodes, in no
+// meaningful order. Every code gets score 0.
+//
+// "Unsorted" needs care: the raw insertion order of our inverted index
+// accidentally correlates with code frequency (frequent codes own more
+// nodes and surface earlier in the candidate list), which would flatter
+// the baseline. To represent set semantics honestly the codes are ordered
+// by a deterministic per-query hash — arbitrary, reproducible, and
+// carrying no similarity information, exactly what iterating a set gives.
+type CandidateSet struct {
+	Store kb.Store
+}
+
+// Recommend returns the unranked candidate code list for a data bundle.
+func (b CandidateSet) Recommend(partID string, features []string) []core.ScoredCode {
+	cands := b.Store.Candidates(partID, features)
+	seen := make(map[string]bool, len(cands))
+	var codes []string
+	for _, n := range cands {
+		if !seen[n.ErrorCode] {
+			seen[n.ErrorCode] = true
+			codes = append(codes, n.ErrorCode)
+		}
+	}
+	var sig uint64 = 14695981039346656037
+	for _, f := range features {
+		for i := 0; i < len(f); i++ {
+			sig = (sig ^ uint64(f[i])) * 1099511628211
+		}
+	}
+	sort.Slice(codes, func(i, j int) bool {
+		return hashCode(codes[i], sig) < hashCode(codes[j], sig)
+	})
+	out := make([]core.ScoredCode, len(codes))
+	for i, code := range codes {
+		out[i] = core.ScoredCode{Code: code}
+	}
+	return out
+}
+
+// hashCode mixes a code with the query signature (FNV-1a).
+func hashCode(code string, sig uint64) uint64 {
+	h := sig
+	for i := 0; i < len(code); i++ {
+		h = (h ^ uint64(code[i])) * 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,76 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/kb"
+)
+
+func store() *kb.Memory {
+	m := kb.NewMemory()
+	m.AddBundle("P1", "E_COMMON", []string{"a", "b"})
+	m.AddBundle("P1", "E_COMMON", []string{"a", "c"})
+	m.AddBundle("P1", "E_COMMON", []string{"b", "c"})
+	m.AddBundle("P1", "E_MID", []string{"a", "d"})
+	m.AddBundle("P1", "E_MID", []string{"d", "e"})
+	m.AddBundle("P1", "E_RARE", []string{"f"})
+	m.AddBundle("P2", "E_OTHER", []string{"g"})
+	return m
+}
+
+func TestCodeFrequencyOrdering(t *testing.T) {
+	b := CodeFrequency{Store: store()}
+	got := b.Recommend("P1")
+	if len(got) != 3 {
+		t.Fatalf("list = %v", got)
+	}
+	if got[0].Code != "E_COMMON" || got[1].Code != "E_MID" || got[2].Code != "E_RARE" {
+		t.Fatalf("order = %v", got)
+	}
+	if got[0].Score != 3 || got[1].Score != 2 || got[2].Score != 1 {
+		t.Fatalf("scores = %v", got)
+	}
+}
+
+func TestCodeFrequencyUnknownPartGlobal(t *testing.T) {
+	b := CodeFrequency{Store: store()}
+	got := b.Recommend("P_UNKNOWN")
+	if len(got) != 4 || got[0].Code != "E_COMMON" {
+		t.Fatalf("global list = %v", got)
+	}
+}
+
+func TestCandidateSetUnsorted(t *testing.T) {
+	b := CandidateSet{Store: store()}
+	// Feature "a" touches E_COMMON (2 nodes) and E_MID (1 node).
+	got := b.Recommend("P1", []string{"a"})
+	if len(got) != 2 {
+		t.Fatalf("candidates = %v", got)
+	}
+	codes := map[string]bool{}
+	for _, sc := range got {
+		codes[sc.Code] = true
+		if sc.Score != 0 {
+			t.Fatalf("candidate-set baseline must not score: %v", got)
+		}
+	}
+	if !codes["E_COMMON"] || !codes["E_MID"] {
+		t.Fatalf("codes = %v", codes)
+	}
+}
+
+func TestCandidateSetNoSharedFeature(t *testing.T) {
+	b := CandidateSet{Store: store()}
+	if got := b.Recommend("P1", []string{"zzz"}); len(got) != 0 {
+		t.Fatalf("candidates = %v", got)
+	}
+}
+
+func TestCandidateSetUnknownPartAllNodes(t *testing.T) {
+	b := CandidateSet{Store: store()}
+	got := b.Recommend("P_UNKNOWN", []string{"a"})
+	// Fallback: all nodes → all 4 distinct codes.
+	if len(got) != 4 {
+		t.Fatalf("fallback candidates = %v", got)
+	}
+}

@@ -1,0 +1,155 @@
+// Package bundle models the data bundles of the quality evaluation process
+// (paper §3.1–3.2, Fig. 2/3): all data pertaining to an individual damaged
+// car part — reference number, article code, part ID, the error code once
+// assigned, and the textual reports that accumulate over the process
+// (mechanic report, optional initial OEM report, supplier report, final OEM
+// report) plus the standardized part and error code descriptions.
+package bundle
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cas"
+)
+
+// Source identifies where a report text comes from.
+type Source string
+
+// Report sources in process order (Fig. 2), plus the standardized
+// descriptions usable as textual indicators.
+const (
+	SourceMechanic   Source = "mechanic"
+	SourceInitialOEM Source = "initial_oem"
+	SourceSupplier   Source = "supplier"
+	SourceFinalOEM   Source = "final_oem"
+	SourcePartDesc   Source = "part_desc"
+	SourceErrorDesc  Source = "error_desc"
+)
+
+// TrainingSources are the texts available when building the knowledge base:
+// all reports plus both descriptions (§3.2).
+func TrainingSources() []Source {
+	return []Source{
+		SourceMechanic, SourceInitialOEM, SourceSupplier, SourceFinalOEM,
+		SourcePartDesc, SourceErrorDesc,
+	}
+}
+
+// TestSources are the texts available for a bundle that has not yet been
+// assigned an error code: the final OEM report and the error code
+// description do not exist yet (§3.2).
+func TestSources() []Source {
+	return []Source{
+		SourceMechanic, SourceInitialOEM, SourceSupplier, SourcePartDesc,
+	}
+}
+
+// Report is one text with its source.
+type Report struct {
+	Source Source
+	Text   string
+}
+
+// Bundle is the full data bundle for one damaged car part.
+type Bundle struct {
+	RefNo              string // unique reference number
+	ArticleCode        string
+	PartID             string
+	ErrorCode          string // final error code; empty if not yet assigned
+	ResponsibilityCode string // damage responsibility code from the supplier
+	Reports            []Report
+}
+
+// ReportText returns the text of the first report with the given source
+// ("" if absent).
+func (b *Bundle) ReportText(src Source) string {
+	for _, r := range b.Reports {
+		if r.Source == src {
+			return r.Text
+		}
+	}
+	return ""
+}
+
+// HasReport reports whether a report from the given source exists.
+func (b *Bundle) HasReport(src Source) bool {
+	for _, r := range b.Reports {
+		if r.Source == src {
+			return true
+		}
+	}
+	return false
+}
+
+// Text concatenates the texts of the given sources in the given order,
+// skipping absent reports. With no sources it concatenates all reports.
+func (b *Bundle) Text(sources ...Source) string {
+	var parts []string
+	if len(sources) == 0 {
+		for _, r := range b.Reports {
+			parts = append(parts, r.Text)
+		}
+	} else {
+		for _, s := range sources {
+			if t := b.ReportText(s); t != "" {
+				parts = append(parts, t)
+			}
+		}
+	}
+	return strings.Join(parts, "\n")
+}
+
+// CAS assembles a Common Analysis Structure from the given report sources
+// (step 1 of the pipeline, "Creating Data Bundles": combine related reports
+// into one document). Part ID, error code and reference number are attached
+// as document metadata.
+func (b *Bundle) CAS(sources ...Source) *cas.CAS {
+	if len(sources) == 0 {
+		sources = TrainingSources()
+	}
+	var segs []struct{ Source, Text string }
+	for _, s := range sources {
+		if t := b.ReportText(s); t != "" {
+			segs = append(segs, struct{ Source, Text string }{string(s), t})
+		}
+	}
+	c := cas.NewFromSegments(segs)
+	c.SetMetadata(MetaRefNo, b.RefNo)
+	c.SetMetadata(MetaPartID, b.PartID)
+	c.SetMetadata(MetaErrorCode, b.ErrorCode)
+	c.SetMetadata(MetaArticleCode, b.ArticleCode)
+	return c
+}
+
+// CAS metadata keys used throughout the pipeline.
+const (
+	MetaRefNo       = "ref_no"
+	MetaPartID      = "part_id"
+	MetaErrorCode   = "error_code"
+	MetaArticleCode = "article_code"
+)
+
+// Validate checks structural soundness.
+func (b *Bundle) Validate() error {
+	if b.RefNo == "" {
+		return fmt.Errorf("bundle: empty reference number")
+	}
+	if b.PartID == "" {
+		return fmt.Errorf("bundle %s: empty part ID", b.RefNo)
+	}
+	seen := map[Source]bool{}
+	for _, r := range b.Reports {
+		switch r.Source {
+		case SourceMechanic, SourceInitialOEM, SourceSupplier, SourceFinalOEM,
+			SourcePartDesc, SourceErrorDesc:
+		default:
+			return fmt.Errorf("bundle %s: unknown report source %q", b.RefNo, r.Source)
+		}
+		if seen[r.Source] {
+			return fmt.Errorf("bundle %s: duplicate report source %q", b.RefNo, r.Source)
+		}
+		seen[r.Source] = true
+	}
+	return nil
+}

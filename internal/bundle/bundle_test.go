@@ -1,0 +1,273 @@
+package bundle
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/reldb"
+)
+
+func sampleBundle() *Bundle {
+	return &Bundle{
+		RefNo:              "R001",
+		ArticleCode:        "A123",
+		PartID:             "P7",
+		ErrorCode:          "E42",
+		ResponsibilityCode: "S1",
+		Reports: []Report{
+			{Source: SourceMechanic, Text: "radio turns on and off by itself"},
+			{Source: SourceSupplier, Text: "kontakt defekt, durchgeschmort"},
+			{Source: SourceFinalOEM, Text: "confirmed contact failure"},
+			{Source: SourcePartDesc, Text: "radio unit"},
+		},
+	}
+}
+
+func TestReportAccess(t *testing.T) {
+	b := sampleBundle()
+	if got := b.ReportText(SourceSupplier); got != "kontakt defekt, durchgeschmort" {
+		t.Fatalf("supplier text = %q", got)
+	}
+	if b.ReportText(SourceInitialOEM) != "" {
+		t.Fatal("absent report returned text")
+	}
+	if !b.HasReport(SourceMechanic) || b.HasReport(SourceErrorDesc) {
+		t.Fatal("HasReport wrong")
+	}
+}
+
+func TestTextAssembly(t *testing.T) {
+	b := sampleBundle()
+	all := b.Text()
+	if all == "" || len(all) < 20 {
+		t.Fatalf("all text = %q", all)
+	}
+	mech := b.Text(SourceMechanic)
+	if mech != "radio turns on and off by itself" {
+		t.Fatalf("mechanic text = %q", mech)
+	}
+	// Absent sources are skipped without extra separators.
+	two := b.Text(SourceInitialOEM, SourceSupplier)
+	if two != "kontakt defekt, durchgeschmort" {
+		t.Fatalf("two = %q", two)
+	}
+}
+
+func TestCASAssembly(t *testing.T) {
+	b := sampleBundle()
+	c := b.CAS(TestSources()...)
+	if c.Metadata(MetaPartID) != "P7" || c.Metadata(MetaErrorCode) != "E42" || c.Metadata(MetaRefNo) != "R001" {
+		t.Fatal("metadata missing")
+	}
+	segs := c.Segments()
+	// mechanic, supplier, part_desc present among test sources.
+	if len(segs) != 3 {
+		t.Fatalf("segments = %d, want 3", len(segs))
+	}
+	if segs[0].Source != string(SourceMechanic) || segs[2].Source != string(SourcePartDesc) {
+		t.Fatalf("segments = %v", segs)
+	}
+	// Training CAS also includes the final OEM report.
+	tr := b.CAS()
+	if len(tr.Segments()) != 4 {
+		t.Fatalf("training segments = %d, want 4", len(tr.Segments()))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := sampleBundle()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Bundle{
+		{PartID: "P", Reports: nil},
+		{RefNo: "R", Reports: nil},
+		{RefNo: "R", PartID: "P", Reports: []Report{{Source: "weird"}}},
+		{RefNo: "R", PartID: "P", Reports: []Report{
+			{Source: SourceMechanic, Text: "a"}, {Source: SourceMechanic, Text: "b"},
+		}},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: invalid bundle accepted", i)
+		}
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	db, err := reldb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CreateTables(db); err != nil {
+		t.Fatal(err)
+	}
+	b := sampleBundle()
+	if err := Store(db, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(db, "R001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PartID != b.PartID || got.ErrorCode != b.ErrorCode || got.ArticleCode != b.ArticleCode {
+		t.Fatalf("bundle = %+v", got)
+	}
+	if len(got.Reports) != 4 || got.ReportText(SourceSupplier) != b.ReportText(SourceSupplier) {
+		t.Fatalf("reports = %v", got.Reports)
+	}
+	// Duplicate reference numbers rejected by the unique index.
+	if err := Store(db, b); err == nil {
+		t.Fatal("duplicate ref accepted")
+	}
+	if _, err := Load(db, "missing"); err == nil {
+		t.Fatal("missing bundle loaded")
+	}
+}
+
+func TestLoadAllAndSetErrorCode(t *testing.T) {
+	db, _ := reldb.Open("")
+	if err := CreateTables(db); err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range []string{"R2", "R1", "R3"} {
+		b := sampleBundle()
+		b.RefNo = ref
+		b.ErrorCode = ""
+		if err := Store(db, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, err := LoadAll(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 || all[0].RefNo != "R1" || all[2].RefNo != "R3" {
+		t.Fatalf("order = %v", []string{all[0].RefNo, all[1].RefNo, all[2].RefNo})
+	}
+	if len(all[1].Reports) != 4 {
+		t.Fatalf("reports not attached: %d", len(all[1].Reports))
+	}
+	if err := SetErrorCode(db, "R2", "E9"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := Load(db, "R2")
+	if got.ErrorCode != "E9" {
+		t.Fatalf("code = %q", got.ErrorCode)
+	}
+	if err := SetErrorCode(db, "missing", "E9"); err == nil {
+		t.Fatal("SetErrorCode on missing bundle accepted")
+	}
+}
+
+func TestReaderStreamsCASes(t *testing.T) {
+	bundles := []*Bundle{sampleBundle(), sampleBundle()}
+	bundles[1].RefNo = "R002"
+	r := NewReader(bundles, TestSources())
+	c1, err := r.Next()
+	if err != nil || c1.Metadata(MetaRefNo) != "R001" {
+		t.Fatalf("first = %v %v", c1, err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestPartIDsAndCodeCounts(t *testing.T) {
+	bundles := []*Bundle{
+		{RefNo: "1", PartID: "B", ErrorCode: "X"},
+		{RefNo: "2", PartID: "A", ErrorCode: "X"},
+		{RefNo: "3", PartID: "B", ErrorCode: "Y"},
+		{RefNo: "4", PartID: "B", ErrorCode: ""},
+	}
+	ids := PartIDs(bundles)
+	if len(ids) != 2 || ids[0] != "A" || ids[1] != "B" {
+		t.Fatalf("parts = %v", ids)
+	}
+	counts := CodeCounts(bundles)
+	if counts["X"] != 2 || counts["Y"] != 1 || len(counts) != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestFilterMultiOccurrence(t *testing.T) {
+	bundles := []*Bundle{
+		{RefNo: "1", PartID: "P", ErrorCode: "X"},
+		{RefNo: "2", PartID: "P", ErrorCode: "X"},
+		{RefNo: "3", PartID: "P", ErrorCode: "Y"}, // singleton: removed
+		{RefNo: "4", PartID: "P", ErrorCode: "Z"},
+		{RefNo: "5", PartID: "P", ErrorCode: "Z"},
+		{RefNo: "6", PartID: "P", ErrorCode: "Z"},
+	}
+	kept := FilterMultiOccurrence(bundles)
+	if len(kept) != 5 {
+		t.Fatalf("kept = %d, want 5", len(kept))
+	}
+	for _, b := range kept {
+		if b.ErrorCode == "Y" {
+			t.Fatal("singleton survived")
+		}
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	bundles := []*Bundle{
+		{
+			RefNo: "R1", ArticleCode: "A1", PartID: "P1", ErrorCode: "E1",
+			ResponsibilityCode: "SUP",
+			Reports: []Report{
+				{Source: SourceMechanic, Text: "line one\nline two\twith tab"},
+				{Source: SourceSupplier, Text: `backslash \ inside`},
+			},
+		},
+		{
+			RefNo: "R2", ArticleCode: "A2", PartID: "P2",
+			Reports: []Report{{Source: SourceMechanic, Text: "plain"}},
+		},
+	}
+	var bb, rb strings.Builder
+	if err := WriteTSV(&bb, &rb, bundles); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(strings.NewReader(bb.String()), strings.NewReader(rb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("bundles = %d", len(got))
+	}
+	if got[0].ReportText(SourceMechanic) != "line one\nline two\twith tab" {
+		t.Fatalf("escaping broken: %q", got[0].ReportText(SourceMechanic))
+	}
+	if got[0].ReportText(SourceSupplier) != `backslash \ inside` {
+		t.Fatalf("backslash broken: %q", got[0].ReportText(SourceSupplier))
+	}
+	if got[1].ErrorCode != "" || got[1].PartID != "P2" {
+		t.Fatalf("bundle 2 = %+v", got[1])
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	ok := "R1\tA1\tP1\tE1\tSUP\n"
+	cases := []struct{ bundles, reports string }{
+		{"R1\tA1\tP1\n", ""},             // short bundle row
+		{ok + ok, ""},                    // duplicate reference
+		{ok, "R9\tmechanic\ttext\n"},     // orphan report
+		{ok, "R1\tmechanic\n"},           // short report row
+		{ok, "R1\tweird-source\ttext\n"}, // invalid source fails Validate
+	}
+	for i, c := range cases {
+		if _, err := ReadTSV(strings.NewReader(c.bundles), strings.NewReader(c.reports)); err == nil {
+			t.Errorf("case %d: bad TSV accepted", i)
+		}
+	}
+	// Blank lines are tolerated.
+	got, err := ReadTSV(strings.NewReader("\n"+ok+"\n"), strings.NewReader("\nR1\tmechanic\tx\n"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("blank lines: %v %v", got, err)
+	}
+}

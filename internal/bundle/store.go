@@ -1,0 +1,236 @@
+package bundle
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cas"
+	"repro/internal/reldb"
+)
+
+// Relational persistence of data bundles (paper §3.2: "These data,
+// including the text reports, are stored across several tables in a
+// relational database"). Two tables: bundles (one row per car part) and
+// reports (one row per report text, keyed by reference number and source).
+
+// Table names used by the bundle store.
+const (
+	TableBundles = "bundles"
+	TableReports = "reports"
+)
+
+// CreateTables creates the bundle schema in db, with the indexes the
+// loaders rely on.
+func CreateTables(db *reldb.DB) error {
+	if err := db.CreateTable(reldb.Schema{
+		Name: TableBundles,
+		Columns: []reldb.Column{
+			{Name: "id", Type: reldb.TInt},
+			{Name: "ref_no", Type: reldb.TString, NotNull: true},
+			{Name: "article_code", Type: reldb.TString, NotNull: true},
+			{Name: "part_id", Type: reldb.TString, NotNull: true},
+			{Name: "error_code", Type: reldb.TString},
+			{Name: "responsibility_code", Type: reldb.TString},
+		},
+		PrimaryKey: "id",
+	}); err != nil {
+		return err
+	}
+	if err := db.CreateIndex(TableBundles, "ux_bundles_ref", true, "ref_no"); err != nil {
+		return err
+	}
+	if err := db.CreateIndex(TableBundles, "ix_bundles_part", false, "part_id"); err != nil {
+		return err
+	}
+	if err := db.CreateTable(reldb.Schema{
+		Name: TableReports,
+		Columns: []reldb.Column{
+			{Name: "id", Type: reldb.TInt},
+			{Name: "ref_no", Type: reldb.TString, NotNull: true},
+			{Name: "source", Type: reldb.TString, NotNull: true},
+			{Name: "text", Type: reldb.TString, NotNull: true},
+		},
+		PrimaryKey: "id",
+	}); err != nil {
+		return err
+	}
+	return db.CreateIndex(TableReports, "ix_reports_ref", false, "ref_no")
+}
+
+// Store writes a bundle and its reports in one transaction.
+func Store(db *reldb.DB, b *Bundle) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	tx := db.Begin()
+	tx.Insert(TableBundles, reldb.Row{
+		nil, b.RefNo, b.ArticleCode, b.PartID, b.ErrorCode, b.ResponsibilityCode,
+	})
+	for _, r := range b.Reports {
+		tx.Insert(TableReports, reldb.Row{nil, b.RefNo, string(r.Source), r.Text})
+	}
+	return tx.Commit()
+}
+
+// StoreAll writes many bundles; it stops at the first error.
+func StoreAll(db *reldb.DB, bundles []*Bundle) error {
+	for _, b := range bundles {
+		if err := Store(db, b); err != nil {
+			return fmt.Errorf("bundle %s: %w", b.RefNo, err)
+		}
+	}
+	return nil
+}
+
+// Load reads one bundle by reference number.
+func Load(db *reldb.DB, refNo string) (*Bundle, error) {
+	row, _, ok, err := db.SelectOne(reldb.Query{
+		Table: TableBundles,
+		Where: []reldb.Cond{reldb.Eq("ref_no", refNo)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("bundle: no bundle %q", refNo)
+	}
+	b := bundleFromRow(row)
+	res, err := db.Select(reldb.Query{
+		Table:   TableReports,
+		Where:   []reldb.Cond{reldb.Eq("ref_no", refNo)},
+		OrderBy: "id",
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range res.Rows {
+		b.Reports = append(b.Reports, Report{Source: Source(r[2].(string)), Text: r[3].(string)})
+	}
+	return b, nil
+}
+
+// LoadAll reads every bundle, ordered by reference number.
+func LoadAll(db *reldb.DB) ([]*Bundle, error) {
+	res, err := db.Select(reldb.Query{Table: TableBundles, OrderBy: "ref_no"})
+	if err != nil {
+		return nil, err
+	}
+	byRef := make(map[string]*Bundle, len(res.Rows))
+	bundles := make([]*Bundle, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		b := bundleFromRow(row)
+		byRef[b.RefNo] = b
+		bundles = append(bundles, b)
+	}
+	// Pull all reports in one scan and attach them.
+	reps, err := db.Select(reldb.Query{Table: TableReports, OrderBy: "id"})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range reps.Rows {
+		ref := row[1].(string)
+		b, ok := byRef[ref]
+		if !ok {
+			return nil, fmt.Errorf("bundle: orphan report for %q", ref)
+		}
+		b.Reports = append(b.Reports, Report{Source: Source(row[2].(string)), Text: row[3].(string)})
+	}
+	return bundles, nil
+}
+
+func bundleFromRow(row reldb.Row) *Bundle {
+	b := &Bundle{
+		RefNo:       row[1].(string),
+		ArticleCode: row[2].(string),
+		PartID:      row[3].(string),
+	}
+	if row[4] != nil {
+		b.ErrorCode = row[4].(string)
+	}
+	if row[5] != nil {
+		b.ResponsibilityCode = row[5].(string)
+	}
+	return b
+}
+
+// SetErrorCode assigns the final error code of a bundle in the database
+// (the QUEST "Assign Final Error Code" action).
+func SetErrorCode(db *reldb.DB, refNo, code string) error {
+	row, id, ok, err := db.SelectOne(reldb.Query{
+		Table: TableBundles,
+		Where: []reldb.Cond{reldb.Eq("ref_no", refNo)},
+	})
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("bundle: no bundle %q", refNo)
+	}
+	row[4] = code
+	return db.Update(TableBundles, id, row)
+}
+
+// Reader streams bundles as CASes for pipeline collection processing,
+// assembling each document from the given report sources.
+type Reader struct {
+	bundles []*Bundle
+	sources []Source
+	pos     int
+}
+
+// NewReader creates a pipeline reader over the bundles. sources selects
+// which reports form the document text (nil = training sources).
+func NewReader(bundles []*Bundle, sources []Source) *Reader {
+	return &Reader{bundles: bundles, sources: sources}
+}
+
+// Next implements pipeline.Reader.
+func (r *Reader) Next() (*cas.CAS, error) {
+	if r.pos >= len(r.bundles) {
+		return nil, io.EOF
+	}
+	b := r.bundles[r.pos]
+	r.pos++
+	return b.CAS(r.sources...), nil
+}
+
+// PartIDs returns the distinct part IDs of a bundle set, sorted.
+func PartIDs(bundles []*Bundle) []string {
+	set := map[string]bool{}
+	for _, b := range bundles {
+		set[b.PartID] = true
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CodeCounts returns error code frequencies over a bundle set.
+func CodeCounts(bundles []*Bundle) map[string]int {
+	out := map[string]int{}
+	for _, b := range bundles {
+		if b.ErrorCode != "" {
+			out[b.ErrorCode]++
+		}
+	}
+	return out
+}
+
+// FilterMultiOccurrence removes bundles whose error code appears only once
+// in the set — "718 of these error codes only appear a single time, so we
+// remove them for our experiments since nothing can be learned from them"
+// (§3.2). It returns the kept bundles.
+func FilterMultiOccurrence(bundles []*Bundle) []*Bundle {
+	counts := CodeCounts(bundles)
+	out := make([]*Bundle, 0, len(bundles))
+	for _, b := range bundles {
+		if counts[b.ErrorCode] > 1 {
+			out = append(out, b)
+		}
+	}
+	return out
+}

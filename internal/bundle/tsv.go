@@ -1,0 +1,131 @@
+package bundle
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Flat-file interchange. The paper's data arrive as exports from the
+// evaluation documentation tool (§3.2); this two-file TSV layout lets a
+// deployment load its own exports into the QATK database:
+//
+//	bundles.tsv:  ref_no <TAB> article_code <TAB> part_id <TAB> error_code <TAB> responsibility_code
+//	reports.tsv:  ref_no <TAB> source <TAB> text (tabs and newlines escaped as \t and \n)
+
+// WriteTSV writes bundle master data and report texts to two streams.
+func WriteTSV(bundlesW, reportsW io.Writer, bundles []*Bundle) error {
+	bw := bufio.NewWriter(bundlesW)
+	rw := bufio.NewWriter(reportsW)
+	for _, b := range bundles {
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\t%s\t%s\n",
+			b.RefNo, b.ArticleCode, b.PartID, b.ErrorCode, b.ResponsibilityCode); err != nil {
+			return err
+		}
+		for _, r := range b.Reports {
+			if _, err := fmt.Fprintf(rw, "%s\t%s\t%s\n",
+				b.RefNo, r.Source, escapeTSV(r.Text)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return rw.Flush()
+}
+
+// ReadTSV parses the two-stream layout back into bundles, in the order of
+// the bundles stream.
+func ReadTSV(bundlesR, reportsR io.Reader) ([]*Bundle, error) {
+	var bundles []*Bundle
+	byRef := map[string]*Bundle{}
+	sc := bufio.NewScanner(bundlesR)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) != 5 {
+			return nil, fmt.Errorf("bundle: bundles.tsv line %d: %d fields, want 5", line, len(parts))
+		}
+		b := &Bundle{
+			RefNo: parts[0], ArticleCode: parts[1], PartID: parts[2],
+			ErrorCode: parts[3], ResponsibilityCode: parts[4],
+		}
+		if byRef[b.RefNo] != nil {
+			return nil, fmt.Errorf("bundle: bundles.tsv line %d: duplicate reference %s", line, b.RefNo)
+		}
+		byRef[b.RefNo] = b
+		bundles = append(bundles, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	rs := bufio.NewScanner(reportsR)
+	rs.Buffer(make([]byte, 1<<20), 1<<20)
+	line = 0
+	for rs.Scan() {
+		line++
+		text := rs.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		parts := strings.SplitN(text, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bundle: reports.tsv line %d: %d fields, want 3", line, len(parts))
+		}
+		b := byRef[parts[0]]
+		if b == nil {
+			return nil, fmt.Errorf("bundle: reports.tsv line %d: unknown reference %s", line, parts[0])
+		}
+		b.Reports = append(b.Reports, Report{
+			Source: Source(parts[1]),
+			Text:   unescapeTSV(parts[2]),
+		})
+	}
+	if err := rs.Err(); err != nil {
+		return nil, err
+	}
+	for _, b := range bundles {
+		if err := b.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return bundles, nil
+}
+
+func escapeTSV(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\t", `\t`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+func unescapeTSV(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' || i+1 == len(s) {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		switch s[i] {
+		case 't':
+			b.WriteByte('\t')
+		case 'n':
+			b.WriteByte('\n')
+		case '\\':
+			b.WriteByte('\\')
+		default:
+			b.WriteByte('\\')
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,172 @@
+package cas
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAnnotateAndSelect(t *testing.T) {
+	c := New("the radio crackles")
+	if err := c.Annotate(&Annotation{Type: "Token", Begin: 0, End: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Annotate(&Annotation{Type: "Token", Begin: 4, End: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Annotate(&Annotation{Type: "Concept", Begin: 4, End: 9}); err != nil {
+		t.Fatal(err)
+	}
+	toks := c.Select("Token")
+	if len(toks) != 2 {
+		t.Fatalf("tokens = %d, want 2", len(toks))
+	}
+	if c.CoveredText(toks[1]) != "radio" {
+		t.Fatalf("covered = %q", c.CoveredText(toks[1]))
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestAnnotateValidation(t *testing.T) {
+	c := New("abc")
+	bad := []*Annotation{
+		nil,
+		{Type: "", Begin: 0, End: 1},
+		{Type: "T", Begin: -1, End: 1},
+		{Type: "T", Begin: 2, End: 1},
+		{Type: "T", Begin: 0, End: 4},
+	}
+	for i, a := range bad {
+		if err := c.Annotate(a); err == nil {
+			t.Errorf("case %d: invalid annotation accepted", i)
+		}
+	}
+	// Zero-width and full-span annotations are legal.
+	if err := c.Annotate(&Annotation{Type: "T", Begin: 1, End: 1}); err != nil {
+		t.Errorf("zero-width rejected: %v", err)
+	}
+	if err := c.Annotate(&Annotation{Type: "T", Begin: 0, End: 3}); err != nil {
+		t.Errorf("full-span rejected: %v", err)
+	}
+}
+
+func TestDocumentOrder(t *testing.T) {
+	c := New("aaaaaaaaaa")
+	// Insert out of order; enclosing spans must come before enclosed ones.
+	c.MustAnnotate(&Annotation{Type: "T", Begin: 4, End: 6})
+	c.MustAnnotate(&Annotation{Type: "T", Begin: 0, End: 2})
+	c.MustAnnotate(&Annotation{Type: "T", Begin: 0, End: 5})
+	got := c.Select("T")
+	wants := []struct{ b, e int }{{0, 5}, {0, 2}, {4, 6}}
+	for i, w := range wants {
+		if got[i].Begin != w.b || got[i].End != w.e {
+			t.Fatalf("order[%d] = [%d,%d), want [%d,%d)", i, got[i].Begin, got[i].End, w.b, w.e)
+		}
+	}
+}
+
+func TestSelectCovered(t *testing.T) {
+	c := New("one two three four")
+	c.MustAnnotate(&Annotation{Type: "Token", Begin: 0, End: 3})
+	c.MustAnnotate(&Annotation{Type: "Token", Begin: 4, End: 7})
+	c.MustAnnotate(&Annotation{Type: "Token", Begin: 8, End: 13})
+	got := c.SelectCovered("Token", 4, 13)
+	if len(got) != 2 {
+		t.Fatalf("covered = %d, want 2", len(got))
+	}
+}
+
+func TestSegments(t *testing.T) {
+	c := NewFromSegments([]struct{ Source, Text string }{
+		{"mechanic", "radio dead"},
+		{"supplier", "kontakt defekt"},
+	})
+	if c.Text() != "radio dead\nkontakt defekt" {
+		t.Fatalf("text = %q", c.Text())
+	}
+	segs := c.Segments()
+	if len(segs) != 2 || segs[0].Source != "mechanic" || segs[1].Source != "supplier" {
+		t.Fatalf("segments = %v", segs)
+	}
+	if c.Text()[segs[1].Begin:segs[1].End] != "kontakt defekt" {
+		t.Fatalf("segment span wrong: %v", segs[1])
+	}
+	s, ok := c.SegmentFor(segs[1].Begin)
+	if !ok || s.Source != "supplier" {
+		t.Fatalf("SegmentFor = %v, %v", s, ok)
+	}
+	if _, ok := c.SegmentFor(len(c.Text()) + 5); ok {
+		t.Fatal("SegmentFor out of range succeeded")
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	c := New("x")
+	if c.Metadata("part") != "" {
+		t.Fatal("unset metadata non-empty")
+	}
+	c.SetMetadata("part", "P7")
+	if c.Metadata("part") != "P7" {
+		t.Fatal("metadata not stored")
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	a := &Annotation{Type: "T"}
+	if a.Feature("x") != "" {
+		t.Fatal("unset feature non-empty")
+	}
+	a.SetFeature("x", "1")
+	a.SetFeature("y", "2")
+	if a.Feature("x") != "1" || a.Feature("y") != "2" {
+		t.Fatal("features not stored")
+	}
+}
+
+func TestRemoveType(t *testing.T) {
+	c := New("abcdef")
+	c.MustAnnotate(&Annotation{Type: "A", Begin: 0, End: 1})
+	c.MustAnnotate(&Annotation{Type: "B", Begin: 1, End: 2})
+	c.MustAnnotate(&Annotation{Type: "A", Begin: 2, End: 3})
+	if n := c.RemoveType("A"); n != 2 {
+		t.Fatalf("removed %d, want 2", n)
+	}
+	if len(c.Select("A")) != 0 || len(c.Select("B")) != 1 {
+		t.Fatal("wrong annotations after removal")
+	}
+}
+
+// Property: every annotation accepted by Annotate yields a CoveredText that
+// is a substring of the document at the right place.
+func TestCoveredTextProperty(t *testing.T) {
+	f := func(text string, begin, end uint8) bool {
+		c := New(text)
+		b, e := int(begin), int(end)
+		err := c.Annotate(&Annotation{Type: "T", Begin: b, End: e})
+		if err != nil {
+			return true // rejected spans are out of scope
+		}
+		covered := c.CoveredText(c.Select("T")[0])
+		return covered == text[b:e]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectOverlapping(t *testing.T) {
+	c := New("0123456789")
+	c.MustAnnotate(&Annotation{Type: "T", Begin: 0, End: 3})
+	c.MustAnnotate(&Annotation{Type: "T", Begin: 2, End: 6})
+	c.MustAnnotate(&Annotation{Type: "T", Begin: 7, End: 9})
+	c.MustAnnotate(&Annotation{Type: "Other", Begin: 2, End: 6})
+	got := c.SelectOverlapping("T", 2, 7)
+	if len(got) != 2 {
+		t.Fatalf("overlapping = %d, want 2", len(got))
+	}
+	// Zero-width probe at a boundary: [3,3) overlaps nothing ending at 3.
+	if got := c.SelectOverlapping("T", 6, 7); len(got) != 0 {
+		t.Fatalf("boundary overlap = %d, want 0", len(got))
+	}
+}

@@ -1,0 +1,29 @@
+package compare
+
+import (
+	"repro/internal/nhtsa"
+)
+
+// CrossSourceAccuracy measures how often a classifier's top-ranked code
+// matches the ground-truth code underlying each complaint. The real ODI
+// data has no such labels; on the synthetic corpus this quantifies the
+// §5.4 claim that "the bag-of-words approach suffers in accuracy as soon
+// as test and training data are different text types or in different
+// languages, whereas the bag-of-concepts approach is in principle
+// independent of the document language or other text features".
+func CrossSourceAccuracy(clf *Classifier, complaints []nhtsa.Complaint, labels []string) (topOne float64, err error) {
+	if len(complaints) == 0 {
+		return 0, nil
+	}
+	hits := 0
+	for i, cm := range complaints {
+		code, err := clf.ClassifyText(cm.Component, cm.CDescr)
+		if err != nil {
+			return 0, err
+		}
+		if code == labels[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(complaints)), nil
+}

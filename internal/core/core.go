@@ -1,0 +1,232 @@
+// Package core implements the paper's primary contribution (§4.2–4.3): a
+// classification algorithm derived from k-Nearest-Neighbors, adapted to the
+// extreme multi-class setting of error-code assignment. Instead of a
+// majority vote over the k nearest neighbors — which Fig. 6 shows to be
+// unstable under the sparsity of 553 classes — the classifier outputs a
+// list of all potential error codes ranked by the similarity of the
+// knowledge-base instances to the data bundle, cut off at the 25
+// best-scored candidate nodes for presentation to the quality expert.
+//
+// The similarity measure, the feature model and the class-assignment rule
+// are all pluggable, realizing the "bare-bones classification algorithm
+// with maximum parametrizability" of §4.2.
+package core
+
+import (
+	"sort"
+
+	"repro/internal/kb"
+)
+
+// Similarity scores two feature sets from their intersection size and
+// cardinalities. Implementations must be in [0, 1].
+type Similarity interface {
+	Name() string
+	Score(shared, sizeA, sizeB int) float64
+}
+
+// Jaccard is the Jaccard similarity coefficient |A∩B| / |A∪B|.
+type Jaccard struct{}
+
+// Name implements Similarity.
+func (Jaccard) Name() string { return "jaccard" }
+
+// Score implements Similarity.
+func (Jaccard) Score(shared, sizeA, sizeB int) float64 {
+	union := sizeA + sizeB - shared
+	if union == 0 {
+		return 0
+	}
+	return float64(shared) / float64(union)
+}
+
+// Overlap is the overlap coefficient |A∩B| / min(|A|, |B|).
+type Overlap struct{}
+
+// Name implements Similarity.
+func (Overlap) Name() string { return "overlap" }
+
+// Score implements Similarity.
+func (Overlap) Score(shared, sizeA, sizeB int) float64 {
+	m := sizeA
+	if sizeB < m {
+		m = sizeB
+	}
+	if m == 0 {
+		return 0
+	}
+	return float64(shared) / float64(m)
+}
+
+// ScoredCode is one ranked recommendation.
+type ScoredCode struct {
+	Code  string
+	Score float64
+}
+
+// DefaultNodeCutoff is the number of best-scored candidate nodes whose
+// error codes are retrieved (§4.3: "We retrieve the error codes of the 25
+// best-scored candidate nodes").
+const DefaultNodeCutoff = 25
+
+// Classifier is the ranked-list kNN-derived classifier.
+type Classifier struct {
+	Store kb.Store
+	Sim   Similarity
+	// NodeCutoff caps how many best-scored nodes contribute codes;
+	// 0 means DefaultNodeCutoff.
+	NodeCutoff int
+}
+
+// New creates a classifier over a knowledge base with the given similarity.
+func New(store kb.Store, sim Similarity) *Classifier {
+	return &Classifier{Store: store, Sim: sim}
+}
+
+// scoredNode pairs a candidate node with its similarity to the query.
+type scoredNode struct {
+	node  *kb.Node
+	score float64
+}
+
+// rankNodes computes pairwise similarities for the candidate set and sorts
+// descending (ties broken by error code, then node ID, for determinism).
+func (c *Classifier) rankNodes(partID string, features []string) []scoredNode {
+	featSet := make(map[string]bool, len(features))
+	for _, f := range features {
+		featSet[f] = true
+	}
+	cands := c.Store.Candidates(partID, features)
+	scored := make([]scoredNode, 0, len(cands))
+	for _, n := range cands {
+		shared := 0
+		for _, f := range n.Features {
+			if featSet[f] {
+				shared++
+			}
+		}
+		s := c.Sim.Score(shared, len(features), len(n.Features))
+		scored = append(scored, scoredNode{node: n, score: s})
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		a, b := scored[i], scored[j]
+		if a.score != b.score {
+			return a.score > b.score
+		}
+		if a.node.ErrorCode != b.node.ErrorCode {
+			return a.node.ErrorCode < b.node.ErrorCode
+		}
+		return a.node.ID < b.node.ID
+	})
+	return scored
+}
+
+// Recommend returns the ranked error-code list for a data bundle given its
+// part ID and extracted feature set: the distinct error codes of the
+// best-scored candidate nodes, each with the score of its best node, in
+// rank order. At most NodeCutoff nodes are consumed, so the list holds at
+// most that many codes.
+func (c *Classifier) Recommend(partID string, features []string) []ScoredCode {
+	cutoff := c.NodeCutoff
+	if cutoff <= 0 {
+		cutoff = DefaultNodeCutoff
+	}
+	scored := c.rankNodes(partID, features)
+	if len(scored) > cutoff {
+		scored = scored[:cutoff]
+	}
+	seen := make(map[string]bool, len(scored))
+	out := make([]ScoredCode, 0, len(scored))
+	for _, sn := range scored {
+		code := sn.node.ErrorCode
+		if seen[code] {
+			continue
+		}
+		seen[code] = true
+		out = append(out, ScoredCode{Code: code, Score: sn.score})
+	}
+	return out
+}
+
+// MajorityVote is the standard unweighted instance-based kNN assignment
+// (Fig. 6), kept as an ablation: the class of the query is the most common
+// error code among the k nearest nodes. Ties are broken toward the code
+// whose best node scores higher, then lexicographically. It returns ""
+// when there are no candidates.
+func (c *Classifier) MajorityVote(partID string, features []string, k int) string {
+	if k <= 0 {
+		k = 6
+	}
+	scored := c.rankNodes(partID, features)
+	if len(scored) == 0 {
+		return ""
+	}
+	if len(scored) > k {
+		scored = scored[:k]
+	}
+	votes := map[string]int{}
+	best := map[string]float64{}
+	for _, sn := range scored {
+		code := sn.node.ErrorCode
+		votes[code]++
+		if sn.score > best[code] {
+			best[code] = sn.score
+		}
+	}
+	winner := ""
+	for code, v := range votes {
+		if winner == "" {
+			winner = code
+			continue
+		}
+		switch {
+		case v > votes[winner]:
+			winner = code
+		case v == votes[winner] && best[code] > best[winner]:
+			winner = code
+		case v == votes[winner] && best[code] == best[winner] && code < winner:
+			winner = code
+		}
+	}
+	return winner
+}
+
+// WeightedVote is the similarity-weighted variant of majority voting that
+// §4.2 mentions ("this majority vote can also be weighted by the
+// individual nearness of neighbors"): each of the k nearest nodes votes
+// with its similarity score. Kept alongside MajorityVote as an ablation;
+// the ranked list remains the paper's adaptation of choice.
+func (c *Classifier) WeightedVote(partID string, features []string, k int) string {
+	if k <= 0 {
+		k = 6
+	}
+	scored := c.rankNodes(partID, features)
+	if len(scored) == 0 {
+		return ""
+	}
+	if len(scored) > k {
+		scored = scored[:k]
+	}
+	weights := map[string]float64{}
+	for _, sn := range scored {
+		weights[sn.node.ErrorCode] += sn.score
+	}
+	winner := ""
+	for code, w := range weights {
+		if winner == "" || w > weights[winner] || (w == weights[winner] && code < winner) {
+			winner = code
+		}
+	}
+	return winner
+}
+
+// Rank returns the 1-based position of the correct code in a ranked list,
+// or 0 when absent. Evaluation helpers use it for Accuracy@k.
+func Rank(list []ScoredCode, code string) int {
+	for i, sc := range list {
+		if sc.Code == code {
+			return i + 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,37 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kb"
+)
+
+// ExampleClassifier_Recommend shows the ranked-list classification of
+// §4.3: knowledge nodes are built from classified data bundles, and a new
+// bundle's feature set is answered with a ranked error-code list.
+func ExampleClassifier_Recommend() {
+	store := kb.NewMemory()
+	store.AddBundle("P1", "E100", []string{"crackle", "radio", "smell"})
+	store.AddBundle("P1", "E100", []string{"contact", "crackle", "radio"})
+	store.AddBundle("P1", "E200", []string{"dead", "fuse", "radio"})
+
+	clf := core.New(store, core.Jaccard{})
+	for _, sc := range clf.Recommend("P1", []string{"crackle", "radio"}) {
+		fmt.Printf("%s %.2f\n", sc.Code, sc.Score)
+	}
+	// Output:
+	// E100 0.67
+	// E200 0.25
+}
+
+// ExampleJaccard contrasts the two similarity measures of §4.3 on the same
+// feature sets.
+func ExampleJaccard() {
+	shared, a, b := 2, 4, 2 // B ⊂ A
+	fmt.Printf("jaccard %.2f overlap %.2f\n",
+		core.Jaccard{}.Score(shared, a, b),
+		core.Overlap{}.Score(shared, a, b))
+	// Output:
+	// jaccard 0.50 overlap 1.00
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/reldb"
+)
+
+// Result persistence (pipeline step 3c, "Result Persistence: store scored
+// error code suggestions in a relational database"): the QUEST web app
+// reads the top suggestions for each data bundle from this table.
+
+// TableRecommendations holds the persisted scored suggestions.
+const TableRecommendations = "recommendations"
+
+// CreateResultsTable creates the recommendations schema.
+func CreateResultsTable(db *reldb.DB) error {
+	if err := db.CreateTable(reldb.Schema{
+		Name: TableRecommendations,
+		Columns: []reldb.Column{
+			{Name: "id", Type: reldb.TInt},
+			{Name: "ref_no", Type: reldb.TString, NotNull: true},
+			{Name: "rank", Type: reldb.TInt, NotNull: true},
+			{Name: "error_code", Type: reldb.TString, NotNull: true},
+			{Name: "score", Type: reldb.TFloat, NotNull: true},
+		},
+		PrimaryKey: "id",
+	}); err != nil {
+		return err
+	}
+	return db.CreateIndex(TableRecommendations, "ix_rec_ref", false, "ref_no")
+}
+
+// SaveRecommendations replaces the stored suggestions for a bundle.
+func SaveRecommendations(db *reldb.DB, refNo string, list []ScoredCode) error {
+	if _, err := db.DeleteWhere(TableRecommendations, reldb.Eq("ref_no", refNo)); err != nil {
+		return err
+	}
+	tx := db.Begin()
+	for i, sc := range list {
+		tx.Insert(TableRecommendations, reldb.Row{nil, refNo, int64(i + 1), sc.Code, sc.Score})
+	}
+	return tx.Commit()
+}
+
+// LoadRecommendations reads the stored suggestions for a bundle in rank
+// order, up to limit entries (0 = all).
+func LoadRecommendations(db *reldb.DB, refNo string, limit int) ([]ScoredCode, error) {
+	res, err := db.Select(reldb.Query{
+		Table:   TableRecommendations,
+		Where:   []reldb.Cond{reldb.Eq("ref_no", refNo)},
+		OrderBy: "rank",
+		Limit:   limit,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: load recommendations: %w", err)
+	}
+	out := make([]ScoredCode, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		out = append(out, ScoredCode{Code: row[3].(string), Score: row[4].(float64)})
+	}
+	return out, nil
+}

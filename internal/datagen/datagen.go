@@ -1,0 +1,438 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/bundle"
+	"repro/internal/taxonomy"
+)
+
+// Config parameterizes the corpus generator. The default reproduces the
+// data-set statistics of paper §3.2 exactly.
+type Config struct {
+	Seed int64
+
+	// Corpus shape.
+	Bundles      int   // total data bundles
+	Singletons   int   // error codes appearing exactly once
+	ArticleCodes int   // distinct article codes
+	CodesPerPart []int // distinct error codes per part ID (len = #parts)
+
+	// Taxonomy shape.
+	Components int
+	Symptoms   int
+	Locations  int
+	Solutions  int
+
+	// Zipf exponent for bundle counts across non-singleton codes within a
+	// part; higher = steeper head (drives the code-frequency baseline).
+	ZipfS float64
+
+	// Messiness.
+	MechanicTypoP float64
+	SupplierTypoP float64
+	AbbrevP       float64
+}
+
+// DefaultConfig is the paper-scale corpus: 7,500 bundles, 31 part IDs, 831
+// article codes, 1,271 error codes of which 718 are singletons, taxonomy
+// with ≈1,850 concepts.
+func DefaultConfig() Config {
+	return Config{
+		Seed:       1,
+		Bundles:    7500,
+		Singletons: 718,
+		// Sums to 1,271; max 146; 26 of 31 parts have > 10 codes (§3.2).
+		CodesPerPart: []int{
+			146, 114, 95, 85, 75, 70, 65, 60, 55, 50, 46, 42, 38, 35, 32,
+			30, 28, 26, 24, 22, 20, 18, 16, 14, 13, 12, 10, 9, 8, 7, 6,
+		},
+		ArticleCodes:  831,
+		Components:    880,
+		Symptoms:      850,
+		Locations:     60,
+		Solutions:     60,
+		ZipfS:         1.35,
+		MechanicTypoP: 0.10,
+		SupplierTypoP: 0.02,
+		AbbrevP:       0.15,
+	}
+}
+
+// SmallConfig is a scaled-down corpus for fast tests.
+func SmallConfig() Config {
+	return Config{
+		Seed:          7,
+		Bundles:       420,
+		Singletons:    40,
+		CodesPerPart:  []int{30, 20, 14, 8, 6},
+		ArticleCodes:  45,
+		Components:    120,
+		Symptoms:      110,
+		Locations:     10,
+		Solutions:     10,
+		ZipfS:         1.35,
+		MechanicTypoP: 0.10,
+		SupplierTypoP: 0.02,
+		AbbrevP:       0.15,
+	}
+}
+
+// PartSpec describes one part ID of the synthetic domain.
+type PartSpec struct {
+	ID           string
+	Class        string // one of the three larger component classes (§3.2)
+	DescConcepts []int  // component concepts in the part description
+	SymptomPool  []int  // symptoms plausible for this part
+	Articles     []string
+	Codes        []string // error codes of this part, head (frequent) first
+}
+
+// CodeSpec describes one error code: which taxonomy concepts its bundles
+// mention and which out-of-taxonomy detail vocabulary identifies it.
+type CodeSpec struct {
+	Code        string
+	PartID      string
+	Symptoms    []int    // 1–2 symptom concepts
+	Components  []int    // 1–2 component concepts
+	DetailWords []string // error-specific, language-neutral, NOT in taxonomy
+	// UncoveredWords are symptom wordings habitually used for this code
+	// that the legacy taxonomy does not cover (§5.2.2: the taxonomy "has
+	// not yet been adapted to the current data source").
+	UncoveredWords []string
+	Cause          []string // cause phrase words (also detail vocabulary)
+	Count          int      // number of data bundles carrying this code
+}
+
+// Corpus is the full synthetic data set.
+type Corpus struct {
+	Config   Config
+	Taxonomy *taxonomy.Taxonomy
+	Bundles  []*bundle.Bundle
+	Parts    []PartSpec
+	Codes    map[string]*CodeSpec
+}
+
+// Generate builds the corpus deterministically from the config.
+func Generate(cfg Config) (*Corpus, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &Corpus{Config: cfg, Codes: make(map[string]*CodeSpec)}
+
+	tax, components, symptoms, err := generateTaxonomy(rng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.Taxonomy = tax
+
+	c.generateParts(rng, components, symptoms)
+	c.generateCodes(rng)
+	c.assignCounts(rng)
+	c.assignArticles(rng)
+	c.generateBundles(rng)
+	return c, nil
+}
+
+func validate(cfg Config) error {
+	totalCodes := 0
+	for _, n := range cfg.CodesPerPart {
+		if n < 2 {
+			return fmt.Errorf("datagen: every part needs at least 2 codes, got %d", n)
+		}
+		totalCodes += n
+	}
+	if len(cfg.CodesPerPart) == 0 {
+		return fmt.Errorf("datagen: CodesPerPart is empty")
+	}
+	if cfg.Singletons >= totalCodes {
+		return fmt.Errorf("datagen: singletons (%d) must be < total codes (%d)", cfg.Singletons, totalCodes)
+	}
+	multi := totalCodes - cfg.Singletons
+	if cfg.Bundles < cfg.Singletons+2*multi {
+		return fmt.Errorf("datagen: %d bundles cannot cover %d singletons + 2×%d multi codes",
+			cfg.Bundles, cfg.Singletons, multi)
+	}
+	if cfg.ArticleCodes < len(cfg.CodesPerPart) {
+		return fmt.Errorf("datagen: need at least one article code per part")
+	}
+	if cfg.Components < 8 || cfg.Symptoms < 8 {
+		return fmt.Errorf("datagen: taxonomy too small")
+	}
+	return nil
+}
+
+// generateTaxonomy builds the synthetic multilingual part-and-error
+// taxonomy. Returns the component and symptom concept IDs.
+func generateTaxonomy(rng *rand.Rand, cfg Config) (*taxonomy.Taxonomy, []int, []int, error) {
+	tax := taxonomy.New()
+	genDE := newWordGen(rng, syllablesDE)
+	genEN := newWordGen(rng, syllablesEN)
+
+	nextID := 10001
+	build := func(kind taxonomy.Kind, pathRoot string, n int) ([]int, error) {
+		ids := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			id := nextID
+			nextID++
+			de := []string{genDE.next()}
+			en := []string{genEN.next()}
+			// Synonym richness: 0–2 extra synonyms per language.
+			for j := rng.Intn(3); j > 0; j-- {
+				de = append(de, genDE.next())
+			}
+			for j := rng.Intn(3); j > 0; j-- {
+				en = append(en, genEN.next())
+			}
+			// ~15% multiword terms ("squeaking noise" style).
+			if rng.Float64() < 0.15 {
+				de = append(de, de[0]+" "+pick(rng, []string{"einheit", "geräusch", "bereich", "modul"}))
+				en = append(en, en[0]+" "+pick(rng, []string{"unit", "noise", "area", "module"}))
+			}
+			err := tax.Add(taxonomy.Concept{
+				ID:   id,
+				Kind: kind,
+				Path: fmt.Sprintf("%s/Group%02d/C%d", pathRoot, i%24, id),
+				Synonyms: map[string][]string{
+					"de": de,
+					"en": en,
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			ids = append(ids, id)
+		}
+		return ids, nil
+	}
+
+	components, err := build(taxonomy.KindComponent, "Component", cfg.Components)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	symptoms, err := build(taxonomy.KindSymptom, "Symptom", cfg.Symptoms)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if _, err := build(taxonomy.KindLocation, "Location", cfg.Locations); err != nil {
+		return nil, nil, nil, err
+	}
+	if _, err := build(taxonomy.KindSolution, "Solution", cfg.Solutions); err != nil {
+		return nil, nil, nil, err
+	}
+	return tax, components, symptoms, nil
+}
+
+// generateParts creates the part IDs with their component classes, part
+// description concepts and symptom pools.
+func (c *Corpus) generateParts(rng *rand.Rand, components, symptoms []int) {
+	nParts := len(c.Config.CodesPerPart)
+	classes := []string{"electronics", "powertrain", "chassis"}
+	for i := 0; i < nParts; i++ {
+		p := PartSpec{
+			ID:    fmt.Sprintf("P%02d", i+1),
+			Class: classes[i%len(classes)],
+		}
+		// 4–6 component concepts describe the part.
+		p.DescConcepts = sample(rng, components, 4+rng.Intn(3))
+		// A small pool of plausible symptoms; codes of this part draw
+		// 1–2 from it, so many codes share identical concept sets — one
+		// of the two reasons bag-of-concepts is less discriminative than
+		// bag-of-words (§5.2.2: the taxonomy "was originally developed
+		// for a different task").
+		p.SymptomPool = sample(rng, symptoms, 6+rng.Intn(4))
+		c.Parts = append(c.Parts, p)
+	}
+}
+
+// generateCodes creates the error codes of every part with their concept
+// and detail vocabularies.
+func (c *Corpus) generateCodes(rng *rand.Rand) {
+	genTech := newWordGen(rng, syllablesTech)
+	// Error-code labels carry no meaning: assign numbers from a shuffled
+	// pool so that label order correlates with neither part nor frequency.
+	total := 0
+	for _, n := range c.Config.CodesPerPart {
+		total += n
+	}
+	numbers := rng.Perm(total)
+	codeNo := 0
+	for pi := range c.Parts {
+		p := &c.Parts[pi]
+		n := c.Config.CodesPerPart[pi]
+		for j := 0; j < n; j++ {
+			code := fmt.Sprintf("E%04d", numbers[codeNo]+1)
+			codeNo++
+			spec := &CodeSpec{
+				Code:       code,
+				PartID:     p.ID,
+				Symptoms:   sample(rng, p.SymptomPool, 1+rng.Intn(3)),
+				Components: sample(rng, p.DescConcepts, 1+rng.Intn(2)),
+			}
+			// The second reason bag-of-concepts underperforms: about half
+			// the codes are habitually described with wordings the legacy
+			// taxonomy does not cover. The wording is consistent across
+			// the bundles of a code (it is how this problem is talked
+			// about), so bag-of-words can exploit it and bag-of-concepts
+			// cannot.
+			if rng.Float64() < 0.5 {
+				spec.UncoveredWords = []string{genTech.next()}
+				if rng.Float64() < 0.4 {
+					spec.UncoveredWords = append(spec.UncoveredWords, genTech.next())
+				}
+			}
+			// 3–6 error-specific detail words plus a measurement token;
+			// unique per code, language-neutral, outside the taxonomy.
+			nd := 3 + rng.Intn(4)
+			for k := 0; k < nd; k++ {
+				spec.DetailWords = append(spec.DetailWords, genTech.next())
+			}
+			spec.DetailWords = append(spec.DetailWords, fmt.Sprintf("t%03d", rng.Intn(1000)))
+			spec.Cause = []string{genTech.next(), genTech.next()}
+			p.Codes = append(p.Codes, code)
+			c.Codes[code] = spec
+		}
+	}
+}
+
+// assignCounts distributes the data bundles over the codes: the configured
+// number of singleton codes get one bundle; the remaining codes get 2 plus
+// a Zipf-weighted share of the rest, producing the steep per-part frequency
+// head that the code-frequency baseline exploits (§5.1).
+func (c *Corpus) assignCounts(rng *rand.Rand) {
+	totalCodes := len(c.Codes)
+	// Singletons per part, proportional with largest-remainder fix-up.
+	singles := apportion(c.Config.Singletons, c.Config.CodesPerPart, totalCodes)
+	type multiCode struct {
+		spec   *CodeSpec
+		rank   int // frequency rank within its part (0 = most frequent)
+		weight float64
+	}
+	var multis []multiCode
+	for pi := range c.Parts {
+		p := &c.Parts[pi]
+		nSingle := singles[pi]
+		// The tail codes of each part become the singletons.
+		nMulti := len(p.Codes) - nSingle
+		for j, code := range p.Codes {
+			if j < nMulti {
+				multis = append(multis, multiCode{spec: c.Codes[code], rank: j})
+				c.Codes[code].Count = 2
+			} else {
+				c.Codes[code].Count = 1
+			}
+		}
+	}
+	remaining := c.Config.Bundles - c.Config.Singletons - 2*len(multis)
+	// Zipf weights by within-part rank.
+	var wsum float64
+	for i := range multis {
+		multis[i].weight = 1.0 / math.Pow(float64(multis[i].rank+1), c.Config.ZipfS)
+		wsum += multis[i].weight
+	}
+	assigned := 0
+	for _, m := range multis {
+		extra := int(math.Floor(float64(remaining) * m.weight / wsum))
+		m.spec.Count += extra
+		assigned += extra
+	}
+	// Distribute the rounding remainder over the heaviest codes.
+	sort.SliceStable(multis, func(i, j int) bool { return multis[i].weight > multis[j].weight })
+	for i := 0; assigned < remaining; i++ {
+		multis[i%len(multis)].spec.Count++
+		assigned++
+	}
+}
+
+// apportion splits total proportionally to weights (largest remainder).
+func apportion(total int, weights []int, weightSum int) []int {
+	out := make([]int, len(weights))
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	var rems []rem
+	assigned := 0
+	for i, w := range weights {
+		exact := float64(total) * float64(w) / float64(weightSum)
+		out[i] = int(math.Floor(exact))
+		// Every part keeps at least 2 non-singleton codes where possible.
+		if max := weights[i] - 2; out[i] > max && max >= 0 {
+			out[i] = max
+		}
+		assigned += out[i]
+		rems = append(rems, rem{i, exact - float64(out[i])})
+	}
+	sort.SliceStable(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for i := 0; assigned < total; i = (i + 1) % len(rems) {
+		idx := rems[i].idx
+		if out[idx] < weights[idx]-2 {
+			out[idx]++
+			assigned++
+		}
+	}
+	return out
+}
+
+// assignArticles allocates the article-code pools per part, proportional to
+// each part's bundle volume.
+func (c *Corpus) assignArticles(rng *rand.Rand) {
+	volumes := make([]int, len(c.Parts))
+	totalVol := 0
+	for pi, p := range c.Parts {
+		for _, code := range p.Codes {
+			volumes[pi] += c.Codes[code].Count
+		}
+		totalVol += volumes[pi]
+	}
+	pools := apportionMin1(c.Config.ArticleCodes, volumes, totalVol)
+	artNo := 1
+	for pi := range c.Parts {
+		n := pools[pi]
+		if n > volumes[pi] {
+			n = volumes[pi] // a pool larger than the bundle count cannot be fully used
+		}
+		for j := 0; j < n; j++ {
+			c.Parts[pi].Articles = append(c.Parts[pi].Articles, fmt.Sprintf("A%06d", artNo))
+			artNo++
+		}
+	}
+	// If capping left article codes unassigned, give them to the largest parts.
+	for artNo <= c.Config.ArticleCodes {
+		big := 0
+		for pi := range c.Parts {
+			if volumes[pi]-len(c.Parts[pi].Articles) > volumes[big]-len(c.Parts[big].Articles) {
+				big = pi
+			}
+		}
+		c.Parts[big].Articles = append(c.Parts[big].Articles, fmt.Sprintf("A%06d", artNo))
+		artNo++
+	}
+}
+
+func apportionMin1(total int, weights []int, weightSum int) []int {
+	out := make([]int, len(weights))
+	assigned := 0
+	for i, w := range weights {
+		out[i] = int(math.Floor(float64(total) * float64(w) / float64(weightSum)))
+		if out[i] < 1 {
+			out[i] = 1
+		}
+		assigned += out[i]
+	}
+	for i := 0; assigned > total; i = (i + 1) % len(out) {
+		if out[i] > 1 {
+			out[i]--
+			assigned--
+		}
+	}
+	for i := 0; assigned < total; i = (i + 1) % len(out) {
+		out[i]++
+		assigned++
+	}
+	return out
+}

@@ -1,0 +1,314 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bundle"
+)
+
+func TestSmallCorpusShape(t *testing.T) {
+	c, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SmallConfig()
+	if len(c.Bundles) != cfg.Bundles {
+		t.Fatalf("bundles = %d, want %d", len(c.Bundles), cfg.Bundles)
+	}
+	if len(c.Parts) != len(cfg.CodesPerPart) {
+		t.Fatalf("parts = %d", len(c.Parts))
+	}
+	st := c.Stats()
+	if st.ErrorCodes != totalCodes(cfg) {
+		t.Fatalf("codes = %d, want %d", st.ErrorCodes, totalCodes(cfg))
+	}
+	if st.SingletonCodes != cfg.Singletons {
+		t.Fatalf("singletons = %d, want %d", st.SingletonCodes, cfg.Singletons)
+	}
+	if st.ArticleCodes != cfg.ArticleCodes {
+		t.Fatalf("articles = %d, want %d", st.ArticleCodes, cfg.ArticleCodes)
+	}
+	// Consistency: filtered classes/bundles.
+	if st.MultiCodes != st.ErrorCodes-st.SingletonCodes {
+		t.Fatal("multi codes inconsistent")
+	}
+	if st.MultiBundles != st.Bundles-st.SingletonCodes {
+		t.Fatal("multi bundles inconsistent")
+	}
+}
+
+func totalCodes(cfg Config) int {
+	n := 0
+	for _, c := range cfg.CodesPerPart {
+		n += c
+	}
+	return n
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Bundles) != len(b.Bundles) {
+		t.Fatal("bundle counts differ")
+	}
+	for i := range a.Bundles {
+		x, y := a.Bundles[i], b.Bundles[i]
+		if x.RefNo != y.RefNo || x.ErrorCode != y.ErrorCode || x.Text() != y.Text() {
+			t.Fatalf("bundle %d differs between runs", i)
+		}
+	}
+}
+
+func TestSeedChangesCorpus(t *testing.T) {
+	cfg := SmallConfig()
+	a, _ := Generate(cfg)
+	cfg.Seed = 99
+	b, _ := Generate(cfg)
+	same := 0
+	for i := range a.Bundles {
+		if a.Bundles[i].Text() == b.Bundles[i].Text() {
+			same++
+		}
+	}
+	if same == len(a.Bundles) {
+		t.Fatal("different seeds produced identical texts")
+	}
+}
+
+func TestBundlesValid(t *testing.T) {
+	c, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := map[string]bool{}
+	for _, b := range c.Bundles {
+		if err := b.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if refs[b.RefNo] {
+			t.Fatalf("duplicate ref %s", b.RefNo)
+		}
+		refs[b.RefNo] = true
+		// Mandatory reports present.
+		for _, src := range []bundle.Source{
+			bundle.SourceMechanic, bundle.SourceSupplier,
+			bundle.SourceFinalOEM, bundle.SourcePartDesc, bundle.SourceErrorDesc,
+		} {
+			if !b.HasReport(src) {
+				t.Fatalf("bundle %s missing %s", b.RefNo, src)
+			}
+		}
+		// Error code belongs to the right part.
+		spec, ok := c.Codes[b.ErrorCode]
+		if !ok || spec.PartID != b.PartID {
+			t.Fatalf("bundle %s: code %s not of part %s", b.RefNo, b.ErrorCode, b.PartID)
+		}
+	}
+}
+
+func TestInitialReportOptional(t *testing.T) {
+	c, _ := Generate(SmallConfig())
+	st := c.Stats()
+	frac := float64(st.BundlesWithInitial) / float64(st.Bundles)
+	if frac < 0.25 || frac > 0.55 {
+		t.Fatalf("initial-report share = %.2f, want ≈0.4", frac)
+	}
+}
+
+func TestCodeCountsMatchSpecs(t *testing.T) {
+	c, _ := Generate(SmallConfig())
+	counts := map[string]int{}
+	for _, b := range c.Bundles {
+		counts[b.ErrorCode]++
+	}
+	for code, spec := range c.Codes {
+		if counts[code] != spec.Count {
+			t.Fatalf("code %s: %d bundles, spec says %d", code, counts[code], spec.Count)
+		}
+		if spec.Count < 1 {
+			t.Fatalf("code %s has zero bundles", code)
+		}
+	}
+}
+
+func TestDetailWordsNotInTaxonomy(t *testing.T) {
+	c, _ := Generate(SmallConfig())
+	// Collect all taxonomy surface forms.
+	surface := map[string]bool{}
+	for _, concept := range c.Taxonomy.Concepts() {
+		for _, lang := range concept.Languages() {
+			for _, s := range concept.Synonyms[lang] {
+				surface[strings.ToLower(s)] = true
+			}
+		}
+	}
+	for _, spec := range c.Codes {
+		for _, w := range spec.DetailWords {
+			if surface[w] {
+				t.Fatalf("detail word %q of %s collides with a taxonomy term", w, spec.Code)
+			}
+		}
+	}
+}
+
+func TestMessinessPresent(t *testing.T) {
+	c, _ := Generate(SmallConfig())
+	abbrevs := 0
+	langsSeen := map[string]bool{}
+	for _, b := range c.Bundles {
+		text := b.Text()
+		if strings.Contains(text, ".") {
+			// fine — sentence punctuation exists
+		}
+		for _, a := range abbreviations {
+			if strings.Contains(text, a) {
+				abbrevs++
+				break
+			}
+		}
+		// Track rough language mixing via two marker words.
+		if strings.Contains(text, "kunde") || strings.Contains(text, "geprüft") {
+			langsSeen["de"] = true
+		}
+		if strings.Contains(text, "customer") || strings.Contains(text, "checked") {
+			langsSeen["en"] = true
+		}
+	}
+	if abbrevs == 0 {
+		t.Fatal("no abbreviations in any bundle")
+	}
+	if !langsSeen["de"] || !langsSeen["en"] {
+		t.Fatal("corpus is not multilingual")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{}, // empty
+		func() Config { c := SmallConfig(); c.CodesPerPart = []int{1}; return c }(), // <2 codes
+		func() Config { c := SmallConfig(); c.Singletons = 1000; return c }(),       // too many singletons
+		func() Config { c := SmallConfig(); c.Bundles = 10; return c }(),            // too few bundles
+		func() Config { c := SmallConfig(); c.ArticleCodes = 1; return c }(),        // too few articles
+		func() Config { c := SmallConfig(); c.Components = 2; return c }(),          // taxonomy too small
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+// TestPaperScaleStats generates the full corpus and asserts every §3.2
+// statistic. This is the TestCorpusStatistics target of DESIGN.md §4.
+func TestCorpusStatistics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale corpus generation in -short mode")
+	}
+	c, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Bundles != 7500 {
+		t.Errorf("bundles = %d, want 7500", st.Bundles)
+	}
+	if st.PartIDs != 31 {
+		t.Errorf("parts = %d, want 31", st.PartIDs)
+	}
+	if st.ArticleCodes != 831 {
+		t.Errorf("articles = %d, want 831", st.ArticleCodes)
+	}
+	if st.ErrorCodes != 1271 {
+		t.Errorf("codes = %d, want 1271", st.ErrorCodes)
+	}
+	if st.SingletonCodes != 718 {
+		t.Errorf("singletons = %d, want 718", st.SingletonCodes)
+	}
+	if st.MultiCodes != 553 {
+		t.Errorf("classes = %d, want 553", st.MultiCodes)
+	}
+	if st.MultiBundles != 6782 {
+		t.Errorf("filtered bundles = %d, want 6782", st.MultiBundles)
+	}
+	if st.MaxCodesPerPart != 146 {
+		t.Errorf("max codes per part = %d, want 146", st.MaxCodesPerPart)
+	}
+	if st.PartsWithOver10 < 25 {
+		t.Errorf("parts with >10 codes = %d, want >= 25", st.PartsWithOver10)
+	}
+	if st.AvgWordsPerText < 50 || st.AvgWordsPerText > 90 {
+		t.Errorf("avg words = %.1f, want ≈70", st.AvgWordsPerText)
+	}
+	if st.AvgConceptsPerText < 18 || st.AvgConceptsPerText > 34 {
+		t.Errorf("avg concept mentions = %.1f, want ≈26", st.AvgConceptsPerText)
+	}
+	if st.TaxonomyConceptsDE < 1500 || st.TaxonomyConceptsEN < 1500 {
+		t.Errorf("taxonomy size = %d/%d, want ≈1800/1900", st.TaxonomyConceptsDE, st.TaxonomyConceptsEN)
+	}
+}
+
+// TestRandomSmallConfigsInvariants fuzzes the generator over random small
+// configurations: every valid config must yield a corpus whose counts are
+// internally consistent.
+func TestRandomSmallConfigsInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nParts := 2 + rng.Intn(4)
+		codes := make([]int, nParts)
+		total := 0
+		for i := range codes {
+			codes[i] = 4 + rng.Intn(20)
+			total += codes[i]
+		}
+		singles := total / 3
+		cfg := Config{
+			Seed:          seed,
+			Bundles:       singles + 2*(total-singles) + 50 + rng.Intn(200),
+			Singletons:    singles,
+			CodesPerPart:  codes,
+			ArticleCodes:  nParts + rng.Intn(20),
+			Components:    40 + rng.Intn(40),
+			Symptoms:      40 + rng.Intn(40),
+			Locations:     5,
+			Solutions:     5,
+			ZipfS:         1.0 + rng.Float64(),
+			MechanicTypoP: rng.Float64() * 0.2,
+			SupplierTypoP: rng.Float64() * 0.05,
+			AbbrevP:       rng.Float64() * 0.3,
+		}
+		c, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(c.Bundles) != cfg.Bundles {
+			t.Fatalf("seed %d: bundles = %d, want %d", seed, len(c.Bundles), cfg.Bundles)
+		}
+		counts := map[string]int{}
+		for _, b := range c.Bundles {
+			if err := b.Validate(); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			counts[b.ErrorCode]++
+		}
+		singletons := 0
+		for _, n := range counts {
+			if n == 1 {
+				singletons++
+			}
+		}
+		if len(counts) != total {
+			t.Fatalf("seed %d: codes = %d, want %d", seed, len(counts), total)
+		}
+		if singletons != cfg.Singletons {
+			t.Fatalf("seed %d: singletons = %d, want %d", seed, singletons, cfg.Singletons)
+		}
+	}
+}

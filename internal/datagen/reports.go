@@ -1,0 +1,356 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"unicode"
+
+	"repro/internal/bundle"
+)
+
+// Report synthesis. The information structure mirrors what the paper
+// reports about its sources (§5.3.2): "Mechanic reports tend to be poor in
+// detail, focused on superficial problem description and often
+// error-riddled, such that even human experts cannot draw conclusions about
+// the detailed nature of the problem, whereas supplier reports tend to
+// contain more detail and include descriptions of potential causes."
+
+// synonym picks a random surface form of a concept in the given language.
+// German concept mentions are nouns and are capitalized most of the time
+// (sloppy writers skip it); the trie annotator lowercases and does not
+// care, but the case-sensitive legacy annotator misses capitalized
+// mentions — the §4.5.3 coverage gap.
+func (c *Corpus) synonym(rng *rand.Rand, conceptID int, lang string) string {
+	concept, ok := c.Taxonomy.Get(conceptID)
+	if !ok {
+		return ""
+	}
+	syns := concept.Synonyms[lang]
+	s := concept.Label(lang)
+	if len(syns) > 0 {
+		s = pick(rng, syns)
+	}
+	if lang == "de" && rng.Float64() < 0.67 {
+		s = capitalize(s)
+	}
+	return s
+}
+
+// capitalize upper-cases the first rune of each word (German noun style).
+func capitalize(s string) string {
+	words := strings.Fields(s)
+	for i, w := range words {
+		r := []rune(w)
+		r[0] = unicode.ToUpper(r[0])
+		words[i] = string(r)
+	}
+	return strings.Join(words, " ")
+}
+
+// stopwordsSprinkle are genuine closed-class words (all present in the
+// textproc stopword lists) interleaved into the reports; they inflate the
+// bag-of-words feature sets and are what the §5.2.2 stopword-removal
+// optimization strips away.
+var stopwordsSprinkleDE = []string{
+	"der", "die", "das", "ist", "nicht", "und", "bei", "mit", "von", "auf",
+	"eine", "wurde", "hat", "kein", "auch", "durch", "nach", "sehr",
+}
+
+var stopwordsSprinkleEN = []string{
+	"the", "is", "not", "and", "at", "with", "of", "on",
+	"a", "was", "has", "no", "this", "from", "after", "very",
+}
+
+// stopwordGlue returns the stopwords woven into one report. The reports
+// are "mostly a mix of German and English" (§3.2) with heavy
+// code-switching, so the top glue words of BOTH languages appear in
+// essentially every report. Their constant presence inflates every
+// bag-of-words feature set equally, which is why removing them shortens
+// the runtime without changing accuracy (§5.2.2). A couple of random tail
+// stopwords of the report's main language are added on top.
+func stopwordGlue(rng *rand.Rand, lang string) []string {
+	main, other := stopwordsSprinkleDE, stopwordsSprinkleEN
+	if lang == "en" {
+		main, other = other, main
+	}
+	out := append([]string(nil), main[:8]...)
+	out = append(out, other[:4]...)
+	for i := rng.Intn(3); i > 0; i-- {
+		out = append(out, pick(rng, main[8:]))
+	}
+	return out
+}
+
+func (c *Corpus) lang(rng *rand.Rand, deShare float64) string {
+	if rng.Float64() < deShare {
+		return "de"
+	}
+	return "en"
+}
+
+func genericPool(lang string) []string {
+	if lang == "de" {
+		return genericDE
+	}
+	return genericEN
+}
+
+// mechanicReport: superficial, noisy, mostly generic complaint vocabulary;
+// one symptom mention that is sometimes wrong or missing.
+func (c *Corpus) mechanicReport(rng *rand.Rand, spec *CodeSpec, part *PartSpec) string {
+	lang := c.lang(rng, 0.55)
+	pool := genericPool(lang)
+	var words []string
+	for i := 6 + rng.Intn(5); i > 0; i-- {
+		words = append(words, mangle(rng, pick(rng, pool), c.Config.MechanicTypoP, c.Config.AbbrevP))
+	}
+	words = append(words, stopwordGlue(rng, lang)...)
+	// Symptom mention: 55% the true symptom, 30% a random symptom from the
+	// part's pool (mechanic misdiagnosis), 15% none.
+	r := rng.Float64()
+	switch {
+	case r < 0.55:
+		words = append(words, maybeTypo(rng, c.synonym(rng, pick(rng, spec.Symptoms), lang), c.Config.MechanicTypoP))
+	case r < 0.85:
+		words = append(words, maybeTypo(rng, c.synonym(rng, pick(rng, part.SymptomPool), lang), c.Config.MechanicTypoP))
+	}
+	// Sometimes names the part itself.
+	if rng.Float64() < 0.5 {
+		words = append(words, maybeTypo(rng, c.synonym(rng, pick(rng, part.DescConcepts), lang), c.Config.MechanicTypoP))
+	}
+	// Occasionally the mechanic uses the habitual wording of a known
+	// problem ("the usual ... issue") — a weak but real signal that makes
+	// the full report set slightly stronger than the supplier report alone.
+	if len(spec.UncoveredWords) > 0 && rng.Float64() < 0.15 {
+		words = append(words, pick(rng, spec.UncoveredWords))
+	}
+	rng.Shuffle(len(words), func(i, j int) { words[i], words[j] = words[j], words[i] })
+	return sentenceize(rng, words)
+}
+
+// initialOEMReport: short processing note, occasionally leaking one detail.
+func (c *Corpus) initialOEMReport(rng *rand.Rand, spec *CodeSpec) string {
+	lang := c.lang(rng, 0.7)
+	phrases := initialPhrasesDE
+	if lang == "en" {
+		phrases = initialPhrasesEN
+	}
+	var words []string
+	words = append(words, strings.Fields(pick(rng, phrases))...)
+	for i := 2 + rng.Intn(4); i > 0; i-- {
+		words = append(words, pick(rng, genericPool(lang)))
+	}
+	if rng.Float64() < 0.30 {
+		words = append(words, pick(rng, spec.DetailWords))
+	}
+	words = append(words, stopwordGlue(rng, lang)...)
+	return sentenceize(rng, words)
+}
+
+// supplierReport: detailed and discriminative — several correct symptom and
+// component mentions, the error-specific detail vocabulary, and the cause.
+func (c *Corpus) supplierReport(rng *rand.Rand, spec *CodeSpec) string {
+	lang := c.lang(rng, 0.5)
+	phrases := supplierPhrasesDE
+	if lang == "en" {
+		phrases = supplierPhrasesEN
+	}
+	var words []string
+	words = append(words, strings.Fields(pick(rng, phrases))...)
+	// About one supplier report in five is terse: it names no symptom in
+	// taxonomy vocabulary at all, only the habitual wording and the
+	// technical detail. The resulting bag-of-concepts knowledge nodes
+	// carry little more than the part's component concepts — under the
+	// overlap coefficient such small sets saturate at 1.0 for every query
+	// of the part, which is precisely why overlap performs worst in §5.2.
+	terse := rng.Float64() < 0.05
+	// All symptoms of the error, each mentioned twice (symptom analysis is
+	// the supplier's job), components once or twice. Where the code has an
+	// uncovered habitual wording, that wording replaces one taxonomy
+	// synonym — bag-of-words sees a code-consistent feature, the concept
+	// annotator sees nothing.
+	for i, s := range spec.Symptoms {
+		if terse {
+			words = append(words, spec.UncoveredWords...)
+			break
+		}
+		if i == 0 && len(spec.UncoveredWords) > 0 {
+			words = append(words, spec.UncoveredWords...)
+			if rng.Float64() < 0.3 { // occasionally the covered term appears too
+				words = append(words, c.synonym(rng, s, lang))
+			}
+			continue
+		}
+		words = append(words, maybeTypo(rng, c.synonym(rng, s, lang), c.Config.SupplierTypoP))
+		words = append(words, c.synonym(rng, s, lang))
+	}
+	for _, comp := range spec.Components {
+		words = append(words, maybeTypo(rng, c.synonym(rng, comp, lang), c.Config.SupplierTypoP))
+		if rng.Float64() < 0.5 {
+			words = append(words, c.synonym(rng, comp, lang))
+		}
+	}
+	// 3–4 detail words plus the cause phrase. One supplier report in ten is
+	// sparse and omits them (no deep analysis done) — for those bundles the
+	// other report sources carry the only usable signal, which is why
+	// classification on all reports stays slightly ahead of supplier-only
+	// (§5.3: Fig. 13 is "nearly as good" as Fig. 11, not better).
+	if rng.Float64() >= 0.1 {
+		words = append(words, sample(rng, spec.DetailWords, 3+rng.Intn(2))...)
+		words = append(words, spec.Cause...)
+	}
+	for i := 2 + rng.Intn(4); i > 0; i-- {
+		words = append(words, mangle(rng, pick(rng, genericPool(lang)), c.Config.SupplierTypoP, c.Config.AbbrevP))
+	}
+	words = append(words, stopwordGlue(rng, lang)...)
+	words = append(words, strings.Fields(pick(rng, phrases))...)
+	rng.Shuffle(len(words), func(i, j int) { words[i], words[j] = words[j], words[i] })
+	return sentenceize(rng, words)
+}
+
+// finalOEMReport: the expert's confirmation — training-phase text only.
+func (c *Corpus) finalOEMReport(rng *rand.Rand, spec *CodeSpec) string {
+	lang := c.lang(rng, 0.7)
+	phrases := finalPhrasesDE
+	if lang == "en" {
+		phrases = finalPhrasesEN
+	}
+	var words []string
+	words = append(words, strings.Fields(pick(rng, phrases))...)
+	words = append(words, c.synonym(rng, pick(rng, spec.Symptoms), lang))
+	for _, w := range sample(rng, spec.DetailWords, 2) {
+		words = append(words, w)
+	}
+	for i := 3 + rng.Intn(4); i > 0; i-- {
+		words = append(words, pick(rng, genericPool(lang)))
+	}
+	words = append(words, stopwordGlue(rng, lang)...)
+	return sentenceize(rng, words)
+}
+
+// partDescription: the standardized part ID description in German and
+// English — a rich source of component concept mentions. Standardized
+// descriptions enumerate term variants, so each concept appears several
+// times across both languages.
+func (c *Corpus) partDescription(rng *rand.Rand, part *PartSpec) string {
+	var words []string
+	for _, comp := range part.DescConcepts {
+		words = append(words, c.synonym(rng, comp, "de"))
+		words = append(words, c.synonym(rng, comp, "en"))
+		words = append(words, c.synonym(rng, comp, pick(rng, []string{"de", "en"})))
+		if rng.Float64() < 0.6 {
+			words = append(words, c.synonym(rng, comp, pick(rng, []string{"de", "en"})))
+		}
+	}
+	// Standardized descriptions are Title Case throughout — invisible to
+	// the lowercasing trie annotator, fatal for the case-sensitive legacy
+	// matcher (§4.5.3).
+	return capitalize(strings.Join(words, ", "))
+}
+
+// errorDescription: the standardized error code description (training
+// phase only, §3.2). Codes with an uncovered habitual wording are also
+// *described* in that wording — the error-code texts predate the taxonomy,
+// which was built for social-media information extraction, not for this
+// schema (§5.2.2) — so their primary symptom carries no taxonomy concept.
+func (c *Corpus) errorDescription(rng *rand.Rand, spec *CodeSpec) string {
+	var words []string
+	for i, s := range spec.Symptoms {
+		if i == 0 && len(spec.UncoveredWords) > 0 {
+			words = append(words, spec.UncoveredWords...)
+			continue
+		}
+		words = append(words, c.synonym(rng, s, "de"))
+		words = append(words, c.synonym(rng, s, "en"))
+	}
+	words = append(words, sample(rng, spec.DetailWords, 2)...)
+	return strings.Join(words, ", ")
+}
+
+func maybeTypo(rng *rand.Rand, w string, p float64) string {
+	if rng.Float64() < p {
+		return typo(rng, w)
+	}
+	return w
+}
+
+// sentenceize joins words into short pseudo-sentences with messy
+// punctuation, as in the Fig. 3 example text.
+func sentenceize(rng *rand.Rand, words []string) string {
+	var b strings.Builder
+	for i, w := range words {
+		if i > 0 {
+			switch {
+			case rng.Float64() < 0.12:
+				b.WriteString(". ")
+			case rng.Float64() < 0.10:
+				b.WriteString(", ")
+			default:
+				b.WriteString(" ")
+			}
+		}
+		b.WriteString(w)
+	}
+	b.WriteString(".")
+	return b.String()
+}
+
+// generateBundles materializes the data bundles from the code specs.
+func (c *Corpus) generateBundles(rng *rand.Rand) {
+	type job struct {
+		spec *CodeSpec
+		part *PartSpec
+	}
+	var jobs []job
+	for pi := range c.Parts {
+		p := &c.Parts[pi]
+		for _, code := range p.Codes {
+			spec := c.Codes[code]
+			for k := 0; k < spec.Count; k++ {
+				jobs = append(jobs, job{spec: spec, part: p})
+			}
+		}
+	}
+	rng.Shuffle(len(jobs), func(i, j int) { jobs[i], jobs[j] = jobs[j], jobs[i] })
+
+	articleCursor := make(map[string]int, len(c.Parts))
+	for i, j := range jobs {
+		// Article code: the first len(pool) bundles of a part cover the
+		// pool once (every article code appears); afterwards Zipf-ish.
+		pool := j.part.Articles
+		cur := articleCursor[j.part.ID]
+		var article string
+		if cur < len(pool) {
+			article = pool[cur]
+		} else {
+			article = pool[rng.Intn(len(pool)/2+1)]
+		}
+		articleCursor[j.part.ID] = cur + 1
+
+		b := &bundle.Bundle{
+			RefNo:              fmt.Sprintf("R%06d", i+1),
+			ArticleCode:        article,
+			PartID:             j.part.ID,
+			ErrorCode:          j.spec.Code,
+			ResponsibilityCode: pick(rng, []string{"SUP", "OEM", "EXT", "N/A"}),
+		}
+		b.Reports = append(b.Reports, bundle.Report{
+			Source: bundle.SourceMechanic,
+			Text:   c.mechanicReport(rng, j.spec, j.part),
+		})
+		if rng.Float64() < 0.4 { // the initial OEM report is optional (§3.2)
+			b.Reports = append(b.Reports, bundle.Report{
+				Source: bundle.SourceInitialOEM,
+				Text:   c.initialOEMReport(rng, j.spec),
+			})
+		}
+		b.Reports = append(b.Reports,
+			bundle.Report{Source: bundle.SourceSupplier, Text: c.supplierReport(rng, j.spec)},
+			bundle.Report{Source: bundle.SourceFinalOEM, Text: c.finalOEMReport(rng, j.spec)},
+			bundle.Report{Source: bundle.SourcePartDesc, Text: c.partDescription(rng, j.part)},
+			bundle.Report{Source: bundle.SourceErrorDesc, Text: c.errorDescription(rng, j.spec)},
+		)
+		c.Bundles = append(c.Bundles, b)
+	}
+}

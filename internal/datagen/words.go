@@ -1,0 +1,208 @@
+// Package datagen synthesizes the corpus the paper could not publish: the
+// proprietary, anonymized warranty data set of §3.2 and the automotive
+// part-and-error taxonomy of §4.5.3. The generator is fully deterministic
+// under a seed and is built to reproduce every statistic the paper reports
+// (bundle, part, article-code, error-code and singleton counts; ~70 words
+// and ~26 concept mentions per text) as well as the *information structure*
+// the experiments depend on: supplier reports are detailed and carry
+// error-specific vocabulary, mechanic reports are superficial and noisy,
+// and part of the discriminative vocabulary lies outside the taxonomy —
+// the mechanism behind every result shape in §5. See DESIGN.md §2.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// wordGen builds unique pseudo-words from language-flavored syllables.
+type wordGen struct {
+	rng       *rand.Rand
+	syllables []string
+	used      map[string]bool
+	counter   int
+}
+
+var syllablesDE = []string{
+	"schm", "or", "lüft", "dicht", "ung", "kolb", "en", "well", "ge", "trieb",
+	"häus", "fed", "er", "brems", "rad", "luft", "kühl", "schalt", "riem",
+	"lag", "bolz", "zahn", "stift", "rohr", "klemm", "deck", "el", "halt",
+	"blech", "schraub", "mutt", "keil", "dros", "sel", "pump", "ventil",
+	"falt", "glüh", "zünd", "kerz", "wisch", "spann", "rast", "nab", "flansch",
+}
+
+var syllablesEN = []string{
+	"brack", "et", "hous", "ing", "seal", "shaft", "gear", "valve", "pump",
+	"sens", "or", "clip", "mount", "lin", "er", "bear", "ring", "cool",
+	"switch", "belt", "bolt", "tooth", "pin", "pipe", "clamp", "cov",
+	"hold", "plate", "screw", "nut", "wedge", "throt", "tle", "plug",
+	"wip", "ten", "sion", "latch", "hub", "flange", "duct", "rail",
+}
+
+// syllablesTech flavor the language-neutral technical detail vocabulary
+// (material names, measurement jargon) that supplier reports use and the
+// taxonomy does not cover.
+var syllablesTech = []string{
+	"ox", "id", "carb", "res", "du", "al", "torq", "volt", "amp", "therm",
+	"crack", "fray", "wear", "melt", "brit", "tle", "lam", "in", "corr",
+	"os", "shear", "fat", "igue", "leak", "clog", "mis", "align", "burr",
+}
+
+func newWordGen(rng *rand.Rand, syllables []string) *wordGen {
+	return &wordGen{rng: rng, syllables: syllables, used: make(map[string]bool)}
+}
+
+// next produces a fresh unique word of 2–3 syllables.
+func (g *wordGen) next() string {
+	for tries := 0; ; tries++ {
+		n := 2 + g.rng.Intn(2)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteString(g.syllables[g.rng.Intn(len(g.syllables))])
+		}
+		w := b.String()
+		if tries > 20 {
+			// Guarantee termination on exhausted combination space.
+			g.counter++
+			w = fmt.Sprintf("%s%d", w, g.counter)
+		}
+		if len(w) >= 4 && !g.used[w] {
+			g.used[w] = true
+			return w
+		}
+	}
+}
+
+// Generic complaint / processing vocabulary. These words carry no
+// error-specific information; they pad the reports to realistic length and
+// are exactly what the stopword experiment and the mechanic-report failure
+// mode feed on.
+var genericDE = []string{
+	"kunde", "beanstandet", "fahrzeug", "werkstatt", "teil", "ausgebaut",
+	"geprüft", "prüfung", "befund", "ohne", "eindeutig", "ergebnis",
+	"zeitweise", "sporadisch", "reklamation", "austausch", "erneuert",
+	"funktion", "gestört", "nicht", "mehr", "seit", "wochen", "tagen",
+	"beim", "fahren", "kalt", "warm", "laut", "leise", "wieder", "immer",
+	"montiert", "demontiert", "gewechselt", "überprüft", "festgestellt",
+	"keine", "auffälligkeit", "leider", "erneut", "aufgetreten", "siehe",
+	"bericht", "anbei", "garantie", "gewährleistung", "km-stand", "einsatz",
+}
+
+var genericEN = []string{
+	"customer", "complains", "vehicle", "workshop", "part", "removed",
+	"checked", "inspection", "finding", "without", "clear", "result",
+	"intermittent", "sporadic", "claim", "exchange", "renewed",
+	"function", "disturbed", "not", "anymore", "since", "weeks", "days",
+	"when", "driving", "cold", "warm", "loud", "quiet", "again", "always",
+	"mounted", "removed", "replaced", "verified", "found",
+	"no", "abnormality", "unfortunately", "reoccurred", "see",
+	"report", "attached", "warranty", "mileage", "operation", "duty",
+}
+
+// Supplier-side analysis phrases (per language).
+var supplierPhrasesDE = []string{
+	"analyse durchgeführt", "ursache ermittelt", "bauteil zerlegt",
+	"messung im toleranzbereich", "fehlerbild reproduziert",
+	"weitere untersuchung folgt", "lieferant übernimmt verantwortung",
+}
+
+var supplierPhrasesEN = []string{
+	"analysis performed", "root cause identified", "component disassembled",
+	"measurement within tolerance", "failure pattern reproduced",
+	"further investigation follows", "supplier accepts responsibility",
+}
+
+// Initial OEM processing notes.
+var initialPhrasesDE = []string{
+	"eingang erfasst", "keine klaren ergebnisse", "weiterleitung an lieferant",
+	"sichtprüfung ohne befund", "etwas schmutz entfernt",
+}
+
+var initialPhrasesEN = []string{
+	"intake recorded", "no clear results", "forwarding to supplier",
+	"visual inspection without findings", "removed some dirt",
+}
+
+// Final OEM conclusions.
+var finalPhrasesDE = []string{
+	"fehler bestätigt", "schlussbewertung abgeschlossen", "vorgang geschlossen",
+}
+
+var finalPhrasesEN = []string{
+	"error confirmed", "final evaluation completed", "case closed",
+}
+
+// abbreviations maps long generic words to OEM-internal short forms; the
+// "messy data" of §1.2 is riddled with them.
+var abbreviations = map[string]string{
+	"funktioniert":    "funkt.",
+	"beanstandet":     "beanst.",
+	"ausgetauscht":    "ausgt.",
+	"gewährleistung":  "gewl.",
+	"auffälligkeit":   "auffk.",
+	"customer":        "cust",
+	"intermittent":    "intermit.",
+	"replaced":        "repl.",
+	"inspection":      "insp.",
+	"abnormality":     "abnorm.",
+	"reklamation":     "rekla",
+	"untersuchung":    "unters.",
+	"verantwortung":   "verantw.",
+	"responsibility":  "resp.",
+	"investigation":   "invest.",
+	"measurement":     "measurem.",
+	"toleranzbereich": "tol-bereich",
+}
+
+// typo injects one character-level error into a word: adjacent swap,
+// deletion or duplication — the spelling errors of "messy" reports.
+func typo(rng *rand.Rand, w string) string {
+	r := []rune(w)
+	if len(r) < 3 {
+		return w
+	}
+	switch rng.Intn(3) {
+	case 0: // swap adjacent
+		i := rng.Intn(len(r) - 1)
+		r[i], r[i+1] = r[i+1], r[i]
+	case 1: // drop one
+		i := rng.Intn(len(r))
+		r = append(r[:i], r[i+1:]...)
+	default: // duplicate one
+		i := rng.Intn(len(r))
+		r = append(r[:i+1], r[i:]...)
+	}
+	return string(r)
+}
+
+// mangle applies messiness to a generic word: typos with probability
+// typoP, abbreviation with probability abbrevP.
+func mangle(rng *rand.Rand, w string, typoP, abbrevP float64) string {
+	if a, ok := abbreviations[w]; ok && rng.Float64() < abbrevP {
+		return a
+	}
+	if rng.Float64() < typoP {
+		return typo(rng, w)
+	}
+	return w
+}
+
+// pick returns a uniformly random element.
+func pick[T any](rng *rand.Rand, items []T) T {
+	return items[rng.Intn(len(items))]
+}
+
+// sample returns n distinct elements (or all if n >= len).
+func sample[T any](rng *rand.Rand, items []T, n int) []T {
+	if n >= len(items) {
+		out := append([]T(nil), items...)
+		return out
+	}
+	idx := rng.Perm(len(items))[:n]
+	out := make([]T, n)
+	for i, j := range idx {
+		out[i] = items[j]
+	}
+	return out
+}

@@ -1,0 +1,329 @@
+// Package eval runs the paper's experiments (§5): stratified 5-fold
+// cross-validation over the data bundles whose error code appears more than
+// once, reporting Accuracy@k for k ∈ {1, 5, 10, 15, 20, 25} for every
+// classifier variant and both baselines, plus the wall-clock feasibility
+// numbers of §5.2.2.
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/annotate"
+	"repro/internal/baseline"
+	"repro/internal/bundle"
+	"repro/internal/core"
+	"repro/internal/kb"
+	"repro/internal/taxonomy"
+	"repro/internal/textproc"
+)
+
+// DefaultKs are the cutoffs of the paper's accuracy curves.
+var DefaultKs = []int{1, 5, 10, 15, 20, 25}
+
+// AccuracyAtK maps a cutoff k to the share of test bundles whose correct
+// error code appears within the first k suggestions (A@k of §5.1).
+type AccuracyAtK map[int]float64
+
+// Variant is one configuration of the adapted classification algorithm.
+type Variant struct {
+	Name        string
+	Model       kb.FeatureModel
+	Sim         core.Similarity
+	Stopwords   bool            // remove stopwords (bag-of-words only, §5.2.2)
+	TestSources []bundle.Source // report sources for the test features; nil = all test-phase sources
+}
+
+// StandardVariants are the four variants of experiment 1 (Fig. 11).
+func StandardVariants() []Variant {
+	return []Variant{
+		{Name: "bag-of-words + jaccard", Model: kb.BagOfWords, Sim: core.Jaccard{}},
+		{Name: "bag-of-words + overlap", Model: kb.BagOfWords, Sim: core.Overlap{}},
+		{Name: "bag-of-concepts + jaccard", Model: kb.BagOfConcepts, Sim: core.Jaccard{}},
+		{Name: "bag-of-concepts + overlap", Model: kb.BagOfConcepts, Sim: core.Overlap{}},
+	}
+}
+
+// SourceVariants restricts the standard variants to a single test report
+// source (experiment 2, Figs. 12/13).
+func SourceVariants(prefix string, src bundle.Source) []Variant {
+	out := StandardVariants()
+	for i := range out {
+		out[i].Name = prefix + " " + out[i].Name
+		out[i].TestSources = []bundle.Source{src}
+	}
+	return out
+}
+
+// Result is the cross-validated outcome of one variant.
+type Result struct {
+	Variant       string
+	Accuracy      AccuracyAtK // mean over folds
+	PerFold       []AccuracyAtK
+	SecPerBundle  float64 // mean classification seconds per test bundle
+	TestBundles   int     // average test-set size per fold
+	KBNodes       int     // average knowledge-base size per fold
+	Comparisons   int64   // total candidate similarity computations
+	CandidateSize float64 // mean candidate-set size per query
+}
+
+// Experiment holds a prepared evaluation over a corpus.
+type Experiment struct {
+	Taxonomy *taxonomy.Taxonomy
+	Bundles  []*bundle.Bundle // already filtered to multi-occurrence codes
+	Folds    int
+	Seed     int64
+	Ks       []int
+
+	annotator *annotate.ConceptAnnotator
+	stopwords textproc.StopwordSet
+}
+
+// New prepares an experiment: it filters singleton-code bundles exactly as
+// §3.2 prescribes and fixes folds and cutoffs to the paper's setup.
+func New(tax *taxonomy.Taxonomy, bundles []*bundle.Bundle) *Experiment {
+	return &Experiment{
+		Taxonomy:  tax,
+		Bundles:   bundle.FilterMultiOccurrence(bundles),
+		Folds:     5,
+		Seed:      1,
+		Ks:        DefaultKs,
+		annotator: annotate.NewConceptAnnotator(tax),
+		stopwords: textproc.NewStopwordSet(),
+	}
+}
+
+// StratifiedFolds partitions bundle indexes into folds so that every error
+// code's bundles are spread as evenly as possible across folds ("stratified
+// 5-fold cross-validation", §5.1).
+func StratifiedFolds(bundles []*bundle.Bundle, folds int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	byCode := map[string][]int{}
+	var codes []string
+	for i, b := range bundles {
+		if len(byCode[b.ErrorCode]) == 0 {
+			codes = append(codes, b.ErrorCode)
+		}
+		byCode[b.ErrorCode] = append(byCode[b.ErrorCode], i)
+	}
+	sort.Strings(codes)
+	out := make([][]int, folds)
+	next := 0
+	for _, code := range codes {
+		idxs := byCode[code]
+		rng.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+		for _, idx := range idxs {
+			out[next%folds] = append(out[next%folds], idx)
+			next++
+		}
+	}
+	return out
+}
+
+// featureKey identifies a precomputed feature configuration.
+type featureKey struct {
+	model     kb.FeatureModel
+	stopwords bool
+	sources   string // joined source list; "" = default
+}
+
+// features computes the feature sets of every bundle for one configuration.
+func (e *Experiment) features(model kb.FeatureModel, stop bool, sources []bundle.Source) [][]string {
+	ex := &kb.Extractor{Model: model}
+	if stop && model == kb.BagOfWords {
+		ex.Stopwords = e.stopwords
+	}
+	out := make([][]string, len(e.Bundles))
+	for i, b := range e.Bundles {
+		c := b.CAS(sources...)
+		if err := (textproc.Tokenizer{}).Process(c); err != nil {
+			panic(err) // offsets are computed by the tokenizer itself; a failure is a bug
+		}
+		if model == kb.BagOfConcepts {
+			if err := e.annotator.Process(c); err != nil {
+				panic(err)
+			}
+		}
+		out[i] = ex.Features(c)
+	}
+	return out
+}
+
+// Run cross-validates one variant.
+func (e *Experiment) Run(v Variant) *Result {
+	trainFeats := e.features(v.Model, v.Stopwords, bundle.TrainingSources())
+	testSources := v.TestSources
+	if testSources == nil {
+		testSources = bundle.TestSources()
+	}
+	testFeats := e.features(v.Model, v.Stopwords, testSources)
+
+	folds := StratifiedFolds(e.Bundles, e.Folds, e.Seed)
+	res := &Result{Variant: v.Name, Accuracy: AccuracyAtK{}}
+	hits := map[int]int{}
+	total := 0
+	var classifySeconds float64
+	var kbNodes int
+	var comparisons int64
+	var candTotal int64
+
+	for f := 0; f < e.Folds; f++ {
+		mem := kb.NewMemory()
+		inTest := make(map[int]bool, len(folds[f]))
+		for _, idx := range folds[f] {
+			inTest[idx] = true
+		}
+		for i, b := range e.Bundles {
+			if !inTest[i] {
+				mem.AddBundle(b.PartID, b.ErrorCode, trainFeats[i])
+			}
+		}
+		kbNodes += mem.NodeCount()
+		clf := core.New(mem, v.Sim)
+
+		foldAcc := AccuracyAtK{}
+		foldHits := map[int]int{}
+		start := time.Now()
+		for _, idx := range folds[f] {
+			b := e.Bundles[idx]
+			cands := mem.Candidates(b.PartID, testFeats[idx])
+			comparisons += int64(len(cands))
+			candTotal += int64(len(cands))
+			list := clf.Recommend(b.PartID, testFeats[idx])
+			r := core.Rank(list, b.ErrorCode)
+			for _, k := range e.Ks {
+				if r > 0 && r <= k {
+					foldHits[k]++
+				}
+			}
+		}
+		classifySeconds += time.Since(start).Seconds()
+		n := len(folds[f])
+		total += n
+		for _, k := range e.Ks {
+			foldAcc[k] = float64(foldHits[k]) / float64(n)
+			hits[k] += foldHits[k]
+		}
+		res.PerFold = append(res.PerFold, foldAcc)
+	}
+	for _, k := range e.Ks {
+		res.Accuracy[k] = float64(hits[k]) / float64(total)
+	}
+	res.SecPerBundle = classifySeconds / float64(total)
+	res.TestBundles = total / e.Folds
+	res.KBNodes = kbNodes / e.Folds
+	res.Comparisons = comparisons
+	if total > 0 {
+		res.CandidateSize = float64(candTotal) / float64(total)
+	}
+	return res
+}
+
+// RunAll cross-validates several variants.
+func (e *Experiment) RunAll(variants []Variant) []*Result {
+	out := make([]*Result, len(variants))
+	for i, v := range variants {
+		out[i] = e.Run(v)
+	}
+	return out
+}
+
+// RunFrequencyBaseline evaluates the code-frequency baseline (§5.1).
+func (e *Experiment) RunFrequencyBaseline() *Result {
+	folds := StratifiedFolds(e.Bundles, e.Folds, e.Seed)
+	res := &Result{Variant: "code frequency baseline", Accuracy: AccuracyAtK{}}
+	hits := map[int]int{}
+	total := 0
+	for f := 0; f < e.Folds; f++ {
+		mem := kb.NewMemory()
+		inTest := make(map[int]bool, len(folds[f]))
+		for _, idx := range folds[f] {
+			inTest[idx] = true
+		}
+		for i, b := range e.Bundles {
+			if !inTest[i] {
+				// The baseline only needs frequencies; features are irrelevant.
+				mem.AddBundle(b.PartID, b.ErrorCode, nil)
+			}
+		}
+		bl := baseline.CodeFrequency{Store: mem}
+		foldAcc := AccuracyAtK{}
+		foldHits := map[int]int{}
+		for _, idx := range folds[f] {
+			b := e.Bundles[idx]
+			r := core.Rank(bl.Recommend(b.PartID), b.ErrorCode)
+			for _, k := range e.Ks {
+				if r > 0 && r <= k {
+					foldHits[k]++
+				}
+			}
+		}
+		n := len(folds[f])
+		total += n
+		for _, k := range e.Ks {
+			foldAcc[k] = float64(foldHits[k]) / float64(n)
+			hits[k] += foldHits[k]
+		}
+		res.PerFold = append(res.PerFold, foldAcc)
+	}
+	for _, k := range e.Ks {
+		res.Accuracy[k] = float64(hits[k]) / float64(total)
+	}
+	res.TestBundles = total / e.Folds
+	return res
+}
+
+// RunCandidateSetBaseline evaluates the unsorted candidate-set baseline for
+// one feature model (§5.1 baseline 2).
+func (e *Experiment) RunCandidateSetBaseline(model kb.FeatureModel, testSources []bundle.Source) *Result {
+	trainFeats := e.features(model, false, bundle.TrainingSources())
+	if testSources == nil {
+		testSources = bundle.TestSources()
+	}
+	testFeats := e.features(model, false, testSources)
+	folds := StratifiedFolds(e.Bundles, e.Folds, e.Seed)
+	res := &Result{
+		Variant:  fmt.Sprintf("candidate set baseline (%s)", model),
+		Accuracy: AccuracyAtK{},
+	}
+	hits := map[int]int{}
+	total := 0
+	for f := 0; f < e.Folds; f++ {
+		mem := kb.NewMemory()
+		inTest := make(map[int]bool, len(folds[f]))
+		for _, idx := range folds[f] {
+			inTest[idx] = true
+		}
+		for i, b := range e.Bundles {
+			if !inTest[i] {
+				mem.AddBundle(b.PartID, b.ErrorCode, trainFeats[i])
+			}
+		}
+		bl := baseline.CandidateSet{Store: mem}
+		foldAcc := AccuracyAtK{}
+		foldHits := map[int]int{}
+		for _, idx := range folds[f] {
+			b := e.Bundles[idx]
+			r := core.Rank(bl.Recommend(b.PartID, testFeats[idx]), b.ErrorCode)
+			for _, k := range e.Ks {
+				if r > 0 && r <= k {
+					foldHits[k]++
+				}
+			}
+		}
+		n := len(folds[f])
+		total += n
+		for _, k := range e.Ks {
+			foldAcc[k] = float64(foldHits[k]) / float64(n)
+			hits[k] += foldHits[k]
+		}
+		res.PerFold = append(res.PerFold, foldAcc)
+	}
+	for _, k := range e.Ks {
+		res.Accuracy[k] = float64(hits[k]) / float64(total)
+	}
+	res.TestBundles = total / e.Folds
+	return res
+}

@@ -1,0 +1,290 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/bundle"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/kb"
+)
+
+// mediumCorpus is big enough for the experiment shapes to be visible but
+// fast enough for the unit-test loop.
+func mediumCorpus(t testing.TB) *datagen.Corpus {
+	t.Helper()
+	cfg := datagen.Config{
+		Seed:          3,
+		Bundles:       1600,
+		Singletons:    150,
+		CodesPerPart:  []int{60, 45, 35, 28, 22, 18, 14, 12, 8, 6},
+		ArticleCodes:  120,
+		Components:    300,
+		Symptoms:      280,
+		Locations:     20,
+		Solutions:     20,
+		ZipfS:         1.35,
+		MechanicTypoP: 0.10,
+		SupplierTypoP: 0.02,
+		AbbrevP:       0.15,
+	}
+	c, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestStratifiedFoldsPartitionAndBalance(t *testing.T) {
+	c := mediumCorpus(t)
+	bundles := bundle.FilterMultiOccurrence(c.Bundles)
+	folds := StratifiedFolds(bundles, 5, 1)
+	seen := map[int]bool{}
+	total := 0
+	for _, f := range folds {
+		total += len(f)
+		for _, idx := range f {
+			if seen[idx] {
+				t.Fatalf("index %d in two folds", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if total != len(bundles) {
+		t.Fatalf("folds cover %d of %d", total, len(bundles))
+	}
+	// Balance: folds within ±10% of each other.
+	min, max := len(folds[0]), len(folds[0])
+	for _, f := range folds {
+		if len(f) < min {
+			min = len(f)
+		}
+		if len(f) > max {
+			max = len(f)
+		}
+	}
+	if max-min > len(bundles)/10 {
+		t.Fatalf("folds unbalanced: min %d max %d", min, max)
+	}
+}
+
+func TestStratifiedFoldsSpreadCodes(t *testing.T) {
+	// A code with >= folds bundles must appear in more than one fold.
+	bundles := []*bundle.Bundle{}
+	for i := 0; i < 10; i++ {
+		bundles = append(bundles, &bundle.Bundle{RefNo: string(rune('a' + i)), PartID: "P", ErrorCode: "X"})
+	}
+	folds := StratifiedFolds(bundles, 5, 1)
+	for _, f := range folds {
+		if len(f) != 2 {
+			t.Fatalf("stratification uneven: %v", folds)
+		}
+	}
+}
+
+func TestStratifiedFoldsDeterministic(t *testing.T) {
+	c := mediumCorpus(t)
+	bundles := bundle.FilterMultiOccurrence(c.Bundles)
+	a := StratifiedFolds(bundles, 5, 42)
+	b := StratifiedFolds(bundles, 5, 42)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("folds differ between runs")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("folds differ between runs")
+			}
+		}
+	}
+}
+
+// TestExperimentShapes checks the qualitative result structure of the
+// paper's experiments on a mid-sized corpus (the exact paper-scale numbers
+// are produced by cmd/experiments and the benchmarks).
+func TestExperimentShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation in -short mode")
+	}
+	c := mediumCorpus(t)
+	e := New(c.Taxonomy, c.Bundles)
+
+	bowJ := e.Run(Variant{Name: "bow-j", Model: kb.BagOfWords, Sim: core.Jaccard{}})
+	bocJ := e.Run(Variant{Name: "boc-j", Model: kb.BagOfConcepts, Sim: core.Jaccard{}})
+	bocO := e.Run(Variant{Name: "boc-o", Model: kb.BagOfConcepts, Sim: core.Overlap{}})
+	freq := e.RunFrequencyBaseline()
+	cand := e.RunCandidateSetBaseline(kb.BagOfWords, nil)
+
+	// Fig. 11 ordering at k=1: bag-of-words > bag-of-concepts > frequency
+	// baseline > candidate set; bag-of-concepts+overlap below baseline.
+	if !(bowJ.Accuracy[1] > bocJ.Accuracy[1]) {
+		t.Errorf("bag-of-words (%.2f) should beat bag-of-concepts (%.2f) at k=1",
+			bowJ.Accuracy[1], bocJ.Accuracy[1])
+	}
+	if !(bocJ.Accuracy[1] > freq.Accuracy[1]) {
+		t.Errorf("bag-of-concepts+jaccard (%.2f) should beat the frequency baseline (%.2f)",
+			bocJ.Accuracy[1], freq.Accuracy[1])
+	}
+	if !(bocO.Accuracy[1] < freq.Accuracy[1]) {
+		t.Errorf("bag-of-concepts+overlap (%.2f) should fall below the frequency baseline (%.2f) at k=1",
+			bocO.Accuracy[1], freq.Accuracy[1])
+	}
+	if !(cand.Accuracy[1] < freq.Accuracy[1]) {
+		t.Errorf("candidate-set baseline (%.2f) should be the weakest at k=1", cand.Accuracy[1])
+	}
+	// Curves are monotone in k and high by k=25 for the real classifiers.
+	prev := 0.0
+	for _, k := range DefaultKs {
+		if bowJ.Accuracy[k] < prev {
+			t.Fatalf("accuracy not monotone in k: %v", bowJ.Accuracy)
+		}
+		prev = bowJ.Accuracy[k]
+	}
+	if bowJ.Accuracy[25] < 0.9 {
+		t.Errorf("bag-of-words @25 = %.2f, want >= 0.9", bowJ.Accuracy[25])
+	}
+}
+
+func TestExperimentSourceShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation in -short mode")
+	}
+	c := mediumCorpus(t)
+	e := New(c.Taxonomy, c.Bundles)
+	freq := e.RunFrequencyBaseline()
+
+	// Fig. 12: mechanic-only below the frequency baseline at every k.
+	mech := e.Run(Variant{Name: "mech", Model: kb.BagOfWords, Sim: core.Jaccard{},
+		TestSources: []bundle.Source{bundle.SourceMechanic}})
+	for _, k := range []int{1, 5, 10} {
+		if mech.Accuracy[k] >= freq.Accuracy[k] {
+			t.Errorf("mechanic-only @%d = %.2f not below baseline %.2f", k, mech.Accuracy[k], freq.Accuracy[k])
+		}
+	}
+
+	// Fig. 13: supplier-only close to the full test sources.
+	full := e.Run(Variant{Name: "full", Model: kb.BagOfWords, Sim: core.Jaccard{}})
+	sup := e.Run(Variant{Name: "sup", Model: kb.BagOfWords, Sim: core.Jaccard{},
+		TestSources: []bundle.Source{bundle.SourceSupplier}})
+	if diff := full.Accuracy[1] - sup.Accuracy[1]; diff > 0.15 || diff < -0.15 {
+		t.Errorf("supplier-only @1 = %.2f too far from full %.2f", sup.Accuracy[1], full.Accuracy[1])
+	}
+	if sup.Accuracy[1] <= mech.Accuracy[1] {
+		t.Error("supplier report should be far more informative than the mechanic report")
+	}
+}
+
+func TestFeasibilityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation in -short mode")
+	}
+	c := mediumCorpus(t)
+	e := New(c.Taxonomy, c.Bundles)
+	bow := e.Run(Variant{Name: "bow", Model: kb.BagOfWords, Sim: core.Jaccard{}})
+	boc := e.Run(Variant{Name: "boc", Model: kb.BagOfConcepts, Sim: core.Jaccard{}})
+	// §5.2.2: bag-of-concepts classifies several times faster and its
+	// knowledge base is smaller (configuration-instance dedup + fewer
+	// features).
+	if boc.SecPerBundle >= bow.SecPerBundle {
+		t.Errorf("bag-of-concepts (%.6fs) should be faster than bag-of-words (%.6fs)",
+			boc.SecPerBundle, bow.SecPerBundle)
+	}
+	if boc.KBNodes >= bow.KBNodes {
+		t.Errorf("bag-of-concepts KB (%d nodes) should be smaller than bag-of-words (%d)",
+			boc.KBNodes, bow.KBNodes)
+	}
+	if boc.CandidateSize >= bow.CandidateSize {
+		t.Errorf("bag-of-concepts candidate sets (%.1f) should be smaller than bag-of-words (%.1f)",
+			boc.CandidateSize, bow.CandidateSize)
+	}
+}
+
+func TestStopwordRemovalKeepsAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation in -short mode")
+	}
+	c := mediumCorpus(t)
+	e := New(c.Taxonomy, c.Bundles)
+	plain := e.Run(Variant{Name: "bow", Model: kb.BagOfWords, Sim: core.Jaccard{}})
+	nostop := e.Run(Variant{Name: "bow-nostop", Model: kb.BagOfWords, Sim: core.Jaccard{}, Stopwords: true})
+	diff := nostop.Accuracy[1] - plain.Accuracy[1]
+	if diff < -0.05 || diff > 0.08 {
+		t.Errorf("stopword removal changed accuracy materially: %.3f vs %.3f", nostop.Accuracy[1], plain.Accuracy[1])
+	}
+}
+
+func TestResultSeries(t *testing.T) {
+	r := &Result{Accuracy: AccuracyAtK{5: 0.5, 1: 0.1, 25: 0.9}}
+	s := r.Series()
+	if len(s) != 3 || s[0][0] != 1 || s[2][0] != 25 || s[1][1] != 0.5 {
+		t.Fatalf("series = %v", s)
+	}
+}
+
+func TestPrintTables(t *testing.T) {
+	r := &Result{Variant: "v", Accuracy: AccuracyAtK{1: 0.5, 5: 0.75}, SecPerBundle: 0.001, KBNodes: 10}
+	var sbA, sbB testWriter
+	PrintTable(&sbA, "title", []*Result{r}, []int{1, 5})
+	if sbA.String() == "" || !contains(sbA.String(), "50.0%") {
+		t.Fatalf("table output: %q", sbA.String())
+	}
+	PrintTiming(&sbB, []*Result{r})
+	if !contains(sbB.String(), "v") {
+		t.Fatalf("timing output: %q", sbB.String())
+	}
+}
+
+type testWriter struct{ b []byte }
+
+func (w *testWriter) Write(p []byte) (int, error) { w.b = append(w.b, p...); return len(p), nil }
+func (w *testWriter) String() string              { return string(w.b) }
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := &Result{Variant: "v,with comma", Accuracy: AccuracyAtK{1: 0.5, 5: 0.75}}
+	var w testWriter
+	if err := WriteCSV(&w, []*Result{r}, []int{1, 5}); err != nil {
+		t.Fatal(err)
+	}
+	out := w.String()
+	if !contains(out, "acc@1") || !contains(out, "0.5000") || !contains(out, "\"v,with comma\"") {
+		t.Fatalf("csv:\n%s", out)
+	}
+}
+
+func TestSourceVariantsShape(t *testing.T) {
+	vs := SourceVariants("mech:", bundle.SourceMechanic)
+	if len(vs) != 4 {
+		t.Fatalf("variants = %d", len(vs))
+	}
+	for _, v := range vs {
+		if len(v.TestSources) != 1 || v.TestSources[0] != bundle.SourceMechanic {
+			t.Fatalf("variant %q sources = %v", v.Name, v.TestSources)
+		}
+		if v.Name[:5] != "mech:" {
+			t.Fatalf("variant name %q", v.Name)
+		}
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	r := &Result{PerFold: []AccuracyAtK{{1: 0.5}, {1: 0.7}, {1: 0.6}}}
+	got := r.StdDev(1)
+	if got < 0.099 || got > 0.101 { // sample stddev of {0.5,0.7,0.6} = 0.1
+		t.Fatalf("stddev = %v", got)
+	}
+	if (&Result{}).StdDev(1) != 0 {
+		t.Fatal("stddev of no folds should be 0")
+	}
+	if (&Result{PerFold: []AccuracyAtK{{1: 0.5}}}).StdDev(1) != 0 {
+		t.Fatal("stddev of one fold should be 0")
+	}
+}

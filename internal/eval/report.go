@@ -1,0 +1,100 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// PrintTable renders results as the accuracy@k table behind the paper's
+// figures (one row per variant, one column per k).
+func PrintTable(w io.Writer, title string, results []*Result, ks []int) {
+	if ks == nil {
+		ks = DefaultKs
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-42s", "variant")
+	for _, k := range ks {
+		fmt.Fprintf(w, "  @%-5d", k)
+	}
+	fmt.Fprintln(w)
+	for _, r := range results {
+		fmt.Fprintf(w, "%-42s", r.Variant)
+		for _, k := range ks {
+			fmt.Fprintf(w, "  %5.1f%%", 100*r.Accuracy[k])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintTiming renders the feasibility numbers of §5.2.2.
+func PrintTiming(w io.Writer, results []*Result) {
+	fmt.Fprintf(w, "%-42s %14s %10s %12s\n", "variant", "ms/bundle", "kb nodes", "cand size")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-42s %14.4f %10d %12.1f\n", r.Variant, 1000*r.SecPerBundle, r.KBNodes, r.CandidateSize)
+	}
+}
+
+// WriteCSV emits the accuracy table as CSV (variant, then one column per
+// k), for regenerating the paper's figures with external plotting tools.
+func WriteCSV(w io.Writer, results []*Result, ks []int) error {
+	if ks == nil {
+		ks = DefaultKs
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"variant"}
+	for _, k := range ks {
+		header = append(header, fmt.Sprintf("acc@%d", k))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range results {
+		row := []string{r.Variant}
+		for _, k := range ks {
+			row = append(row, fmt.Sprintf("%.4f", r.Accuracy[k]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// StdDev returns the across-fold standard deviation of accuracy@k — the
+// dispersion behind the cross-validated mean (0 when fewer than two folds
+// were recorded).
+func (r *Result) StdDev(k int) float64 {
+	if len(r.PerFold) < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, f := range r.PerFold {
+		mean += f[k]
+	}
+	mean /= float64(len(r.PerFold))
+	varsum := 0.0
+	for _, f := range r.PerFold {
+		d := f[k] - mean
+		varsum += d * d
+	}
+	return math.Sqrt(varsum / float64(len(r.PerFold)-1))
+}
+
+// Series returns the accuracy curve of a result as (k, accuracy) pairs in
+// ascending k, for plotting or comparisons in code.
+func (r *Result) Series() [][2]float64 {
+	ks := make([]int, 0, len(r.Accuracy))
+	for k := range r.Accuracy {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	out := make([][2]float64, len(ks))
+	for i, k := range ks {
+		out[i] = [2]float64{float64(k), r.Accuracy[k]}
+	}
+	return out
+}

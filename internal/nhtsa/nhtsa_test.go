@@ -1,0 +1,143 @@
+package nhtsa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/reldb"
+)
+
+func corpus(t testing.TB) *datagen.Corpus {
+	t.Helper()
+	c, err := datagen.Generate(datagen.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGenerateComplaints(t *testing.T) {
+	c := corpus(t)
+	cfg := GenerateConfig{Seed: 5, Complaints: 200, ZipfS: 1.1}
+	complaints := Generate(cfg, c)
+	if len(complaints) != 200 {
+		t.Fatalf("complaints = %d", len(complaints))
+	}
+	seen := map[int64]bool{}
+	for _, cm := range complaints {
+		if seen[cm.ODINumber] {
+			t.Fatalf("duplicate ODI number %d", cm.ODINumber)
+		}
+		seen[cm.ODINumber] = true
+		if cm.CDescr == "" || cm.Make == "" || cm.Model == "" {
+			t.Fatalf("incomplete complaint %+v", cm)
+		}
+		// ODI free text is upper-case English.
+		if cm.CDescr != strings.ToUpper(cm.CDescr) {
+			t.Fatalf("CDESCR not upper-case: %q", cm.CDescr)
+		}
+		if cm.Year < 2009 || cm.Year > 2016 {
+			t.Fatalf("implausible year %d", cm.Year)
+		}
+	}
+	if len(MakesIn(complaints)) < 2 {
+		t.Fatal("complaints should cover several makes")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c := corpus(t)
+	cfg := GenerateConfig{Seed: 5, Complaints: 50, ZipfS: 1.1}
+	a := Generate(cfg, c)
+	b := Generate(cfg, c)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("complaint %d differs", i)
+		}
+	}
+}
+
+func TestGenerateNoInternalDetailVocabulary(t *testing.T) {
+	c := corpus(t)
+	complaints := Generate(GenerateConfig{Seed: 5, Complaints: 100, ZipfS: 1.1}, c)
+	details := map[string]bool{}
+	for _, spec := range c.Codes {
+		for _, w := range spec.DetailWords {
+			details[strings.ToUpper(w)] = true
+		}
+	}
+	for _, cm := range complaints {
+		for _, w := range strings.Fields(cm.CDescr) {
+			if details[w] {
+				t.Fatalf("consumer text leaks internal detail word %q", w)
+			}
+		}
+	}
+}
+
+func TestFlatFileRoundTrip(t *testing.T) {
+	c := corpus(t)
+	complaints := Generate(GenerateConfig{Seed: 5, Complaints: 30, ZipfS: 1.1}, c)
+	var buf bytes.Buffer
+	if err := WriteFlat(&buf, complaints); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFlat(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(complaints) {
+		t.Fatalf("round trip lost records: %d vs %d", len(got), len(complaints))
+	}
+	for i := range got {
+		if got[i] != complaints[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, got[i], complaints[i])
+		}
+	}
+}
+
+func TestReadFlatErrors(t *testing.T) {
+	if _, err := ReadFlat(strings.NewReader("only\tthree\tfields\n")); err == nil {
+		t.Error("short record accepted")
+	}
+	if _, err := ReadFlat(strings.NewReader("x\tA\tB\t2010\tC\tD\n")); err == nil {
+		t.Error("bad ODI number accepted")
+	}
+	if _, err := ReadFlat(strings.NewReader("1\tA\tB\tyear\tC\tD\n")); err == nil {
+		t.Error("bad year accepted")
+	}
+	got, err := ReadFlat(strings.NewReader("\n\n"))
+	if err != nil || len(got) != 0 {
+		t.Errorf("blank lines: %v, %v", got, err)
+	}
+}
+
+func TestRelationalRoundTrip(t *testing.T) {
+	c := corpus(t)
+	complaints := Generate(GenerateConfig{Seed: 5, Complaints: 25, ZipfS: 1.1}, c)
+	db, err := reldb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CreateTables(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := Store(db, complaints); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadAll(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(complaints) {
+		t.Fatalf("loaded %d of %d", len(got), len(complaints))
+	}
+	// LoadAll orders by ODI number; the generator already emits ascending.
+	for i := range got {
+		if got[i] != complaints[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cas"
+)
+
+// Engine instrumentation: UIMA ships per-annotator performance reports;
+// the QATK feasibility discussion (§5.2.2) needs the same visibility to
+// attribute per-bundle cost to pipeline steps.
+
+// Timed wraps an engine and accumulates its wall-clock time and document
+// count. Safe for concurrent use.
+type Timed struct {
+	inner Engine
+	mu    sync.Mutex
+	total time.Duration
+	docs  int
+}
+
+// NewTimed wraps an engine with timing instrumentation.
+func NewTimed(inner Engine) *Timed { return &Timed{inner: inner} }
+
+// Name implements Engine.
+func (t *Timed) Name() string { return t.inner.Name() }
+
+// Process times the wrapped engine.
+func (t *Timed) Process(c *cas.CAS) error {
+	start := time.Now()
+	err := t.inner.Process(c)
+	d := time.Since(start)
+	t.mu.Lock()
+	t.total += d
+	t.docs++
+	t.mu.Unlock()
+	return err
+}
+
+// Stats reports accumulated totals.
+func (t *Timed) Stats() (docs int, total time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.docs, t.total
+}
+
+// Reset clears the accumulated totals.
+func (t *Timed) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total, t.docs = 0, 0
+}
+
+// InstrumentAll wraps every engine with timing and returns both the
+// instrumented engines (for pipeline.New) and the wrappers (for reports).
+func InstrumentAll(engines ...Engine) ([]Engine, []*Timed) {
+	out := make([]Engine, len(engines))
+	timed := make([]*Timed, len(engines))
+	for i, e := range engines {
+		t := NewTimed(e)
+		out[i] = t
+		timed[i] = t
+	}
+	return out, timed
+}
+
+// PrintReport writes a per-engine timing table, slowest first.
+func PrintReport(w io.Writer, timed []*Timed) {
+	rows := append([]*Timed(nil), timed...)
+	sort.SliceStable(rows, func(i, j int) bool {
+		_, a := rows[i].Stats()
+		_, b := rows[j].Stats()
+		return a > b
+	})
+	fmt.Fprintf(w, "%-28s %10s %10s %14s\n", "engine", "documents", "total", "per document")
+	for _, t := range rows {
+		docs, total := t.Stats()
+		per := time.Duration(0)
+		if docs > 0 {
+			per = total / time.Duration(docs)
+		}
+		fmt.Fprintf(w, "%-28s %10d %10s %14s\n", t.Name(), docs, total.Round(time.Microsecond), per)
+	}
+}

@@ -1,0 +1,136 @@
+// Package pipeline composes analysis engines into the modular linguistic
+// processing pipelines of the QATK (paper §4.4, Fig. 8). Engines receive a
+// CAS, add annotations or metadata, and pass it on; collection processing
+// streams CASes from a reader through the engines into a consumer. The
+// classification step is an ordinary engine, realizing the extension point
+// where different classification algorithms can be plugged in (§4.4).
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/cas"
+)
+
+// Engine is one analysis step. Process may mutate the CAS.
+type Engine interface {
+	Name() string
+	Process(c *cas.CAS) error
+}
+
+// EngineFunc adapts a function to the Engine interface.
+type EngineFunc struct {
+	EngineName string
+	Fn         func(c *cas.CAS) error
+}
+
+// Name returns the engine name.
+func (e EngineFunc) Name() string { return e.EngineName }
+
+// Process invokes the wrapped function.
+func (e EngineFunc) Process(c *cas.CAS) error { return e.Fn(c) }
+
+// Pipeline runs a fixed sequence of engines.
+type Pipeline struct {
+	engines []Engine
+}
+
+// New builds a pipeline from the given engines, in order.
+func New(engines ...Engine) (*Pipeline, error) {
+	if len(engines) == 0 {
+		return nil, errors.New("pipeline: no engines")
+	}
+	seen := make(map[string]bool, len(engines))
+	for _, e := range engines {
+		if e == nil {
+			return nil, errors.New("pipeline: nil engine")
+		}
+		if e.Name() == "" {
+			return nil, errors.New("pipeline: engine without name")
+		}
+		if seen[e.Name()] {
+			return nil, fmt.Errorf("pipeline: duplicate engine name %q", e.Name())
+		}
+		seen[e.Name()] = true
+	}
+	return &Pipeline{engines: engines}, nil
+}
+
+// Engines returns the engine names in execution order.
+func (p *Pipeline) Engines() []string {
+	names := make([]string, len(p.engines))
+	for i, e := range p.engines {
+		names[i] = e.Name()
+	}
+	return names
+}
+
+// Process runs all engines over one CAS. The first engine error aborts the
+// run and is returned wrapped with the engine name.
+func (p *Pipeline) Process(c *cas.CAS) error {
+	for _, e := range p.engines {
+		if err := e.Process(c); err != nil {
+			return fmt.Errorf("pipeline: engine %q: %w", e.Name(), err)
+		}
+	}
+	return nil
+}
+
+// Reader produces CASes for collection processing. Next returns io.EOF
+// when the collection is exhausted.
+type Reader interface {
+	Next() (*cas.CAS, error)
+}
+
+// Consumer receives fully processed CASes.
+type Consumer interface {
+	Consume(c *cas.CAS) error
+}
+
+// ConsumerFunc adapts a function to the Consumer interface.
+type ConsumerFunc func(c *cas.CAS) error
+
+// Consume invokes the function.
+func (f ConsumerFunc) Consume(c *cas.CAS) error { return f(c) }
+
+// Run streams every CAS from r through the pipeline into consumer,
+// returning the number of documents processed.
+func (p *Pipeline) Run(r Reader, consumer Consumer) (int, error) {
+	n := 0
+	for {
+		c, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("pipeline: reader: %w", err)
+		}
+		if err := p.Process(c); err != nil {
+			return n, err
+		}
+		if consumer != nil {
+			if err := consumer.Consume(c); err != nil {
+				return n, fmt.Errorf("pipeline: consumer: %w", err)
+			}
+		}
+		n++
+	}
+}
+
+// SliceReader yields a fixed slice of CASes; useful in tests and batch jobs.
+type SliceReader struct {
+	CASes []*cas.CAS
+	pos   int
+}
+
+// Next returns the next CAS or io.EOF.
+func (r *SliceReader) Next() (*cas.CAS, error) {
+	if r.pos >= len(r.CASes) {
+		return nil, io.EOF
+	}
+	c := r.CASes[r.pos]
+	r.pos++
+	return c, nil
+}

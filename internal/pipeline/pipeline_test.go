@@ -1,0 +1,164 @@
+package pipeline
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cas"
+)
+
+func appendEngine(name, mark string) Engine {
+	return EngineFunc{EngineName: name, Fn: func(c *cas.CAS) error {
+		c.SetMetadata("trace", c.Metadata("trace")+mark)
+		return nil
+	}}
+}
+
+func TestPipelineRunsEnginesInOrder(t *testing.T) {
+	p, err := New(appendEngine("a", "A"), appendEngine("b", "B"), appendEngine("c", "C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cas.New("doc")
+	if err := p.Process(c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Metadata("trace") != "ABC" {
+		t.Fatalf("trace = %q", c.Metadata("trace"))
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+	if _, err := New(nil); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := New(EngineFunc{EngineName: "", Fn: func(*cas.CAS) error { return nil }}); err == nil {
+		t.Error("unnamed engine accepted")
+	}
+	if _, err := New(appendEngine("x", "1"), appendEngine("x", "2")); err == nil {
+		t.Error("duplicate engine names accepted")
+	}
+}
+
+func TestPipelineErrorWrapsEngineName(t *testing.T) {
+	boom := errors.New("boom")
+	p, _ := New(appendEngine("ok", "A"), EngineFunc{EngineName: "fails", Fn: func(*cas.CAS) error { return boom }})
+	err := p.Process(cas.New("doc"))
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "fails") {
+		t.Fatalf("error does not name the engine: %v", err)
+	}
+}
+
+func TestRunStreamsCollection(t *testing.T) {
+	p, _ := New(appendEngine("a", "A"))
+	reader := &SliceReader{CASes: []*cas.CAS{cas.New("1"), cas.New("2"), cas.New("3")}}
+	var seen []string
+	n, err := p.Run(reader, ConsumerFunc(func(c *cas.CAS) error {
+		seen = append(seen, c.Text())
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || len(seen) != 3 {
+		t.Fatalf("n=%d seen=%v", n, seen)
+	}
+	for _, c := range reader.CASes {
+		if c.Metadata("trace") != "A" {
+			t.Fatal("engine did not run on all documents")
+		}
+	}
+}
+
+func TestRunConsumerError(t *testing.T) {
+	p, _ := New(appendEngine("a", "A"))
+	reader := &SliceReader{CASes: []*cas.CAS{cas.New("1"), cas.New("2")}}
+	bad := errors.New("consumer bad")
+	n, err := p.Run(reader, ConsumerFunc(func(c *cas.CAS) error { return bad }))
+	if !errors.Is(err, bad) || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestRunNilConsumer(t *testing.T) {
+	p, _ := New(appendEngine("a", "A"))
+	n, err := p.Run(&SliceReader{CASes: []*cas.CAS{cas.New("1")}}, nil)
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestEnginesNames(t *testing.T) {
+	p, _ := New(appendEngine("a", "A"), appendEngine("b", "B"))
+	got := p.Engines()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("engines = %v", got)
+	}
+}
+
+func TestTimedEngine(t *testing.T) {
+	slow := EngineFunc{EngineName: "slow", Fn: func(c *cas.CAS) error {
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	}}
+	timed := NewTimed(slow)
+	p, err := New(timed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := p.Process(cas.New("doc")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	docs, total := timed.Stats()
+	if docs != 3 {
+		t.Fatalf("docs = %d", docs)
+	}
+	if total < 6*time.Millisecond {
+		t.Fatalf("total = %v, want >= 6ms", total)
+	}
+	timed.Reset()
+	if docs, total := timed.Stats(); docs != 0 || total != 0 {
+		t.Fatal("reset did not clear stats")
+	}
+	if timed.Name() != "slow" {
+		t.Fatal("name not forwarded")
+	}
+}
+
+func TestInstrumentAllAndReport(t *testing.T) {
+	engines, timed := InstrumentAll(appendEngine("a", "A"), appendEngine("b", "B"))
+	p, err := New(engines...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Process(cas.New("doc")); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	PrintReport(&sb, timed)
+	out := sb.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "per document") {
+		t.Fatalf("report:\n%s", out)
+	}
+}
+
+func TestTimedPropagatesErrors(t *testing.T) {
+	boom := errors.New("x")
+	timed := NewTimed(EngineFunc{EngineName: "f", Fn: func(*cas.CAS) error { return boom }})
+	if err := timed.Process(cas.New("d")); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if docs, _ := timed.Stats(); docs != 1 {
+		t.Fatal("failed document not counted")
+	}
+}

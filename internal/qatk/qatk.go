@@ -1,0 +1,214 @@
+// Package qatk assembles the Quality Analytics Toolkit: the UIMA-style
+// analytics pipeline of Fig. 8 wired end to end — data bundle preparation,
+// tokenization, language recognition, concept annotation, knowledge-base
+// extraction and persistence, candidate selection, classification, and
+// result persistence. It is the programmatic API that the command-line
+// tools, the QUEST server and the examples build on.
+package qatk
+
+import (
+	"fmt"
+
+	"repro/internal/annotate"
+	"repro/internal/bundle"
+	"repro/internal/cas"
+	"repro/internal/core"
+	"repro/internal/kb"
+	"repro/internal/pipeline"
+	"repro/internal/reldb"
+	"repro/internal/taxonomy"
+	"repro/internal/textproc"
+)
+
+// Toolkit is a configured QATK instance.
+type Toolkit struct {
+	Taxonomy  *taxonomy.Taxonomy
+	Model     kb.FeatureModel
+	Sim       core.Similarity
+	Stopwords bool // bag-of-words stopword removal (§5.2.2)
+	SpellNorm bool // spelling normalization against the taxonomy vocabulary
+	Stemming  bool // language-dependent stemming of bag-of-words features
+
+	annotator *annotate.ConceptAnnotator
+	extractor *kb.Extractor
+	vocab     textproc.Vocabulary
+}
+
+// Option configures a Toolkit.
+type Option func(*Toolkit)
+
+// WithModel selects the feature model (default: bag-of-concepts, the
+// domain-specific industrial choice).
+func WithModel(m kb.FeatureModel) Option { return func(t *Toolkit) { t.Model = m } }
+
+// WithSimilarity selects the similarity measure (default: Jaccard).
+func WithSimilarity(s core.Similarity) Option { return func(t *Toolkit) { t.Sim = s } }
+
+// WithStopwordRemoval enables the bag-of-words stopword optimization.
+func WithStopwordRemoval() Option { return func(t *Toolkit) { t.Stopwords = true } }
+
+// WithSpellNormalization adds the SpellNormalizer engine to the pipeline,
+// with a vocabulary built from the taxonomy's surface forms: typo'd
+// concept mentions ("electiral") are repaired before annotation and
+// feature extraction (§6 future work: more linguistic preprocessing).
+func WithSpellNormalization() Option { return func(t *Toolkit) { t.SpellNorm = true } }
+
+// WithStemming adds the language detector + Stemmer engines and makes the
+// bag-of-words extractor use stems, conflating inflectional variants.
+func WithStemming() Option { return func(t *Toolkit) { t.Stemming = true } }
+
+// New builds a Toolkit over a taxonomy.
+func New(tax *taxonomy.Taxonomy, opts ...Option) *Toolkit {
+	t := &Toolkit{
+		Taxonomy: tax,
+		Model:    kb.BagOfConcepts,
+		Sim:      core.Jaccard{},
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	t.annotator = annotate.NewConceptAnnotator(tax)
+	t.extractor = &kb.Extractor{Model: t.Model}
+	if t.Stopwords && t.Model == kb.BagOfWords {
+		t.extractor.Stopwords = textproc.NewStopwordSet()
+	}
+	if t.SpellNorm {
+		t.vocab = TaxonomyVocabulary(tax)
+		t.extractor.UseCorrections = true
+	}
+	if t.Stemming {
+		t.extractor.UseStems = true
+	}
+	return t
+}
+
+// TaxonomyVocabulary collects all surface-form tokens of a taxonomy (plus
+// the stopword lists) as the trusted vocabulary for spelling correction.
+func TaxonomyVocabulary(tax *taxonomy.Taxonomy) textproc.Vocabulary {
+	v := textproc.Vocabulary{}
+	for _, c := range tax.Concepts() {
+		for _, lang := range c.Languages() {
+			for _, syn := range c.Synonyms[lang] {
+				for _, tok := range textproc.Tokens(syn) {
+					v[tok] = true
+				}
+			}
+		}
+	}
+	for w := range textproc.NewStopwordSet() {
+		v[w] = true
+	}
+	return v
+}
+
+// Pipeline returns the analysis pipeline for this configuration: tokenizer
+// and language detector always, the concept annotator only for the
+// domain-specific model (the domain-ignorant variant "eliminates the
+// concept annotation step", §4.4).
+func (t *Toolkit) Pipeline() (*pipeline.Pipeline, error) {
+	engines := []pipeline.Engine{textproc.Tokenizer{}}
+	if t.SpellNorm {
+		engines = append(engines, textproc.SpellNormalizer{Vocab: t.vocab})
+	}
+	engines = append(engines, textproc.LanguageDetector{})
+	if t.Stemming {
+		engines = append(engines, textproc.Stemmer{})
+	}
+	if t.Model == kb.BagOfConcepts {
+		engines = append(engines, t.annotator)
+	}
+	return pipeline.New(engines...)
+}
+
+// Analyze runs the pipeline over one bundle's report sources and returns
+// the analyzed CAS.
+func (t *Toolkit) Analyze(b *bundle.Bundle, sources []bundle.Source) (*cas.CAS, error) {
+	p, err := t.Pipeline()
+	if err != nil {
+		return nil, err
+	}
+	c := b.CAS(sources...)
+	if err := p.Process(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Features extracts the feature set of one bundle.
+func (t *Toolkit) Features(b *bundle.Bundle, sources []bundle.Source) ([]string, error) {
+	c, err := t.Analyze(b, sources)
+	if err != nil {
+		return nil, err
+	}
+	return t.extractor.Features(c), nil
+}
+
+// Train builds the in-memory knowledge base from training bundles (the
+// training phase of §4.4: all report sources including the final OEM
+// report and the error-code description are available).
+func (t *Toolkit) Train(bundles []*bundle.Bundle) (*kb.Memory, error) {
+	p, err := t.Pipeline()
+	if err != nil {
+		return nil, err
+	}
+	mem := kb.NewMemory()
+	reader := bundle.NewReader(bundles, bundle.TrainingSources())
+	consumer := pipeline.ConsumerFunc(func(c *cas.CAS) error {
+		code := c.Metadata(bundle.MetaErrorCode)
+		if code == "" {
+			return fmt.Errorf("qatk: training bundle %s without error code", c.Metadata(bundle.MetaRefNo))
+		}
+		mem.AddBundle(c.Metadata(bundle.MetaPartID), code, t.extractor.Features(c))
+		return nil
+	})
+	if _, err := p.Run(reader, consumer); err != nil {
+		return nil, err
+	}
+	return mem, nil
+}
+
+// Classifier builds the ranked-list classifier over a knowledge base.
+func (t *Toolkit) Classifier(store kb.Store) *core.Classifier {
+	return core.New(store, t.Sim)
+}
+
+// Recommend classifies one bundle against a knowledge base using the
+// test-phase report sources and returns the ranked error-code suggestions.
+func (t *Toolkit) Recommend(store kb.Store, b *bundle.Bundle) ([]core.ScoredCode, error) {
+	feats, err := t.Features(b, bundle.TestSources())
+	if err != nil {
+		return nil, err
+	}
+	return t.Classifier(store).Recommend(b.PartID, feats), nil
+}
+
+// ClassifyAndPersist classifies every bundle without an assigned error code
+// and stores the scored suggestions in the database for the QUEST web app
+// (application phase, §4.4 step 3c). It returns how many bundles were
+// classified.
+func (t *Toolkit) ClassifyAndPersist(db *reldb.DB, store kb.Store, bundles []*bundle.Bundle) (int, error) {
+	n := 0
+	for _, b := range bundles {
+		if b.ErrorCode != "" {
+			continue
+		}
+		list, err := t.Recommend(store, b)
+		if err != nil {
+			return n, fmt.Errorf("qatk: classify %s: %w", b.RefNo, err)
+		}
+		if err := core.SaveRecommendations(db, b.RefNo, list); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// PersistKB writes a trained knowledge base into the database (training
+// phase step 3b, Knowledge Base Persistence).
+func (t *Toolkit) PersistKB(db *reldb.DB, mem *kb.Memory) error {
+	if err := kb.CreateTables(db); err != nil {
+		return err
+	}
+	return kb.Persist(db, mem)
+}

@@ -1,0 +1,165 @@
+package quest
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"repro/internal/bundle"
+	"repro/internal/compare"
+	"repro/internal/core"
+	"repro/internal/reldb"
+)
+
+// JSON API for programmatic clients (mobile front ends, integration with
+// the original quality engineering software):
+//
+//	GET  /api/bundles[?pending=1]       list bundles
+//	GET  /api/bundle/{ref}              bundle + top-10 suggestions
+//	POST /api/bundle/{ref}/assign       {"code": "..."} (requires session)
+//	GET  /api/compare                   the §5.4 distributions
+//	GET  /api/audit/summary             suggestion hit-rate (admin)
+
+type apiBundle struct {
+	RefNo              string            `json:"ref_no"`
+	ArticleCode        string            `json:"article_code"`
+	PartID             string            `json:"part_id"`
+	ErrorCode          string            `json:"error_code,omitempty"`
+	ResponsibilityCode string            `json:"responsibility_code,omitempty"`
+	Reports            map[string]string `json:"reports,omitempty"`
+	Suggestions        []apiSuggestion   `json:"suggestions,omitempty"`
+}
+
+type apiSuggestion struct {
+	Rank  int     `json:"rank"`
+	Code  string  `json:"code"`
+	Score float64 `json:"score"`
+}
+
+func (s *Server) registerAPI() {
+	s.mux.HandleFunc("/api/bundles", s.apiBundles)
+	s.mux.HandleFunc("/api/bundle/", s.apiBundle)
+	s.mux.HandleFunc("/api/compare", s.apiCompare)
+	s.mux.HandleFunc("/api/audit/summary", s.apiAuditSummary)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func apiError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) apiBundles(w http.ResponseWriter, r *http.Request) {
+	pendingOnly := r.URL.Query().Get("pending") == "1"
+	res, err := s.db.Select(reldb.Query{Table: bundle.TableBundles, OrderBy: "ref_no"})
+	if err != nil {
+		apiError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	out := make([]apiBundle, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		ab := apiBundle{RefNo: row[1].(string), ArticleCode: row[2].(string), PartID: row[3].(string)}
+		if row[4] != nil {
+			ab.ErrorCode = row[4].(string)
+		}
+		if pendingOnly && ab.ErrorCode != "" {
+			continue
+		}
+		out = append(out, ab)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) apiBundle(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/bundle/")
+	parts := strings.Split(rest, "/")
+	ref := parts[0]
+	switch {
+	case len(parts) == 1 && r.Method == http.MethodGet:
+		b, err := bundle.Load(s.db, ref)
+		if err != nil {
+			apiError(w, http.StatusNotFound, "no such bundle")
+			return
+		}
+		ab := apiBundle{
+			RefNo: b.RefNo, ArticleCode: b.ArticleCode, PartID: b.PartID,
+			ErrorCode: b.ErrorCode, ResponsibilityCode: b.ResponsibilityCode,
+			Reports: map[string]string{},
+		}
+		for _, rep := range b.Reports {
+			ab.Reports[string(rep.Source)] = rep.Text
+		}
+		if sugg, err := core.LoadRecommendations(s.db, ref, SuggestionLimit); err == nil {
+			for i, sc := range sugg {
+				ab.Suggestions = append(ab.Suggestions, apiSuggestion{Rank: i + 1, Code: sc.Code, Score: sc.Score})
+			}
+		}
+		writeJSON(w, http.StatusOK, ab)
+	case len(parts) == 2 && parts[1] == "assign" && r.Method == http.MethodPost:
+		u := s.currentUser(r)
+		if u == nil {
+			apiError(w, http.StatusUnauthorized, "login required")
+			return
+		}
+		var req struct {
+			Code string `json:"code"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Code == "" {
+			apiError(w, http.StatusBadRequest, "body must be {\"code\": \"...\"}")
+			return
+		}
+		if err := bundle.SetErrorCode(s.db, ref, req.Code); err != nil {
+			apiError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		s.audit(ref, req.Code, u.Name)
+		writeJSON(w, http.StatusOK, map[string]string{"ref_no": ref, "error_code": req.Code})
+	default:
+		apiError(w, http.StatusNotFound, "unknown API path")
+	}
+}
+
+func (s *Server) apiCompare(w http.ResponseWriter, r *http.Request) {
+	if s.internal == nil || s.public == nil {
+		apiError(w, http.StatusNotFound, "comparison data not loaded")
+		return
+	}
+	type jsonShare struct {
+		Code     string  `json:"code"`
+		Count    int     `json:"count"`
+		Fraction float64 `json:"fraction"`
+	}
+	toShares := func(shares []compare.Share) []jsonShare {
+		out := make([]jsonShare, len(shares))
+		for i, sh := range shares {
+			out[i] = jsonShare{Code: sh.Code, Count: sh.Count, Fraction: sh.Fraction}
+		}
+		return out
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"internal": map[string]any{"source": s.internal.Source, "total": s.internal.Total, "top": toShares(s.internal.Top(10))},
+		"public":   map[string]any{"source": s.public.Source, "total": s.public.Total, "top": toShares(s.public.Top(10))},
+	})
+}
+
+func (s *Server) apiAuditSummary(w http.ResponseWriter, r *http.Request) {
+	u := s.currentUser(r)
+	if u == nil || !u.IsAdmin() {
+		apiError(w, http.StatusForbidden, "extended rights required")
+		return
+	}
+	fromSugg, total, meanRank, err := SuggestionHitRate(s.db)
+	if err != nil {
+		apiError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"assignments":      total,
+		"from_suggestions": fromSugg,
+		"mean_rank":        meanRank,
+	})
+}

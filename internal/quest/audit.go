@@ -1,0 +1,93 @@
+package quest
+
+import (
+	"time"
+
+	"repro/internal/reldb"
+)
+
+// Audit trail of final error-code assignments. The paper plans a field
+// study of the web UI with quality experts (§6); the audit log is the
+// instrumentation for it — who assigned which code to which bundle when,
+// and whether the pick came from the suggestion list or the full catalog.
+
+// AuditEntry is one recorded assignment.
+type AuditEntry struct {
+	RefNo    string
+	Code     string
+	User     string
+	Source   string // "suggestion" or "catalog"
+	At       time.Time
+	SuggRank int // 1-based rank in the suggestion list, 0 if from catalog
+}
+
+// TableAudit is the audit-trail table.
+const TableAudit = "quest_audit"
+
+// CreateAuditTables creates the audit schema.
+func CreateAuditTables(db *reldb.DB) error {
+	if err := db.CreateTable(reldb.Schema{
+		Name: TableAudit,
+		Columns: []reldb.Column{
+			{Name: "id", Type: reldb.TInt},
+			{Name: "ref_no", Type: reldb.TString, NotNull: true},
+			{Name: "code", Type: reldb.TString, NotNull: true},
+			{Name: "user", Type: reldb.TString, NotNull: true},
+			{Name: "source", Type: reldb.TString, NotNull: true},
+			{Name: "at", Type: reldb.TString, NotNull: true},
+			{Name: "sugg_rank", Type: reldb.TInt, NotNull: true},
+		},
+		PrimaryKey: "id",
+	}); err != nil {
+		return err
+	}
+	return db.CreateIndex(TableAudit, "ix_audit_ref", false, "ref_no")
+}
+
+// RecordAssignment appends one audit entry.
+func RecordAssignment(db *reldb.DB, e AuditEntry) error {
+	_, err := db.Insert(TableAudit, reldb.Row{
+		nil, e.RefNo, e.Code, e.User, e.Source,
+		e.At.UTC().Format(time.RFC3339), int64(e.SuggRank),
+	})
+	return err
+}
+
+// RecentAssignments returns the latest n audit entries, newest first.
+func RecentAssignments(db *reldb.DB, n int) ([]AuditEntry, error) {
+	res, err := db.Select(reldb.Query{Table: TableAudit, OrderBy: "id", Desc: true, Limit: n})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AuditEntry, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		at, _ := time.Parse(time.RFC3339, row[5].(string))
+		out = append(out, AuditEntry{
+			RefNo: row[1].(string), Code: row[2].(string), User: row[3].(string),
+			Source: row[4].(string), At: at, SuggRank: int(row[6].(int64)),
+		})
+	}
+	return out, nil
+}
+
+// SuggestionHitRate summarizes the field-study statistic: how many audited
+// assignments were made directly from the suggestion list, and the mean
+// rank of the picked suggestion.
+func SuggestionHitRate(db *reldb.DB) (fromSuggestions, total int, meanRank float64, err error) {
+	res, err := db.Select(reldb.Query{Table: TableAudit})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	rankSum := 0
+	for _, row := range res.Rows {
+		total++
+		if row[4].(string) == "suggestion" {
+			fromSuggestions++
+			rankSum += int(row[6].(int64))
+		}
+	}
+	if fromSuggestions > 0 {
+		meanRank = float64(rankSum) / float64(fromSuggestions)
+	}
+	return fromSuggestions, total, meanRank, nil
+}

@@ -1,0 +1,88 @@
+package quest
+
+import (
+	"fmt"
+
+	"repro/internal/reldb"
+)
+
+// The error-code catalog: the list of all error codes available for a part
+// ID, which the expert falls back to when the correct code is not among
+// the top-10 suggestions, and which admins can extend with new codes right
+// in the QUEST interface (§4.5.4).
+
+// CatalogEntry is one error code of the catalog.
+type CatalogEntry struct {
+	Code        string
+	PartID      string
+	Description string
+}
+
+// TableCatalog is the error-code catalog table.
+const TableCatalog = "quest_error_codes"
+
+// CreateCatalogTables creates the catalog schema.
+func CreateCatalogTables(db *reldb.DB) error {
+	if err := db.CreateTable(reldb.Schema{
+		Name: TableCatalog,
+		Columns: []reldb.Column{
+			{Name: "id", Type: reldb.TInt},
+			{Name: "code", Type: reldb.TString, NotNull: true},
+			{Name: "part_id", Type: reldb.TString, NotNull: true},
+			{Name: "description", Type: reldb.TString},
+		},
+		PrimaryKey: "id",
+	}); err != nil {
+		return err
+	}
+	if err := db.CreateIndex(TableCatalog, "ux_catalog_code", true, "code"); err != nil {
+		return err
+	}
+	return db.CreateIndex(TableCatalog, "ix_catalog_part", false, "part_id")
+}
+
+// AddCode registers a new error code for a part.
+func AddCode(db *reldb.DB, e CatalogEntry) error {
+	if e.Code == "" || e.PartID == "" {
+		return fmt.Errorf("quest: catalog entry needs code and part ID")
+	}
+	_, err := db.Insert(TableCatalog, reldb.Row{nil, e.Code, e.PartID, e.Description})
+	return err
+}
+
+// CodesForPart lists the catalog entries of a part, ordered by code.
+func CodesForPart(db *reldb.DB, partID string) ([]CatalogEntry, error) {
+	res, err := db.Select(reldb.Query{
+		Table:   TableCatalog,
+		Where:   []reldb.Cond{reldb.Eq("part_id", partID)},
+		OrderBy: "code",
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CatalogEntry, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		out = append(out, entryFromRow(row))
+	}
+	return out, nil
+}
+
+// GetCode looks up one catalog entry.
+func GetCode(db *reldb.DB, code string) (CatalogEntry, bool, error) {
+	row, _, ok, err := db.SelectOne(reldb.Query{
+		Table: TableCatalog,
+		Where: []reldb.Cond{reldb.Eq("code", code)},
+	})
+	if err != nil || !ok {
+		return CatalogEntry{}, false, err
+	}
+	return entryFromRow(row), true, nil
+}
+
+func entryFromRow(row reldb.Row) CatalogEntry {
+	e := CatalogEntry{Code: row[1].(string), PartID: row[2].(string)}
+	if row[3] != nil {
+		e.Description = row[3].(string)
+	}
+	return e
+}

@@ -1,0 +1,230 @@
+package quest
+
+import "html/template"
+
+// The QUEST UI is plain server-rendered HTML with responsive CSS ("the
+// QUEST web app ... implements responsive design to be viewable on mobile
+// devices", §4.5.4).
+
+var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>QUEST — {{.Title}}</title>
+<style>
+body { font-family: system-ui, sans-serif; margin: 0; background: #f4f5f7; color: #1d2733; }
+header { background: #15314f; color: #fff; padding: .7rem 1rem; display: flex; flex-wrap: wrap; gap: 1rem; align-items: baseline; }
+header h1 { font-size: 1.1rem; margin: 0; }
+header nav a { color: #bcd2ea; margin-right: .8rem; text-decoration: none; }
+header nav a:hover { color: #fff; }
+main { max-width: 60rem; margin: 1rem auto; padding: 0 1rem; }
+table { border-collapse: collapse; width: 100%; background: #fff; }
+th, td { text-align: left; padding: .45rem .6rem; border-bottom: 1px solid #e2e6ea; }
+tr.suggestion-top { background: #eaf4e8; }
+.card { background: #fff; border: 1px solid #e2e6ea; border-radius: 6px; padding: 1rem; margin-bottom: 1rem; }
+.report { white-space: pre-wrap; font-size: .92rem; }
+.badge { display: inline-block; background: #dde7f2; border-radius: 4px; padding: .1rem .45rem; font-size: .8rem; }
+form.inline { display: inline; }
+button, input[type=submit] { background: #15314f; color: #fff; border: 0; border-radius: 4px; padding: .35rem .8rem; cursor: pointer; }
+input[type=text], select { padding: .3rem; border: 1px solid #c4ccd4; border-radius: 4px; }
+.error { color: #8d2323; }
+@media (max-width: 40rem) { th, td { padding: .3rem; font-size: .85rem; } main { padding: 0 .4rem; } }
+</style>
+</head>
+<body>
+<header>
+  <h1>QUEST — Quality Engineering Support Tool</h1>
+  <nav>
+    <a href="/">Bundles</a>
+    <a href="/compare">Data comparison</a>
+    {{if .User}}{{if .User.IsAdmin}}<a href="/codes/new">New error code</a>
+    <a href="/users">Users</a>
+    <a href="/audit">Audit</a>{{end}}
+    <span class="badge">{{.User.Name}} ({{.User.Role}})</span>
+    <a href="/logout">Logout</a>
+    {{else}}<a href="/login">Login</a>{{end}}
+  </nav>
+</header>
+<main>
+{{if .Error}}<p class="error">{{.Error}}</p>{{end}}
+{{.Body}}
+</main>
+</body>
+</html>`))
+
+var bodyTmpls = template.Must(template.New("bodies").Funcs(template.FuncMap{
+	"rank": func(i int) int { return i + 1 },
+}).Parse(`
+{{define "login"}}
+<div class="card">
+<h2>Login</h2>
+<form method="post" action="/login">
+  <label>User name <input type="text" name="name" autofocus></label>
+  <input type="submit" value="Login">
+</form>
+</div>
+{{end}}
+
+{{define "bundles"}}
+<h2>Data bundles {{if .PendingOnly}}(pending){{end}}{{if .Part}} — part {{.Part}}{{end}}</h2>
+<p>
+  <a href="/?pending=1">Pending only</a> · <a href="/">All</a>
+  — {{.Matches}} bundles, page {{.Page}}/{{.TotalPages}}
+  {{if gt .Page 1}}<a href="/?page={{.PrevPage}}{{.BaseQuery}}">&laquo; prev</a>{{end}}
+  {{if lt .Page .TotalPages}}<a href="/?page={{.NextPage}}{{.BaseQuery}}">next &raquo;</a>{{end}}
+</p>
+<form method="get" action="/">
+  <label>Filter by part ID <input type="text" name="part" value="{{.Part}}"></label>
+  {{if .PendingOnly}}<input type="hidden" name="pending" value="1">{{end}}
+  <input type="submit" value="Filter">
+</form>
+<table>
+<tr><th>Reference</th><th>Part ID</th><th>Article</th><th>Error code</th></tr>
+{{range .Bundles}}
+<tr>
+  <td><a href="/bundle/{{.RefNo}}">{{.RefNo}}</a></td>
+  <td>{{.PartID}}</td>
+  <td>{{.ArticleCode}}</td>
+  <td>{{if .ErrorCode}}{{.ErrorCode}}{{else}}<em>unassigned</em>{{end}}</td>
+</tr>
+{{end}}
+</table>
+{{end}}
+
+{{define "bundle"}}
+<h2>Bundle {{.Bundle.RefNo}}</h2>
+<div class="card">
+  <span class="badge">part {{.Bundle.PartID}}</span>
+  <span class="badge">article {{.Bundle.ArticleCode}}</span>
+  {{if .Bundle.ErrorCode}}<span class="badge">final code {{.Bundle.ErrorCode}}</span>{{end}}
+  {{if .Bundle.ResponsibilityCode}}<span class="badge">responsibility {{.Bundle.ResponsibilityCode}}</span>{{end}}
+</div>
+{{range .Bundle.Reports}}
+<div class="card">
+  <h3>{{.Source}}</h3>
+  <p class="report">{{.Text}}</p>
+</div>
+{{end}}
+<div class="card">
+<h3>Suggested error codes</h3>
+{{if .Suggestions}}
+<table>
+<tr><th>#</th><th>Error code</th><th>Score</th><th></th></tr>
+{{range $i, $s := .Suggestions}}
+<tr {{if eq $i 0}}class="suggestion-top"{{end}}>
+  <td>{{rank $i}}</td><td>{{$s.Code}}</td><td>{{printf "%.3f" $s.Score}}</td>
+  <td>
+    <form class="inline" method="post" action="/bundle/{{$.Bundle.RefNo}}/assign">
+      <input type="hidden" name="code" value="{{$s.Code}}">
+      <input type="submit" value="Assign">
+    </form>
+  </td>
+</tr>
+{{end}}
+</table>
+{{else}}<p><em>No stored suggestions for this bundle.</em></p>{{end}}
+<p><a href="/bundle/{{.Bundle.RefNo}}/codes">Correct code not listed? Show all codes for part {{.Bundle.PartID}}</a></p>
+</div>
+{{end}}
+
+{{define "codes"}}
+<h2>All error codes for part {{.PartID}} (bundle {{.RefNo}})</h2>
+<table>
+<tr><th>Error code</th><th>Description</th><th></th></tr>
+{{range .Codes}}
+<tr>
+  <td>{{.Code}}</td><td>{{.Description}}</td>
+  <td>
+    <form class="inline" method="post" action="/bundle/{{$.RefNo}}/assign">
+      <input type="hidden" name="code" value="{{.Code}}">
+      <input type="submit" value="Assign">
+    </form>
+  </td>
+</tr>
+{{end}}
+</table>
+{{end}}
+
+{{define "newcode"}}
+<h2>Create new error code</h2>
+<div class="card">
+<form method="post" action="/codes/new">
+  <p><label>Code <input type="text" name="code"></label></p>
+  <p><label>Part ID <input type="text" name="part_id"></label></p>
+  <p><label>Description <input type="text" name="description" size="50"></label></p>
+  <input type="submit" value="Create">
+</form>
+</div>
+{{end}}
+
+{{define "users"}}
+<h2>User maintenance</h2>
+<table>
+<tr><th>Name</th><th>Role</th><th></th></tr>
+{{range .Users}}
+<tr>
+  <td>{{.Name}}</td><td>{{.Role}}</td>
+  <td>
+    <form class="inline" method="post" action="/users/delete">
+      <input type="hidden" name="name" value="{{.Name}}">
+      <input type="submit" value="Delete">
+    </form>
+  </td>
+</tr>
+{{end}}
+</table>
+<div class="card">
+<form method="post" action="/users">
+  <label>Name <input type="text" name="name"></label>
+  <label>Role
+    <select name="role"><option>expert</option><option>admin</option></select>
+  </label>
+  <input type="submit" value="Add user">
+</form>
+</div>
+{{end}}
+
+{{define "audit"}}
+<h2>Assignment audit trail</h2>
+<div class="card">
+<p>{{.FromSuggestions}} of {{.Total}} audited assignments came straight from the
+suggestion list (mean picked rank {{.MeanRank}}).</p>
+</div>
+<table>
+<tr><th>When (UTC)</th><th>Bundle</th><th>Code</th><th>User</th><th>Via</th><th>Rank</th></tr>
+{{range .Entries}}
+<tr>
+  <td>{{.At.Format "2006-01-02 15:04:05"}}</td>
+  <td><a href="/bundle/{{.RefNo}}">{{.RefNo}}</a></td>
+  <td>{{.Code}}</td><td>{{.User}}</td><td>{{.Source}}</td>
+  <td>{{if .SuggRank}}{{.SuggRank}}{{else}}-{{end}}</td>
+</tr>
+{{end}}
+</table>
+{{end}}
+
+{{define "compare"}}
+<h2>Error distribution: internal vs public data source</h2>
+<p>Top error codes assigned in the internal OEM data and, via the
+QATK knowledge base, to the NHTSA ODI complaints (§5.4).</p>
+<div class="card" style="display:flex; gap:2rem; justify-content:center;">
+  <div style="text-align:center;">
+    <div style="width:9rem;height:9rem;border-radius:50%;margin:0 auto;background:{{.LeftPie}};"></div>
+    <p>{{.Internal.Source}}</p>
+  </div>
+  <div style="text-align:center;">
+    <div style="width:9rem;height:9rem;border-radius:50%;margin:0 auto;background:{{.RightPie}};"></div>
+    <p>{{.Public.Source}}</p>
+  </div>
+</div>
+<div class="card">
+<table>
+<tr><th colspan="2">{{.Internal.Source}}</th><th colspan="2">{{.Public.Source}}</th></tr>
+{{range .Rows}}
+<tr><td>{{.LCode}}</td><td>{{.LShare}}</td><td>{{.RCode}}</td><td>{{.RShare}}</td></tr>
+{{end}}
+</table>
+</div>
+{{end}}
+`))

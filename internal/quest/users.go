@@ -1,0 +1,104 @@
+// Package quest implements the Quality Engineering Support Tool web
+// application (paper §4.5.4): quality experts view data bundles, see the
+// 10 most likely error codes in descending order of likelihood, can fall
+// back to the full per-part-ID code list, assign the final error code,
+// define new error codes (extended rights), maintain users, and view the
+// comparison of error-code distributions between the internal data set and
+// the public US complaints database (§5.4, Fig. 14).
+package quest
+
+import (
+	"fmt"
+
+	"repro/internal/reldb"
+)
+
+// Role is a user's permission level.
+type Role string
+
+// Roles: experts assign codes; admins additionally define new error codes
+// and maintain users ("users with extended rights", §4.5.4).
+const (
+	RoleExpert Role = "expert"
+	RoleAdmin  Role = "admin"
+)
+
+func validRole(r Role) bool { return r == RoleExpert || r == RoleAdmin }
+
+// User is one QUEST account.
+type User struct {
+	ID   int64
+	Name string
+	Role Role
+}
+
+// TableUsers is the user account table.
+const TableUsers = "quest_users"
+
+// CreateUserTables creates the user schema.
+func CreateUserTables(db *reldb.DB) error {
+	if err := db.CreateTable(reldb.Schema{
+		Name: TableUsers,
+		Columns: []reldb.Column{
+			{Name: "id", Type: reldb.TInt},
+			{Name: "name", Type: reldb.TString, NotNull: true},
+			{Name: "role", Type: reldb.TString, NotNull: true},
+		},
+		PrimaryKey: "id",
+	}); err != nil {
+		return err
+	}
+	return db.CreateIndex(TableUsers, "ux_users_name", true, "name")
+}
+
+// AddUser creates an account.
+func AddUser(db *reldb.DB, name string, role Role) (*User, error) {
+	if name == "" {
+		return nil, fmt.Errorf("quest: empty user name")
+	}
+	if !validRole(role) {
+		return nil, fmt.Errorf("quest: invalid role %q", role)
+	}
+	id, err := db.Insert(TableUsers, reldb.Row{nil, name, string(role)})
+	if err != nil {
+		return nil, err
+	}
+	return &User{ID: id, Name: name, Role: role}, nil
+}
+
+// GetUser looks an account up by name.
+func GetUser(db *reldb.DB, name string) (*User, bool, error) {
+	row, id, ok, err := db.SelectOne(reldb.Query{
+		Table: TableUsers,
+		Where: []reldb.Cond{reldb.Eq("name", name)},
+	})
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return &User{ID: id, Name: row[1].(string), Role: Role(row[2].(string))}, true, nil
+}
+
+// ListUsers returns all accounts ordered by name.
+func ListUsers(db *reldb.DB) ([]*User, error) {
+	res, err := db.Select(reldb.Query{Table: TableUsers, OrderBy: "name"})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*User, 0, len(res.Rows))
+	for i, row := range res.Rows {
+		out = append(out, &User{ID: res.RowIDs[i], Name: row[1].(string), Role: Role(row[2].(string))})
+	}
+	return out, nil
+}
+
+// DeleteUser removes an account by name.
+func DeleteUser(db *reldb.DB, name string) error {
+	n, err := db.DeleteWhere(TableUsers, reldb.Eq("name", name))
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("quest: no user %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package reldb
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchDB(b *testing.B, rows int) *DB {
+	b.Helper()
+	db, err := Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateTable(Schema{
+		Name: "t",
+		Columns: []Column{
+			{Name: "id", Type: TInt},
+			{Name: "part", Type: TString, NotNull: true},
+			{Name: "feature", Type: TString, NotNull: true},
+			{Name: "score", Type: TFloat},
+		},
+		PrimaryKey: "id",
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateIndex("t", "ix_pf", false, "part", "feature"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := db.Insert("t", Row{nil,
+			fmt.Sprintf("P%02d", i%31),
+			fmt.Sprintf("f%04d", i%500),
+			float64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+func BenchmarkInsert(b *testing.B) {
+	db := benchDB(b, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Insert("t", Row{nil, "P01", fmt.Sprintf("f%06d", i), 1.0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexedSelect(b *testing.B) {
+	db := benchDB(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Select(Query{Table: "t", Where: []Cond{
+			Eq("part", "P07"), Eq("feature", fmt.Sprintf("f%04d", i%500)),
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+func BenchmarkFullScanSelect(b *testing.B) {
+	db := benchDB(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Select(Query{Table: "t", Where: []Cond{
+			{Col: "score", Op: OpGt, Val: 9990.0},
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+func BenchmarkSQLExec(b *testing.B) {
+	db := benchDB(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := db.Exec("SELECT id FROM t WHERE part = ? AND feature = ? LIMIT 5",
+			"P03", "f0042"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWALAppend(b *testing.B) {
+	db, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.CreateTable(Schema{Name: "t", Columns: []Column{
+		{Name: "id", Type: TInt}, {Name: "x", Type: TString},
+	}, PrimaryKey: "id"}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Insert("t", Row{nil, "payload payload payload"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSkipListInsert(b *testing.B) {
+	sl := newSkipList()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Pseudo-random key order via a multiplicative hash of i.
+		h := uint64(i) * 0x9E3779B97F4A7C15
+		key := []byte{
+			byte(h >> 56), byte(h >> 48), byte(h >> 40), byte(h >> 32),
+			byte(h >> 24), byte(h >> 16), byte(h >> 8), byte(h),
+		}
+		sl.insert(key, int64(i))
+	}
+}

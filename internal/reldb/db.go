@@ -1,0 +1,354 @@
+package reldb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// table holds the rows and indexes of one relation.
+type table struct {
+	schema  Schema
+	rows    map[int64]Row
+	nextID  int64
+	indexes map[string]*index
+	pkCol   int // position of the primary key column, -1 if none
+}
+
+func newTable(schema Schema) *table {
+	t := &table{
+		schema:  schema,
+		rows:    make(map[int64]Row),
+		nextID:  1,
+		indexes: make(map[string]*index),
+		pkCol:   -1,
+	}
+	if schema.PrimaryKey != "" {
+		t.pkCol = schema.ColIndex(schema.PrimaryKey)
+		t.indexes[pkIndexName(schema.Name)] = newIndex(pkIndexName(schema.Name), []int{t.pkCol}, true)
+	}
+	return t
+}
+
+func pkIndexName(table string) string { return "pk_" + table }
+
+// DB is an embedded relational database. All exported methods are safe for
+// concurrent use; writes are serialized by a single writer lock.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+	wal    *wal // nil for purely in-memory databases
+	dir    string
+}
+
+// Open opens (or creates) a database in dir. If dir is empty the database
+// is in-memory only and Close is a no-op for durability purposes.
+func Open(dir string) (*DB, error) {
+	db := &DB{tables: make(map[string]*table)}
+	if dir == "" {
+		return db, nil
+	}
+	db.dir = dir
+	w, err := openWAL(dir)
+	if err != nil {
+		return nil, err
+	}
+	db.wal = w
+	if err := db.recover(); err != nil {
+		w.close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// Close checkpoints (if durable) and releases the database.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal == nil {
+		return nil
+	}
+	if err := db.checkpointLocked(); err != nil {
+		return err
+	}
+	return db.wal.close()
+}
+
+// Checkpoint writes a snapshot of the full database state and truncates the
+// write-ahead log.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal == nil {
+		return nil
+	}
+	return db.checkpointLocked()
+}
+
+// Tables returns the names of all tables, sorted.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Schema returns a copy of the named table's schema.
+func (db *DB) Schema(tableName string) (Schema, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return Schema{}, fmt.Errorf("reldb: no such table %q", tableName)
+	}
+	s := t.schema
+	s.Columns = append([]Column(nil), t.schema.Columns...)
+	return s, nil
+}
+
+// CreateTable creates a table from the schema. If the schema declares a
+// primary key a unique index on it is created implicitly.
+func (db *DB) CreateTable(schema Schema) error {
+	if err := schema.validate(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[schema.Name]; ok {
+		return fmt.Errorf("reldb: table %q already exists", schema.Name)
+	}
+	db.tables[schema.Name] = newTable(schema)
+	return db.logRecords(walRecord{Op: opCreateTable, Schema: &schema})
+}
+
+// CreateIndex builds a secondary index named name on the given columns of
+// tableName, indexing all existing rows.
+func (db *DB) CreateIndex(tableName, name string, unique bool, cols ...string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.createIndexLocked(tableName, name, unique, cols, true)
+}
+
+func (db *DB) createIndexLocked(tableName, name string, unique bool, cols []string, logIt bool) error {
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("reldb: no such table %q", tableName)
+	}
+	if len(cols) == 0 {
+		return fmt.Errorf("reldb: index %q has no columns", name)
+	}
+	if _, ok := t.indexes[name]; ok {
+		return fmt.Errorf("reldb: index %q already exists on table %q", name, tableName)
+	}
+	positions := make([]int, len(cols))
+	for i, c := range cols {
+		p := t.schema.ColIndex(c)
+		if p < 0 {
+			return fmt.Errorf("reldb: table %q has no column %q", tableName, c)
+		}
+		positions[i] = p
+	}
+	ix := newIndex(name, positions, unique)
+	for id, row := range t.rows {
+		if err := ix.insert(row, id); err != nil {
+			return err
+		}
+	}
+	t.indexes[name] = ix
+	if logIt {
+		return db.logRecords(walRecord{
+			Op: opCreateIndex, Table: tableName, Index: name,
+			Unique: unique, Cols: cols,
+		})
+	}
+	return nil
+}
+
+// Insert adds a row and returns its row id. If the table has an INT primary
+// key and the corresponding cell is nil, the key is auto-assigned and
+// written back into the stored row.
+func (db *DB) Insert(tableName string, row Row) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	id, err := db.insertLocked(tableName, row)
+	if err != nil {
+		return 0, err
+	}
+	t := db.tables[tableName]
+	return id, db.logRecords(walRecord{Op: opInsert, Table: tableName, RowID: id, Row: t.rows[id]})
+}
+
+func (db *DB) insertLocked(tableName string, row Row) (int64, error) {
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("reldb: no such table %q", tableName)
+	}
+	canon, err := t.schema.checkRow(row)
+	if err != nil {
+		return 0, err
+	}
+	id := t.nextID
+	if t.pkCol >= 0 {
+		pc := t.schema.Columns[t.pkCol]
+		if canon[t.pkCol] == nil {
+			if pc.Type != TInt {
+				return 0, fmt.Errorf("reldb: table %q: primary key %q is NULL and not auto-assignable", tableName, pc.Name)
+			}
+			canon[t.pkCol] = id
+		} else if pc.Type == TInt {
+			// Keep row ids aligned with explicit INT primary keys.
+			id = canon[t.pkCol].(int64)
+			if _, exists := t.rows[id]; exists {
+				return 0, fmt.Errorf("reldb: table %q: duplicate primary key %d", tableName, id)
+			}
+		}
+	}
+	for _, ix := range t.indexes {
+		if err := ix.insert(canon, id); err != nil {
+			// Roll back partial index insertions (remove is idempotent).
+			db.removeFromIndexes(t, canon, id)
+			return 0, err
+		}
+	}
+	t.rows[id] = canon
+	if id >= t.nextID {
+		t.nextID = id + 1
+	}
+	return id, nil
+}
+
+// removeFromIndexes best-effort removes (row,id) from every index; used for
+// rollback of partially applied index insertions.
+func (db *DB) removeFromIndexes(t *table, row Row, id int64) {
+	for _, ix := range t.indexes {
+		ix.remove(row, id)
+	}
+}
+
+// Get returns a copy of the row with the given row id.
+func (db *DB) Get(tableName string, id int64) (Row, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return nil, false
+	}
+	row, ok := t.rows[id]
+	if !ok {
+		return nil, false
+	}
+	return row.Clone(), true
+}
+
+// Update replaces the row with the given id.
+func (db *DB) Update(tableName string, id int64, row Row) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.updateLocked(tableName, id, row); err != nil {
+		return err
+	}
+	t := db.tables[tableName]
+	return db.logRecords(walRecord{Op: opUpdate, Table: tableName, RowID: id, Row: t.rows[id]})
+}
+
+func (db *DB) updateLocked(tableName string, id int64, row Row) error {
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("reldb: no such table %q", tableName)
+	}
+	old, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("reldb: table %q has no row %d", tableName, id)
+	}
+	canon, err := t.schema.checkRow(row)
+	if err != nil {
+		return err
+	}
+	if t.pkCol >= 0 && compareSameType(canon[t.pkCol], old[t.pkCol]) != 0 {
+		return fmt.Errorf("reldb: table %q: primary key of row %d cannot change", tableName, id)
+	}
+	for _, ix := range t.indexes {
+		ix.remove(old, id)
+	}
+	for _, ix := range t.indexes {
+		if err := ix.insert(canon, id); err != nil {
+			// Restore the previous index state (remove is idempotent).
+			db.removeFromIndexes(t, canon, id)
+			for _, rx := range t.indexes {
+				_ = rx.insert(old, id)
+			}
+			return err
+		}
+	}
+	t.rows[id] = canon
+	return nil
+}
+
+// compareSameType compares two cells that may be nil or of equal type.
+func compareSameType(a, b Value) int {
+	if a == nil || b == nil {
+		if a == nil && b == nil {
+			return 0
+		}
+		return 1
+	}
+	return compareValues(a, b)
+}
+
+// Delete removes the row with the given id.
+func (db *DB) Delete(tableName string, id int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.deleteLocked(tableName, id); err != nil {
+		return err
+	}
+	return db.logRecords(walRecord{Op: opDelete, Table: tableName, RowID: id})
+}
+
+func (db *DB) deleteLocked(tableName string, id int64) error {
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("reldb: no such table %q", tableName)
+	}
+	row, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("reldb: table %q has no row %d", tableName, id)
+	}
+	for _, ix := range t.indexes {
+		ix.remove(row, id)
+	}
+	delete(t.rows, id)
+	return nil
+}
+
+// Count returns the number of rows in a table.
+func (db *DB) Count(tableName string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("reldb: no such table %q", tableName)
+	}
+	return len(t.rows), nil
+}
+
+// Scan visits every row of a table in unspecified order. Returning false
+// from fn stops the scan. The row passed to fn must not be mutated.
+func (db *DB) Scan(tableName string, fn func(id int64, row Row) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("reldb: no such table %q", tableName)
+	}
+	for id, row := range t.rows {
+		if !fn(id, row) {
+			return nil
+		}
+	}
+	return nil
+}

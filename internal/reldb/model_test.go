@@ -1,0 +1,214 @@
+package reldb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestQueryMatchesNaiveModel is a model-based property test: a database
+// under a random workload of inserts, updates and deletes must answer
+// every query exactly like a naive slice-of-rows model, regardless of
+// which indexes exist and which access path the planner picks.
+func TestQueryMatchesNaiveModel(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runModelWorkload(t, seed)
+		})
+	}
+}
+
+type modelRow struct {
+	id  int64
+	row Row
+}
+
+func runModelWorkload(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	db := mustOpenMem(t)
+	schema := Schema{
+		Name: "m",
+		Columns: []Column{
+			{Name: "id", Type: TInt},
+			{Name: "part", Type: TString, NotNull: true},
+			{Name: "feature", Type: TString, NotNull: true},
+			{Name: "score", Type: TFloat},
+		},
+		PrimaryKey: "id",
+	}
+	if err := db.CreateTable(schema); err != nil {
+		t.Fatal(err)
+	}
+	// Random subset of secondary indexes: the answers must not depend on them.
+	if rng.Intn(2) == 0 {
+		if err := db.CreateIndex("m", "ix_part", false, "part"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rng.Intn(2) == 0 {
+		if err := db.CreateIndex("m", "ix_pf", false, "part", "feature"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var model []modelRow
+	parts := []string{"P1", "P2", "P3"}
+	features := []string{"fa", "fb", "fc", "fd"}
+
+	for op := 0; op < 400; op++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5: // insert
+			row := Row{nil, parts[rng.Intn(len(parts))], features[rng.Intn(len(features))], float64(rng.Intn(100))}
+			id, err := db.Insert("m", row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stored := row.Clone()
+			stored[0] = id
+			model = append(model, modelRow{id: id, row: stored})
+		case 6, 7: // update a random row
+			if len(model) == 0 {
+				continue
+			}
+			i := rng.Intn(len(model))
+			updated := model[i].row.Clone()
+			updated[2] = features[rng.Intn(len(features))]
+			updated[3] = float64(rng.Intn(100))
+			if err := db.Update("m", model[i].id, updated); err != nil {
+				t.Fatal(err)
+			}
+			model[i].row = updated
+		case 8: // delete a random row
+			if len(model) == 0 {
+				continue
+			}
+			i := rng.Intn(len(model))
+			if err := db.Delete("m", model[i].id); err != nil {
+				t.Fatal(err)
+			}
+			model = append(model[:i], model[i+1:]...)
+		case 9: // query and compare against the model
+			q := randomQuery(rng, parts, features)
+			checkQuery(t, db, model, q)
+		}
+	}
+	// Final full comparison.
+	checkQuery(t, db, model, Query{Table: "m"})
+	for _, p := range parts {
+		checkQuery(t, db, model, Query{Table: "m", Where: []Cond{Eq("part", p)}, OrderBy: "score"})
+	}
+}
+
+func randomQuery(rng *rand.Rand, parts, features []string) Query {
+	q := Query{Table: "m"}
+	if rng.Intn(2) == 0 {
+		q.Where = append(q.Where, Eq("part", parts[rng.Intn(len(parts))]))
+	}
+	if rng.Intn(2) == 0 {
+		q.Where = append(q.Where, Eq("feature", features[rng.Intn(len(features))]))
+	}
+	if rng.Intn(3) == 0 {
+		q.Where = append(q.Where, Cond{Col: "score", Op: OpGe, Val: float64(rng.Intn(100))})
+	}
+	if rng.Intn(2) == 0 {
+		q.OrderBy = "score"
+		q.Desc = rng.Intn(2) == 0
+	}
+	return q
+}
+
+// checkQuery compares db.Select against a naive scan of the model.
+func checkQuery(t *testing.T, db *DB, model []modelRow, q Query) {
+	t.Helper()
+	res, err := db.Select(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive evaluation.
+	var want []Row
+	for _, m := range model {
+		ok := true
+		for _, c := range q.Where {
+			var pos int
+			switch c.Col {
+			case "id":
+				pos = 0
+			case "part":
+				pos = 1
+			case "feature":
+				pos = 2
+			case "score":
+				pos = 3
+			}
+			cell := m.row[pos]
+			if cell == nil || c.Val == nil {
+				ok = false
+				break
+			}
+			cmp := compareValues(cell, mustCoerce(t, c.Val, pos))
+			switch c.Op {
+			case OpEq:
+				ok = cmp == 0
+			case OpGe:
+				ok = cmp >= 0
+			case OpGt:
+				ok = cmp > 0
+			case OpLe:
+				ok = cmp <= 0
+			case OpLt:
+				ok = cmp < 0
+			case OpNe:
+				ok = cmp != 0
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			want = append(want, m.row)
+		}
+	}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("query %+v: got %d rows, want %d", q, len(res.Rows), len(want))
+	}
+	// Compare as multisets keyed by the id column; verify ordering when
+	// ORDER BY was requested.
+	gotIDs := rowIDs(res.Rows)
+	wantIDs := rowIDs(want)
+	sort.Slice(wantIDs, func(i, j int) bool { return wantIDs[i] < wantIDs[j] })
+	sortedGot := append([]int64(nil), gotIDs...)
+	sort.Slice(sortedGot, func(i, j int) bool { return sortedGot[i] < sortedGot[j] })
+	for i := range wantIDs {
+		if sortedGot[i] != wantIDs[i] {
+			t.Fatalf("query %+v: row sets differ: got %v want %v", q, sortedGot, wantIDs)
+		}
+	}
+	if q.OrderBy == "score" {
+		prev := res.Rows
+		for i := 1; i < len(prev); i++ {
+			c := compareValues(prev[i-1][3], prev[i][3])
+			if q.Desc && c < 0 || !q.Desc && c > 0 {
+				t.Fatalf("query %+v: ORDER BY violated at row %d", q, i)
+			}
+		}
+	}
+}
+
+func rowIDs(rows []Row) []int64 {
+	out := make([]int64, len(rows))
+	for i, r := range rows {
+		out[i] = r[0].(int64)
+	}
+	return out
+}
+
+func mustCoerce(t *testing.T, v Value, pos int) Value {
+	t.Helper()
+	types := []ColType{TInt, TString, TString, TFloat}
+	out, err := coerce(types[pos], v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -1,0 +1,24 @@
+package reldb
+
+import "fmt"
+
+// projection resolves a projection column list against a schema. A nil or
+// empty list selects all columns (proj returned as nil).
+func projection(s *Schema, cols []string) (outCols []string, proj []int, err error) {
+	if len(cols) == 0 {
+		outCols = make([]string, len(s.Columns))
+		for i, c := range s.Columns {
+			outCols[i] = c.Name
+		}
+		return outCols, nil, nil
+	}
+	proj = make([]int, len(cols))
+	for i, name := range cols {
+		p := s.ColIndex(name)
+		if p < 0 {
+			return nil, nil, fmt.Errorf("reldb: table %q has no column %q", s.Name, name)
+		}
+		proj[i] = p
+	}
+	return append([]string(nil), cols...), proj, nil
+}

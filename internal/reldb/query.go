@@ -1,0 +1,428 @@
+package reldb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CmpOp is a comparison operator in a predicate.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota + 1
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String returns the SQL spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return fmt.Sprintf("CmpOp(%d)", uint8(op))
+}
+
+// Cond is one conjunct of a WHERE clause: Col Op Val.
+type Cond struct {
+	Col string
+	Op  CmpOp
+	Val Value
+}
+
+// Eq is shorthand for an equality condition.
+func Eq(col string, val Value) Cond { return Cond{Col: col, Op: OpEq, Val: val} }
+
+// Query describes a select over one table. Conditions are a conjunction.
+type Query struct {
+	Table   string
+	Where   []Cond
+	OrderBy string // empty = unspecified order
+	Desc    bool
+	Limit   int      // 0 = unlimited
+	Cols    []string // projection; nil = all columns
+}
+
+// Result holds the rows produced by a query, along with their row ids and
+// the projected column names.
+type Result struct {
+	Cols   []string
+	RowIDs []int64
+	Rows   []Row
+}
+
+// Select evaluates the query and returns all matching rows (copies).
+func (db *DB) Select(q Query) (*Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.selectLocked(q)
+}
+
+func (db *DB) selectLocked(q Query) (*Result, error) {
+	t, ok := db.tables[q.Table]
+	if !ok {
+		return nil, fmt.Errorf("reldb: no such table %q", q.Table)
+	}
+	conds, err := resolveConds(t, q.Where)
+	if err != nil {
+		return nil, err
+	}
+	orderCol := -1
+	if q.OrderBy != "" {
+		orderCol = t.schema.ColIndex(q.OrderBy)
+		if orderCol < 0 {
+			return nil, fmt.Errorf("reldb: table %q has no column %q", q.Table, q.OrderBy)
+		}
+	}
+
+	var ids []int64
+	var rows []Row
+	collect := func(id int64, row Row) bool {
+		for _, c := range conds {
+			if !c.match(row) {
+				return true
+			}
+		}
+		ids = append(ids, id)
+		rows = append(rows, row)
+		// Early exit only when no ordering is requested.
+		return !(q.Limit > 0 && orderCol < 0 && len(rows) >= q.Limit)
+	}
+
+	if ix, eqVals := pickIndex(t, conds); ix != nil {
+		for _, id := range ix.lookup(eqVals) {
+			if row, ok := t.rows[id]; ok {
+				if !collect(id, row) {
+					break
+				}
+			}
+		}
+	} else if ix, lo, hi, loI, hiI := pickRangeIndex(t, conds); ix != nil {
+		ix.scanRange(lo, hi, loI, hiI, func(id int64) bool {
+			row, ok := t.rows[id]
+			if !ok {
+				return true
+			}
+			return collect(id, row)
+		})
+	} else {
+		// Full scan in deterministic row-id order.
+		allIDs := make([]int64, 0, len(t.rows))
+		for id := range t.rows {
+			allIDs = append(allIDs, id)
+		}
+		sort.Slice(allIDs, func(i, j int) bool { return allIDs[i] < allIDs[j] })
+		for _, id := range allIDs {
+			if !collect(id, t.rows[id]) {
+				break
+			}
+		}
+	}
+
+	if orderCol >= 0 {
+		// Sort ids and rows together so they stay aligned.
+		type pair struct {
+			id  int64
+			row Row
+		}
+		pairs := make([]pair, len(rows))
+		for i := range rows {
+			pairs[i] = pair{ids[i], rows[i]}
+		}
+		sort.SliceStable(pairs, func(i, j int) bool {
+			c := compareOrder(pairs[i].row[orderCol], pairs[j].row[orderCol])
+			if q.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+		for i := range pairs {
+			ids[i], rows[i] = pairs[i].id, pairs[i].row
+		}
+	}
+	if q.Limit > 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+		ids = ids[:q.Limit]
+	}
+
+	// Projection + defensive copies.
+	outCols, proj, err := projection(&t.schema, q.Cols)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Row, len(rows))
+	for i, r := range rows {
+		if proj == nil {
+			out[i] = r.Clone()
+			continue
+		}
+		pr := make(Row, len(proj))
+		for j, p := range proj {
+			pr[j] = r[p]
+		}
+		out[i] = pr.Clone()
+	}
+	return &Result{Cols: outCols, RowIDs: ids, Rows: out}, nil
+}
+
+// SelectOne returns the single row matching the query, or ok=false when
+// there is none. More than one match is an error.
+func (db *DB) SelectOne(q Query) (Row, int64, bool, error) {
+	q.Limit = 2
+	res, err := db.Select(q)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	switch len(res.Rows) {
+	case 0:
+		return nil, 0, false, nil
+	case 1:
+		return res.Rows[0], res.RowIDs[0], true, nil
+	default:
+		return nil, 0, false, fmt.Errorf("reldb: query on %q matched more than one row", q.Table)
+	}
+}
+
+// DeleteWhere removes all rows matching the conditions, returning how many
+// were deleted.
+func (db *DB) DeleteWhere(tableName string, where ...Cond) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("reldb: no such table %q", tableName)
+	}
+	conds, err := resolveConds(t, where)
+	if err != nil {
+		return 0, err
+	}
+	var doomed []int64
+	for id, row := range t.rows {
+		match := true
+		for _, c := range conds {
+			if !c.match(row) {
+				match = false
+				break
+			}
+		}
+		if match {
+			doomed = append(doomed, id)
+		}
+	}
+	sort.Slice(doomed, func(i, j int) bool { return doomed[i] < doomed[j] })
+	recs := make([]walRecord, 0, len(doomed))
+	for _, id := range doomed {
+		if err := db.deleteLocked(tableName, id); err != nil {
+			return 0, err
+		}
+		recs = append(recs, walRecord{Op: opDelete, Table: tableName, RowID: id})
+	}
+	if err := db.logRecords(recs...); err != nil {
+		return 0, err
+	}
+	return len(doomed), nil
+}
+
+// resolvedCond is a Cond with the column position resolved and the value
+// coerced to the column type.
+type resolvedCond struct {
+	col int
+	op  CmpOp
+	val Value
+}
+
+func (c resolvedCond) match(row Row) bool {
+	cell := row[c.col]
+	if cell == nil || c.val == nil {
+		// SQL-style: comparisons with NULL never match (even !=).
+		return false
+	}
+	cmp := compareValues(cell, c.val)
+	switch c.op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+func resolveConds(t *table, where []Cond) ([]resolvedCond, error) {
+	out := make([]resolvedCond, 0, len(where))
+	for _, c := range where {
+		p := t.schema.ColIndex(c.Col)
+		if p < 0 {
+			return nil, fmt.Errorf("reldb: table %q has no column %q", t.schema.Name, c.Col)
+		}
+		v, err := coerce(t.schema.Columns[p].Type, c.Val)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, resolvedCond{col: p, op: c.Op, val: v})
+	}
+	return out, nil
+}
+
+// pickIndex chooses an index usable for equality lookup: the index whose
+// leading columns are all covered by equality conditions, preferring the
+// longest usable prefix. Returns the index and the prefix values.
+func pickIndex(t *table, conds []resolvedCond) (*index, []Value) {
+	eq := make(map[int]Value)
+	for _, c := range conds {
+		if c.op == OpEq {
+			eq[c.col] = c.val
+		}
+	}
+	if len(eq) == 0 {
+		return nil, nil
+	}
+	var best *index
+	var bestVals []Value
+	names := make([]string, 0, len(t.indexes))
+	for n := range t.indexes {
+		names = append(names, n)
+	}
+	sort.Strings(names) // deterministic choice
+	for _, n := range names {
+		ix := t.indexes[n]
+		var vals []Value
+		for _, col := range ix.cols {
+			v, ok := eq[col]
+			if !ok {
+				break
+			}
+			vals = append(vals, v)
+		}
+		if len(vals) > len(bestVals) {
+			best, bestVals = ix, vals
+		}
+	}
+	return best, bestVals
+}
+
+// pickRangeIndex chooses an index whose first column has range conditions.
+func pickRangeIndex(t *table, conds []resolvedCond) (ix *index, lo, hi Value, loIncl, hiIncl bool) {
+	names := make([]string, 0, len(t.indexes))
+	for n := range t.indexes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		cand := t.indexes[n]
+		first := cand.cols[0]
+		var clo, chi Value
+		var cloI, chiI, used bool
+		for _, c := range conds {
+			if c.col != first {
+				continue
+			}
+			switch c.op {
+			case OpGt:
+				clo, cloI, used = c.val, false, true
+			case OpGe:
+				clo, cloI, used = c.val, true, true
+			case OpLt:
+				chi, chiI, used = c.val, false, true
+			case OpLe:
+				chi, chiI, used = c.val, true, true
+			}
+		}
+		if used {
+			return cand, clo, chi, cloI, chiI
+		}
+	}
+	return nil, nil, nil, false, false
+}
+
+// Plan describes the access path Select would take for a query — the
+// EXPLAIN of this engine, used to verify that the knowledge-base candidate
+// retrieval really runs on the (part, feature) index (§4.3: "this
+// selection is made via the indexes of the knowledge structure").
+type Plan struct {
+	Access string   // "index-lookup", "index-range" or "full-scan"
+	Index  string   // index name, if any
+	Prefix int      // number of leading index columns used (lookup only)
+	Sorted bool     // whether an explicit sort step runs afterwards
+	Conds  []string // rendered conditions
+}
+
+// String renders the plan in one line.
+func (p Plan) String() string {
+	s := p.Access
+	if p.Index != "" {
+		s += " " + p.Index
+		if p.Prefix > 0 {
+			s += fmt.Sprintf(" (prefix %d)", p.Prefix)
+		}
+	}
+	if p.Sorted {
+		s += " + sort"
+	}
+	return s
+}
+
+// Explain returns the access plan for a query without executing it.
+func (db *DB) Explain(q Query) (Plan, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[q.Table]
+	if !ok {
+		return Plan{}, fmt.Errorf("reldb: no such table %q", q.Table)
+	}
+	conds, err := resolveConds(t, q.Where)
+	if err != nil {
+		return Plan{}, err
+	}
+	plan := Plan{Access: "full-scan", Sorted: q.OrderBy != ""}
+	for _, c := range q.Where {
+		plan.Conds = append(plan.Conds, fmt.Sprintf("%s %s %s", c.Col, c.Op, FormatValue(c.Val)))
+	}
+	if ix, eqVals := pickIndex(t, conds); ix != nil {
+		plan.Access = "index-lookup"
+		plan.Index = ix.name
+		plan.Prefix = len(eqVals)
+		return plan, nil
+	}
+	if ix, _, _, _, _ := pickRangeIndex(t, conds); ix != nil {
+		plan.Access = "index-range"
+		plan.Index = ix.name
+	}
+	return plan, nil
+}
+
+// compareOrder orders cells for ORDER BY; nil sorts first.
+func compareOrder(a, b Value) int {
+	if a == nil || b == nil {
+		switch {
+		case a == nil && b == nil:
+			return 0
+		case a == nil:
+			return -1
+		default:
+			return 1
+		}
+	}
+	return compareValues(a, b)
+}

@@ -1,0 +1,101 @@
+package reldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a table.
+type Column struct {
+	Name    string
+	Type    ColType
+	NotNull bool
+}
+
+// Schema describes a table: its name, ordered columns, and optional
+// single-column primary key. An INT primary key is auto-assigned on insert
+// when the supplied value is nil.
+type Schema struct {
+	Name       string
+	Columns    []Column
+	PrimaryKey string
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// validate checks structural soundness of the schema.
+func (s *Schema) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("reldb: table name must not be empty")
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("reldb: table %q has no columns", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Columns))
+	for _, c := range s.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("reldb: table %q has a column with empty name", s.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("reldb: table %q has duplicate column %q", s.Name, c.Name)
+		}
+		seen[c.Name] = true
+		switch c.Type {
+		case TInt, TFloat, TString, TBool, TBytes:
+		default:
+			return fmt.Errorf("reldb: table %q column %q has invalid type", s.Name, c.Name)
+		}
+	}
+	if s.PrimaryKey != "" && s.ColIndex(s.PrimaryKey) < 0 {
+		return fmt.Errorf("reldb: table %q primary key %q is not a column", s.Name, s.PrimaryKey)
+	}
+	return nil
+}
+
+// String renders the schema as a CREATE TABLE statement.
+func (s *Schema) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TABLE %s (", s.Name)
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+		if c.NotNull {
+			b.WriteString(" NOT NULL")
+		}
+		if c.Name == s.PrimaryKey {
+			b.WriteString(" PRIMARY KEY")
+		}
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// checkRow validates arity, types and NOT NULL constraints, returning the
+// canonicalized row (with coerced cell types).
+func (s *Schema) checkRow(row Row) (Row, error) {
+	if len(row) != len(s.Columns) {
+		return nil, fmt.Errorf("reldb: table %q expects %d columns, got %d", s.Name, len(s.Columns), len(row))
+	}
+	out := make(Row, len(row))
+	for i, c := range s.Columns {
+		v, err := coerce(c.Type, row[i])
+		if err != nil {
+			return nil, fmt.Errorf("reldb: table %q column %q: %w", s.Name, c.Name, err)
+		}
+		if v == nil && c.NotNull {
+			return nil, fmt.Errorf("reldb: table %q column %q is NOT NULL", s.Name, c.Name)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package reldb
+
+// Ordered index storage. Like the memtables of log-structured engines, the
+// ordered index is a skip list keyed by order-preserving encoded bytes
+// (see encodeKey): simple, cache-friendly for the scan patterns the QATK
+// knowledge base needs, and with none of the rebalancing subtleties of
+// on-disk B-trees, which this embedded engine does not require.
+
+const skipMaxLevel = 16
+
+type skipNode struct {
+	key  []byte
+	val  int64
+	next []*skipNode
+}
+
+type skipList struct {
+	head *skipNode
+	size int
+	rng  uint64 // deterministic xorshift state for level draws
+}
+
+func newSkipList() *skipList {
+	return &skipList{
+		head: &skipNode{next: make([]*skipNode, skipMaxLevel)},
+		rng:  0x9E3779B97F4A7C15,
+	}
+}
+
+// randLevel draws a geometric level in [1, skipMaxLevel] from the
+// deterministic generator, p = 1/4 per extra level.
+func (s *skipList) randLevel() int {
+	x := s.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rng = x
+	lvl := 1
+	for lvl < skipMaxLevel && x&3 == 0 {
+		lvl++
+		x >>= 2
+	}
+	return lvl
+}
+
+// findPath fills update with, per level, the last node whose key is < key.
+func (s *skipList) findPath(key []byte, update *[skipMaxLevel]*skipNode) *skipNode {
+	n := s.head
+	for lvl := skipMaxLevel - 1; lvl >= 0; lvl-- {
+		for n.next[lvl] != nil && compareBytes(n.next[lvl].key, key) < 0 {
+			n = n.next[lvl]
+		}
+		update[lvl] = n
+	}
+	return n.next[0]
+}
+
+// insert adds key→val. Duplicate keys are rejected (the caller composes a
+// unique suffix for non-unique indexes); it returns false if key exists.
+func (s *skipList) insert(key []byte, val int64) bool {
+	var update [skipMaxLevel]*skipNode
+	n := s.findPath(key, &update)
+	if n != nil && compareBytes(n.key, key) == 0 {
+		return false
+	}
+	lvl := s.randLevel()
+	node := &skipNode{key: key, val: val, next: make([]*skipNode, lvl)}
+	for i := 0; i < lvl; i++ {
+		node.next[i] = update[i].next[i]
+		update[i].next[i] = node
+	}
+	s.size++
+	return true
+}
+
+// delete removes key, reporting whether it was present.
+func (s *skipList) delete(key []byte) bool {
+	var update [skipMaxLevel]*skipNode
+	n := s.findPath(key, &update)
+	if n == nil || compareBytes(n.key, key) != 0 {
+		return false
+	}
+	for i := 0; i < len(n.next); i++ {
+		if update[i].next[i] == n {
+			update[i].next[i] = n.next[i]
+		}
+	}
+	s.size--
+	return true
+}
+
+// get returns the value stored under key.
+func (s *skipList) get(key []byte) (int64, bool) {
+	n := s.seek(key)
+	if n != nil && compareBytes(n.key, key) == 0 {
+		return n.val, true
+	}
+	return 0, false
+}
+
+// seek returns the first node with key >= the argument (nil if none).
+func (s *skipList) seek(key []byte) *skipNode {
+	n := s.head
+	for lvl := skipMaxLevel - 1; lvl >= 0; lvl-- {
+		for n.next[lvl] != nil && compareBytes(n.next[lvl].key, key) < 0 {
+			n = n.next[lvl]
+		}
+	}
+	return n.next[0]
+}
+
+// first returns the smallest node (nil if empty).
+func (s *skipList) first() *skipNode { return s.head.next[0] }

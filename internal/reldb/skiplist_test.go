@@ -1,0 +1,109 @@
+package reldb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSkipListInsertGetDelete(t *testing.T) {
+	sl := newSkipList()
+	if !sl.insert([]byte("b"), 2) || !sl.insert([]byte("a"), 1) || !sl.insert([]byte("c"), 3) {
+		t.Fatal("insert failed")
+	}
+	if sl.insert([]byte("a"), 9) {
+		t.Fatal("duplicate insert accepted")
+	}
+	if v, ok := sl.get([]byte("b")); !ok || v != 2 {
+		t.Fatalf("get b = %d,%v", v, ok)
+	}
+	if !sl.delete([]byte("b")) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := sl.get([]byte("b")); ok {
+		t.Fatal("deleted key still present")
+	}
+	if sl.delete([]byte("b")) {
+		t.Fatal("double delete reported success")
+	}
+	if sl.size != 2 {
+		t.Fatalf("size = %d, want 2", sl.size)
+	}
+}
+
+func TestSkipListOrderedIteration(t *testing.T) {
+	sl := newSkipList()
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]string, 500)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%06d", rng.Intn(1000000))
+		sl.insert([]byte(keys[i]), int64(i))
+	}
+	var got []string
+	for n := sl.first(); n != nil; n = n.next[0] {
+		got = append(got, string(n.key))
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatal("iteration not in key order")
+	}
+}
+
+func TestSkipListSeek(t *testing.T) {
+	sl := newSkipList()
+	for _, k := range []string{"apple", "banana", "cherry"} {
+		sl.insert([]byte(k), 1)
+	}
+	n := sl.seek([]byte("b"))
+	if n == nil || string(n.key) != "banana" {
+		t.Fatalf("seek(b) = %v", n)
+	}
+	n = sl.seek([]byte("cherry"))
+	if n == nil || string(n.key) != "cherry" {
+		t.Fatalf("seek(cherry) = %v", n)
+	}
+	if sl.seek([]byte("zzz")) != nil {
+		t.Fatal("seek past end returned a node")
+	}
+}
+
+// TestSkipListMatchesSortedMap is a model-based property test: a skip list
+// under random inserts/deletes must behave exactly like a sorted map.
+func TestSkipListMatchesSortedMap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		sl := newSkipList()
+		model := map[string]int64{}
+		for i, op := range ops {
+			key := fmt.Sprintf("%03d", op%512)
+			if op%3 == 0 {
+				delete(model, key)
+				sl.delete([]byte(key))
+			} else {
+				if _, exists := model[key]; !exists {
+					model[key] = int64(i)
+					sl.insert([]byte(key), int64(i))
+				}
+			}
+		}
+		if sl.size != len(model) {
+			return false
+		}
+		want := make([]string, 0, len(model))
+		for k := range model {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		i := 0
+		for n := sl.first(); n != nil; n = n.next[0] {
+			if i >= len(want) || string(n.key) != want[i] || n.val != model[want[i]] {
+				return false
+			}
+			i++
+		}
+		return i == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,765 @@
+package reldb
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Minimal SQL subset, enough to inspect and script the QATK databases:
+//
+//	CREATE TABLE t (col TYPE [NOT NULL] [PRIMARY KEY], ...)
+//	CREATE [UNIQUE] INDEX name ON t (col, ...)
+//	INSERT INTO t [(col, ...)] VALUES (lit, ...)
+//	SELECT * | col, ... | COUNT(*) FROM t
+//	       [WHERE col op lit [AND ...]] [ORDER BY col [ASC|DESC]] [LIMIT n]
+//	SELECT col, COUNT(*) FROM t [WHERE ...] GROUP BY col
+//	       [ORDER BY count [DESC]] [LIMIT n]
+//	UPDATE t SET col = lit [, ...] [WHERE ...]
+//	DELETE FROM t [WHERE ...]
+//
+// Literals: integers, floats, 'strings' ('' escapes a quote), TRUE, FALSE,
+// NULL, and ? placeholders bound to Exec arguments.
+
+// Exec parses and executes one SQL statement. args bind ? placeholders in
+// order. For SELECT the Result holds the rows; for other statements Result
+// is nil and the int is the number of affected rows (or 0 for DDL).
+func (db *DB) Exec(query string, args ...Value) (*Result, int, error) {
+	p := &sqlParser{toks: lexSQL(query), args: args}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, 0, fmt.Errorf("reldb: parse %q: %w", query, err)
+	}
+	return stmt.run(db)
+}
+
+// MustExec is Exec that panics on error; for tests and fixtures.
+func (db *DB) MustExec(query string, args ...Value) *Result {
+	res, _, err := db.Exec(query, args...)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+type sqlStmt interface {
+	run(db *DB) (*Result, int, error)
+}
+
+// --- lexer --------------------------------------------------------------
+
+type tokKind uint8
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkNumber
+	tkString
+	tkPunct // ( ) , * = < > <= >= != ?
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lexSQL(s string) []token {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(s) {
+				if s[j] == '\'' {
+					if j+1 < len(s) && s[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(s[j])
+				j++
+			}
+			toks = append(toks, token{tkString, sb.String()})
+			i = j + 1
+		case c >= '0' && c <= '9' || c == '-' && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9':
+			j := i + 1
+			for j < len(s) && (s[j] >= '0' && s[j] <= '9' || s[j] == '.' || s[j] == 'e' || s[j] == 'E' || s[j] == '+' || s[j] == '-') {
+				// Stop '-'/'+' unless preceded by exponent marker.
+				if (s[j] == '-' || s[j] == '+') && !(s[j-1] == 'e' || s[j-1] == 'E') {
+					break
+				}
+				j++
+			}
+			toks = append(toks, token{tkNumber, s[i:j]})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < len(s) && isIdentPart(rune(s[j])) {
+				j++
+			}
+			toks = append(toks, token{tkIdent, s[i:j]})
+			i = j
+		case c == '<' || c == '>' || c == '!':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, token{tkPunct, s[i : i+2]})
+				i += 2
+			} else {
+				toks = append(toks, token{tkPunct, string(c)})
+				i++
+			}
+		case c == '(' || c == ')' || c == ',' || c == '*' || c == '=' || c == '?' || c == ';':
+			toks = append(toks, token{tkPunct, string(c)})
+			i++
+		default:
+			toks = append(toks, token{tkPunct, string(c)})
+			i++
+		}
+	}
+	toks = append(toks, token{tkEOF, ""})
+	return toks
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }
+
+// --- parser -------------------------------------------------------------
+
+type sqlParser struct {
+	toks []token
+	pos  int
+	args []Value
+	argi int
+}
+
+func (p *sqlParser) peek() token { return p.toks[p.pos] }
+func (p *sqlParser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *sqlParser) acceptKw(kw string) bool {
+	t := p.peek()
+	if t.kind == tkIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return fmt.Errorf("expected %s, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *sqlParser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tkPunct || t.text != s {
+		return fmt.Errorf("expected %q, got %q", s, t.text)
+	}
+	return nil
+}
+
+func (p *sqlParser) ident() (string, error) {
+	t := p.next()
+	if t.kind != tkIdent {
+		return "", fmt.Errorf("expected identifier, got %q", t.text)
+	}
+	return t.text, nil
+}
+
+func (p *sqlParser) parseStatement() (sqlStmt, error) {
+	switch {
+	case p.acceptKw("CREATE"):
+		if p.acceptKw("TABLE") {
+			return p.parseCreateTable()
+		}
+		unique := p.acceptKw("UNIQUE")
+		if p.acceptKw("INDEX") {
+			return p.parseCreateIndex(unique)
+		}
+		return nil, fmt.Errorf("expected TABLE or INDEX after CREATE")
+	case p.acceptKw("INSERT"):
+		return p.parseInsert()
+	case p.acceptKw("SELECT"):
+		return p.parseSelect()
+	case p.acceptKw("UPDATE"):
+		return p.parseUpdate()
+	case p.acceptKw("DELETE"):
+		return p.parseDelete()
+	}
+	return nil, fmt.Errorf("unsupported statement starting with %q", p.peek().text)
+}
+
+func (p *sqlParser) parseEnd() error {
+	if p.peek().kind == tkPunct && p.peek().text == ";" {
+		p.pos++
+	}
+	if p.peek().kind != tkEOF {
+		return fmt.Errorf("unexpected trailing input %q", p.peek().text)
+	}
+	return nil
+}
+
+type createTableStmt struct{ schema Schema }
+
+func (s *createTableStmt) run(db *DB) (*Result, int, error) {
+	return nil, 0, db.CreateTable(s.schema)
+}
+
+func (p *sqlParser) parseCreateTable() (sqlStmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	schema := Schema{Name: name}
+	for {
+		colName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		typName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ct, err := ParseColType(typName)
+		if err != nil {
+			return nil, err
+		}
+		col := Column{Name: colName, Type: ct}
+		for {
+			if p.acceptKw("NOT") {
+				if err := p.expectKw("NULL"); err != nil {
+					return nil, err
+				}
+				col.NotNull = true
+				continue
+			}
+			if p.acceptKw("PRIMARY") {
+				if err := p.expectKw("KEY"); err != nil {
+					return nil, err
+				}
+				schema.PrimaryKey = colName
+				continue
+			}
+			break
+		}
+		schema.Columns = append(schema.Columns, col)
+		t := p.next()
+		if t.kind == tkPunct && t.text == "," {
+			continue
+		}
+		if t.kind == tkPunct && t.text == ")" {
+			break
+		}
+		return nil, fmt.Errorf("expected , or ) in column list, got %q", t.text)
+	}
+	if err := p.parseEnd(); err != nil {
+		return nil, err
+	}
+	return &createTableStmt{schema: schema}, nil
+}
+
+type createIndexStmt struct {
+	name, table string
+	unique      bool
+	cols        []string
+}
+
+func (s *createIndexStmt) run(db *DB) (*Result, int, error) {
+	return nil, 0, db.CreateIndex(s.table, s.name, s.unique, s.cols...)
+}
+
+func (p *sqlParser) parseCreateIndex(unique bool) (sqlStmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := p.parenIdentList()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.parseEnd(); err != nil {
+		return nil, err
+	}
+	return &createIndexStmt{name: name, table: table, unique: unique, cols: cols}, nil
+}
+
+func (p *sqlParser) parenIdentList() ([]string, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		c, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+		t := p.next()
+		if t.kind == tkPunct && t.text == "," {
+			continue
+		}
+		if t.kind == tkPunct && t.text == ")" {
+			return cols, nil
+		}
+		return nil, fmt.Errorf("expected , or ), got %q", t.text)
+	}
+}
+
+type insertStmt struct {
+	table string
+	cols  []string
+	vals  []Value
+}
+
+func (s *insertStmt) run(db *DB) (*Result, int, error) {
+	schema, err := db.Schema(s.table)
+	if err != nil {
+		return nil, 0, err
+	}
+	row := make(Row, len(schema.Columns))
+	if s.cols == nil {
+		if len(s.vals) != len(schema.Columns) {
+			return nil, 0, fmt.Errorf("reldb: INSERT expects %d values, got %d", len(schema.Columns), len(s.vals))
+		}
+		copy(row, s.vals)
+	} else {
+		if len(s.cols) != len(s.vals) {
+			return nil, 0, fmt.Errorf("reldb: INSERT column/value count mismatch")
+		}
+		for i, c := range s.cols {
+			pos := schema.ColIndex(c)
+			if pos < 0 {
+				return nil, 0, fmt.Errorf("reldb: table %q has no column %q", s.table, c)
+			}
+			row[pos] = s.vals[i]
+		}
+	}
+	if _, err := db.Insert(s.table, row); err != nil {
+		return nil, 0, err
+	}
+	return nil, 1, nil
+}
+
+func (p *sqlParser) parseInsert() (sqlStmt, error) {
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	var cols []string
+	if p.peek().kind == tkPunct && p.peek().text == "(" {
+		if cols, err = p.parenIdentList(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var vals []Value
+	for {
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+		t := p.next()
+		if t.kind == tkPunct && t.text == "," {
+			continue
+		}
+		if t.kind == tkPunct && t.text == ")" {
+			break
+		}
+		return nil, fmt.Errorf("expected , or ) in VALUES, got %q", t.text)
+	}
+	if err := p.parseEnd(); err != nil {
+		return nil, err
+	}
+	return &insertStmt{table: table, cols: cols, vals: vals}, nil
+}
+
+func (p *sqlParser) literal() (Value, error) {
+	t := p.next()
+	switch t.kind {
+	case tkString:
+		return t.text, nil
+	case tkNumber:
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, err
+			}
+			return f, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return n, nil
+	case tkIdent:
+		switch strings.ToUpper(t.text) {
+		case "TRUE":
+			return true, nil
+		case "FALSE":
+			return false, nil
+		case "NULL":
+			return nil, nil
+		}
+		return nil, fmt.Errorf("unexpected identifier %q, want literal", t.text)
+	case tkPunct:
+		if t.text == "?" {
+			if p.argi >= len(p.args) {
+				return nil, fmt.Errorf("not enough arguments for placeholders")
+			}
+			v := p.args[p.argi]
+			p.argi++
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("expected literal, got %q", t.text)
+}
+
+type selectStmt struct {
+	q       Query
+	count   bool
+	groupBy string
+	// Post-aggregation ordering/limits (ORDER BY count / group column).
+	orderCount bool
+	orderDesc  bool
+	limit      int
+}
+
+func (s *selectStmt) run(db *DB) (*Result, int, error) {
+	if s.groupBy != "" {
+		return s.runGrouped(db)
+	}
+	res, err := db.Select(s.q)
+	if err != nil {
+		return nil, 0, err
+	}
+	if s.count {
+		n := int64(len(res.Rows))
+		return &Result{Cols: []string{"count"}, Rows: []Row{{n}}}, 0, nil
+	}
+	return res, len(res.Rows), nil
+}
+
+func (s *selectStmt) runGrouped(db *DB) (*Result, int, error) {
+	base := Query{Table: s.q.Table, Where: s.q.Where, Cols: []string{s.groupBy}}
+	res, err := db.Select(base)
+	if err != nil {
+		return nil, 0, err
+	}
+	counts := map[string]int64{}
+	values := map[string]Value{}
+	var order []string
+	for _, row := range res.Rows {
+		key := FormatValue(row[0])
+		if _, ok := counts[key]; !ok {
+			order = append(order, key)
+			values[key] = row[0]
+		}
+		counts[key]++
+	}
+	out := &Result{Cols: []string{s.groupBy, "count"}}
+	for _, key := range order {
+		out.Rows = append(out.Rows, Row{values[key], counts[key]})
+	}
+	sort.SliceStable(out.Rows, func(i, j int) bool {
+		var c int
+		if s.orderCount {
+			a, b := out.Rows[i][1].(int64), out.Rows[j][1].(int64)
+			switch {
+			case a < b:
+				c = -1
+			case a > b:
+				c = 1
+			}
+		} else {
+			c = compareOrder(out.Rows[i][0], out.Rows[j][0])
+		}
+		if s.orderDesc {
+			return c > 0
+		}
+		return c < 0
+	})
+	if s.limit > 0 && len(out.Rows) > s.limit {
+		out.Rows = out.Rows[:s.limit]
+	}
+	return out, len(out.Rows), nil
+}
+
+func (p *sqlParser) parseSelect() (sqlStmt, error) {
+	var st selectStmt
+	hasCountAgg := false
+	if p.peek().kind == tkPunct && p.peek().text == "*" {
+		p.pos++
+	} else {
+		for {
+			if p.acceptKw("COUNT") {
+				if err := p.expectPunct("("); err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct("*"); err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				hasCountAgg = true
+			} else {
+				c, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				st.q.Cols = append(st.q.Cols, c)
+			}
+			if p.peek().kind == tkPunct && p.peek().text == "," {
+				p.pos++
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.q.Table = table
+	if st.q.Where, err = p.parseWhere(); err != nil {
+		return nil, err
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if !hasCountAgg || len(st.q.Cols) != 1 || st.q.Cols[0] != col {
+			return nil, fmt.Errorf("GROUP BY requires the projection `%s, COUNT(*)`", col)
+		}
+		st.groupBy = col
+		st.q.Cols = nil
+	} else if hasCountAgg {
+		if len(st.q.Cols) != 0 {
+			return nil, fmt.Errorf("COUNT(*) mixed with columns requires GROUP BY")
+		}
+		st.count = true
+	}
+	var orderBy string
+	var orderDesc bool
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		if orderBy, err = p.ident(); err != nil {
+			return nil, err
+		}
+		if p.acceptKw("DESC") {
+			orderDesc = true
+		} else {
+			p.acceptKw("ASC")
+		}
+	}
+	limit := 0
+	if p.acceptKw("LIMIT") {
+		t := p.next()
+		if t.kind != tkNumber {
+			return nil, fmt.Errorf("expected number after LIMIT, got %q", t.text)
+		}
+		if limit, err = strconv.Atoi(t.text); err != nil {
+			return nil, err
+		}
+	}
+	if st.groupBy != "" {
+		switch orderBy {
+		case "":
+		case "count":
+			st.orderCount = true
+		case st.groupBy:
+		default:
+			return nil, fmt.Errorf("ORDER BY %q not available after GROUP BY", orderBy)
+		}
+		st.orderDesc = orderDesc
+		st.limit = limit
+	} else {
+		st.q.OrderBy = orderBy
+		st.q.Desc = orderDesc
+		st.q.Limit = limit
+	}
+	if err := p.parseEnd(); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func (p *sqlParser) parseWhere() ([]Cond, error) {
+	if !p.acceptKw("WHERE") {
+		return nil, nil
+	}
+	var conds []Cond
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		opTok := p.next()
+		var op CmpOp
+		switch opTok.text {
+		case "=":
+			op = OpEq
+		case "!=":
+			op = OpNe
+		case "<":
+			op = OpLt
+		case "<=":
+			op = OpLe
+		case ">":
+			op = OpGt
+		case ">=":
+			op = OpGe
+		default:
+			return nil, fmt.Errorf("unsupported operator %q", opTok.text)
+		}
+		val, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, Cond{Col: col, Op: op, Val: val})
+		if !p.acceptKw("AND") {
+			return conds, nil
+		}
+	}
+}
+
+type updateStmt struct {
+	table string
+	sets  []struct {
+		col string
+		val Value
+	}
+	where []Cond
+}
+
+func (s *updateStmt) run(db *DB) (*Result, int, error) {
+	res, err := db.Select(Query{Table: s.table, Where: s.where})
+	if err != nil {
+		return nil, 0, err
+	}
+	schema, err := db.Schema(s.table)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := 0
+	for i, id := range res.RowIDs {
+		row := res.Rows[i]
+		for _, set := range s.sets {
+			pos := schema.ColIndex(set.col)
+			if pos < 0 {
+				return nil, 0, fmt.Errorf("reldb: table %q has no column %q", s.table, set.col)
+			}
+			row[pos] = set.val
+		}
+		if err := db.Update(s.table, id, row); err != nil {
+			return nil, 0, err
+		}
+		n++
+	}
+	return nil, n, nil
+}
+
+func (p *sqlParser) parseUpdate() (sqlStmt, error) {
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	st := &updateStmt{table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		val, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		st.sets = append(st.sets, struct {
+			col string
+			val Value
+		}{col, val})
+		if p.peek().kind == tkPunct && p.peek().text == "," {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if st.where, err = p.parseWhere(); err != nil {
+		return nil, err
+	}
+	if err := p.parseEnd(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+type deleteStmt struct {
+	table string
+	where []Cond
+}
+
+func (s *deleteStmt) run(db *DB) (*Result, int, error) {
+	n, err := db.DeleteWhere(s.table, s.where...)
+	return nil, n, err
+}
+
+func (p *sqlParser) parseDelete() (sqlStmt, error) {
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	where, err := p.parseWhere()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.parseEnd(); err != nil {
+		return nil, err
+	}
+	return &deleteStmt{table: table, where: where}, nil
+}

@@ -1,0 +1,212 @@
+package reldb
+
+import "testing"
+
+func sqlFixture(t *testing.T) *DB {
+	t.Helper()
+	db := mustOpenMem(t)
+	db.MustExec("CREATE TABLE parts (id INT PRIMARY KEY, name TEXT NOT NULL, weight FLOAT, active BOOL)")
+	db.MustExec("CREATE INDEX ix_name ON parts (name)")
+	db.MustExec("INSERT INTO parts (name, weight, active) VALUES ('fender', 2.5, TRUE)")
+	db.MustExec("INSERT INTO parts (name, weight, active) VALUES ('radio', 1.0, FALSE)")
+	db.MustExec("INSERT INTO parts (name, weight, active) VALUES ('lamp', 0.25, TRUE)")
+	return db
+}
+
+func TestSQLCreateInsertSelect(t *testing.T) {
+	db := sqlFixture(t)
+	res, n, err := db.Exec("SELECT name, weight FROM parts WHERE active = TRUE ORDER BY weight DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", n)
+	}
+	if res.Rows[0][0].(string) != "fender" || res.Rows[1][0].(string) != "lamp" {
+		t.Fatalf("order wrong: %v", res.Rows)
+	}
+}
+
+func TestSQLSelectStar(t *testing.T) {
+	db := sqlFixture(t)
+	res, _, err := db.Exec("SELECT * FROM parts LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || len(res.Cols) != 4 {
+		t.Fatalf("rows=%d cols=%v", len(res.Rows), res.Cols)
+	}
+}
+
+func TestSQLCount(t *testing.T) {
+	db := sqlFixture(t)
+	res, _, err := db.Exec("SELECT COUNT(*) FROM parts WHERE weight < 2.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].(int64); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+}
+
+func TestSQLPlaceholders(t *testing.T) {
+	db := sqlFixture(t)
+	res, _, err := db.Exec("SELECT id FROM parts WHERE name = ?", "radio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(res.Rows))
+	}
+	if _, _, err := db.Exec("SELECT id FROM parts WHERE name = ?"); err == nil {
+		t.Fatal("missing placeholder argument accepted")
+	}
+}
+
+func TestSQLUpdate(t *testing.T) {
+	db := sqlFixture(t)
+	_, n, err := db.Exec("UPDATE parts SET weight = 9.9, active = FALSE WHERE name = 'lamp'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("updated %d, want 1", n)
+	}
+	res := db.MustExec("SELECT weight FROM parts WHERE name = 'lamp'")
+	if res.Rows[0][0].(float64) != 9.9 {
+		t.Fatalf("weight = %v", res.Rows[0][0])
+	}
+}
+
+func TestSQLDelete(t *testing.T) {
+	db := sqlFixture(t)
+	_, n, err := db.Exec("DELETE FROM parts WHERE active = FALSE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("deleted %d, want 1", n)
+	}
+	res := db.MustExec("SELECT COUNT(*) FROM parts")
+	if res.Rows[0][0].(int64) != 2 {
+		t.Fatalf("remaining = %v", res.Rows[0][0])
+	}
+}
+
+func TestSQLStringEscapes(t *testing.T) {
+	db := sqlFixture(t)
+	db.MustExec("INSERT INTO parts (name, weight, active) VALUES ('o''ring', 0.1, TRUE)")
+	res := db.MustExec("SELECT name FROM parts WHERE name = 'o''ring'")
+	if len(res.Rows) != 1 || res.Rows[0][0].(string) != "o'ring" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestSQLNullLiteral(t *testing.T) {
+	db := sqlFixture(t)
+	db.MustExec("INSERT INTO parts (name, weight, active) VALUES ('x', NULL, TRUE)")
+	res := db.MustExec("SELECT weight FROM parts WHERE name = 'x'")
+	if res.Rows[0][0] != nil {
+		t.Fatalf("weight = %v, want nil", res.Rows[0][0])
+	}
+}
+
+func TestSQLUniqueIndexViaSQL(t *testing.T) {
+	db := mustOpenMem(t)
+	db.MustExec("CREATE TABLE t (a TEXT)")
+	db.MustExec("CREATE UNIQUE INDEX ux ON t (a)")
+	db.MustExec("INSERT INTO t VALUES ('x')")
+	if _, _, err := db.Exec("INSERT INTO t VALUES ('x')"); err == nil {
+		t.Fatal("unique violation accepted")
+	}
+}
+
+func TestSQLNegativeNumbers(t *testing.T) {
+	db := mustOpenMem(t)
+	db.MustExec("CREATE TABLE t (a INT, b FLOAT)")
+	db.MustExec("INSERT INTO t VALUES (-5, -1.5)")
+	res := db.MustExec("SELECT a, b FROM t WHERE a < 0")
+	if len(res.Rows) != 1 || res.Rows[0][0].(int64) != -5 || res.Rows[0][1].(float64) != -1.5 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestSQLParseErrors(t *testing.T) {
+	db := sqlFixture(t)
+	bad := []string{
+		"",
+		"DROP TABLE parts",
+		"SELECT FROM parts",
+		"SELECT * parts",
+		"INSERT INTO parts VALUES",
+		"CREATE TABLE x",
+		"SELECT * FROM parts WHERE name LIKE 'a%'",
+		"SELECT * FROM parts ORDER BY",
+		"SELECT * FROM parts LIMIT many",
+		"SELECT * FROM parts extra tokens",
+		"UPDATE parts SET",
+	}
+	for _, q := range bad {
+		if _, _, err := db.Exec(q); err == nil {
+			t.Errorf("bad SQL accepted: %q", q)
+		}
+	}
+}
+
+func TestSQLSemicolonTolerated(t *testing.T) {
+	db := sqlFixture(t)
+	if _, _, err := db.Exec("SELECT * FROM parts;"); err != nil {
+		t.Fatalf("trailing semicolon rejected: %v", err)
+	}
+}
+
+func TestSQLInsertAllColumns(t *testing.T) {
+	db := sqlFixture(t)
+	db.MustExec("INSERT INTO parts VALUES (77, 'explicit', 1.0, TRUE)")
+	res := db.MustExec("SELECT id FROM parts WHERE name = 'explicit'")
+	if res.Rows[0][0].(int64) != 77 {
+		t.Fatalf("id = %v", res.Rows[0][0])
+	}
+}
+
+func TestSQLGroupBy(t *testing.T) {
+	db := mustOpenMem(t)
+	db.MustExec("CREATE TABLE codes (part TEXT, code TEXT)")
+	for _, r := range [][2]string{
+		{"P1", "E1"}, {"P1", "E1"}, {"P1", "E2"}, {"P2", "E1"}, {"P1", "E1"},
+	} {
+		db.MustExec("INSERT INTO codes VALUES (?, ?)", r[0], r[1])
+	}
+	res := db.MustExec("SELECT code, COUNT(*) FROM codes WHERE part = 'P1' GROUP BY code ORDER BY count DESC")
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %v", res.Rows)
+	}
+	if res.Rows[0][0].(string) != "E1" || res.Rows[0][1].(int64) != 3 {
+		t.Fatalf("top group = %v", res.Rows[0])
+	}
+	if res.Cols[0] != "code" || res.Cols[1] != "count" {
+		t.Fatalf("cols = %v", res.Cols)
+	}
+	// ORDER BY the group column ascending, with LIMIT.
+	res = db.MustExec("SELECT code, COUNT(*) FROM codes GROUP BY code ORDER BY code LIMIT 1")
+	if len(res.Rows) != 1 || res.Rows[0][0].(string) != "E1" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestSQLGroupByErrors(t *testing.T) {
+	db := mustOpenMem(t)
+	db.MustExec("CREATE TABLE t (a TEXT, b TEXT)")
+	bad := []string{
+		"SELECT a FROM t GROUP BY a",                      // no COUNT(*)
+		"SELECT a, b, COUNT(*) FROM t GROUP BY a",         // extra column
+		"SELECT b, COUNT(*) FROM t GROUP BY a",            // projection mismatch
+		"SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY b", // bad order column
+		"SELECT a, COUNT(*) FROM t",                       // count mixed without group
+	}
+	for _, q := range bad {
+		if _, _, err := db.Exec(q); err == nil {
+			t.Errorf("bad SQL accepted: %q", q)
+		}
+	}
+}

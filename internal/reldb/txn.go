@@ -1,0 +1,147 @@
+package reldb
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Tx is a write transaction. Mutations are staged in order and applied
+// atomically at Commit: either every staged operation succeeds, or the
+// database is left unchanged (already-applied operations are undone).
+//
+// Reads inside a transaction see the committed state only (read
+// committed); the engine has a single writer, so a transaction never races
+// with another writer between Begin and Commit within one goroutine's use.
+type Tx struct {
+	db   *DB
+	ops  []txOp
+	done bool
+}
+
+type txKind uint8
+
+const (
+	txInsert txKind = iota + 1
+	txUpdate
+	txDelete
+)
+
+type txOp struct {
+	kind  txKind
+	table string
+	id    int64
+	row   Row
+}
+
+// Begin starts a new transaction.
+func (db *DB) Begin() *Tx { return &Tx{db: db} }
+
+// Insert stages an insert. The row id is assigned at Commit.
+func (tx *Tx) Insert(table string, row Row) {
+	tx.ops = append(tx.ops, txOp{kind: txInsert, table: table, row: row.Clone()})
+}
+
+// Update stages an update of the row with the given id.
+func (tx *Tx) Update(table string, id int64, row Row) {
+	tx.ops = append(tx.ops, txOp{kind: txUpdate, table: table, id: id, row: row.Clone()})
+}
+
+// Delete stages a delete of the row with the given id.
+func (tx *Tx) Delete(table string, id int64) {
+	tx.ops = append(tx.ops, txOp{kind: txDelete, table: table, id: id})
+}
+
+// Rollback discards all staged operations. Safe to call after Commit.
+func (tx *Tx) Rollback() {
+	tx.ops = nil
+	tx.done = true
+}
+
+// undo records how to reverse one applied operation.
+type undo struct {
+	kind  txKind
+	table string
+	id    int64
+	old   Row // previous row for update/delete
+}
+
+// Commit applies all staged operations atomically and appends them to the
+// WAL as one batch. On error nothing is persisted and memory state is
+// restored.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return errors.New("reldb: transaction already finished")
+	}
+	tx.done = true
+	db := tx.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+
+	var undos []undo
+	var recs []walRecord
+	fail := func(err error) error {
+		// Reverse in LIFO order.
+		for i := len(undos) - 1; i >= 0; i-- {
+			u := undos[i]
+			switch u.kind {
+			case txInsert:
+				_ = db.deleteLocked(u.table, u.id)
+			case txUpdate:
+				_ = db.updateLocked(u.table, u.id, u.old)
+			case txDelete:
+				t := db.tables[u.table]
+				for _, ix := range t.indexes {
+					_ = ix.insert(u.old, u.id)
+				}
+				t.rows[u.id] = u.old
+			}
+		}
+		return err
+	}
+
+	for _, op := range tx.ops {
+		switch op.kind {
+		case txInsert:
+			id, err := db.insertLocked(op.table, op.row)
+			if err != nil {
+				return fail(err)
+			}
+			undos = append(undos, undo{kind: txInsert, table: op.table, id: id})
+			recs = append(recs, walRecord{Op: opInsert, Table: op.table, RowID: id, Row: db.tables[op.table].rows[id]})
+		case txUpdate:
+			t, ok := db.tables[op.table]
+			if !ok {
+				return fail(fmt.Errorf("reldb: no such table %q", op.table))
+			}
+			old, ok := t.rows[op.id]
+			if !ok {
+				return fail(fmt.Errorf("reldb: table %q has no row %d", op.table, op.id))
+			}
+			oldCopy := old.Clone()
+			if err := db.updateLocked(op.table, op.id, op.row); err != nil {
+				return fail(err)
+			}
+			undos = append(undos, undo{kind: txUpdate, table: op.table, id: op.id, old: oldCopy})
+			recs = append(recs, walRecord{Op: opUpdate, Table: op.table, RowID: op.id, Row: t.rows[op.id]})
+		case txDelete:
+			t, ok := db.tables[op.table]
+			if !ok {
+				return fail(fmt.Errorf("reldb: no such table %q", op.table))
+			}
+			old, ok := t.rows[op.id]
+			if !ok {
+				return fail(fmt.Errorf("reldb: table %q has no row %d", op.table, op.id))
+			}
+			oldCopy := old.Clone()
+			if err := db.deleteLocked(op.table, op.id); err != nil {
+				return fail(err)
+			}
+			undos = append(undos, undo{kind: txDelete, table: op.table, id: op.id, old: oldCopy})
+			recs = append(recs, walRecord{Op: opDelete, Table: op.table, RowID: op.id})
+		}
+	}
+	if err := db.logRecords(recs...); err != nil {
+		return fail(err)
+	}
+	return nil
+}

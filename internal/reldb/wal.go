@@ -1,0 +1,551 @@
+package reldb
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Write-ahead logging and snapshot checkpoints.
+//
+// Every mutation is encoded as a walRecord and appended to db.wal before
+// the call returns. Checkpoint rewrites the full database state as a
+// snapshot file (a stream of the same records) and truncates the log.
+// Recovery replays snapshot then log; a torn record at the log tail is
+// detected by CRC and discarded.
+
+type walOp uint8
+
+const (
+	opCreateTable walOp = iota + 1
+	opCreateIndex
+	opInsert
+	opUpdate
+	opDelete
+	opNextID // snapshot-only: restores a table's auto-increment high-water mark
+)
+
+type walRecord struct {
+	Op     walOp
+	Table  string
+	Index  string
+	Unique bool
+	Cols   []string
+	RowID  int64
+	Row    Row
+	Schema *Schema
+}
+
+const (
+	walFileName      = "db.wal"
+	snapshotFileName = "db.snapshot"
+)
+
+type wal struct {
+	dir  string
+	f    *os.File
+	bw   *bufio.Writer
+	path string
+}
+
+func openWAL(dir string) (*wal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("reldb: create dir: %w", err)
+	}
+	path := filepath.Join(dir, walFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("reldb: open wal: %w", err)
+	}
+	return &wal{dir: dir, f: f, bw: bufio.NewWriter(f), path: path}, nil
+}
+
+func (w *wal) append(recs ...walRecord) error {
+	for _, r := range recs {
+		payload := encodeRecord(r)
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+		if _, err := w.bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.bw.Write(payload); err != nil {
+			return err
+		}
+	}
+	return w.bw.Flush()
+}
+
+func (w *wal) sync() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *wal) truncate() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	_, err := w.f.Seek(0, io.SeekStart)
+	return err
+}
+
+func (w *wal) close() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// replayFile streams records from a snapshot or log file. A short or
+// corrupt record at the tail terminates the replay without error (torn
+// write); corruption elsewhere is indistinguishable and treated the same.
+func replayFile(path string, apply func(walRecord) error) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil // clean EOF or torn header: stop
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > 1<<30 {
+			return nil // implausible length: torn record
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return nil
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return fmt.Errorf("reldb: corrupt record in %s: %w", path, err)
+		}
+		if err := apply(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// recover rebuilds in-memory state from snapshot + WAL.
+func (db *DB) recover() error {
+	apply := func(r walRecord) error { return db.applyRecord(r) }
+	if err := replayFile(filepath.Join(db.dir, snapshotFileName), apply); err != nil {
+		return err
+	}
+	return replayFile(db.wal.path, apply)
+}
+
+// applyRecord replays one logged mutation into memory (no re-logging).
+func (db *DB) applyRecord(r walRecord) error {
+	switch r.Op {
+	case opCreateTable:
+		if r.Schema == nil {
+			return errors.New("create table record without schema")
+		}
+		if _, ok := db.tables[r.Schema.Name]; ok {
+			return nil // idempotent replay
+		}
+		db.tables[r.Schema.Name] = newTable(*r.Schema)
+		return nil
+	case opCreateIndex:
+		t, ok := db.tables[r.Table]
+		if ok {
+			if _, exists := t.indexes[r.Index]; exists {
+				return nil
+			}
+		}
+		return db.createIndexLocked(r.Table, r.Index, r.Unique, r.Cols, false)
+	case opInsert:
+		t, ok := db.tables[r.Table]
+		if !ok {
+			return fmt.Errorf("insert into unknown table %q", r.Table)
+		}
+		canon, err := t.schema.checkRow(r.Row)
+		if err != nil {
+			return err
+		}
+		for _, ix := range t.indexes {
+			if err := ix.insert(canon, r.RowID); err != nil {
+				return err
+			}
+		}
+		t.rows[r.RowID] = canon
+		if r.RowID >= t.nextID {
+			t.nextID = r.RowID + 1
+		}
+		return nil
+	case opUpdate:
+		return db.updateLocked(r.Table, r.RowID, r.Row)
+	case opDelete:
+		return db.deleteLocked(r.Table, r.RowID)
+	case opNextID:
+		t, ok := db.tables[r.Table]
+		if !ok {
+			return fmt.Errorf("next-id record for unknown table %q", r.Table)
+		}
+		if r.RowID > t.nextID {
+			t.nextID = r.RowID
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown wal op %d", r.Op)
+}
+
+// logRecords appends mutations to the WAL (no-op for in-memory databases).
+func (db *DB) logRecords(recs ...walRecord) error {
+	if db.wal == nil || len(recs) == 0 {
+		return nil
+	}
+	return db.wal.append(recs...)
+}
+
+// checkpointLocked snapshots the full state and truncates the WAL.
+// Caller holds db.mu.
+func (db *DB) checkpointLocked() error {
+	tmp := filepath.Join(db.dir, snapshotFileName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	write := func(r walRecord) error {
+		payload := encodeRecord(r)
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err := bw.Write(payload)
+		return err
+	}
+	tableNames := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		tableNames = append(tableNames, n)
+	}
+	sortStrings(tableNames)
+	for _, name := range tableNames {
+		t := db.tables[name]
+		sc := t.schema
+		if err := write(walRecord{Op: opCreateTable, Schema: &sc}); err != nil {
+			f.Close()
+			return err
+		}
+		ixNames := make([]string, 0, len(t.indexes))
+		for in := range t.indexes {
+			if in == pkIndexName(name) {
+				continue // implicit with CREATE TABLE
+			}
+			ixNames = append(ixNames, in)
+		}
+		sortStrings(ixNames)
+		for _, in := range ixNames {
+			ix := t.indexes[in]
+			cols := make([]string, len(ix.cols))
+			for i, p := range ix.cols {
+				cols[i] = t.schema.Columns[p].Name
+			}
+			if err := write(walRecord{Op: opCreateIndex, Table: name, Index: in, Unique: ix.unique, Cols: cols}); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		ids := make([]int64, 0, len(t.rows))
+		for id := range t.rows {
+			ids = append(ids, id)
+		}
+		sortInt64s(ids)
+		for _, id := range ids {
+			if err := write(walRecord{Op: opInsert, Table: name, RowID: id, Row: t.rows[id]}); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := write(walRecord{Op: opNextID, Table: name, RowID: t.nextID}); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotFileName)); err != nil {
+		return err
+	}
+	return db.wal.truncate()
+}
+
+// --- record encoding ---------------------------------------------------
+
+func encodeRecord(r walRecord) []byte {
+	var b bytes.Buffer
+	b.WriteByte(byte(r.Op))
+	writeString(&b, r.Table)
+	writeString(&b, r.Index)
+	if r.Unique {
+		b.WriteByte(1)
+	} else {
+		b.WriteByte(0)
+	}
+	writeUvarint(&b, uint64(len(r.Cols)))
+	for _, c := range r.Cols {
+		writeString(&b, c)
+	}
+	writeVarint(&b, r.RowID)
+	if r.Row == nil {
+		b.WriteByte(0)
+	} else {
+		b.WriteByte(1)
+		writeUvarint(&b, uint64(len(r.Row)))
+		for _, v := range r.Row {
+			writeValue(&b, v)
+		}
+	}
+	if r.Schema == nil {
+		b.WriteByte(0)
+	} else {
+		b.WriteByte(1)
+		writeString(&b, r.Schema.Name)
+		writeString(&b, r.Schema.PrimaryKey)
+		writeUvarint(&b, uint64(len(r.Schema.Columns)))
+		for _, c := range r.Schema.Columns {
+			writeString(&b, c.Name)
+			b.WriteByte(byte(c.Type))
+			if c.NotNull {
+				b.WriteByte(1)
+			} else {
+				b.WriteByte(0)
+			}
+		}
+	}
+	return b.Bytes()
+}
+
+func decodeRecord(p []byte) (walRecord, error) {
+	var r walRecord
+	br := bytes.NewReader(p)
+	op, err := br.ReadByte()
+	if err != nil {
+		return r, err
+	}
+	r.Op = walOp(op)
+	if r.Table, err = readString(br); err != nil {
+		return r, err
+	}
+	if r.Index, err = readString(br); err != nil {
+		return r, err
+	}
+	uniq, err := br.ReadByte()
+	if err != nil {
+		return r, err
+	}
+	r.Unique = uniq == 1
+	ncols, err := binary.ReadUvarint(br)
+	if err != nil {
+		return r, err
+	}
+	for i := uint64(0); i < ncols; i++ {
+		c, err := readString(br)
+		if err != nil {
+			return r, err
+		}
+		r.Cols = append(r.Cols, c)
+	}
+	if r.RowID, err = binary.ReadVarint(br); err != nil {
+		return r, err
+	}
+	hasRow, err := br.ReadByte()
+	if err != nil {
+		return r, err
+	}
+	if hasRow == 1 {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return r, err
+		}
+		r.Row = make(Row, n)
+		for i := uint64(0); i < n; i++ {
+			if r.Row[i], err = readValue(br); err != nil {
+				return r, err
+			}
+		}
+	}
+	hasSchema, err := br.ReadByte()
+	if err != nil {
+		return r, err
+	}
+	if hasSchema == 1 {
+		var s Schema
+		if s.Name, err = readString(br); err != nil {
+			return r, err
+		}
+		if s.PrimaryKey, err = readString(br); err != nil {
+			return r, err
+		}
+		nc, err := binary.ReadUvarint(br)
+		if err != nil {
+			return r, err
+		}
+		for i := uint64(0); i < nc; i++ {
+			var c Column
+			if c.Name, err = readString(br); err != nil {
+				return r, err
+			}
+			tb, err := br.ReadByte()
+			if err != nil {
+				return r, err
+			}
+			c.Type = ColType(tb)
+			nn, err := br.ReadByte()
+			if err != nil {
+				return r, err
+			}
+			c.NotNull = nn == 1
+			s.Columns = append(s.Columns, c)
+		}
+		r.Schema = &s
+	}
+	return r, nil
+}
+
+func writeUvarint(b *bytes.Buffer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	b.Write(buf[:n])
+}
+
+func writeVarint(b *bytes.Buffer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	b.Write(buf[:n])
+}
+
+func writeString(b *bytes.Buffer, s string) {
+	writeUvarint(b, uint64(len(s)))
+	b.WriteString(s)
+}
+
+func readString(br *bytes.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(br.Len()) {
+		return "", errors.New("string length exceeds buffer")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeValue(b *bytes.Buffer, v Value) {
+	switch x := v.(type) {
+	case nil:
+		b.WriteByte(0)
+	case int64:
+		b.WriteByte(1)
+		writeVarint(b, x)
+	case float64:
+		b.WriteByte(2)
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		b.Write(buf[:])
+	case string:
+		b.WriteByte(3)
+		writeString(b, x)
+	case bool:
+		b.WriteByte(4)
+		if x {
+			b.WriteByte(1)
+		} else {
+			b.WriteByte(0)
+		}
+	case []byte:
+		b.WriteByte(5)
+		writeUvarint(b, uint64(len(x)))
+		b.Write(x)
+	default:
+		panic(fmt.Sprintf("reldb: writeValue on unsupported type %T", v))
+	}
+}
+
+func readValue(br *bytes.Reader) (Value, error) {
+	tag, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case 0:
+		return nil, nil
+	case 1:
+		return binary.ReadVarint(br)
+	case 2:
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+	case 3:
+		return readString(br)
+	case 4:
+		c, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		return c == 1, nil
+	case 5:
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(br.Len()) {
+			return nil, errors.New("bytes length exceeds buffer")
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	return nil, fmt.Errorf("unknown value tag %d", tag)
+}
+
+func sortStrings(s []string) { sort.Strings(s) }
+
+func sortInt64s(s []int64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,194 @@
+package reldb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func reopen(t *testing.T, db *DB, dir string) *DB {
+	t.Helper()
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	return db2
+}
+
+func TestDurabilityAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(partsSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("parts", "ix_name", false, "name"); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"fender", "radio", "lamp"} {
+		if _, err := db.Insert("parts", Row{nil, n, 1.5, true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Update("parts", 2, Row{int64(2), "radio mk2", 1.6, true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("parts", 3); err != nil {
+		t.Fatal(err)
+	}
+
+	db = reopen(t, db, dir)
+	defer db.Close()
+
+	n, _ := db.Count("parts")
+	if n != 2 {
+		t.Fatalf("rows after reopen = %d, want 2", n)
+	}
+	row, ok := db.Get("parts", 2)
+	if !ok || row[1].(string) != "radio mk2" {
+		t.Fatalf("update lost: %v ok=%v", row, ok)
+	}
+	// Index is rebuilt on recovery.
+	res, err := db.Select(Query{Table: "parts", Where: []Cond{Eq("name", "fender")}})
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("index after reopen: rows=%v err=%v", res, err)
+	}
+	// Auto id continues after recovery.
+	id, err := db.Insert("parts", Row{nil, "new", 1.0, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id <= 3 {
+		t.Fatalf("auto id after reopen = %d, want > 3", id)
+	}
+}
+
+func TestCheckpointTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(partsSchema()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := db.Insert("parts", Row{nil, "p", 1.0, true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(filepath.Join(dir, walFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 0 {
+		t.Fatalf("wal size after checkpoint = %d, want 0", fi.Size())
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFileName)); err != nil {
+		t.Fatalf("snapshot missing: %v", err)
+	}
+
+	db = reopen(t, db, dir)
+	defer db.Close()
+	n, _ := db.Count("parts")
+	if n != 50 {
+		t.Fatalf("rows after checkpoint+reopen = %d, want 50", n)
+	}
+}
+
+func TestTornTailIgnored(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(partsSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert("parts", Row{nil, "good", 1.0, true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close checkpoints, so the durable state is in the snapshot. Corrupt
+	// the WAL with a torn record: recovery must ignore it.
+	walPath := filepath.Join(dir, walFileName)
+	if err := os.WriteFile(walPath, []byte{9, 0, 0, 0, 1, 2, 3, 4, 0xAA}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	defer db2.Close()
+	n, _ := db2.Count("parts")
+	if n != 1 {
+		t.Fatalf("rows = %d, want 1", n)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	sc := partsSchema()
+	recs := []walRecord{
+		{Op: opCreateTable, Schema: &sc},
+		{Op: opCreateIndex, Table: "parts", Index: "ix", Unique: true, Cols: []string{"name", "weight"}},
+		{Op: opInsert, Table: "parts", RowID: 7, Row: Row{int64(7), "x", 1.25, true}},
+		{Op: opInsert, Table: "parts", RowID: 8, Row: Row{int64(8), "y", nil, false}},
+		{Op: opUpdate, Table: "parts", RowID: 7, Row: Row{int64(7), "z", -2.5, false}},
+		{Op: opDelete, Table: "parts", RowID: 8},
+		{Op: opInsert, Table: "blobs", RowID: 1, Row: Row{[]byte{0, 1, 255}, "s", 0.0, true}},
+	}
+	for i, r := range recs {
+		got, err := decodeRecord(encodeRecord(r))
+		if err != nil {
+			t.Fatalf("rec %d: decode: %v", i, err)
+		}
+		if got.Op != r.Op || got.Table != r.Table || got.Index != r.Index ||
+			got.Unique != r.Unique || got.RowID != r.RowID {
+			t.Fatalf("rec %d: header mismatch: %+v vs %+v", i, got, r)
+		}
+		if len(got.Cols) != len(r.Cols) {
+			t.Fatalf("rec %d: cols mismatch", i)
+		}
+		if (got.Row == nil) != (r.Row == nil) || len(got.Row) != len(r.Row) {
+			t.Fatalf("rec %d: row mismatch: %v vs %v", i, got.Row, r.Row)
+		}
+		for j := range r.Row {
+			if b, ok := r.Row[j].([]byte); ok {
+				gb := got.Row[j].([]byte)
+				if string(gb) != string(b) {
+					t.Fatalf("rec %d cell %d: %v vs %v", i, j, gb, b)
+				}
+				continue
+			}
+			if got.Row[j] != r.Row[j] {
+				t.Fatalf("rec %d cell %d: %v vs %v", i, j, got.Row[j], r.Row[j])
+			}
+		}
+		if (got.Schema == nil) != (r.Schema == nil) {
+			t.Fatalf("rec %d: schema mismatch", i)
+		}
+		if r.Schema != nil && got.Schema.String() != r.Schema.String() {
+			t.Fatalf("rec %d: schema %q vs %q", i, got.Schema, r.Schema)
+		}
+	}
+}
+
+func TestInMemoryCloseNoop(t *testing.T) {
+	db := mustOpenMem(t)
+	if err := db.CreateTable(partsSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close in-memory: %v", err)
+	}
+}

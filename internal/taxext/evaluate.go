@@ -1,0 +1,93 @@
+package taxext
+
+import (
+	"repro/internal/annotate"
+	"repro/internal/bundle"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/kb"
+	"repro/internal/taxonomy"
+	"repro/internal/textproc"
+)
+
+// Evaluate cross-validates the bag-of-concepts classifier with per-fold
+// taxonomy adaptation: in every fold the miner sees only the training
+// bundles, the taxonomy is extended with its proposals, and the test fold
+// is classified with the extended concept vocabulary. This answers the
+// question §5.2.2 leaves open — how much of the bag-of-words advantage an
+// improved domain-specific resource can recover — without leaking test
+// data into the resource.
+func Evaluate(tax *taxonomy.Taxonomy, bundles []*bundle.Bundle, cfg Config, sim core.Similarity, folds int, seed int64, ks []int) (eval.AccuracyAtK, int, error) {
+	if len(ks) == 0 {
+		ks = eval.DefaultKs
+	}
+	filtered := bundle.FilterMultiOccurrence(bundles)
+	foldIdx := eval.StratifiedFolds(filtered, folds, seed)
+	hits := map[int]int{}
+	total := 0
+	addedTotal := 0
+
+	for f := 0; f < folds; f++ {
+		inTest := make(map[int]bool, len(foldIdx[f]))
+		for _, idx := range foldIdx[f] {
+			inTest[idx] = true
+		}
+		var train []*bundle.Bundle
+		for i, b := range filtered {
+			if !inTest[i] {
+				train = append(train, b)
+			}
+		}
+		proposals, err := Mine(tax, train, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		ext, added, err := Apply(tax, proposals)
+		if err != nil {
+			return nil, 0, err
+		}
+		addedTotal += added
+
+		ann := annotate.NewConceptAnnotator(ext)
+		extractor := &kb.Extractor{Model: kb.BagOfConcepts}
+		features := func(b *bundle.Bundle, sources []bundle.Source) ([]string, error) {
+			c := b.CAS(sources...)
+			if err := (textproc.Tokenizer{}).Process(c); err != nil {
+				return nil, err
+			}
+			if err := ann.Process(c); err != nil {
+				return nil, err
+			}
+			return extractor.Features(c), nil
+		}
+
+		mem := kb.NewMemory()
+		for _, b := range train {
+			feats, err := features(b, bundle.TrainingSources())
+			if err != nil {
+				return nil, 0, err
+			}
+			mem.AddBundle(b.PartID, b.ErrorCode, feats)
+		}
+		clf := core.New(mem, sim)
+		for _, idx := range foldIdx[f] {
+			b := filtered[idx]
+			feats, err := features(b, bundle.TestSources())
+			if err != nil {
+				return nil, 0, err
+			}
+			r := core.Rank(clf.Recommend(b.PartID, feats), b.ErrorCode)
+			for _, k := range ks {
+				if r > 0 && r <= k {
+					hits[k]++
+				}
+			}
+			total++
+		}
+	}
+	acc := eval.AccuracyAtK{}
+	for _, k := range ks {
+		acc[k] = float64(hits[k]) / float64(total)
+	}
+	return acc, addedTotal / folds, nil
+}

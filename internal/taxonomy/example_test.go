@@ -1,0 +1,37 @@
+package taxonomy_test
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/taxonomy"
+)
+
+// Example shows building a taxonomy with synonym-rich multilingual leaves
+// and saving it in the custom XML format of §4.5.3.
+func Example() {
+	tax := taxonomy.New()
+	_ = tax.Add(taxonomy.Concept{
+		ID:   100,
+		Kind: taxonomy.KindComponent,
+		Path: "Body/Fender",
+		Synonyms: map[string][]string{
+			"de": {"kotflügel"},
+			"en": {"fender", "mud guard", "splashboard"},
+		},
+	})
+	c, _ := tax.Get(100)
+	fmt.Println(c.Label("en"), "|", c.Label("de"))
+	_ = tax.Save(os.Stdout)
+	// Output:
+	// fender | kotflügel
+	// <?xml version="1.0" encoding="UTF-8"?>
+	// <taxonomy version="1">
+	//   <concept id="100" kind="component" path="Body/Fender">
+	//     <label lang="de">kotflügel</label>
+	//     <label lang="en">fender</label>
+	//     <label lang="en">mud guard</label>
+	//     <label lang="en">splashboard</label>
+	//   </concept>
+	// </taxonomy>
+}

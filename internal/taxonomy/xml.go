@@ -1,0 +1,176 @@
+package taxonomy
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// The custom XML representation of the taxonomy (§4.5.3):
+//
+//	<taxonomy version="1">
+//	  <concept id="87402" kind="symptom" path="Noise/HighNoise/Squeak">
+//	    <label lang="de">quietschen</label>
+//	    <label lang="en">squeak</label>
+//	    <label lang="en">squeaking noise</label>
+//	  </concept>
+//	</taxonomy>
+
+type xmlTaxonomy struct {
+	XMLName  xml.Name     `xml:"taxonomy"`
+	Version  int          `xml:"version,attr"`
+	Concepts []xmlConcept `xml:"concept"`
+}
+
+type xmlConcept struct {
+	ID     int        `xml:"id,attr"`
+	Kind   string     `xml:"kind,attr"`
+	Path   string     `xml:"path,attr"`
+	Labels []xmlLabel `xml:"label"`
+}
+
+type xmlLabel struct {
+	Lang string `xml:"lang,attr"`
+	Term string `xml:",chardata"`
+}
+
+// currentVersion is the format version written by Save.
+const currentVersion = 1
+
+// Save writes the taxonomy to w in the custom XML format, concepts sorted
+// by ID and labels sorted by language for stable output.
+func (t *Taxonomy) Save(w io.Writer) error {
+	doc := xmlTaxonomy{Version: currentVersion}
+	for _, c := range t.Concepts() {
+		xc := xmlConcept{ID: c.ID, Kind: string(c.Kind), Path: c.Path}
+		langs := c.Languages()
+		for _, lang := range langs {
+			for _, s := range c.Synonyms[lang] {
+				xc.Labels = append(xc.Labels, xmlLabel{Lang: lang, Term: s})
+			}
+		}
+		doc.Concepts = append(doc.Concepts, xc)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("taxonomy: encode: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// Load reads a taxonomy from the custom XML format.
+func Load(r io.Reader) (*Taxonomy, error) {
+	var doc xmlTaxonomy
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("taxonomy: decode: %w", err)
+	}
+	if doc.Version != currentVersion {
+		return nil, fmt.Errorf("taxonomy: unsupported format version %d", doc.Version)
+	}
+	t := New()
+	for _, xc := range doc.Concepts {
+		c := Concept{ID: xc.ID, Kind: Kind(xc.Kind), Path: xc.Path, Synonyms: map[string][]string{}}
+		for _, l := range xc.Labels {
+			c.Synonyms[l.Lang] = append(c.Synonyms[l.Lang], l.Term)
+		}
+		if err := t.Add(c); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// SaveFile writes the taxonomy to a file path.
+func (t *Taxonomy) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a taxonomy from a file path.
+func LoadFile(path string) (*Taxonomy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Stats summarizes a taxonomy for diagnostics.
+type Stats struct {
+	Concepts   int
+	ByKind     map[Kind]int
+	PerLang    map[string]int // concepts with ≥1 synonym in the language
+	Synonyms   map[string]int // synonym entries per language
+	Multiwords int            // synonyms with more than one word
+}
+
+// ComputeStats gathers summary statistics.
+func (t *Taxonomy) ComputeStats() Stats {
+	st := Stats{
+		Concepts: t.Len(),
+		ByKind:   make(map[Kind]int),
+		PerLang:  make(map[string]int),
+		Synonyms: make(map[string]int),
+	}
+	for _, c := range t.concepts {
+		st.ByKind[c.Kind]++
+		for lang, syns := range c.Synonyms {
+			if len(syns) > 0 {
+				st.PerLang[lang]++
+			}
+			st.Synonyms[lang] += len(syns)
+			for _, s := range syns {
+				if containsSpace(s) {
+					st.Multiwords++
+				}
+			}
+		}
+	}
+	return st
+}
+
+func containsSpace(s string) bool {
+	for _, r := range s {
+		if r == ' ' {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedLangs returns the union of language codes across concepts, sorted.
+func (t *Taxonomy) sortedLangs() []string {
+	set := map[string]bool{}
+	for _, c := range t.concepts {
+		for lang := range c.Synonyms {
+			set[lang] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Languages returns all language codes used anywhere in the taxonomy.
+func (t *Taxonomy) Languages() []string { return t.sortedLangs() }

@@ -1,0 +1,69 @@
+package textproc
+
+import (
+	"repro/internal/cas"
+)
+
+// German compound splitting — the most impactful language-specific step
+// for automotive German, where part names agglutinate ("kotflügelhalter" =
+// "kotflügel" + "halter"). The CompoundSplitter tries to decompose unknown
+// long tokens into two known vocabulary words (optionally joined by the
+// linking element "s" or "n") and annotates the parts, so the concept
+// annotator and feature extractors can also see the constituents.
+
+// TypeCompoundPart is the annotation type for compound constituents.
+const TypeCompoundPart = "CompoundPart"
+
+// FeatPart carries the lowercase constituent word.
+const FeatPart = "part"
+
+// SplitCompound decomposes w into two vocabulary words (the second at
+// least 4 bytes), allowing the German linking elements "s" and "n" between
+// them. It returns nil if no split exists or w itself is known.
+func SplitCompound(w string, vocab Vocabulary) []string {
+	if len(w) < 8 || vocab[w] {
+		return nil
+	}
+	for i := 4; i <= len(w)-4; i++ {
+		head, tail := w[:i], w[i:]
+		if !vocab[head] {
+			continue
+		}
+		if vocab[tail] {
+			return []string{head, tail}
+		}
+		// Linking elements: "s"/"n" after the head.
+		if (tail[0] == 's' || tail[0] == 'n') && len(tail) > 4 && vocab[tail[1:]] {
+			return []string{head, tail[1:]}
+		}
+	}
+	return nil
+}
+
+// CompoundSplitter is a pipeline engine annotating compound constituents
+// of German tokens. It must run after the Tokenizer.
+type CompoundSplitter struct {
+	Vocab Vocabulary
+}
+
+// Name implements pipeline.Engine.
+func (CompoundSplitter) Name() string { return "compound-splitter" }
+
+// Process adds TypeCompoundPart annotations covering the whole compound
+// token, one per constituent.
+func (s CompoundSplitter) Process(c *cas.CAS) error {
+	if s.Vocab == nil {
+		return nil
+	}
+	for _, t := range c.Select(TypeToken) {
+		parts := SplitCompound(t.Feature(FeatNorm), s.Vocab)
+		for _, p := range parts {
+			a := &cas.Annotation{Type: TypeCompoundPart, Begin: t.Begin, End: t.End}
+			a.SetFeature(FeatPart, p)
+			if err := c.Annotate(a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

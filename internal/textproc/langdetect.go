@@ -1,0 +1,101 @@
+package textproc
+
+import (
+	"repro/internal/cas"
+)
+
+// Language codes produced by the detector.
+const (
+	LangGerman  = "de"
+	LangEnglish = "en"
+	LangUnknown = "unk"
+)
+
+// MetaLanguage is the CAS metadata key set by the detector.
+const MetaLanguage = "lang"
+
+// TypeLanguage is the annotation type covering each detected segment.
+const TypeLanguage = "Language"
+
+// FeatLang is the language feature of TypeLanguage annotations.
+const FeatLang = "lang"
+
+var (
+	markersDE = buildMarkerSet(stopwordsDE, []string{
+		"nicht", "defekt", "funktioniert", "beim", "wurde", "ausgetauscht",
+		"geprüft", "keine", "kunde", "fehler", "und", "ist",
+	})
+	markersEN = buildMarkerSet(stopwordsEN, []string{
+		"not", "defective", "works", "replaced", "checked", "customer",
+		"failure", "and", "is", "the", "no",
+	})
+)
+
+func buildMarkerSet(base, extra []string) map[string]bool {
+	m := make(map[string]bool, len(base)+len(extra))
+	for _, w := range base {
+		m[w] = true
+	}
+	for _, w := range extra {
+		m[w] = true
+	}
+	return m
+}
+
+// DetectLanguage guesses the dominant language of a token sequence by
+// counting closed-class marker words. The reports are "mostly a mix of
+// German and English" (§3.2); the detector therefore only distinguishes
+// those two, answering LangUnknown when the evidence is balanced or absent.
+func DetectLanguage(tokens []string) string {
+	de, en := 0, 0
+	for _, t := range tokens {
+		// A word can be a marker in both languages (e.g. "an"); count both.
+		if markersDE[t] {
+			de++
+		}
+		if markersEN[t] {
+			en++
+		}
+	}
+	switch {
+	case de > en:
+		return LangGerman
+	case en > de:
+		return LangEnglish
+	default:
+		return LangUnknown
+	}
+}
+
+// LanguageDetector is a pipeline engine. It requires the Tokenizer to have
+// run, sets MetaLanguage on the CAS to the document-level guess, and adds
+// one TypeLanguage annotation per source segment with the per-segment
+// guess, so later engines can treat a German supplier report differently
+// from an English mechanic report within the same bundle.
+type LanguageDetector struct{}
+
+// Name implements pipeline.Engine.
+func (LanguageDetector) Name() string { return "language-detector" }
+
+// Process detects document and segment languages.
+func (LanguageDetector) Process(c *cas.CAS) error {
+	tokens := c.Select(TypeToken)
+	var all []string
+	for _, t := range tokens {
+		all = append(all, t.Feature(FeatNorm))
+	}
+	c.SetMetadata(MetaLanguage, DetectLanguage(all))
+
+	for _, seg := range c.Segments() {
+		var segTokens []string
+		for _, t := range c.SelectCovered(TypeToken, seg.Begin, seg.End) {
+			segTokens = append(segTokens, t.Feature(FeatNorm))
+		}
+		a := &cas.Annotation{Type: TypeLanguage, Begin: seg.Begin, End: seg.End}
+		a.SetFeature(FeatLang, DetectLanguage(segTokens))
+		if err := c.Annotate(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package textproc
+
+// Stopword lists. Experiment 1 (§5.2.2) removes "German and English
+// stopwords (articles and personal pronouns)" as an optional extra step of
+// the bag-of-words approach: accuracy is unchanged, runtime drops. The
+// lists below follow that scope — determiners, personal pronouns, and the
+// small closed-class glue words that dominate the reports.
+
+var stopwordsEN = []string{
+	"the", "a", "an", "this", "that", "these", "those",
+	"i", "you", "he", "she", "it", "we", "they",
+	"me", "him", "her", "us", "them",
+	"my", "your", "his", "its", "our", "their",
+	"is", "are", "was", "were", "be", "been", "being",
+	"and", "or", "but", "of", "to", "in", "on", "at", "by", "with",
+	"for", "from", "as", "into", "after", "before",
+	"not", "no", "so", "very", "then", "than",
+	"has", "have", "had", "do", "does", "did",
+	"will", "would", "can", "could", "says", "said",
+}
+
+var stopwordsDE = []string{
+	"der", "die", "das", "den", "dem", "des",
+	"ein", "eine", "einen", "einem", "einer", "eines",
+	"ich", "du", "er", "sie", "es", "wir", "ihr",
+	"mich", "dich", "ihn", "uns", "euch", "ihnen",
+	"mein", "dein", "sein", "unser", "euer",
+	"ist", "sind", "war", "waren", "sein", "gewesen", "wird", "werden", "wurde",
+	"und", "oder", "aber", "von", "zu", "im", "am", "an", "auf", "bei", "mit",
+	"für", "aus", "nach", "vor", "über", "unter", "durch",
+	"nicht", "kein", "keine", "sehr", "dann", "als", "auch", "noch",
+	"hat", "habe", "haben", "hatte", "kann", "konnte", "sagt", "laut",
+}
+
+// StopwordSet holds lowercase stopwords for fast membership tests.
+type StopwordSet map[string]bool
+
+// NewStopwordSet builds a set from the built-in German and English lists
+// plus any extra words.
+func NewStopwordSet(extra ...string) StopwordSet {
+	s := make(StopwordSet, len(stopwordsEN)+len(stopwordsDE)+len(extra))
+	for _, w := range stopwordsEN {
+		s[w] = true
+	}
+	for _, w := range stopwordsDE {
+		s[w] = true
+	}
+	for _, w := range extra {
+		s[w] = true
+	}
+	return s
+}
+
+// Contains reports whether the lowercased word is a stopword.
+func (s StopwordSet) Contains(word string) bool { return s[word] }
+
+// Filter returns tokens with stopwords removed (input must be lowercase).
+func (s StopwordSet) Filter(tokens []string) []string {
+	out := make([]string, 0, len(tokens))
+	for _, t := range tokens {
+		if !s[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package textproc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cas"
+)
+
+func TestTokensBasic(t *testing.T) {
+	got := Tokens("Kleint says taht radio turns on and off, by itself!")
+	want := []string{"kleint", "says", "taht", "radio", "turns", "on", "and", "off", "by", "itself"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tokens = %v", got)
+	}
+}
+
+func TestTokensHyphenAndApostrophe(t *testing.T) {
+	got := Tokens("o-ring doesn't fit - at all")
+	want := []string{"o-ring", "doesn't", "fit", "at", "all"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tokens = %v", got)
+	}
+}
+
+func TestTokensUmlauts(t *testing.T) {
+	got := Tokens("Lüfter funktioniert nicht, durchgeschmort.")
+	want := []string{"lüfter", "funktioniert", "nicht", "durchgeschmort"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tokens = %v", got)
+	}
+}
+
+func TestTokensEmptyAndPunctOnly(t *testing.T) {
+	if got := Tokens(""); len(got) != 0 {
+		t.Fatalf("tokens of empty = %v", got)
+	}
+	if got := Tokens("... --- !!!"); len(got) != 0 {
+		t.Fatalf("tokens of punctuation = %v", got)
+	}
+}
+
+func TestTokensNumbers(t *testing.T) {
+	got := Tokens("id test470, error B2 at 12.5V")
+	want := []string{"id", "test470", "error", "b2", "at", "12", "5v"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tokens = %v", got)
+	}
+}
+
+// Property: every span returned by TokenSpans is in range, non-empty,
+// non-overlapping and in document order.
+func TestTokenSpansProperty(t *testing.T) {
+	f := func(text string) bool {
+		spans := TokenSpans(text)
+		prevEnd := 0
+		for _, s := range spans {
+			if s.Begin < prevEnd || s.End <= s.Begin || s.End > len(text) {
+				return false
+			}
+			prevEnd = s.End
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the concatenation of covered spans contains exactly the word
+// runes of the text (no token material is lost by the tokenizer).
+func TestTokenSpansCoverWordRunes(t *testing.T) {
+	f := func(text string) bool {
+		spans := TokenSpans(text)
+		var b strings.Builder
+		for _, s := range spans {
+			b.WriteString(text[s.Begin:s.End])
+		}
+		joined := b.String()
+		for _, r := range text {
+			if isWordRune(r) && !strings.ContainsRune(joined, r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizerEngine(t *testing.T) {
+	c := cas.New("Unit non-functional. Lüfter defekt.")
+	if err := (Tokenizer{}).Process(c); err != nil {
+		t.Fatal(err)
+	}
+	toks := c.Select(TypeToken)
+	if len(toks) != 4 {
+		t.Fatalf("tokens = %d, want 4", len(toks))
+	}
+	if toks[2].Feature(FeatNorm) != "lüfter" {
+		t.Fatalf("norm = %q", toks[2].Feature(FeatNorm))
+	}
+	if c.CoveredText(toks[1]) != "non-functional" {
+		t.Fatalf("covered = %q", c.CoveredText(toks[1]))
+	}
+}
+
+func TestDetectLanguage(t *testing.T) {
+	cases := []struct {
+		text string
+		want string
+	}{
+		{"der lüfter funktioniert nicht und ist durchgeschmort", LangGerman},
+		{"the radio turns on and off by itself", LangEnglish},
+		{"radio kaputt", LangUnknown},
+		{"", LangUnknown},
+	}
+	for _, c := range cases {
+		if got := DetectLanguage(Tokens(c.text)); got != c.want {
+			t.Errorf("DetectLanguage(%q) = %q, want %q", c.text, got, c.want)
+		}
+	}
+}
+
+func TestLanguageDetectorEngine(t *testing.T) {
+	c := cas.NewFromSegments([]struct{ Source, Text string }{
+		{"mechanic", "the radio turns on and off by itself, customer says it crackles"},
+		{"supplier", "der kontakt ist defekt und durchgeschmort, lüfter funktioniert nicht"},
+	})
+	if err := (Tokenizer{}).Process(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := (LanguageDetector{}).Process(c); err != nil {
+		t.Fatal(err)
+	}
+	langs := c.Select(TypeLanguage)
+	if len(langs) != 2 {
+		t.Fatalf("language annotations = %d, want 2", len(langs))
+	}
+	if langs[0].Feature(FeatLang) != LangEnglish {
+		t.Errorf("mechanic segment lang = %q, want en", langs[0].Feature(FeatLang))
+	}
+	if langs[1].Feature(FeatLang) != LangGerman {
+		t.Errorf("supplier segment lang = %q, want de", langs[1].Feature(FeatLang))
+	}
+	if got := c.Metadata(MetaLanguage); got != LangEnglish && got != LangGerman {
+		t.Errorf("document lang = %q", got)
+	}
+}
+
+func TestStopwordSet(t *testing.T) {
+	s := NewStopwordSet("custom")
+	for _, w := range []string{"the", "der", "it", "sie", "custom"} {
+		if !s.Contains(w) {
+			t.Errorf("stopword %q missing", w)
+		}
+	}
+	if s.Contains("radio") {
+		t.Error("content word flagged as stopword")
+	}
+	got := s.Filter([]string{"the", "radio", "ist", "defekt"})
+	want := []string{"radio", "defekt"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("filtered = %v", got)
+	}
+}
+
+func TestStopwordFilterPreservesOrder(t *testing.T) {
+	s := NewStopwordSet()
+	in := []string{"unit", "is", "broken", "the", "fan", "der", "motor"}
+	got := s.Filter(in)
+	want := []string{"unit", "broken", "fan", "motor"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("filtered = %v", got)
+	}
+}

@@ -1,0 +1,97 @@
+// Package textproc provides the language-independent linguistic
+// preprocessing of the QATK pipeline (paper §4.4 step 2a): a simple custom
+// whitespace-/punctuation tokenizer, a German/English language detector and
+// stopword filtering. The paper deliberately relies on steps that work for
+// the mixed-language "messy" reports without language-specific tooling.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/cas"
+)
+
+// TypeToken is the annotation type produced by the tokenizer.
+const TypeToken = "Token"
+
+// FeatNorm is the token feature holding the lowercased form.
+const FeatNorm = "norm"
+
+// Span is a half-open byte range [Begin, End) in a document text.
+type Span struct {
+	Begin, End int
+}
+
+// Tokenizer is a pipeline engine that segments the document text into word
+// tokens at whitespace and punctuation, without further normalization
+// beyond lowercasing the "norm" feature (the paper works on whitespace- and
+// punctuation-tokenized text without stemming, §5.1).
+type Tokenizer struct{}
+
+// Name implements pipeline.Engine.
+func (Tokenizer) Name() string { return "tokenizer" }
+
+// Process annotates every token with TypeToken.
+func (Tokenizer) Process(c *cas.CAS) error {
+	text := c.Text()
+	for _, s := range TokenSpans(text) {
+		a := &cas.Annotation{Type: TypeToken, Begin: s.Begin, End: s.End}
+		a.SetFeature(FeatNorm, strings.ToLower(text[s.Begin:s.End]))
+		if err := c.Annotate(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TokenSpans returns the byte spans of all tokens in text, in document
+// order. A token is a maximal run of letters and digits, where a single
+// hyphen or apostrophe between word runes stays inside the token
+// ("o-ring", "don't") — the behaviour of the custom tokenizer of §4.5.2.
+func TokenSpans(text string) []Span {
+	var spans []Span
+	i := 0
+	for i < len(text) {
+		r, size := utf8.DecodeRuneInString(text[i:])
+		if !isWordRune(r) {
+			i += size
+			continue
+		}
+		begin := i
+		j := i + size
+		for j < len(text) {
+			r, size := utf8.DecodeRuneInString(text[j:])
+			if isWordRune(r) {
+				j += size
+				continue
+			}
+			if r == '-' || r == '\'' {
+				r2, size2 := utf8.DecodeRuneInString(text[j+size:])
+				if isWordRune(r2) {
+					j += size + size2
+					continue
+				}
+			}
+			break
+		}
+		spans = append(spans, Span{begin, j})
+		i = j
+	}
+	return spans
+}
+
+// Tokens returns the lowercased token strings of text in document order.
+func Tokens(text string) []string {
+	spans := TokenSpans(text)
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = strings.ToLower(text[s.Begin:s.End])
+	}
+	return out
+}
+
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
