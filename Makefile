@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race check
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: tier-1 test suite (the CI gate)
+test:
+	$(GO) test ./...
+
+## vet: static analysis
+vet:
+	$(GO) vet ./...
+
+## race: full test suite under the race detector
+race:
+	$(GO) test -race ./...
+
+## check: the pre-merge tier — vet plus the race-enabled suite
+check: vet race

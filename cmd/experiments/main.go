@@ -182,11 +182,19 @@ func runFeasibility(corpus *datagen.Corpus) {
 		os.Exit(1)
 	}
 	reader := bundle.NewReader(corpus.Bundles, bundle.TrainingSources())
-	if _, err := p.Run(reader, nil); err != nil {
+	stats, err := p.RunWithConfig(reader, nil, pipeline.RunConfig{
+		DeadLetter: func(d pipeline.DeadLetter) error {
+			fmt.Fprintf(os.Stderr, "pipeline: skipping bundle %d (%s): %v\n", d.Index, d.DocID, d.Err)
+			return nil
+		},
+		ErrorBudget: 25,
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pipeline:", err)
 		os.Exit(1)
 	}
 	fmt.Println("preprocessing cost per engine (full corpus):")
 	pipeline.PrintReport(os.Stdout, timed)
+	pipeline.PrintRunStats(os.Stdout, stats)
 	fmt.Println()
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/kb"
+	"repro/internal/pipeline"
 	"repro/internal/qatk"
 	"repro/internal/reldb"
 	"repro/internal/taxonomy"
@@ -33,19 +34,20 @@ func main() {
 	model := flag.String("model", "concepts", "feature model: concepts | words")
 	sim := flag.String("sim", "jaccard", "similarity: jaccard | overlap")
 	ref := flag.String("ref", "", "bundle reference number (for recommend)")
+	errorBudget := flag.Int("error-budget", 25, "consecutive bundle failures tolerated before train aborts (0 = abort on first failure)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*data, *model, *sim, *ref, flag.Arg(0), flag.Args()[1:]); err != nil {
+	if err := run(*data, *model, *sim, *ref, *errorBudget, flag.Arg(0), flag.Args()[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "qatk:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data, model, sim, ref, cmd string, rest []string) error {
+func run(data, model, sim, ref string, errorBudget int, cmd string, rest []string) error {
 	db, err := reldb.Open(filepath.Join(data, "db"))
 	if err != nil {
 		return err
@@ -114,7 +116,18 @@ func run(data, model, sim, ref, cmd string, rest []string) error {
 
 	switch cmd {
 	case "train":
-		mem, err := tk.Train(assigned)
+		// Fault-isolated training over messy collections: a malformed
+		// bundle is reported and skipped; only a run of consecutive
+		// failures (a systemic fault) aborts.
+		cfg := pipeline.RunConfig{ErrorBudget: errorBudget}
+		if errorBudget > 0 {
+			cfg.DeadLetter = func(d pipeline.DeadLetter) error {
+				fmt.Fprintf(os.Stderr, "skipping bundle %d (%s): engine %s: %v\n",
+					d.Index, d.DocID, d.Engine, d.Err)
+				return nil
+			}
+		}
+		mem, stats, err := tk.TrainRun(assigned, cfg)
 		if err != nil {
 			return err
 		}
@@ -123,6 +136,7 @@ func run(data, model, sim, ref, cmd string, rest []string) error {
 		}
 		fmt.Printf("knowledge base: %d nodes from %d bundles (%d distinct codes)\n",
 			mem.NodeCount(), mem.BundleCount(), mem.DistinctCodes())
+		fmt.Printf("collection run: %s\n", stats)
 		return db.Checkpoint()
 	case "classify":
 		store, err := kb.OpenDB(db)

@@ -5,14 +5,26 @@
 //	questd -data ./data -addr :8080
 //
 // Log in as "admin" (extended rights) or "expert".
+//
+// The server is hardened for unattended field-study deployments: request
+// handlers run under panic recovery and a request timeout, the listener has
+// read/write/idle timeouts, /healthz and /readyz expose liveness and
+// readiness (including the degraded state of the §5.4 comparison screen),
+// and SIGINT/SIGTERM drain in-flight requests for -shutdown-timeout before
+// the process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"repro/internal/bundle"
 	"repro/internal/compare"
@@ -27,35 +39,64 @@ import (
 func main() {
 	data := flag.String("data", "data", "data directory (from cmd/datagen)")
 	addr := flag.String("addr", ":8080", "listen address")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request handler time budget (0 disables)")
 	flag.Parse()
 
-	if err := run(*data, *addr); err != nil {
+	if err := run(*data, *addr, *shutdownTimeout, *requestTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "questd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data, addr string) error {
+func run(data, addr string, shutdownTimeout, requestTimeout time.Duration) error {
 	db, err := reldb.Open(filepath.Join(data, "db"))
 	if err != nil {
 		return err
 	}
 	defer db.Close()
 
-	cfg := quest.Config{DB: db}
+	cfg := quest.Config{DB: db, RequestTimeout: requestTimeout}
 	if internal, public, err := buildComparison(data, db); err != nil {
 		fmt.Fprintf(os.Stderr, "comparison screen disabled: %v\n", err)
+		cfg.ComparisonNote = err.Error()
 	} else {
 		cfg.Internal, cfg.Public = internal, public
 	}
 
-	srv, err := quest.NewServer(cfg)
+	app, err := quest.NewServer(cfg)
 	if err != nil {
 		return err
 	}
+
+	// WriteTimeout must outlast the handler budget, or the timeout
+	// middleware could never deliver its 503.
+	writeTimeout := requestTimeout + 5*time.Second
+	if requestTimeout <= 0 {
+		writeTimeout = 0
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           app,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	fmt.Fprintf(os.Stderr, "QUEST listening on %s\n", addr)
-	return http.ListenAndServe(addr, srv)
+	err = quest.ServeUntil(srv, shutdownTimeout, ctx.Done())
+	if err == nil && ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "QUEST drained and stopped")
+	}
+	return err
 }
+
+// errNoComplaints reports an empty (but readable) ODI complaint table; the
+// comparison screen then runs degraded rather than failing a wrapped nil.
+var errNoComplaints = errors.New("no ODI complaints imported")
 
 // buildComparison classifies the imported ODI complaints through the
 // persisted knowledge base and prepares both distributions (§5.4).
@@ -69,8 +110,11 @@ func buildComparison(data string, db *reldb.DB) (*compare.Distribution, *compare
 		return nil, nil, fmt.Errorf("knowledge base not trained yet: %w", err)
 	}
 	complaints, err := nhtsa.LoadAll(db)
-	if err != nil || len(complaints) == 0 {
-		return nil, nil, fmt.Errorf("no ODI complaints imported: %w", err)
+	if err != nil {
+		return nil, nil, fmt.Errorf("load ODI complaints: %w", err)
+	}
+	if len(complaints) == 0 {
+		return nil, nil, errNoComplaints
 	}
 	clf := compare.NewClassifier(store, tax, kb.BagOfConcepts, core.Jaccard{})
 	public, err := clf.ComplaintDistribution(complaints)

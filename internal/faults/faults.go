@@ -1,0 +1,181 @@
+// Package faults provides deterministic, seedable fault injection for the
+// QATK's chaos tests. The paper targets *messy* industrial data (§1, §5.2);
+// the pipeline and storage tiers must survive engines that fail, stall, or
+// panic mid-collection. An Injector wraps any pipeline.Engine,
+// pipeline.Reader, or arbitrary operation (e.g. a reldb call) and makes it
+// misbehave at configured rates, reproducibly: the same seed yields the
+// same fault schedule, so a chaos failure can be replayed exactly.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/cas"
+	"repro/internal/pipeline"
+)
+
+// InjectedError is the error returned by injected failures. Seq is the
+// injector-wide fault sequence number, making every injected fault
+// distinguishable in dead letters and logs.
+type InjectedError struct {
+	Op        string // the wrapped engine/reader/operation name
+	Seq       int    // 1-based fault sequence number within the injector
+	Transient bool   // whether a retry could plausibly succeed
+}
+
+// Error describes the injected fault.
+func (e *InjectedError) Error() string {
+	kind := "permanent"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("faults: injected %s failure #%d in %s", kind, e.Seq, e.Op)
+}
+
+// InjectedPanic is the value raised by injected panics; chaos tests can
+// recognize it in recovered *pipeline.PanicError values.
+type InjectedPanic struct {
+	Op  string
+	Seq int
+}
+
+// String describes the injected panic.
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("faults: injected panic #%d in %s", p.Seq, p.Op)
+}
+
+// Config sets the per-call fault rates of an Injector. Rates are
+// probabilities in [0, 1] and are evaluated independently in the order
+// panic, error, stall: at most one fault fires per call.
+type Config struct {
+	ErrorRate float64       // probability of returning an *InjectedError
+	PanicRate float64       // probability of panicking with InjectedPanic
+	StallRate float64       // probability of sleeping Stall before running
+	Stall     time.Duration // stall duration (default 1ms)
+	Transient bool          // injected errors report themselves transient
+}
+
+// Injector draws faults from a seeded source. All methods are safe for
+// concurrent use; the fault schedule is deterministic for a given seed and
+// call order.
+type Injector struct {
+	cfg Config
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	seq    int // total faults injected
+	errors int
+	panics int
+	stalls int
+}
+
+// NewInjector builds an injector with the given seed and configuration.
+func NewInjector(seed int64, cfg Config) *Injector {
+	if cfg.Stall <= 0 {
+		cfg.Stall = time.Millisecond
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Counts reports how many faults of each kind have been injected.
+func (in *Injector) Counts() (errors, panics, stalls int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.errors, in.panics, in.stalls
+}
+
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultError
+	faultPanic
+	faultStall
+)
+
+// draw decides the fault (if any) for one call and updates the counters.
+func (in *Injector) draw() (faultKind, int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	switch {
+	case in.rng.Float64() < in.cfg.PanicRate:
+		in.seq++
+		in.panics++
+		return faultPanic, in.seq
+	case in.rng.Float64() < in.cfg.ErrorRate:
+		in.seq++
+		in.errors++
+		return faultError, in.seq
+	case in.rng.Float64() < in.cfg.StallRate:
+		in.seq++
+		in.stalls++
+		return faultStall, in.seq
+	}
+	return faultNone, 0
+}
+
+// inject applies the drawn fault for op, returning a non-nil error or
+// panicking when a fault fires, and nil when the call should proceed.
+func (in *Injector) inject(op string) error {
+	kind, seq := in.draw()
+	switch kind {
+	case faultPanic:
+		panic(InjectedPanic{Op: op, Seq: seq})
+	case faultError:
+		return &InjectedError{Op: op, Seq: seq, Transient: in.cfg.Transient}
+	case faultStall:
+		time.Sleep(in.cfg.Stall)
+	}
+	return nil
+}
+
+// Do wraps one arbitrary operation (e.g. a reldb Insert or Checkpoint):
+// the fault, if drawn, preempts fn.
+func (in *Injector) Do(op string, fn func() error) error {
+	if err := in.inject(op); err != nil {
+		return err
+	}
+	return fn()
+}
+
+// Engine wraps a pipeline engine: each Process call may fail, stall, or
+// panic before the inner engine runs.
+func (in *Injector) Engine(inner pipeline.Engine) pipeline.Engine {
+	return &flakyEngine{in: in, inner: inner}
+}
+
+type flakyEngine struct {
+	in    *Injector
+	inner pipeline.Engine
+}
+
+func (e *flakyEngine) Name() string { return e.inner.Name() }
+
+func (e *flakyEngine) Process(c *cas.CAS) error {
+	if err := e.in.inject(e.inner.Name()); err != nil {
+		return err
+	}
+	return e.inner.Process(c)
+}
+
+// Reader wraps a pipeline reader: each Next call may fail, stall, or panic
+// before the inner reader is consulted. io.EOF from the inner reader is
+// never replaced by a fault — collections still terminate.
+func (in *Injector) Reader(inner pipeline.Reader) pipeline.Reader {
+	return &flakyReader{in: in, inner: inner}
+}
+
+type flakyReader struct {
+	in    *Injector
+	inner pipeline.Reader
+}
+
+func (r *flakyReader) Next() (*cas.CAS, error) {
+	if err := r.in.inject("reader"); err != nil {
+		return nil, err
+	}
+	return r.inner.Next()
+}

@@ -1,0 +1,142 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cas"
+	"repro/internal/pipeline"
+)
+
+func okEngine(name string) pipeline.Engine {
+	return pipeline.EngineFunc{EngineName: name, Fn: func(*cas.CAS) error { return nil }}
+}
+
+// TestDeterministicSchedule: two injectors with the same seed produce the
+// same fault schedule; a different seed produces a different one.
+func TestDeterministicSchedule(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		in := NewInjector(seed, Config{ErrorRate: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Do("op", func() error { return nil }) != nil
+		}
+		return out
+	}
+	a, b := schedule(1), schedule(1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	c := schedule(2)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestDoInjectsAtConfiguredRate(t *testing.T) {
+	in := NewInjector(7, Config{ErrorRate: 0.1})
+	const calls = 5000
+	failed := 0
+	for i := 0; i < calls; i++ {
+		if err := in.Do("op", func() error { return nil }); err != nil {
+			failed++
+			var ie *InjectedError
+			if !errors.As(err, &ie) || ie.Op != "op" {
+				t.Fatalf("err = %v", err)
+			}
+		}
+	}
+	if failed < calls/20 || failed > calls/5 {
+		t.Fatalf("failed %d of %d calls at a 10%% rate", failed, calls)
+	}
+	errs, panics, stalls := in.Counts()
+	if errs != failed || panics != 0 || stalls != 0 {
+		t.Fatalf("counts = %d/%d/%d, want %d/0/0", errs, panics, stalls, failed)
+	}
+}
+
+func TestDoPassesThroughOperation(t *testing.T) {
+	in := NewInjector(1, Config{}) // no faults configured
+	ran := false
+	if err := in.Do("op", func() error { ran = true; return nil }); err != nil || !ran {
+		t.Fatalf("ran=%v err=%v", ran, err)
+	}
+	opErr := errors.New("real failure")
+	if err := in.Do("op", func() error { return opErr }); !errors.Is(err, opErr) {
+		t.Fatalf("err = %v, want the operation's own error", err)
+	}
+}
+
+func TestEngineWrapperInjectsWithAttribution(t *testing.T) {
+	in := NewInjector(3, Config{ErrorRate: 1})
+	e := in.Engine(okEngine("tokenizer"))
+	if e.Name() != "tokenizer" {
+		t.Fatalf("name = %q", e.Name())
+	}
+	err := e.Process(cas.New("d"))
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Op != "tokenizer" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEnginePanicInjection(t *testing.T) {
+	in := NewInjector(3, Config{PanicRate: 1})
+	e := in.Engine(okEngine("annotator"))
+	p, err := pipeline.New(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pipeline's panic recovery must convert the injected panic into
+	// an attributed error instead of crashing the test process.
+	perr := p.Process(cas.New("d"))
+	var pe *pipeline.PanicError
+	if !errors.As(perr, &pe) {
+		t.Fatalf("err = %v, want recovered *pipeline.PanicError", perr)
+	}
+	if _, ok := pe.Value.(InjectedPanic); !ok {
+		t.Fatalf("panic value = %#v, want InjectedPanic", pe.Value)
+	}
+}
+
+func TestReaderWrapperInjects(t *testing.T) {
+	in := NewInjector(9, Config{ErrorRate: 1})
+	r := in.Reader(&pipeline.SliceReader{CASes: []*cas.CAS{cas.New("1")}})
+	if _, err := r.Next(); err == nil {
+		t.Fatal("expected injected reader error")
+	}
+}
+
+func TestStallInjection(t *testing.T) {
+	in := NewInjector(5, Config{StallRate: 1, Stall: 5 * time.Millisecond})
+	start := time.Now()
+	if err := in.Do("op", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("call returned after %v, want >= 5ms stall", d)
+	}
+	_, _, stalls := in.Counts()
+	if stalls != 1 {
+		t.Fatalf("stalls = %d", stalls)
+	}
+}
+
+func TestTransientErrorsMarked(t *testing.T) {
+	in := NewInjector(1, Config{ErrorRate: 1, Transient: true})
+	err := in.Do("op", func() error { return nil })
+	var ie *InjectedError
+	if !errors.As(err, &ie) || !ie.Transient {
+		t.Fatalf("err = %v, want transient InjectedError", err)
+	}
+}

@@ -86,3 +86,13 @@ func PrintReport(w io.Writer, timed []*Timed) {
 		fmt.Fprintf(w, "%-28s %10d %10s %14s\n", t.Name(), docs, total.Round(time.Microsecond), per)
 	}
 }
+
+// PrintRunStats appends the run-level fault-tolerance summary to a timing
+// report: how many documents were read, how many survived, and where the
+// rest went (§5.2.2 visibility into degraded processing).
+func PrintRunStats(w io.Writer, s Stats) {
+	fmt.Fprintf(w, "%-28s %10d\n", "documents read", s.Read)
+	fmt.Fprintf(w, "%-28s %10d\n", "documents processed", s.Processed)
+	fmt.Fprintf(w, "%-28s %10d\n", "engine retries", s.Retried)
+	fmt.Fprintf(w, "%-28s %10d\n", "dead-lettered", s.DeadLettered)
+}

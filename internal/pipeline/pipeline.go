@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime/debug"
 
 	"repro/internal/cas"
 )
@@ -67,12 +68,48 @@ func (p *Pipeline) Engines() []string {
 	return names
 }
 
+// EngineError attributes a processing failure to the engine that raised it.
+type EngineError struct {
+	Engine string
+	Err    error
+}
+
+// Error formats the failure with its engine name.
+func (e *EngineError) Error() string {
+	return fmt.Sprintf("pipeline: engine %q: %v", e.Engine, e.Err)
+}
+
+// Unwrap exposes the underlying engine error.
+func (e *EngineError) Unwrap() error { return e.Err }
+
+// PanicError is a recovered engine panic, surfaced as an ordinary error so
+// one malformed document cannot take down a whole collection run.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error describes the recovered panic value.
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// safeProcess runs one engine over one CAS, converting panics to errors.
+func safeProcess(e Engine, c *cas.CAS) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return e.Process(c)
+}
+
 // Process runs all engines over one CAS. The first engine error aborts the
-// run and is returned wrapped with the engine name.
+// document and is returned as an *EngineError naming the engine; a panicking
+// engine is recovered and reported the same way (as an *EngineError wrapping
+// a *PanicError).
 func (p *Pipeline) Process(c *cas.CAS) error {
 	for _, e := range p.engines {
-		if err := e.Process(c); err != nil {
-			return fmt.Errorf("pipeline: engine %q: %w", e.Name(), err)
+		if err := safeProcess(e, c); err != nil {
+			return &EngineError{Engine: e.Name(), Err: err}
 		}
 	}
 	return nil
@@ -96,27 +133,13 @@ type ConsumerFunc func(c *cas.CAS) error
 func (f ConsumerFunc) Consume(c *cas.CAS) error { return f(c) }
 
 // Run streams every CAS from r through the pipeline into consumer,
-// returning the number of documents processed.
+// returning the number of documents processed. The first document failure
+// aborts the run, wrapped as a *DocumentError carrying the document index
+// (and reference number, when the reader set one); use RunWithConfig for
+// fault-isolated collection processing.
 func (p *Pipeline) Run(r Reader, consumer Consumer) (int, error) {
-	n := 0
-	for {
-		c, err := r.Next()
-		if errors.Is(err, io.EOF) {
-			return n, nil
-		}
-		if err != nil {
-			return n, fmt.Errorf("pipeline: reader: %w", err)
-		}
-		if err := p.Process(c); err != nil {
-			return n, err
-		}
-		if consumer != nil {
-			if err := consumer.Consume(c); err != nil {
-				return n, fmt.Errorf("pipeline: consumer: %w", err)
-			}
-		}
-		n++
-	}
+	stats, err := p.RunWithConfig(r, consumer, RunConfig{})
+	return stats.Processed, err
 }
 
 // SliceReader yields a fixed slice of CASes; useful in tests and batch jobs.
@@ -134,3 +157,6 @@ func (r *SliceReader) Next() (*cas.CAS, error) {
 	r.pos++
 	return c, nil
 }
+
+// Reset rewinds the reader so the same slice can be streamed again.
+func (r *SliceReader) Reset() { r.pos = 0 }

@@ -1,0 +1,134 @@
+package pipeline
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cas"
+)
+
+// Per-engine retry with exponential backoff. Engines backed by flaky
+// resources (remote annotators, storage) recover from transient failures
+// without surfacing them to the collection run; deterministic failures and
+// recovered panics fail fast by default.
+
+// Policy configures retries for one engine. The zero value is usable:
+// unset fields fall back to the defaults documented per field.
+type Policy struct {
+	// MaxAttempts is the total number of attempts per document, including
+	// the first (default 3; 1 disables retries).
+	MaxAttempts int
+	// InitialBackoff is the delay before the first retry (default 10ms).
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 1s).
+	MaxBackoff time.Duration
+	// Multiplier is the per-attempt backoff growth factor (default 2).
+	Multiplier float64
+	// Jitter randomizes each backoff within ±Jitter fraction of its value
+	// to decorrelate retry storms (default 0.2; negative disables).
+	Jitter float64
+	// Retryable decides whether an error is worth another attempt. The
+	// default retries everything except recovered panics (*PanicError),
+	// which indicate a deterministic bug rather than a transient fault.
+	Retryable func(error) bool
+	// Sleep and Rand are test seams; nil means time.Sleep and the shared
+	// math/rand source.
+	Sleep func(time.Duration)
+	Rand  func() float64
+}
+
+// DefaultRetryable is the default Policy predicate: retry any error except
+// a recovered engine panic.
+func DefaultRetryable(err error) bool {
+	var pe *PanicError
+	return !errors.As(err, &pe)
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.InitialBackoff <= 0 {
+		p.InitialBackoff = 10 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = time.Second
+	}
+	if p.Multiplier <= 0 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	if p.Retryable == nil {
+		p.Retryable = DefaultRetryable
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	if p.Rand == nil {
+		p.Rand = rand.Float64
+	}
+	return p
+}
+
+// Backoff returns the delay before retry number retry (1-based): exponential
+// growth from InitialBackoff, capped at MaxBackoff, with symmetric jitter.
+func (p Policy) Backoff(retry int) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.InitialBackoff)
+	for i := 1; i < retry; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxBackoff) {
+			d = float64(p.MaxBackoff)
+			break
+		}
+	}
+	if p.Jitter > 0 {
+		d *= 1 + p.Jitter*(2*p.Rand()-1)
+	}
+	if d > float64(p.MaxBackoff) {
+		d = float64(p.MaxBackoff)
+	}
+	return time.Duration(d)
+}
+
+// RetryEngine wraps an engine with a retry Policy. Panics in the inner
+// engine are recovered into *PanicError before the policy sees them, so a
+// panicking engine surfaces as an error, never as a crashed run.
+type RetryEngine struct {
+	inner   Engine
+	policy  Policy
+	retries atomic.Int64
+}
+
+// Retry wraps an engine with the given policy.
+func Retry(inner Engine, p Policy) *RetryEngine {
+	return &RetryEngine{inner: inner, policy: p.withDefaults()}
+}
+
+// Name implements Engine.
+func (r *RetryEngine) Name() string { return r.inner.Name() }
+
+// Retries reports how many retry attempts (beyond first tries) this engine
+// has made across all documents. Safe for concurrent use.
+func (r *RetryEngine) Retries() int { return int(r.retries.Load()) }
+
+// Process attempts the inner engine up to MaxAttempts times, backing off
+// between attempts, and returns the last error when the budget is spent or
+// the error is not retryable.
+func (r *RetryEngine) Process(c *cas.CAS) error {
+	for attempt := 1; ; attempt++ {
+		err := safeProcess(r.inner, c)
+		if err == nil {
+			return nil
+		}
+		if attempt >= r.policy.MaxAttempts || !r.policy.Retryable(err) {
+			return err
+		}
+		r.retries.Add(1)
+		r.policy.Sleep(r.policy.Backoff(attempt))
+	}
+}

@@ -1,0 +1,158 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/cas"
+)
+
+// Fault-isolated collection processing. The paper positions the QATK at
+// *messy* industrial data (§1, §5.2): a production run over thousands of
+// bundles must survive individual malformed documents. RunWithConfig routes
+// failing documents to a dead-letter consumer instead of aborting, trips a
+// circuit breaker only when an error budget of consecutive failures is
+// exhausted, and reports run-level statistics for the §5.2.2 feasibility
+// view of where processing degrades.
+
+// MetaDocID is the CAS metadata key consulted for a human-readable document
+// identifier in errors and dead letters (bundle readers store the bundle
+// reference number under this key).
+const MetaDocID = "ref_no"
+
+// DocumentError wraps a per-document failure with its position in the
+// collection and, when available, the document's reference number.
+type DocumentError struct {
+	Index int    // zero-based position in the reader's stream
+	DocID string // CAS metadata under MetaDocID, "" if unset
+	Err   error
+}
+
+// Error formats the failure with document attribution.
+func (e *DocumentError) Error() string {
+	if e.DocID != "" {
+		return fmt.Sprintf("pipeline: document %d (%s): %v", e.Index, e.DocID, e.Err)
+	}
+	return fmt.Sprintf("pipeline: document %d: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the underlying error.
+func (e *DocumentError) Unwrap() error { return e.Err }
+
+// DeadLetter describes one document that failed processing and was routed
+// out of the run instead of aborting it.
+type DeadLetter struct {
+	Index  int      // zero-based position in the reader's stream
+	DocID  string   // CAS metadata under MetaDocID, "" if unset
+	Engine string   // failing engine name; "(consumer)" for consumer errors
+	Err    error    // the document's failure, unwrapped of attribution
+	CAS    *cas.CAS // the document, as far as it was processed
+}
+
+// DeadLetterFunc receives failed documents. Returning an error aborts the
+// run (e.g. when the dead-letter sink itself is broken).
+type DeadLetterFunc func(DeadLetter) error
+
+// consumerEngine names consumer failures in dead letters.
+const consumerEngine = "(consumer)"
+
+// RunConfig tunes fault isolation for one collection run.
+type RunConfig struct {
+	// DeadLetter receives failing documents. Nil restores strict behavior:
+	// the first document failure aborts the run.
+	DeadLetter DeadLetterFunc
+	// ErrorBudget is how many *consecutive* document failures are tolerated
+	// before the circuit breaker trips the run with ErrCircuitOpen. Zero or
+	// negative means no breaker: any number of isolated failures is allowed.
+	ErrorBudget int
+}
+
+// ErrCircuitOpen reports a tripped consecutive-failure circuit breaker.
+var ErrCircuitOpen = errors.New("pipeline: circuit open")
+
+// Stats summarizes one collection run. Read = Processed + DeadLettered
+// always holds on a completed run; on an aborted run the failing document
+// is counted as read but neither processed nor dead-lettered.
+type Stats struct {
+	Read         int // documents pulled from the reader
+	Processed    int // documents that passed every engine and the consumer
+	Retried      int // retry attempts accumulated by Retry-wrapped engines
+	DeadLettered int // documents routed to the dead-letter consumer
+}
+
+// String renders the run summary as a single report line.
+func (s Stats) String() string {
+	return fmt.Sprintf("read %d, processed %d, retried %d, dead-lettered %d",
+		s.Read, s.Processed, s.Retried, s.DeadLettered)
+}
+
+// retryCounter is implemented by Retry-wrapped engines.
+type retryCounter interface{ Retries() int }
+
+// Retries sums the retry attempts of all Retry-wrapped engines in the
+// pipeline (0 when none are wrapped).
+func (p *Pipeline) Retries() int {
+	n := 0
+	for _, e := range p.engines {
+		if rc, ok := e.(retryCounter); ok {
+			n += rc.Retries()
+		}
+	}
+	return n
+}
+
+// RunWithConfig streams every CAS from r through the pipeline into consumer
+// with document-level error isolation: a failing document is handed to
+// cfg.DeadLetter (with engine attribution) and the run continues. Reader
+// errors other than io.EOF remain fatal — a broken source cannot be skipped
+// past. The returned Stats are valid even when the run aborts early.
+func (p *Pipeline) RunWithConfig(r Reader, consumer Consumer, cfg RunConfig) (stats Stats, _ error) {
+	consecutive := 0
+	defer func() { stats.Retried = p.Retries() }()
+	for index := 0; ; index++ {
+		c, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return stats, nil
+		}
+		if err != nil {
+			return stats, fmt.Errorf("pipeline: reader: %w", err)
+		}
+		stats.Read++
+
+		docErr := p.Process(c)
+		engine := ""
+		if docErr != nil {
+			var ee *EngineError
+			if errors.As(docErr, &ee) {
+				engine = ee.Engine
+			}
+		} else if consumer != nil {
+			if err := consumer.Consume(c); err != nil {
+				docErr = fmt.Errorf("pipeline: consumer: %w", err)
+				engine = consumerEngine
+			}
+		}
+
+		if docErr == nil {
+			stats.Processed++
+			consecutive = 0
+			continue
+		}
+
+		wrapped := &DocumentError{Index: index, DocID: c.Metadata(MetaDocID), Err: docErr}
+		if cfg.DeadLetter == nil {
+			return stats, wrapped
+		}
+		dl := DeadLetter{Index: index, DocID: wrapped.DocID, Engine: engine, Err: docErr, CAS: c}
+		if err := cfg.DeadLetter(dl); err != nil {
+			return stats, fmt.Errorf("pipeline: dead-letter consumer: %w", err)
+		}
+		stats.DeadLettered++
+		consecutive++
+		if cfg.ErrorBudget > 0 && consecutive >= cfg.ErrorBudget {
+			return stats, fmt.Errorf("%w: %d consecutive document failures (last: %v)",
+				ErrCircuitOpen, consecutive, wrapped)
+		}
+	}
+}

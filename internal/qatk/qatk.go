@@ -145,11 +145,25 @@ func (t *Toolkit) Features(b *bundle.Bundle, sources []bundle.Source) ([]string,
 
 // Train builds the in-memory knowledge base from training bundles (the
 // training phase of §4.4: all report sources including the final OEM
-// report and the error-code description are available).
+// report and the error-code description are available). The first failing
+// bundle aborts training; use TrainRun for fault-isolated training over
+// messy collections.
 func (t *Toolkit) Train(bundles []*bundle.Bundle) (*kb.Memory, error) {
-	p, err := t.Pipeline()
+	mem, _, err := t.TrainRun(bundles, pipeline.RunConfig{})
 	if err != nil {
 		return nil, err
+	}
+	return mem, nil
+}
+
+// TrainRun is Train with collection-level fault isolation: bundles that
+// fail an engine (or arrive without an error code) are routed to the run
+// config's dead-letter consumer instead of aborting training, and the
+// run's statistics are returned alongside the knowledge base.
+func (t *Toolkit) TrainRun(bundles []*bundle.Bundle, cfg pipeline.RunConfig) (*kb.Memory, pipeline.Stats, error) {
+	p, err := t.Pipeline()
+	if err != nil {
+		return nil, pipeline.Stats{}, err
 	}
 	mem := kb.NewMemory()
 	reader := bundle.NewReader(bundles, bundle.TrainingSources())
@@ -161,10 +175,11 @@ func (t *Toolkit) Train(bundles []*bundle.Bundle) (*kb.Memory, error) {
 		mem.AddBundle(c.Metadata(bundle.MetaPartID), code, t.extractor.Features(c))
 		return nil
 	})
-	if _, err := p.Run(reader, consumer); err != nil {
-		return nil, err
+	stats, err := p.RunWithConfig(reader, consumer, cfg)
+	if err != nil {
+		return nil, stats, err
 	}
-	return mem, nil
+	return mem, stats, nil
 }
 
 // Classifier builds the ranked-list classifier over a knowledge base.

@@ -1,0 +1,42 @@
+package quest
+
+import (
+	"net/http"
+
+	"repro/internal/bundle"
+)
+
+// Liveness and readiness probes. /healthz answers 200 whenever the process
+// can serve requests at all; /readyz additionally checks that the database
+// answers queries and reports whether the §5.4 comparison screen is loaded
+// or running degraded (the screen itself degrades gracefully when the ODI
+// complaint data is absent — readiness reports that state rather than
+// hiding it).
+
+type readiness struct {
+	Status     string `json:"status"`     // "ok" | "unavailable"
+	DB         string `json:"db"`         // "ok" | the failing query's error
+	Comparison string `json:"comparison"` // "loaded" | "degraded[: reason]"
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	rd := readiness{Status: "ok", DB: "ok", Comparison: "loaded"}
+	status := http.StatusOK
+	if _, err := s.db.Count(bundle.TableBundles); err != nil {
+		rd.Status, rd.DB = "unavailable", err.Error()
+		status = http.StatusServiceUnavailable
+	}
+	if s.internal == nil || s.public == nil {
+		rd.Comparison = "degraded"
+		if s.comparisonNote != "" {
+			rd.Comparison += ": " + s.comparisonNote
+		}
+	}
+	writeJSON(w, status, rd)
+}

@@ -1,0 +1,48 @@
+package quest
+
+import (
+	"log"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// HTTP hardening for the QUEST serving tier: the quality experts' web UI
+// must stay up through handler bugs and slow requests — one panicking or
+// stalled handler cannot be allowed to take the field-study deployment
+// (§5.3) down with it.
+
+// Recover wraps a handler so that panics return 500 to the client and are
+// logged with a stack trace instead of killing the serving process.
+// http.ErrAbortHandler is re-raised: it is the sanctioned way to abort a
+// response and is handled by the http server itself.
+func Recover(logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			if logger != nil {
+				logger.Printf("quest: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			}
+			// The handler may already have written a partial response; the
+			// extra WriteHeader is then a no-op and the client sees a torn
+			// body, which is the best that can be done at this point.
+			http.Error(w, "internal server error", http.StatusInternalServerError)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// WithTimeout bounds every request's handler time, answering 503 when it is
+// exceeded. d <= 0 disables the bound.
+func WithTimeout(d time.Duration, next http.Handler) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.TimeoutHandler(next, d, "request timed out")
+}

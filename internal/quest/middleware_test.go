@@ -1,0 +1,298 @@
+package quest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/reldb"
+)
+
+// TestRecoverMiddleware: a panicking handler answers 500 and the wrapping
+// handler (the process) stays alive for the next request.
+func TestRecoverMiddleware(t *testing.T) {
+	var logged strings.Builder
+	logger := log.New(&logged, "", 0)
+	calls := 0
+	h := Recover(logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if r.URL.Path == "/boom" {
+			panic("handler bug")
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(logged.String(), "handler bug") {
+		t.Fatalf("panic not logged: %q", logged.String())
+	}
+	// The process survived: the next request is served normally.
+	resp, err = http.Get(ts.URL + "/ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || calls != 2 {
+		t.Fatalf("status=%d calls=%d after panic", resp.StatusCode, calls)
+	}
+}
+
+// TestServerPanicReturns500 drives a panic through the full Server handler
+// chain via a route registered on the internal mux.
+func TestServerPanicReturns500(t *testing.T) {
+	db, err := reldb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var logged strings.Builder
+	s, err := NewServer(Config{DB: db, Logger: log.New(&logged, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mux.HandleFunc("/test/panic", func(http.ResponseWriter, *http.Request) {
+		panic("injected handler panic")
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/test/panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(logged.String(), "injected handler panic") {
+		t.Fatal("panic not logged with attribution")
+	}
+	// Liveness is unaffected.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after panic = %d", resp.StatusCode)
+	}
+}
+
+func TestWithTimeoutBoundsSlowHandlers(t *testing.T) {
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(2 * time.Second):
+			w.WriteHeader(http.StatusOK)
+		case <-r.Context().Done():
+		}
+	})
+	ts := httptest.NewServer(WithTimeout(20*time.Millisecond, slow))
+	defer ts.Close()
+	start := time.Now()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("timeout middleware did not cut the handler short")
+	}
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	// A full application database with comparison data: fully ready.
+	ts, _ := testServer(t)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rd struct{ Status, DB, Comparison string }
+	if err := json.NewDecoder(resp.Body).Decode(&rd); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rd.Status != "ok" || rd.DB != "ok" {
+		t.Fatalf("readyz: %d %+v", resp.StatusCode, rd)
+	}
+	if rd.Comparison != "loaded" {
+		t.Fatalf("comparison state = %q, want loaded", rd.Comparison)
+	}
+}
+
+func TestReadinessReportsComparisonNote(t *testing.T) {
+	db, err := reldb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s, err := NewServer(Config{DB: db, ComparisonNote: "no ODI complaints imported"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rd struct{ Status, DB, Comparison string }
+	if err := json.NewDecoder(resp.Body).Decode(&rd); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// No bundles table in this bare database: not ready, and the degraded
+	// comparison carries its reason.
+	if resp.StatusCode != http.StatusServiceUnavailable || rd.Status != "unavailable" {
+		t.Fatalf("readyz on bare db: %d %+v", resp.StatusCode, rd)
+	}
+	if rd.Comparison != "degraded: no ODI complaints imported" {
+		t.Fatalf("comparison = %q", rd.Comparison)
+	}
+}
+
+// TestGracefulDrain: under in-flight load, a stop signal lets running
+// requests complete within the shutdown budget, then the listener closes.
+func TestGracefulDrain(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		started <- struct{}{}
+		<-release
+		fmt.Fprint(w, "done")
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: h}
+	stop := make(chan struct{})
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- ServeListenerUntil(l, srv, 5*time.Second, stop) }()
+	base := "http://" + l.Addr().String()
+
+	// The server answers liveness probes under load.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	// Put three requests in flight, then signal shutdown.
+	const inFlight = 3
+	var wg sync.WaitGroup
+	bodies := make([]string, inFlight)
+	errs := make([]error, inFlight)
+	for i := 0; i < inFlight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(base + "/work")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			bodies[i] = string(b)
+		}(i)
+	}
+	for i := 0; i < inFlight; i++ {
+		<-started
+	}
+	close(stop)
+	// Give Shutdown a moment to close the listener, then release handlers.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("ServeListenerUntil = %v, want clean drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not stop after drain")
+	}
+	for i := 0; i < inFlight; i++ {
+		if errs[i] != nil || bodies[i] != "done" {
+			t.Fatalf("in-flight request %d: body=%q err=%v", i, bodies[i], errs[i])
+		}
+	}
+	// New connections are refused after shutdown.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// TestShutdownTimeoutForcesClose: a handler that never finishes cannot hold
+// shutdown hostage past the budget.
+func TestShutdownTimeoutForcesClose(t *testing.T) {
+	started := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-r.Context().Done() // hangs until the connection is force-closed
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: h}
+	stop := make(chan struct{})
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- ServeListenerUntil(l, srv, 100*time.Millisecond, stop) }()
+
+	go func() {
+		resp, err := http.Get("http://" + l.Addr().String())
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started
+	close(stop)
+	select {
+	case err := <-serveErr:
+		if err == nil {
+			t.Fatal("expected a shutdown-timeout error for the stuck handler")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown did not force-close the stuck connection")
+	}
+}

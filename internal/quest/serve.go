@@ -1,0 +1,51 @@
+package quest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Graceful serving: run an http.Server until a stop signal, then drain
+// in-flight requests for up to shutdownTimeout before closing remaining
+// connections hard.
+
+// ServeUntil runs srv.ListenAndServe and, once stop delivers or closes,
+// shuts the server down gracefully. It returns nil on a clean drain, the
+// listen error if the server never came up, or the shutdown error when the
+// timeout expired with requests still in flight (those connections are
+// then force-closed).
+func ServeUntil(srv *http.Server, shutdownTimeout time.Duration, stop <-chan struct{}) error {
+	return serveUntil(srv.ListenAndServe, srv, shutdownTimeout, stop)
+}
+
+// ServeListenerUntil is ServeUntil over an existing listener (tests, port
+// 0 binds).
+func ServeListenerUntil(l net.Listener, srv *http.Server, shutdownTimeout time.Duration, stop <-chan struct{}) error {
+	return serveUntil(func() error { return srv.Serve(l) }, srv, shutdownTimeout, stop)
+}
+
+func serveUntil(serve func() error, srv *http.Server, shutdownTimeout time.Duration, stop <-chan struct{}) error {
+	errc := make(chan error, 1)
+	go func() { errc <- serve() }()
+	select {
+	case err := <-errc:
+		// The listener failed (or the server was closed elsewhere) before
+		// any stop signal.
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-stop:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+		return fmt.Errorf("quest: shutdown: %w", err)
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"html/template"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -22,10 +23,12 @@ const SuggestionLimit = 10
 
 // Server is the QUEST web application over a QATK database.
 type Server struct {
-	db       *reldb.DB
-	internal *compare.Distribution
-	public   *compare.Distribution
-	mux      *http.ServeMux
+	db             *reldb.DB
+	internal       *compare.Distribution
+	public         *compare.Distribution
+	comparisonNote string
+	mux            *http.ServeMux
+	handler        http.Handler
 }
 
 // Config wires a Server.
@@ -35,6 +38,15 @@ type Config struct {
 	// nil, disabling it.
 	Internal *compare.Distribution
 	Public   *compare.Distribution
+	// ComparisonNote records why the comparison screen is degraded (shown
+	// by /readyz); ignored when both distributions are set.
+	ComparisonNote string
+	// RequestTimeout bounds each request's handler time (0 = unbounded).
+	// Health probes are exempt so a stalled application handler cannot
+	// mask the process's liveness.
+	RequestTimeout time.Duration
+	// Logger receives panic reports (nil = the standard logger).
+	Logger *log.Logger
 }
 
 // NewServer builds the application. The database must already contain the
@@ -43,7 +55,10 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.DB == nil {
 		return nil, fmt.Errorf("quest: nil database")
 	}
-	s := &Server{db: cfg.DB, internal: cfg.Internal, public: cfg.Public, mux: http.NewServeMux()}
+	s := &Server{
+		db: cfg.DB, internal: cfg.Internal, public: cfg.Public,
+		comparisonNote: cfg.ComparisonNote, mux: http.NewServeMux(),
+	}
 	s.mux.HandleFunc("/", s.handleBundles)
 	s.mux.HandleFunc("/bundle/", s.handleBundle)
 	s.mux.HandleFunc("/login", s.handleLogin)
@@ -54,11 +69,23 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/compare", s.handleCompare)
 	s.mux.HandleFunc("/audit", s.handleAudit)
 	s.registerAPI()
+
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.Default()
+	}
+	// Health probes bypass the request timeout; everything else runs under
+	// timeout + panic recovery.
+	probes := http.NewServeMux()
+	probes.HandleFunc("/healthz", s.handleHealthz)
+	probes.HandleFunc("/readyz", s.handleReadyz)
+	probes.Handle("/", WithTimeout(cfg.RequestTimeout, s.mux))
+	s.handler = Recover(logger, probes)
 	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // --- session -------------------------------------------------------------
 
