@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check
+.PHONY: build test vet lint race check
 
 ## build: compile every package and command
 build:
@@ -14,9 +14,13 @@ test:
 vet:
 	$(GO) vet ./...
 
+## lint: project-specific invariants (qatklint); exit 1 on any finding
+lint:
+	$(GO) run ./cmd/qatklint ./...
+
 ## race: full test suite under the race detector
 race:
 	$(GO) test -race ./...
 
-## check: the pre-merge tier — vet plus the race-enabled suite
-check: vet race
+## check: the pre-merge tier — vet, qatklint and the race-enabled suite
+check: vet lint race

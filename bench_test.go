@@ -67,8 +67,11 @@ func runVariant(b *testing.B, v eval.Variant) {
 	e := eval.New(c.Taxonomy, c.Bundles)
 	b.ResetTimer()
 	var r *eval.Result
+	var err error
 	for i := 0; i < b.N; i++ {
-		r = e.Run(v)
+		if r, err = e.Run(v); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.StopTimer()
 	reportAccuracy(b, r)
@@ -109,8 +112,11 @@ func BenchmarkFig11_CandidateSetBaseline(b *testing.B) {
 	e := eval.New(c.Taxonomy, c.Bundles)
 	b.ResetTimer()
 	var r *eval.Result
+	var err error
 	for i := 0; i < b.N; i++ {
-		r = e.RunCandidateSetBaseline(kb.BagOfWords, nil)
+		if r, err = e.RunCandidateSetBaseline(kb.BagOfWords, nil); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.StopTimer()
 	reportAccuracy(b, r)

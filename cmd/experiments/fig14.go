@@ -122,8 +122,8 @@ func runFig14(corpus *datagen.Corpus) {
 // bag-of-concepts CV with the extended taxonomy.
 func runExtension(corpus *datagen.Corpus) {
 	e := eval.New(corpus.Taxonomy, corpus.Bundles)
-	plain := e.Run(eval.Variant{Name: "bag-of-concepts + jaccard (legacy taxonomy)",
-		Model: kb.BagOfConcepts, Sim: core.Jaccard{}})
+	plain := must(e.Run(eval.Variant{Name: "bag-of-concepts + jaccard (legacy taxonomy)",
+		Model: kb.BagOfConcepts, Sim: core.Jaccard{}}))
 	adapted, added, err := taxext.Evaluate(corpus.Taxonomy, corpus.Bundles,
 		taxext.DefaultConfig(), core.Jaccard{}, 5, 1, nil)
 	if err != nil {

@@ -131,12 +131,22 @@ func writeCSV(name string, results []*eval.Result) {
 	}
 }
 
+// must aborts the experiment run when an evaluation fails; the figures
+// are meaningless on partial data.
+func must[T any](v T, err error) T {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	return v
+}
+
 func runFig11(corpus *datagen.Corpus) {
 	e := eval.New(corpus.Taxonomy, corpus.Bundles)
-	results := e.RunAll(eval.StandardVariants())
+	results := must(e.RunAll(eval.StandardVariants()))
 	results = append(results, e.RunFrequencyBaseline())
-	results = append(results, e.RunCandidateSetBaseline(kb.BagOfWords, nil))
-	results = append(results, e.RunCandidateSetBaseline(kb.BagOfConcepts, nil))
+	results = append(results, must(e.RunCandidateSetBaseline(kb.BagOfWords, nil)))
+	results = append(results, must(e.RunCandidateSetBaseline(kb.BagOfConcepts, nil)))
 	eval.PrintTable(os.Stdout, "== Figure 11 — experiment 1: all reports ==", results, nil)
 	writeCSV("fig11", results)
 	fmt.Println()
@@ -145,10 +155,10 @@ func runFig11(corpus *datagen.Corpus) {
 func runFig1213(corpus *datagen.Corpus, src bundle.Source, title string) {
 	e := eval.New(corpus.Taxonomy, corpus.Bundles)
 	variants := eval.SourceVariants(string(src)+":", src)
-	results := e.RunAll(variants)
+	results := must(e.RunAll(variants))
 	results = append(results, e.RunFrequencyBaseline())
-	results = append(results, e.RunCandidateSetBaseline(kb.BagOfWords, []bundle.Source{src}))
-	results = append(results, e.RunCandidateSetBaseline(kb.BagOfConcepts, []bundle.Source{src}))
+	results = append(results, must(e.RunCandidateSetBaseline(kb.BagOfWords, []bundle.Source{src})))
+	results = append(results, must(e.RunCandidateSetBaseline(kb.BagOfConcepts, []bundle.Source{src})))
 	eval.PrintTable(os.Stdout, "== "+title+" ==", results, nil)
 	writeCSV("fig"+map[bundle.Source]string{bundle.SourceMechanic: "12", bundle.SourceSupplier: "13"}[src], results)
 	fmt.Println()
@@ -161,7 +171,7 @@ func runFeasibility(corpus *datagen.Corpus) {
 		{Name: "bag-of-words + jaccard + stopword removal", Model: kb.BagOfWords, Sim: jaccard(), Stopwords: true},
 		{Name: "bag-of-concepts + jaccard", Model: kb.BagOfConcepts, Sim: jaccard()},
 	}
-	results := e.RunAll(variants)
+	results := must(e.RunAll(variants))
 	fmt.Println("== Feasibility (§5.2.2) — classification runtime ==")
 	eval.PrintTiming(os.Stdout, results)
 	fmt.Println()

@@ -244,10 +244,13 @@ func run(data, model, sim, ref string, errorBudget int, cmd string, rest []strin
 		if model == "words" {
 			modelObj = kb.BagOfWords
 		}
-		res := e.Run(eval.Variant{
+		res, err := e.Run(eval.Variant{
 			Name:  fmt.Sprintf("bag-of-%s + %s", model, sim),
 			Model: modelObj, Sim: simObj,
 		})
+		if err != nil {
+			return err
+		}
 		freq := e.RunFrequencyBaseline()
 		eval.PrintTable(os.Stdout, "5-fold cross-validation", []*eval.Result{res, freq}, nil)
 		fmt.Printf("\nclassification: %.2f ms/bundle, %d knowledge nodes/fold\n",

@@ -1,0 +1,18 @@
+// Command qatklint runs the QATK's project-specific static-analysis
+// suite (internal/analysis) over the given packages and exits non-zero
+// when any invariant is violated. It is the `make lint` gate.
+//
+// Usage:
+//
+//	qatklint [-json] [-C dir] [packages]
+package main
+
+import (
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(analysis.RunCommand(os.Args[1:], os.Stdout, os.Stderr))
+}

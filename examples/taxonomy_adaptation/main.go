@@ -47,8 +47,14 @@ func main() {
 	// data only, then classifying the held-out fold with the extended
 	// taxonomy.
 	e := eval.New(corpus.Taxonomy, corpus.Bundles)
-	plain := e.Run(eval.Variant{Name: "boc", Model: kb.BagOfConcepts, Sim: core.Jaccard{}})
-	bow := e.Run(eval.Variant{Name: "bow", Model: kb.BagOfWords, Sim: core.Jaccard{}})
+	plain, err := e.Run(eval.Variant{Name: "boc", Model: kb.BagOfConcepts, Sim: core.Jaccard{}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bow, err := e.Run(eval.Variant{Name: "bow", Model: kb.BagOfWords, Sim: core.Jaccard{}})
+	if err != nil {
+		log.Fatal(err)
+	}
 	adapted, added, err := taxext.Evaluate(corpus.Taxonomy, corpus.Bundles,
 		taxext.DefaultConfig(), core.Jaccard{}, 5, 1, nil)
 	if err != nil {

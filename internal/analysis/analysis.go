@@ -1,0 +1,90 @@
+// Package analysis is a stdlib-only static-analysis framework for the
+// QATK repository. It exists because the pipeline's fault-tolerance layer
+// (PR 1) encodes its correctness contracts — attributable errors, no
+// retained CAS references, deterministic evaluation — by convention, and
+// conventions rot as engines are added. qatklint turns them into
+// machine-checked invariants.
+//
+// The framework deliberately avoids golang.org/x/tools: packages are
+// located with `go list -json -deps`, parsed with go/parser and type
+// checked with go/types, so the build stays dependency-free and offline.
+//
+// An Analyzer inspects one type-checked package at a time through a Pass
+// and reports Diagnostics keyed by file:line. Findings can be suppressed
+// in source with
+//
+//	//lint:ignore qatklint/<name> reason
+//
+// on the flagged line or the line directly above it; the reason string is
+// mandatory.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the short analyzer name; the full diagnostic identifier is
+	// "qatklint/<Name>".
+	Name string
+	// Doc is a one-paragraph description of the contract the analyzer
+	// guards, shown by `qatklint -help`.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// ID returns the full diagnostic identifier, e.g. "qatklint/casretain".
+func (a *Analyzer) ID() string { return "qatklint/" + a.Name }
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File // parsed non-test source files of the package
+	Pkg      *types.Package
+	Info     *types.Info
+	// Deps holds the transitive import paths of the package (from
+	// `go list -deps`), letting analyzers scope themselves to packages
+	// that depend on a subsystem without walking the import graph.
+	Deps map[string]bool
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos. Category is a short machine-readable
+// grouping within the analyzer (e.g. "field-store", "global-rand") that
+// the JSON output carries for tooling.
+func (p *Pass) Reportf(pos token.Pos, category, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Category: category,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, addressable as file:line.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"` // short name; full ID is qatklint/<analyzer>
+	Category string `json:"category,omitempty"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// Key returns the file:line key the output formats group findings under.
+func (d Diagnostic) Key() string { return fmt.Sprintf("%s:%d", d.File, d.Line) }
+
+// String renders the diagnostic in the human output format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: qatklint/%s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}

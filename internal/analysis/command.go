@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Exit codes of the qatklint command.
+const (
+	ExitClean    = 0 // no findings
+	ExitFindings = 1 // at least one finding
+	ExitError    = 2 // usage or load failure
+)
+
+// RunCommand implements the qatklint CLI: it loads the packages matching
+// the pattern arguments (default ./...), runs every registered analyzer
+// and writes findings to stdout. The exit code is ExitFindings iff
+// findings exist, so `make lint` can gate merges on it.
+func RunCommand(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("qatklint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON keyed by file:line")
+	dir := fs.String("C", ".", "change to `dir` before loading packages")
+	list := fs.Bool("help-checks", false, "list the registered analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: qatklint [-json] [-C dir] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return ExitError
+	}
+	if *list {
+		for _, a := range All() {
+			fmt.Fprintf(stdout, "%s\n    %s\n", a.ID(), a.Doc)
+		}
+		return ExitClean
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := Load(fset, *dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return ExitError
+	}
+	diags, err := Run(fset, pkgs, All())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return ExitError
+	}
+	relativize(diags, *dir)
+	if *jsonOut {
+		if err := WriteJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return ExitError
+		}
+	} else {
+		WriteText(stdout, diags)
+	}
+	if len(diags) > 0 {
+		return ExitFindings
+	}
+	return ExitClean
+}
+
+// relativize rewrites absolute file names relative to dir when possible,
+// keeping output stable across checkouts.
+func relativize(diags []Diagnostic, dir string) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(abs, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deterministicPkgs are the package names whose outputs must be
+// bit-identical across runs for a fixed seed: corpus generation, the
+// 5-fold evaluation, the baselines, and chaos-fault schedules. Drawing
+// from ambient sources of entropy there silently breaks reproducibility
+// of every experiment figure.
+var deterministicPkgs = map[string]bool{
+	"datagen":  true,
+	"eval":     true,
+	"baseline": true,
+	"faults":   true,
+}
+
+// Determinism forbids ambient entropy in the reproducibility-critical
+// packages: no time.Now/time.Since calls, no global math/rand draws
+// (seeded *rand.Rand instances must be injected), and no map iteration
+// feeding ordered output unless the result is sorted afterwards.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "datagen, eval, baseline and faults must not call time.Now or the global " +
+		"math/rand functions, and must sort map-derived output; inject a seeded *rand.Rand.",
+	Run: runDeterminism,
+}
+
+// seededConstructors are the math/rand package-level functions that build
+// generators from an injected seed rather than drawing from global state.
+var seededConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+
+func runDeterminism(pass *Pass) error {
+	if !deterministicPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkEntropyCall(pass, call)
+			}
+			return true
+		})
+	}
+	eachFunc(pass, func(decl *ast.FuncDecl) { checkMapOrder(pass, decl) })
+	return nil
+}
+
+// checkEntropyCall flags calls into ambient entropy sources.
+func checkEntropyCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. on an injected *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until" {
+			pass.Reportf(call.Pos(), "wall-clock",
+				"call to time.%s in deterministic package %q; inject a clock instead", fn.Name(), pass.Pkg.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(), "global-rand",
+				"call to global rand.%s in deterministic package %q; inject a seeded *rand.Rand", fn.Name(), pass.Pkg.Name())
+		}
+	}
+}
+
+// checkMapOrder flags map-range loops that emit ordered output: appending
+// to a slice declared outside the loop (unless that slice is sorted later
+// in the same function) or writing/printing inside the loop body.
+func checkMapOrder(pass *Pass, decl *ast.FuncDecl) {
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := pass.Info.TypeOf(rng.X); t == nil {
+			return true
+		} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, decl, rng)
+		return true
+	})
+}
+
+func checkMapRangeBody(pass *Pass, decl *ast.FuncDecl, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range e.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinCall(pass.Info, call, "append") || len(call.Args) == 0 {
+					continue
+				}
+				root := rootIdent(call.Args[0])
+				if root == nil {
+					continue
+				}
+				obj := pass.Info.Uses[root]
+				if obj == nil || obj.Pos() > rng.Pos() {
+					continue // loop-local accumulator
+				}
+				if sortedAfter(pass, decl, rng, obj) {
+					continue // collect-then-sort is the sanctioned pattern
+				}
+				pass.Reportf(e.Pos(), "map-order",
+					"append to %q inside map iteration emits random order; sort the result or iterate sorted keys", root.Name)
+			}
+		case *ast.CallExpr:
+			if isOutputCall(pass, e) {
+				pass.Reportf(e.Pos(), "map-order",
+					"output emitted inside map iteration has random order; iterate sorted keys instead")
+			}
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether obj is passed to a sort function after the
+// range loop within the same function body.
+func sortedAfter(pass *Pass, decl *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return !found
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if root := rootIdent(arg); root != nil && pass.Info.Uses[root] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isOutputCall recognizes direct output inside a loop body: fmt printing
+// and Write/WriteString-style methods.
+func isOutputCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fn.Name() != "Sprintf" && fn.Name() != "Sprint" &&
+		fn.Name() != "Sprintln" && fn.Name() != "Errorf" {
+		return true
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return true
+		}
+	}
+	return false
+}

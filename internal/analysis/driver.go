@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+)
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	file     string
+	line     int // line the comment sits on
+	analyzer string
+	reason   string
+}
+
+// parseSuppressions extracts //lint:ignore qatklint/<name> comments from a
+// file. Malformed suppressions (unknown analyzer, missing reason) are
+// reported as diagnostics themselves: a silent, reasonless escape hatch
+// would defeat the point of machine-checked invariants.
+func parseSuppressions(fset *token.FileSet, f *ast.File, known map[string]bool, report func(Diagnostic)) []suppression {
+	var out []suppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "lint:ignore") {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(text)
+			bad := func(msg string) {
+				report(Diagnostic{
+					Analyzer: "suppression",
+					Category: "malformed",
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Message:  msg,
+				})
+			}
+			if len(fields) < 2 || !strings.HasPrefix(fields[1], "qatklint/") {
+				bad("lint:ignore must name a qatklint/<analyzer> check")
+				continue
+			}
+			name := strings.TrimPrefix(fields[1], "qatklint/")
+			if !known[name] {
+				bad(fmt.Sprintf("lint:ignore names unknown check qatklint/%s", name))
+				continue
+			}
+			if len(fields) < 3 {
+				bad(fmt.Sprintf("suppression of qatklint/%s requires a reason", name))
+				continue
+			}
+			out = append(out, suppression{
+				file:     pos.Filename,
+				line:     pos.Line,
+				analyzer: name,
+				reason:   strings.Join(fields[2:], " "),
+			})
+		}
+	}
+	return out
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by file, line, column and analyzer. A finding is
+// dropped when a well-formed suppression for its analyzer sits on the
+// same line or the line directly above.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var diags []Diagnostic
+	collect := func(d Diagnostic) { diags = append(diags, d) }
+
+	suppressed := map[string]bool{} // "file:line:analyzer"
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, s := range parseSuppressions(fset, f, known, collect) {
+				suppressed[fmt.Sprintf("%s:%d:%s", s.file, s.line, s.analyzer)] = true
+				suppressed[fmt.Sprintf("%s:%d:%s", s.file, s.line+1, s.analyzer)] = true
+			}
+		}
+	}
+
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Deps:     pkg.Deps,
+				report:   collect,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if suppressed[fmt.Sprintf("%s:%d:%s", d.File, d.Line, d.Analyzer)] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+// WriteText renders diagnostics in the human `file:line:col: ...` format.
+func WriteText(w io.Writer, diags []Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintln(w, d.String())
+	}
+}
+
+// WriteJSON renders diagnostics as a JSON object keyed by "file:line",
+// each key holding the findings on that line.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	grouped := map[string][]Diagnostic{}
+	for _, d := range diags {
+		grouped[d.Key()] = append(grouped[d.Key()], d)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(grouped)
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// All returns the registered analyzers in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		CasRetain,
+		ErrAttr,
+		Determinism,
+		PanicContract,
+		LockCopy,
+	}
+}
+
+// isInternalPkg reports whether path is inside the module's internal tree.
+func isInternalPkg(path string) bool {
+	return strings.Contains(path, "/internal/") || strings.HasPrefix(path, "internal/")
+}
+
+// pathIs reports whether an import path is the named project package,
+// module prefix notwithstanding (e.g. pathIs(p, "internal/cas") matches
+// both "repro/internal/cas" and a test module's "qatktest/internal/cas").
+func pathIs(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// depends reports whether the pass package transitively imports the
+// project package identified by suffix (see pathIs).
+func depends(pass *Pass, suffix string) bool {
+	for dep := range pass.Deps {
+		if pathIs(dep, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes, nil for
+// builtins, function values and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// isBuiltinCall reports whether a call invokes the named builtin
+// (e.g. panic, recover, append).
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// rootIdent returns the leftmost identifier of a selector/index/deref
+// chain, nil when the expression is rooted elsewhere (e.g. a call).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// usesObject reports whether the expression mentions the given object.
+func usesObject(info *types.Info, node ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// eachFunc invokes fn for every function or method declaration with a
+// body in the pass's files.
+func eachFunc(pass *Pass, fn func(decl *ast.FuncDecl)) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t implements the error interface (and is
+// not the untyped nil).
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return types.Implements(t, errorType)
+}

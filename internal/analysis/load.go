@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Root       bool // named by the requested patterns (vs. a dependency)
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	Deps       map[string]bool // transitive import paths
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Deps       []string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load locates the packages matching patterns below dir with
+// `go list -json -deps`, parses them with go/parser and type checks them
+// with go/types, dependencies first. It returns the packages named by the
+// patterns (dependencies are type checked but not returned for analysis).
+//
+// CGO_ENABLED=0 is forced so that every dependency — including the
+// standard library — can be type checked from pure Go source without a C
+// toolchain or network access.
+func Load(fset *token.FileSet, dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	checked := make(map[string]*types.Package, len(pkgs))
+	var roots []*Package
+	for _, lp := range pkgs {
+		if lp.ImportPath == "unsafe" {
+			checked["unsafe"] = types.Unsafe
+			continue
+		}
+		if lp.Error != nil && !lp.DepOnly {
+			return nil, fmt.Errorf("analysis: load %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := check(fset, lp, checked)
+		if err != nil {
+			if lp.DepOnly || lp.Standard {
+				// A dependency that does not type check perfectly (e.g.
+				// an assembly-backed stdlib package) is still usable for
+				// analysis of the packages that import it.
+				if pkg != nil && pkg.Types != nil {
+					checked[lp.ImportPath] = pkg.Types
+				}
+				continue
+			}
+			return nil, err
+		}
+		checked[lp.ImportPath] = pkg.Types
+		if !lp.DepOnly && !lp.Standard {
+			pkg.Root = true
+			roots = append(roots, pkg)
+		}
+	}
+	if len(roots) == 0 {
+		return nil, errors.New("analysis: no packages matched")
+	}
+	return roots, nil
+}
+
+// goList shells out to the go command, decoding the JSON stream.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("analysis: go list: %w", err)
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(out)
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("analysis: go list output: %w", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("analysis: go list: %w (%s)", err, strings.TrimSpace(stderr.String()))
+	}
+	return pkgs, nil
+}
+
+// mapImporter resolves import paths against already-checked packages,
+// honoring the package's vendor ImportMap (e.g. net/http's vendored
+// golang.org/x dependencies).
+type mapImporter struct {
+	checked   map[string]*types.Package
+	importMap map[string]string
+	fallback  types.Importer
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := m.checked[path]; ok {
+		return pkg, nil
+	}
+	if m.fallback != nil {
+		return m.fallback.Import(path)
+	}
+	return nil, fmt.Errorf("analysis: import %q not loaded", path)
+}
+
+// check parses and type checks one package whose dependencies are already
+// in checked.
+func check(fset *token.FileSet, lp *listPkg, checked map[string]*types.Package) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: &mapImporter{
+			checked:   checked,
+			importMap: lp.ImportMap,
+			// The source importer covers test-only corner cases where a
+			// dependency was not part of the go list stream.
+			fallback: importer.ForCompiler(fset, "source", nil),
+		},
+		FakeImportC: true,
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, _ := conf.Check(lp.ImportPath, fset, files, info)
+	pkg := &Package{
+		ImportPath: lp.ImportPath,
+		Name:       lp.Name,
+		Dir:        lp.Dir,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		Deps:       make(map[string]bool, len(lp.Deps)),
+	}
+	for _, d := range lp.Deps {
+		pkg.Deps[d] = true
+	}
+	if firstErr != nil {
+		return pkg, fmt.Errorf("analysis: type check %s: %w", lp.ImportPath, firstErr)
+	}
+	return pkg, nil
+}

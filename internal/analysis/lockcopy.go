@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockCopy flags by-value copies of lock-bearing structs — by-value
+// method receivers, by-value parameters, plain assignments and range
+// copies. internal/quest and internal/reldb guard shared state with
+// sync.Mutex/RWMutex; a copied lock splits what should be one critical
+// section into two independent ones, a corruption bug the race detector
+// only catches when the schedule cooperates.
+var LockCopy = &Analyzer{
+	Name: "lockcopy",
+	Doc: "structs containing sync.Mutex/RWMutex (or other sync primitives) must not be " +
+		"copied: no by-value receivers, parameters, assignments or range copies.",
+	Run: runLockCopy,
+}
+
+// noCopyTypes are the sync package types that must not be copied after
+// first use.
+var noCopyTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+func runLockCopy(pass *Pass) error {
+	memo := map[types.Type]bool{}
+	locky := func(t types.Type) bool { return containsLock(t, memo) }
+
+	eachFunc(pass, func(decl *ast.FuncDecl) {
+		if decl.Recv != nil {
+			for _, field := range decl.Recv.List {
+				if t := pass.Info.TypeOf(field.Type); t != nil && locky(t) {
+					pass.Reportf(field.Pos(), "receiver",
+						"method %s has a by-value receiver of lock-bearing type %s; use a pointer receiver", decl.Name.Name, t)
+				}
+			}
+		}
+		for _, field := range decl.Type.Params.List {
+			if t := pass.Info.TypeOf(field.Type); t != nil && locky(t) {
+				pass.Reportf(field.Pos(), "param",
+					"parameter of lock-bearing type %s is passed by value; pass a pointer", t)
+			}
+		}
+	})
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range e.Rhs {
+					if i >= len(e.Lhs) {
+						break
+					}
+					if id, ok := e.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue // discarded, not retained as a second copy
+					}
+					if t := pass.Info.TypeOf(rhs); t != nil && locky(t) && copiesValue(rhs) {
+						pass.Reportf(e.Pos(), "assign",
+							"assignment copies lock-bearing value of type %s", t)
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range e.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, v := range vs.Values {
+						if t := pass.Info.TypeOf(v); t != nil && locky(t) && copiesValue(v) {
+							pass.Reportf(v.Pos(), "assign",
+								"variable initialization copies lock-bearing value of type %s", t)
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if e.Value == nil {
+					return true
+				}
+				if t := pass.Info.TypeOf(e.Value); t != nil && locky(t) {
+					pass.Reportf(e.Value.Pos(), "range",
+						"range copies lock-bearing values of type %s; iterate by index or over pointers", t)
+				}
+			case *ast.CallExpr:
+				if isBuiltinCall(pass.Info, e, "append") || isBuiltinCall(pass.Info, e, "len") || isBuiltinCall(pass.Info, e, "cap") {
+					return true
+				}
+				for _, arg := range e.Args {
+					if t := pass.Info.TypeOf(arg); t != nil && locky(t) && copiesValue(arg) {
+						pass.Reportf(arg.Pos(), "argument",
+							"call passes lock-bearing value of type %s by value", t)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// copiesValue reports whether the expression reads an *existing* value
+// (which an enclosing assignment or call then copies). Composite literals
+// and function results are fresh values and safe to bind once.
+func copiesValue(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		_ = x
+		return true
+	}
+	return false
+}
+
+// containsLock reports whether t (transitively through struct fields,
+// embedded fields and arrays) contains one of the sync no-copy types.
+func containsLock(t types.Type, memo map[types.Type]bool) bool {
+	if t == nil {
+		return false
+	}
+	if v, ok := memo[t]; ok {
+		return v
+	}
+	memo[t] = false // cycle guard
+	result := false
+	switch u := t.(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" && noCopyTypes[obj.Name()] {
+			result = true
+		} else {
+			result = containsLock(u.Underlying(), memo)
+		}
+	case *types.Alias:
+		result = containsLock(types.Unalias(u), memo)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), memo) {
+				result = true
+				break
+			}
+		}
+	case *types.Array:
+		result = containsLock(u.Elem(), memo)
+	}
+	memo[t] = result
+	return result
+}

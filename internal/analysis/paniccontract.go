@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// PanicContract enforces the fault-tolerance layer's division of labor:
+// internal/pipeline owns panic recovery (safeProcess converts engine
+// panics into attributable *EngineError values), so no other package may
+// install its own recover(); and code on the engine/consumer paths — any
+// package that depends on internal/cas — must report failures as errors,
+// not panics, so they stay attributable and dead-letterable. Functions
+// following the Must* convention are exempt: a documented panicking
+// wrapper is an API contract, not an error path.
+var PanicContract = &Analyzer{
+	Name: "paniccontract",
+	Doc: "panics are reserved for the pipeline recovery layer: no recover() outside " +
+		"internal/pipeline, no naked panic on engine/consumer code paths (Must* functions exempt).",
+	Run: runPanicContract,
+}
+
+func runPanicContract(pass *Pass) error {
+	inPipeline := pathIs(pass.Pkg.Path(), "internal/pipeline")
+	// Engine/consumer scope: anything that (transitively) touches the CAS.
+	engineScope := !inPipeline && depends(pass, "internal/cas")
+
+	eachFunc(pass, func(decl *ast.FuncDecl) {
+		exempt := strings.HasPrefix(decl.Name.Name, "Must")
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				// Function literals inherit the enclosing declaration's
+				// exemption status; keep walking.
+				return true
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isBuiltinCall(pass.Info, call, "recover") && !inPipeline {
+				pass.Reportf(call.Pos(), "recover",
+					"recover() outside internal/pipeline; panic recovery is owned by the pipeline so failures stay attributed to engines")
+			}
+			if engineScope && !exempt && isBuiltinCall(pass.Info, call, "panic") {
+				pass.Reportf(call.Pos(), "panic",
+					"panic on an engine/consumer code path; return an error so the pipeline can attribute and dead-letter the document")
+			}
+			return true
+		})
+	})
+	return nil
+}

@@ -1,0 +1,59 @@
+// Package datagen exercises the determinism analyzer: this package name
+// is on the reproducibility-critical list, so ambient entropy and
+// unsorted map-derived output are findings.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().Unix() // want determinism "time.Now"
+}
+
+// Draw uses the global generator.
+func Draw() int {
+	return rand.Intn(10) // want determinism "rand.Intn"
+}
+
+// Seeded draws from an injected generator; methods are fine.
+func Seeded(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+// NewGen builds a generator from an explicit seed; the seeded
+// constructors are the sanctioned entry points.
+func NewGen(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// SortedKeys collects map keys and sorts them afterwards — the
+// sanctioned pattern.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// RawKeys leaks map iteration order into its result.
+func RawKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want determinism "map iteration"
+	}
+	return keys
+}
+
+// Dump prints during map iteration.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want determinism "map iteration"
+	}
+}

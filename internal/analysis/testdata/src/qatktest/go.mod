@@ -1,0 +1,3 @@
+module qatktest
+
+go 1.22

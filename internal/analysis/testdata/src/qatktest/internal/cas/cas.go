@@ -1,0 +1,17 @@
+// Package cas is a minimal stand-in for the repository's internal/cas
+// package. The analyzers match *cas.CAS parameters and the engine scope
+// by import-path suffix, so this fixture module exercises them without
+// importing the real implementation.
+package cas
+
+// CAS holds an analysis structure whose memory is owned by the pipeline.
+type CAS struct {
+	segments []string
+	text     string
+}
+
+// Segments exposes memory reachable from the CAS.
+func (c *CAS) Segments() []string { return c.segments }
+
+// First returns an immutable copy; retaining it is safe.
+func (c *CAS) First() string { return c.text }

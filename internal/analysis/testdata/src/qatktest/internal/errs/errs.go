@@ -1,0 +1,46 @@
+// Package errs exercises the errattr analyzer: attribution prefixes at
+// the package boundary, %w wrapping and sentinel comparisons.
+package errs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrMissing carries the package prefix; exported sentinels are boundary
+// errors.
+var ErrMissing = errors.New("errs: not found")
+
+// ErrBad does not name its origin.
+var ErrBad = errors.New("bad input") // want errattr "package prefix"
+
+// Open is exported: its errors cross the package boundary unlabeled.
+func Open(name string) error {
+	return fmt.Errorf("cannot open %s", name) // want errattr "package prefix"
+}
+
+// Wrap formats its cause verbatim instead of wrapping it.
+func Wrap(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("errs: open failed: %v", err) // want errattr "%w"
+}
+
+// Good wraps properly.
+func Good(err error) error {
+	return fmt.Errorf("errs: open failed: %w", err)
+}
+
+// IsMissing compares a sentinel directly; wrapping breaks it.
+func IsMissing(err error) bool {
+	return err == ErrMissing // want errattr "errors.Is"
+}
+
+// helper errors are wrapped once at the exported boundary, so the prefix
+// rule does not apply to unexported functions.
+func helper() error {
+	return errors.New("short read")
+}
+
+var _ = helper

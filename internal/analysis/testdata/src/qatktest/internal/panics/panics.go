@@ -1,0 +1,34 @@
+// Package panics exercises the paniccontract analyzer. It imports the
+// cas stub, which puts it on the engine/consumer path: panics here rob
+// the pipeline of its chance to attribute and dead-letter the document.
+package panics
+
+import "qatktest/internal/cas"
+
+// Consume panics on an engine/consumer code path.
+func Consume(c *cas.CAS) int {
+	if c == nil {
+		panic("nil CAS") // want paniccontract "engine/consumer"
+	}
+	return len(c.Segments())
+}
+
+// MustConsume follows the Must* convention: a documented panicking
+// wrapper is exempt.
+func MustConsume(c *cas.CAS) int {
+	if c == nil {
+		panic("panics: nil CAS")
+	}
+	return len(c.Segments())
+}
+
+// Guard installs its own recovery, which belongs to internal/pipeline.
+func Guard(f func()) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil { // want paniccontract "recover"
+			ok = false
+		}
+	}()
+	f()
+	return true
+}

@@ -1,0 +1,12 @@
+// Package pipeline may recover: it is the designated recovery layer
+// (matched by import-path suffix internal/pipeline).
+package pipeline
+
+// Safe converts a panic from f into a return value.
+func Safe(f func()) (recovered any) {
+	defer func() {
+		recovered = recover()
+	}()
+	f()
+	return nil
+}

@@ -1,0 +1,41 @@
+// Package retain exercises the casretain analyzer: Process methods that
+// stash their borrowed *cas.CAS (or memory reachable from it) in places
+// that outlive the call.
+package retain
+
+import "qatktest/internal/cas"
+
+// Engine retains its CAS argument in every way the contract forbids.
+type Engine struct {
+	last   *cas.CAS
+	tokens []string
+}
+
+var lastSeen *cas.CAS
+
+func (e *Engine) Process(c *cas.CAS) error {
+	e.last = c                       // want casretain "struct field"
+	lastSeen = c                     // want casretain "package-level variable"
+	e.tokens = c.Segments()          // want casretain "struct field"
+	go func() { _ = c.Segments() }() // want casretain "goroutine"
+	return nil
+}
+
+// Safe derives only values from the CAS; nothing is retained.
+type Safe struct {
+	n     int
+	first string
+}
+
+func (s *Safe) Process(c *cas.CAS) error {
+	segs := c.Segments() // a local borrow is fine
+	s.n = len(segs)      // an int cannot retain CAS memory
+	s.first = c.First()  // strings are immutable copies
+	return nil
+}
+
+// NotProcess is not the Engine.Process entry point; the contract does
+// not apply.
+func (e *Engine) Warm(c *cas.CAS) {
+	e.last = c
+}

@@ -1,0 +1,50 @@
+// Package locks exercises the lockcopy analyzer: by-value receivers,
+// parameters, assignments and range copies of mutex-bearing structs.
+package locks
+
+import "sync"
+
+// Counter guards n with a mutex; copying it forks the critical section.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c Counter) Bad() int { // want lockcopy "pointer receiver"
+	return c.n
+}
+
+func (c *Counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func Snapshot(c Counter) int { // want lockcopy "by value"
+	return c.n
+}
+
+func ByPointer(c *Counter) int {
+	return c.n
+}
+
+func CopyOut(c *Counter) {
+	snapshot := *c // want lockcopy "copies lock-bearing value"
+	_ = snapshot
+}
+
+func Sum(cs []Counter) int {
+	total := 0
+	for _, c := range cs { // want lockcopy "range copies"
+		total += c.n
+	}
+	return total
+}
+
+func SumByIndex(cs []Counter) int {
+	total := 0
+	for i := range cs {
+		total += cs[i].n
+	}
+	return total
+}

@@ -76,6 +76,11 @@ type Experiment struct {
 	Folds    int
 	Seed     int64
 	Ks       []int
+	// Clock times the classification loop for the §5.2.2 feasibility
+	// numbers. It is an injected dependency (qatklint/determinism forbids
+	// calling time.Now here): tests substitute a fake to keep results
+	// bit-identical across runs. Nil disables timing.
+	Clock func() time.Time
 
 	annotator *annotate.ConceptAnnotator
 	stopwords textproc.StopwordSet
@@ -90,9 +95,27 @@ func New(tax *taxonomy.Taxonomy, bundles []*bundle.Bundle) *Experiment {
 		Folds:     5,
 		Seed:      1,
 		Ks:        DefaultKs,
+		Clock:     time.Now,
 		annotator: annotate.NewConceptAnnotator(tax),
 		stopwords: textproc.NewStopwordSet(),
 	}
+}
+
+// elapsed returns the seconds since start according to the injected
+// clock, 0 when timing is disabled.
+func (e *Experiment) elapsed(start time.Time) float64 {
+	if e.Clock == nil {
+		return 0
+	}
+	return e.Clock().Sub(start).Seconds()
+}
+
+// now reads the injected clock (zero time when disabled).
+func (e *Experiment) now() time.Time {
+	if e.Clock == nil {
+		return time.Time{}
+	}
+	return e.Clock()
 }
 
 // StratifiedFolds partitions bundle indexes into folds so that every error
@@ -129,8 +152,12 @@ type featureKey struct {
 	sources   string // joined source list; "" = default
 }
 
-// features computes the feature sets of every bundle for one configuration.
-func (e *Experiment) features(model kb.FeatureModel, stop bool, sources []bundle.Source) [][]string {
+// features computes the feature sets of every bundle for one
+// configuration. Engine failures are returned, not panicked: the
+// preprocessing engines run outside a pipeline here, so the error
+// attribution the recovery layer would add must be preserved by hand
+// (qatklint/paniccontract forbids panicking on engine paths).
+func (e *Experiment) features(model kb.FeatureModel, stop bool, sources []bundle.Source) ([][]string, error) {
 	ex := &kb.Extractor{Model: model}
 	if stop && model == kb.BagOfWords {
 		ex.Stopwords = e.stopwords
@@ -139,26 +166,32 @@ func (e *Experiment) features(model kb.FeatureModel, stop bool, sources []bundle
 	for i, b := range e.Bundles {
 		c := b.CAS(sources...)
 		if err := (textproc.Tokenizer{}).Process(c); err != nil {
-			panic(err) // offsets are computed by the tokenizer itself; a failure is a bug
+			return nil, fmt.Errorf("eval: tokenize bundle %s: %w", b.RefNo, err)
 		}
 		if model == kb.BagOfConcepts {
 			if err := e.annotator.Process(c); err != nil {
-				panic(err)
+				return nil, fmt.Errorf("eval: annotate bundle %s: %w", b.RefNo, err)
 			}
 		}
 		out[i] = ex.Features(c)
 	}
-	return out
+	return out, nil
 }
 
 // Run cross-validates one variant.
-func (e *Experiment) Run(v Variant) *Result {
-	trainFeats := e.features(v.Model, v.Stopwords, bundle.TrainingSources())
+func (e *Experiment) Run(v Variant) (*Result, error) {
+	trainFeats, err := e.features(v.Model, v.Stopwords, bundle.TrainingSources())
+	if err != nil {
+		return nil, err
+	}
 	testSources := v.TestSources
 	if testSources == nil {
 		testSources = bundle.TestSources()
 	}
-	testFeats := e.features(v.Model, v.Stopwords, testSources)
+	testFeats, err := e.features(v.Model, v.Stopwords, testSources)
+	if err != nil {
+		return nil, err
+	}
 
 	folds := StratifiedFolds(e.Bundles, e.Folds, e.Seed)
 	res := &Result{Variant: v.Name, Accuracy: AccuracyAtK{}}
@@ -185,7 +218,7 @@ func (e *Experiment) Run(v Variant) *Result {
 
 		foldAcc := AccuracyAtK{}
 		foldHits := map[int]int{}
-		start := time.Now()
+		start := e.now()
 		for _, idx := range folds[f] {
 			b := e.Bundles[idx]
 			cands := mem.Candidates(b.PartID, testFeats[idx])
@@ -199,7 +232,7 @@ func (e *Experiment) Run(v Variant) *Result {
 				}
 			}
 		}
-		classifySeconds += time.Since(start).Seconds()
+		classifySeconds += e.elapsed(start)
 		n := len(folds[f])
 		total += n
 		for _, k := range e.Ks {
@@ -218,16 +251,20 @@ func (e *Experiment) Run(v Variant) *Result {
 	if total > 0 {
 		res.CandidateSize = float64(candTotal) / float64(total)
 	}
-	return res
+	return res, nil
 }
 
-// RunAll cross-validates several variants.
-func (e *Experiment) RunAll(variants []Variant) []*Result {
+// RunAll cross-validates several variants, stopping at the first failure.
+func (e *Experiment) RunAll(variants []Variant) ([]*Result, error) {
 	out := make([]*Result, len(variants))
 	for i, v := range variants {
-		out[i] = e.Run(v)
+		r, err := e.Run(v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
 	}
-	return out
+	return out, nil
 }
 
 // RunFrequencyBaseline evaluates the code-frequency baseline (§5.1).
@@ -277,12 +314,18 @@ func (e *Experiment) RunFrequencyBaseline() *Result {
 
 // RunCandidateSetBaseline evaluates the unsorted candidate-set baseline for
 // one feature model (§5.1 baseline 2).
-func (e *Experiment) RunCandidateSetBaseline(model kb.FeatureModel, testSources []bundle.Source) *Result {
-	trainFeats := e.features(model, false, bundle.TrainingSources())
+func (e *Experiment) RunCandidateSetBaseline(model kb.FeatureModel, testSources []bundle.Source) (*Result, error) {
+	trainFeats, err := e.features(model, false, bundle.TrainingSources())
+	if err != nil {
+		return nil, err
+	}
 	if testSources == nil {
 		testSources = bundle.TestSources()
 	}
-	testFeats := e.features(model, false, testSources)
+	testFeats, err := e.features(model, false, testSources)
+	if err != nil {
+		return nil, err
+	}
 	folds := StratifiedFolds(e.Bundles, e.Folds, e.Seed)
 	res := &Result{
 		Variant:  fmt.Sprintf("candidate set baseline (%s)", model),
@@ -325,5 +368,5 @@ func (e *Experiment) RunCandidateSetBaseline(model kb.FeatureModel, testSources 
 		res.Accuracy[k] = float64(hits[k]) / float64(total)
 	}
 	res.TestBundles = total / e.Folds
-	return res
+	return res, nil
 }

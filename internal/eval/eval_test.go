@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/bundle"
@@ -33,6 +34,16 @@ func mediumCorpus(t testing.TB) *datagen.Corpus {
 		t.Fatal(err)
 	}
 	return c
+}
+
+// mustRun is Run for tests, failing the test on engine errors.
+func mustRun(t *testing.T, e *Experiment, v Variant) *Result {
+	t.Helper()
+	r, err := e.Run(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
 }
 
 func TestStratifiedFoldsPartitionAndBalance(t *testing.T) {
@@ -99,6 +110,36 @@ func TestStratifiedFoldsDeterministic(t *testing.T) {
 	}
 }
 
+// TestEvaluationBitIdentical runs the full stratified 5-fold
+// cross-validation twice with the same seed and requires bit-identical
+// results — the reproducibility contract qatklint/determinism guards.
+// The clock is disabled so wall-clock timing cannot differ between runs.
+func TestEvaluationBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation in -short mode")
+	}
+	c := mediumCorpus(t)
+	run := func() (*Result, *Result) {
+		e := New(c.Taxonomy, c.Bundles)
+		e.Clock = nil
+		r := mustRun(t, e, Variant{Name: "bow-j", Model: kb.BagOfWords, Sim: core.Jaccard{}})
+		return r, e.RunFrequencyBaseline()
+	}
+	r1, f1 := run()
+	r2, f2 := run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("5-fold evaluation not bit-identical across runs:\n%#v\n%#v", r1, r2)
+	}
+	if !reflect.DeepEqual(f1, f2) {
+		t.Fatalf("frequency baseline not bit-identical across runs:\n%#v\n%#v", f1, f2)
+	}
+	for _, k := range DefaultKs {
+		if r1.Accuracy[k] != r2.Accuracy[k] {
+			t.Fatalf("accuracy@%d differs: %v vs %v", k, r1.Accuracy[k], r2.Accuracy[k])
+		}
+	}
+}
+
 // TestExperimentShapes checks the qualitative result structure of the
 // paper's experiments on a mid-sized corpus (the exact paper-scale numbers
 // are produced by cmd/experiments and the benchmarks).
@@ -109,11 +150,14 @@ func TestExperimentShapes(t *testing.T) {
 	c := mediumCorpus(t)
 	e := New(c.Taxonomy, c.Bundles)
 
-	bowJ := e.Run(Variant{Name: "bow-j", Model: kb.BagOfWords, Sim: core.Jaccard{}})
-	bocJ := e.Run(Variant{Name: "boc-j", Model: kb.BagOfConcepts, Sim: core.Jaccard{}})
-	bocO := e.Run(Variant{Name: "boc-o", Model: kb.BagOfConcepts, Sim: core.Overlap{}})
+	bowJ := mustRun(t, e, Variant{Name: "bow-j", Model: kb.BagOfWords, Sim: core.Jaccard{}})
+	bocJ := mustRun(t, e, Variant{Name: "boc-j", Model: kb.BagOfConcepts, Sim: core.Jaccard{}})
+	bocO := mustRun(t, e, Variant{Name: "boc-o", Model: kb.BagOfConcepts, Sim: core.Overlap{}})
 	freq := e.RunFrequencyBaseline()
-	cand := e.RunCandidateSetBaseline(kb.BagOfWords, nil)
+	cand, err := e.RunCandidateSetBaseline(kb.BagOfWords, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Fig. 11 ordering at k=1: bag-of-words > bag-of-concepts > frequency
 	// baseline > candidate set; bag-of-concepts+overlap below baseline.
@@ -154,7 +198,7 @@ func TestExperimentSourceShapes(t *testing.T) {
 	freq := e.RunFrequencyBaseline()
 
 	// Fig. 12: mechanic-only below the frequency baseline at every k.
-	mech := e.Run(Variant{Name: "mech", Model: kb.BagOfWords, Sim: core.Jaccard{},
+	mech := mustRun(t, e, Variant{Name: "mech", Model: kb.BagOfWords, Sim: core.Jaccard{},
 		TestSources: []bundle.Source{bundle.SourceMechanic}})
 	for _, k := range []int{1, 5, 10} {
 		if mech.Accuracy[k] >= freq.Accuracy[k] {
@@ -163,8 +207,8 @@ func TestExperimentSourceShapes(t *testing.T) {
 	}
 
 	// Fig. 13: supplier-only close to the full test sources.
-	full := e.Run(Variant{Name: "full", Model: kb.BagOfWords, Sim: core.Jaccard{}})
-	sup := e.Run(Variant{Name: "sup", Model: kb.BagOfWords, Sim: core.Jaccard{},
+	full := mustRun(t, e, Variant{Name: "full", Model: kb.BagOfWords, Sim: core.Jaccard{}})
+	sup := mustRun(t, e, Variant{Name: "sup", Model: kb.BagOfWords, Sim: core.Jaccard{},
 		TestSources: []bundle.Source{bundle.SourceSupplier}})
 	if diff := full.Accuracy[1] - sup.Accuracy[1]; diff > 0.15 || diff < -0.15 {
 		t.Errorf("supplier-only @1 = %.2f too far from full %.2f", sup.Accuracy[1], full.Accuracy[1])
@@ -180,8 +224,8 @@ func TestFeasibilityShape(t *testing.T) {
 	}
 	c := mediumCorpus(t)
 	e := New(c.Taxonomy, c.Bundles)
-	bow := e.Run(Variant{Name: "bow", Model: kb.BagOfWords, Sim: core.Jaccard{}})
-	boc := e.Run(Variant{Name: "boc", Model: kb.BagOfConcepts, Sim: core.Jaccard{}})
+	bow := mustRun(t, e, Variant{Name: "bow", Model: kb.BagOfWords, Sim: core.Jaccard{}})
+	boc := mustRun(t, e, Variant{Name: "boc", Model: kb.BagOfConcepts, Sim: core.Jaccard{}})
 	// §5.2.2: bag-of-concepts classifies several times faster and its
 	// knowledge base is smaller (configuration-instance dedup + fewer
 	// features).
@@ -205,8 +249,8 @@ func TestStopwordRemovalKeepsAccuracy(t *testing.T) {
 	}
 	c := mediumCorpus(t)
 	e := New(c.Taxonomy, c.Bundles)
-	plain := e.Run(Variant{Name: "bow", Model: kb.BagOfWords, Sim: core.Jaccard{}})
-	nostop := e.Run(Variant{Name: "bow-nostop", Model: kb.BagOfWords, Sim: core.Jaccard{}, Stopwords: true})
+	plain := mustRun(t, e, Variant{Name: "bow", Model: kb.BagOfWords, Sim: core.Jaccard{}})
+	nostop := mustRun(t, e, Variant{Name: "bow-nostop", Model: kb.BagOfWords, Sim: core.Jaccard{}, Stopwords: true})
 	diff := nostop.Accuracy[1] - plain.Accuracy[1]
 	if diff < -0.05 || diff > 0.08 {
 		t.Errorf("stopword removal changed accuracy materially: %.3f vs %.3f", nostop.Accuracy[1], plain.Accuracy[1])

@@ -123,6 +123,7 @@ func (in *Injector) inject(op string) error {
 	kind, seq := in.draw()
 	switch kind {
 	case faultPanic:
+		//lint:ignore qatklint/paniccontract injected panics are the product here: chaos tests exist to exercise the pipeline recovery layer
 		panic(InjectedPanic{Op: op, Seq: seq})
 	case faultError:
 		return &InjectedError{Op: op, Seq: seq, Transient: in.cfg.Transient}

@@ -256,6 +256,37 @@ func TestCircuitBreakerTripsOnConsecutiveFailures(t *testing.T) {
 	}
 }
 
+// Regression: the tripped-breaker error used to format the last document
+// failure with %v, severing its chain — errors.As could no longer
+// extract the *DocumentError for attribution (found by qatklint/errattr).
+func TestCircuitBreakerErrorKeepsDocumentChain(t *testing.T) {
+	boom := errors.New("down")
+	var docs []*cas.CAS
+	for i := 0; i < 5; i++ {
+		docs = append(docs, cas.New("d"))
+	}
+	alwaysFail := EngineFunc{EngineName: "f", Fn: func(*cas.CAS) error { return boom }}
+	p, _ := New(alwaysFail)
+	_, err := p.RunWithConfig(&SliceReader{CASes: docs}, nil,
+		RunConfig{
+			DeadLetter:  func(DeadLetter) error { return nil },
+			ErrorBudget: 3,
+		})
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	var de *DocumentError
+	if !errors.As(err, &de) {
+		t.Fatalf("errors.As found no *DocumentError in %v", err)
+	}
+	if de.Index != 2 {
+		t.Errorf("DocumentError.Index = %d, want 2 (the tripping document)", de.Index)
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("errors.Is lost the root engine error in %v", err)
+	}
+}
+
 func TestCircuitBreakerResetsOnSuccess(t *testing.T) {
 	boom := errors.New("flaky")
 	// Alternate fail/ok: consecutive failures never reach the budget.

@@ -151,7 +151,11 @@ func (p *Pipeline) RunWithConfig(r Reader, consumer Consumer, cfg RunConfig) (st
 		stats.DeadLettered++
 		consecutive++
 		if cfg.ErrorBudget > 0 && consecutive >= cfg.ErrorBudget {
-			return stats, fmt.Errorf("%w: %d consecutive document failures (last: %v)",
+			// Both the sentinel and the last document failure are wrapped:
+			// callers match the breaker with errors.Is(err, ErrCircuitOpen)
+			// and still extract the *DocumentError with errors.As for
+			// attribution (which %v used to sever).
+			return stats, fmt.Errorf("%w: %d consecutive document failures (last: %w)",
 				ErrCircuitOpen, consecutive, wrapped)
 		}
 	}

@@ -19,11 +19,13 @@ import (
 func Recover(logger *log.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
+			//lint:ignore qatklint/paniccontract the HTTP serving tier is its own recovery boundary, mirroring the pipeline's: a handler panic must not kill the deployment
 			rec := recover()
 			if rec == nil {
 				return
 			}
 			if rec == http.ErrAbortHandler {
+				//lint:ignore qatklint/paniccontract http.ErrAbortHandler must be re-raised; net/http itself recovers it as the sanctioned abort path
 				panic(rec)
 			}
 			if logger != nil {

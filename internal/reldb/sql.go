@@ -32,7 +32,13 @@ func (db *DB) Exec(query string, args ...Value) (*Result, int, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("reldb: parse %q: %w", query, err)
 	}
-	return stmt.run(db)
+	res, n, err := stmt.run(db)
+	if err != nil {
+		// Execution errors are attributed here, at the package boundary;
+		// statement internals stay prefix-free (qatklint/errattr).
+		return nil, 0, fmt.Errorf("reldb: exec %q: %w", query, err)
+	}
+	return res, n, nil
 }
 
 // MustExec is Exec that panics on error; for tests and fixtures.

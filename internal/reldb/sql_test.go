@@ -1,6 +1,9 @@
 package reldb
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func sqlFixture(t *testing.T) *DB {
 	t.Helper()
@@ -208,5 +211,21 @@ func TestSQLGroupByErrors(t *testing.T) {
 		if _, _, err := db.Exec(q); err == nil {
 			t.Errorf("bad SQL accepted: %q", q)
 		}
+	}
+}
+
+// Regression: execution errors (as opposed to parse errors) used to leave
+// Exec without the reldb attribution prefix, so callers could not tell
+// which layer failed (found by qatklint/errattr).
+func TestSQLExecErrorsCarryAttribution(t *testing.T) {
+	db := mustOpenMem(t)
+	db.MustExec("CREATE TABLE t (a INT PRIMARY KEY)")
+	db.MustExec("INSERT INTO t (a) VALUES (1)")
+	_, _, err := db.Exec("INSERT INTO t (a) VALUES (1)") // duplicate key: runs, then fails
+	if err == nil {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if !strings.HasPrefix(err.Error(), "reldb: ") {
+		t.Fatalf("execution error lacks package attribution: %v", err)
 	}
 }

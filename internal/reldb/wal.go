@@ -145,7 +145,9 @@ func replayFile(path string, apply func(walRecord) error) error {
 			return fmt.Errorf("reldb: corrupt record in %s: %w", path, err)
 		}
 		if err := apply(rec); err != nil {
-			return err
+			// Replay errors cross the package boundary through Open;
+			// attribute them here (decode errors above already are).
+			return fmt.Errorf("reldb: replay %s: %w", path, err)
 		}
 	}
 }

@@ -160,7 +160,10 @@ func TestAdaptationImprovesBagOfConcepts(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := eval.New(corpus.Taxonomy, corpus.Bundles)
-	plain := e.Run(eval.Variant{Name: "boc", Model: kb.BagOfConcepts, Sim: core.Jaccard{}})
+	plain, err := e.Run(eval.Variant{Name: "boc", Model: kb.BagOfConcepts, Sim: core.Jaccard{}})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	adapted, added, err := Evaluate(corpus.Taxonomy, corpus.Bundles, DefaultConfig(),
 		core.Jaccard{}, 5, 1, nil)
