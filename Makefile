@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race check
+.PHONY: build test vet lint race check bench
 
 ## build: compile every package and command
 build:
@@ -24,3 +24,11 @@ race:
 
 ## check: the pre-merge tier — vet, qatklint and the race-enabled suite
 check: vet lint race
+
+## bench: full benchmark suite -> BENCH_pr3.json (see EXPERIMENTS.md).
+## The root-package paper replications are full 5-fold CVs, so they run
+## -benchtime=1x; the micro benchmarks use the default sampling.
+bench:
+	{ $(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . ; \
+	  $(GO) test -run '^$$' -bench . -benchmem ./internal/... ; } | \
+	  $(GO) run ./cmd/benchjson -o BENCH_pr3.json

@@ -26,6 +26,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/eval"
 	"repro/internal/kb"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/textproc"
 )
@@ -179,18 +180,20 @@ func runFeasibility(corpus *datagen.Corpus) {
 	eval.PrintTable(os.Stdout, "", results, nil)
 	fmt.Println()
 
-	// Per-engine preprocessing cost over the full corpus, via the
-	// instrumented pipeline (where the time goes before classification).
-	engines, timed := pipeline.InstrumentAll(
+	// Per-engine preprocessing cost over the full corpus, via the traced
+	// pipeline (where the time goes before classification): each engine
+	// invocation is a span, and the tracer's per-name aggregation yields
+	// the per-engine table.
+	p, err := pipeline.New(
 		textproc.Tokenizer{},
 		textproc.LanguageDetector{},
 		annotate.NewConceptAnnotator(corpus.Taxonomy),
 	)
-	p, err := pipeline.New(engines...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pipeline:", err)
 		os.Exit(1)
 	}
+	tracer := obs.NewTracer(256)
 	reader := bundle.NewReader(corpus.Bundles, bundle.TrainingSources())
 	stats, err := p.RunWithConfig(reader, nil, pipeline.RunConfig{
 		DeadLetter: func(d pipeline.DeadLetter) error {
@@ -198,13 +201,14 @@ func runFeasibility(corpus *datagen.Corpus) {
 			return nil
 		},
 		ErrorBudget: 25,
+		Tracer:      tracer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pipeline:", err)
 		os.Exit(1)
 	}
 	fmt.Println("preprocessing cost per engine (full corpus):")
-	pipeline.PrintReport(os.Stdout, timed)
+	pipeline.PrintSpanReport(os.Stdout, tracer.Stats())
 	pipeline.PrintRunStats(os.Stdout, stats)
 	fmt.Println()
 }

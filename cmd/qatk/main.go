@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/kb"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/qatk"
 	"repro/internal/reldb"
@@ -118,14 +119,17 @@ func run(data, model, sim, ref string, errorBudget int, cmd string, rest []strin
 	case "train":
 		// Fault-isolated training over messy collections: a malformed
 		// bundle is reported and skipped; only a run of consecutive
-		// failures (a systemic fault) aborts.
-		cfg := pipeline.RunConfig{ErrorBudget: errorBudget}
+		// failures (a systemic fault) aborts. The run is fully observed:
+		// dead letters come out as structured log lines, engine timings as
+		// trace spans aggregated into the closing report.
+		tracer := obs.NewTracer(256)
+		cfg := pipeline.RunConfig{
+			ErrorBudget: errorBudget,
+			Tracer:      tracer,
+			Logger:      obs.NewLogger(os.Stderr, obs.LevelInfo),
+		}
 		if errorBudget > 0 {
-			cfg.DeadLetter = func(d pipeline.DeadLetter) error {
-				fmt.Fprintf(os.Stderr, "skipping bundle %d (%s): engine %s: %v\n",
-					d.Index, d.DocID, d.Engine, d.Err)
-				return nil
-			}
+			cfg.DeadLetter = func(pipeline.DeadLetter) error { return nil }
 		}
 		mem, stats, err := tk.TrainRun(assigned, cfg)
 		if err != nil {
@@ -137,6 +141,7 @@ func run(data, model, sim, ref string, errorBudget int, cmd string, rest []strin
 		fmt.Printf("knowledge base: %d nodes from %d bundles (%d distinct codes)\n",
 			mem.NodeCount(), mem.BundleCount(), mem.DistinctCodes())
 		fmt.Printf("collection run: %s\n", stats)
+		pipeline.PrintSpanReport(os.Stdout, tracer.Stats())
 		return db.Checkpoint()
 	case "classify":
 		store, err := kb.OpenDB(db)

@@ -12,6 +12,12 @@
 // readiness (including the degraded state of the §5.4 comparison screen),
 // and SIGINT/SIGTERM drain in-flight requests for -shutdown-timeout before
 // the process exits.
+//
+// Observability: /metrics serves a Prometheus text exposition (request
+// rate/latency/in-flight, panics, timeouts, WAL activity, build_info, and
+// the pre-registered pipeline families), structured key=value logs go to
+// stderr, and -debug-addr optionally serves net/http/pprof on a separate
+// loopback-only listener.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -31,6 +38,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/kb"
 	"repro/internal/nhtsa"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/quest"
 	"repro/internal/reldb"
 	"repro/internal/taxonomy"
@@ -39,24 +48,49 @@ import (
 func main() {
 	data := flag.String("data", "data", "data directory (from cmd/datagen)")
 	addr := flag.String("addr", ":8080", "listen address")
+	debugAddr := flag.String("debug-addr", "", "pprof listen address (e.g. localhost:6060; empty disables)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request handler time budget (0 disables)")
 	flag.Parse()
 
-	if err := run(*data, *addr, *shutdownTimeout, *requestTimeout); err != nil {
+	if err := run(*data, *addr, *debugAddr, *shutdownTimeout, *requestTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "questd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data, addr string, shutdownTimeout, requestTimeout time.Duration) error {
+// pprofMux builds an explicit pprof mux rather than relying on the
+// DefaultServeMux side effects of importing net/http/pprof.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func run(data, addr, debugAddr string, shutdownTimeout, requestTimeout time.Duration) error {
+	logger := obs.NewLogger(os.Stderr, obs.LevelInfo)
+	metrics := obs.NewRegistry()
+	tracer := obs.NewTracer(1024)
+	// Pre-register the pipeline families: questd does not run collection
+	// processing itself, but the exposition presents the full QATK metric
+	// inventory so dashboards bind to stable names.
+	pipeline.RegisterMetrics(metrics)
+
 	db, err := reldb.Open(filepath.Join(data, "db"))
 	if err != nil {
 		return err
 	}
 	defer db.Close()
+	db.Instrument(logger, metrics)
 
-	cfg := quest.Config{DB: db, RequestTimeout: requestTimeout}
+	cfg := quest.Config{
+		DB: db, RequestTimeout: requestTimeout,
+		Logger: logger, Metrics: metrics, Tracer: tracer,
+	}
 	if internal, public, err := buildComparison(data, db); err != nil {
 		fmt.Fprintf(os.Stderr, "comparison screen disabled: %v\n", err)
 		cfg.ComparisonNote = err.Error()
@@ -67,6 +101,16 @@ func run(data, addr string, shutdownTimeout, requestTimeout time.Duration) error
 	app, err := quest.NewServer(cfg)
 	if err != nil {
 		return err
+	}
+
+	if debugAddr != "" {
+		dbg := &http.Server{Addr: debugAddr, Handler: pprofMux()}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof server failed", obs.L("addr", debugAddr), obs.L("err", err.Error()))
+			}
+		}()
+		logger.Info("pprof listening", obs.L("addr", debugAddr))
 	}
 
 	// WriteTimeout must outlast the handler budget, or the timeout

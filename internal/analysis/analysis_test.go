@@ -59,7 +59,9 @@ func TestLoadFixtureModule(t *testing.T) {
 		"qatktest/internal/errs",
 		"qatktest/internal/panics",
 		"qatktest/internal/pipeline",
+		"qatktest/internal/obs",
 		"qatktest/datagen",
+		"qatktest/metrics",
 		"qatktest/locks",
 		"qatktest/suppress",
 	} {

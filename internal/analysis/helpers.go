@@ -14,6 +14,7 @@ func All() []*Analyzer {
 		Determinism,
 		PanicContract,
 		LockCopy,
+		MetricName,
 	}
 }
 

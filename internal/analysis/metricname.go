@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricName enforces the observability naming contract at every
+// obs.Registry instrument call site: the metric name must be a
+// package-level constant (so the inventory is greppable and stable), in
+// snake_case, carrying a subsystem prefix and a conventional unit
+// suffix. Ad-hoc string literals drift into dashboards that can never be
+// renamed; constants keep the exposition reviewable in one place.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc: "metric names passed to obs.Registry Counter/Gauge/Histogram must be package-level " +
+		"string constants, snake_case, prefixed qatk_/quest_/reldb_ and suffixed with a unit " +
+		"(_total, _seconds, _bytes, _info, _inflight); build_info is the one sanctioned exception.",
+	Run: runMetricName,
+}
+
+// instrumentMethods are the Registry methods whose first argument is a
+// metric family name.
+var instrumentMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+// metricPrefixes are the sanctioned subsystem prefixes.
+var metricPrefixes = []string{"qatk_", "quest_", "reldb_"}
+
+// metricSuffixes are the conventional unit suffixes.
+var metricSuffixes = []string{"_total", "_seconds", "_bytes", "_info", "_inflight"}
+
+// snakeCaseRe matches lower-snake-case identifiers with no leading,
+// trailing or doubled underscores.
+var snakeCaseRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+func runMetricName(pass *Pass) error {
+	if !pathIs(pass.Pkg.Path(), "internal/obs") && !depends(pass, "internal/obs") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkMetricNameCall(pass, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMetricNameCall validates the name argument of one instrument
+// resolution call.
+func checkMetricNameCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || !instrumentMethods[fn.Name()] {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !pathIs(fn.Pkg().Path(), "internal/obs") {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+
+	c := constArg(pass.Info, arg)
+	if c == nil {
+		pass.Reportf(arg.Pos(), "literal-name",
+			"metric name passed to %s must be a package-level constant, not an inline expression", fn.Name())
+		return
+	}
+	if c.Pkg() == nil || c.Parent() != c.Pkg().Scope() {
+		pass.Reportf(arg.Pos(), "local-constant",
+			"metric name constant %q must be declared at package level, not inside a function", c.Name())
+		return
+	}
+	if c.Val().Kind() != constant.String {
+		return
+	}
+	name := constant.StringVal(c.Val())
+	if !snakeCaseRe.MatchString(name) {
+		pass.Reportf(arg.Pos(), "not-snake-case",
+			"metric name %q is not snake_case (lowercase words joined by single underscores)", name)
+		return
+	}
+	if name == "build_info" {
+		return // the conventional prefix-free build identity gauge
+	}
+	if !hasAnyPrefix(name, metricPrefixes) {
+		pass.Reportf(arg.Pos(), "missing-prefix",
+			"metric name %q lacks a subsystem prefix (%s)", name, strings.Join(metricPrefixes, ", "))
+		return
+	}
+	if !hasAnySuffix(name, metricSuffixes) {
+		pass.Reportf(arg.Pos(), "missing-unit",
+			"metric name %q lacks a conventional unit suffix (%s)", name, strings.Join(metricSuffixes, ", "))
+	}
+}
+
+// constArg resolves an identifier or selector expression to the
+// *types.Const it names, nil for anything else.
+func constArg(info *types.Info, e ast.Expr) *types.Const {
+	var obj types.Object
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj = info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = info.Uses[x.Sel]
+	}
+	c, _ := obj.(*types.Const)
+	return c
+}
+
+func hasAnyPrefix(s string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(s, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasAnySuffix(s string, suffixes []string) bool {
+	for _, suf := range suffixes {
+		if strings.HasSuffix(s, suf) {
+			return true
+		}
+	}
+	return false
+}

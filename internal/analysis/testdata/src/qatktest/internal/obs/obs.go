@@ -1,0 +1,43 @@
+// Package obs is a minimal stand-in for the repository's internal/obs
+// package. The metricname analyzer matches the Registry instrument
+// methods by import-path suffix, so this fixture module exercises it
+// without importing the real implementation.
+package obs
+
+// Label is one metric label pair.
+type Label struct{ Key, Value string }
+
+// L builds a label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Registry resolves named instruments.
+type Registry struct{}
+
+// Counter mirrors the real resolution signature.
+func (r *Registry) Counter(name string, labels ...Label) *Counter { return &Counter{} }
+
+// Gauge mirrors the real resolution signature.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge { return &Gauge{} }
+
+// Histogram mirrors the real resolution signature.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *Histogram {
+	return &Histogram{}
+}
+
+// Counter is a monotonic counter stub.
+type Counter struct{}
+
+// Inc stubs the increment.
+func (c *Counter) Inc() {}
+
+// Gauge is a settable gauge stub.
+type Gauge struct{}
+
+// Set stubs the assignment.
+func (g *Gauge) Set(v float64) {}
+
+// Histogram is a distribution stub.
+type Histogram struct{}
+
+// Observe stubs the observation.
+func (h *Histogram) Observe(v float64) {}

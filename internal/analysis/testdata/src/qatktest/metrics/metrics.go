@@ -1,0 +1,43 @@
+// Package metrics exercises the metricname analyzer: instrument
+// resolutions with conforming constants pass, inline literals,
+// unprefixed, unsuffixed, camel-cased and function-local names are
+// findings.
+package metrics
+
+import "qatktest/internal/obs"
+
+// Conforming package-level metric name constants.
+const (
+	MetricRunsTotal       = "qatk_pipeline_runs_total"
+	MetricLatencySeconds  = "quest_http_request_duration_seconds"
+	MetricWALBytes        = "reldb_wal_bytes"
+	MetricInflight        = "quest_http_requests_inflight"
+	MetricBuildInfo       = "build_info" // sanctioned prefix-free exception
+	metricNoPrefixTotal   = "pipeline_runs_total"
+	metricNoUnit          = "qatk_pipeline_runs"
+	metricCamelCase       = "qatk_PipelineRuns_total"
+	metricDoubleUnderline = "qatk__runs_total"
+)
+
+// Register resolves every shape the analyzer distinguishes.
+func Register(r *obs.Registry) {
+	r.Counter(MetricRunsTotal)
+	r.Histogram(MetricLatencySeconds, []float64{0.1, 1})
+	r.Gauge(MetricWALBytes, obs.L("dir", "db"))
+	r.Gauge(MetricInflight)
+	r.Gauge(MetricBuildInfo).Set(1)
+
+	r.Counter("qatk_inline_total")    // want metricname "package-level constant"
+	r.Counter(metricNoPrefixTotal)    // want metricname "subsystem prefix"
+	r.Gauge(metricNoUnit)             // want metricname "unit suffix"
+	r.Histogram(metricCamelCase, nil) // want metricname "not snake_case"
+	r.Counter(metricDoubleUnderline)  // want metricname "not snake_case"
+	r.Counter(name())                 // want metricname "package-level constant"
+
+	const local = "quest_local_requests_total"
+	r.Counter(local) // want metricname "declared at package level"
+}
+
+// name builds a metric name dynamically — exactly what the analyzer
+// forbids at resolution sites.
+func name() string { return "qatk_dynamic_total" }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/annotate"
@@ -16,8 +17,15 @@ import (
 	"repro/internal/bundle"
 	"repro/internal/core"
 	"repro/internal/kb"
+	"repro/internal/obs"
 	"repro/internal/taxonomy"
 	"repro/internal/textproc"
+)
+
+// Span names opened by Run.
+const (
+	spanVariant = "eval.variant"
+	spanFold    = "eval.fold"
 )
 
 // DefaultKs are the cutoffs of the paper's accuracy curves.
@@ -81,6 +89,10 @@ type Experiment struct {
 	// calling time.Now here): tests substitute a fake to keep results
 	// bit-identical across runs. Nil disables timing.
 	Clock func() time.Time
+	// Tracer records one span per cross-validated variant with a child
+	// span per fold. Nil disables tracing. (The tracer carries its own
+	// clock; spans do not affect the deterministic results.)
+	Tracer *obs.Tracer
 
 	annotator *annotate.ConceptAnnotator
 	stopwords textproc.StopwordSet
@@ -195,6 +207,8 @@ func (e *Experiment) Run(v Variant) (*Result, error) {
 
 	folds := StratifiedFolds(e.Bundles, e.Folds, e.Seed)
 	res := &Result{Variant: v.Name, Accuracy: AccuracyAtK{}}
+	vspan := e.Tracer.Start(nil, spanVariant, obs.L("variant", v.Name))
+	defer vspan.End(nil)
 	hits := map[int]int{}
 	total := 0
 	var classifySeconds float64
@@ -203,6 +217,7 @@ func (e *Experiment) Run(v Variant) (*Result, error) {
 	var candTotal int64
 
 	for f := 0; f < e.Folds; f++ {
+		fspan := e.Tracer.Start(vspan, spanFold, obs.L("fold", strconv.Itoa(f)))
 		mem := kb.NewMemory()
 		inTest := make(map[int]bool, len(folds[f]))
 		for _, idx := range folds[f] {
@@ -240,6 +255,7 @@ func (e *Experiment) Run(v Variant) (*Result, error) {
 			hits[k] += foldHits[k]
 		}
 		res.PerFold = append(res.PerFold, foldAcc)
+		fspan.End(nil)
 	}
 	for _, k := range e.Ks {
 		res.Accuracy[k] = float64(hits[k]) / float64(total)

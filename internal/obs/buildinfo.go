@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Build identity, surfaced two ways: /healthz JSON (so a probe identifies
+// which build is answering) and the conventional build_info gauge whose
+// labels carry the identity and whose value is constantly 1.
+
+// MetricBuildInfo is the sanctioned prefix-free Prometheus identity gauge.
+const MetricBuildInfo = "build_info"
+
+// BuildIdentity describes the running binary as recorded by the Go
+// toolchain.
+type BuildIdentity struct {
+	Version   string `json:"version"`            // main module version ("(devel)" for local builds)
+	GoVersion string `json:"go_version"`         // toolchain that built the binary
+	Revision  string `json:"revision,omitempty"` // VCS revision, "" outside a stamped build
+	Time      string `json:"time,omitempty"`     // VCS commit time, "" outside a stamped build
+	Modified  bool   `json:"modified,omitempty"` // dirty working tree at build time
+}
+
+// Build reads the binary's identity via runtime/debug.ReadBuildInfo.
+// Fields missing from the build (no VCS stamping, test binaries) stay
+// zero.
+func Build() BuildIdentity {
+	id := BuildIdentity{GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return id
+	}
+	id.Version = info.Main.Version
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			id.Revision = s.Value
+		case "vcs.time":
+			id.Time = s.Value
+		case "vcs.modified":
+			id.Modified = s.Value == "true"
+		}
+	}
+	return id
+}
+
+// RegisterBuildInfo registers the build_info gauge (value 1, identity in
+// the labels) on the registry and returns the identity it recorded.
+func RegisterBuildInfo(r *Registry) BuildIdentity {
+	id := Build()
+	labels := []Label{
+		L("version", id.Version),
+		L("go_version", id.GoVersion),
+	}
+	if id.Revision != "" {
+		labels = append(labels, L("revision", id.Revision))
+	}
+	r.Gauge(MetricBuildInfo, labels...).Set(1)
+	return id
+}

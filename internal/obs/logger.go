@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Structured key=value logging. One event is one line:
+//
+//	ts=2026-08-06T12:00:00Z level=info msg="dead letter" engine=tokenizer doc=R000042
+//
+// Values are quoted only when they need it, keys come out in the order
+// given, and a logger derived with WithSpan stamps trace/span IDs so log
+// lines correlate with trace data. A nil *Logger is a no-op, which is the
+// sanctioned "logging disabled" state.
+
+// Level is a log severity.
+type Level int
+
+// Severities, lowest first. A logger emits events at its level and above.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "unknown"
+}
+
+// Logger writes structured events to one writer. Derived loggers (With,
+// WithSpan) share the writer and its mutex, so lines never interleave.
+type Logger struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	level Level
+	clock func() time.Time
+	base  string // pre-rendered context fields, "" or " k=v ..."
+}
+
+// NewLogger builds a logger emitting events at or above level to w.
+func NewLogger(w io.Writer, level Level) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, level: level, clock: time.Now}
+}
+
+// WithClock returns a logger reading timestamps from clock (a test seam,
+// and the determinism seam for reproducibility-critical callers).
+func (l *Logger) WithClock(clock func() time.Time) *Logger {
+	if l == nil {
+		return nil
+	}
+	d := *l
+	d.clock = clock
+	return &d
+}
+
+// With returns a logger that stamps the given fields on every event.
+func (l *Logger) With(kv ...Label) *Logger {
+	if l == nil {
+		return nil
+	}
+	d := *l
+	var b strings.Builder
+	b.WriteString(l.base)
+	appendFields(&b, kv)
+	d.base = b.String()
+	return &d
+}
+
+// WithSpan returns a logger that stamps the span's trace and span IDs on
+// every event; a nil span returns the logger unchanged.
+func (l *Logger) WithSpan(s *Span) *Logger {
+	if l == nil || s == nil {
+		return l
+	}
+	return l.With(
+		L("trace", strconv.FormatUint(s.TraceID(), 16)),
+		L("span", strconv.FormatUint(s.SpanID(), 16)),
+	)
+}
+
+// Debug emits a debug event.
+func (l *Logger) Debug(msg string, kv ...Label) { l.log(LevelDebug, msg, kv) }
+
+// Info emits an info event.
+func (l *Logger) Info(msg string, kv ...Label) { l.log(LevelInfo, msg, kv) }
+
+// Warn emits a warning event.
+func (l *Logger) Warn(msg string, kv ...Label) { l.log(LevelWarn, msg, kv) }
+
+// Error emits an error event.
+func (l *Logger) Error(msg string, kv ...Label) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []Label) {
+	if l == nil || level < l.level {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(l.clock().UTC().Format(time.RFC3339))
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	b.WriteString(" msg=")
+	b.WriteString(quoteValue(msg))
+	b.WriteString(l.base)
+	appendFields(&b, kv)
+	b.WriteByte('\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = io.WriteString(l.w, b.String())
+}
+
+// appendFields renders " k=v" pairs onto b.
+func appendFields(b *strings.Builder, kv []Label) {
+	for _, f := range kv {
+		b.WriteByte(' ')
+		b.WriteString(f.Key)
+		b.WriteByte('=')
+		b.WriteString(quoteValue(f.Value))
+	}
+}
+
+// quoteValue quotes a value only when it contains characters that would
+// break the key=value grammar.
+func quoteValue(v string) string {
+	if v == "" {
+		return `""`
+	}
+	if strings.ContainsAny(v, " \t\n\"=") {
+		return strconv.Quote(v)
+	}
+	return v
+}

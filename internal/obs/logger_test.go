@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedClock() time.Time { return time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC) }
+
+// TestLoggerFormat pins the line grammar: ts, level, quoted-when-needed
+// msg, then fields in call order.
+func TestLoggerFormat(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LevelInfo).WithClock(fixedClock)
+	l.Info("dead letter", L("engine", "tokenizer"), L("doc", "R000042"), L("err", "bad rune"))
+	want := `ts=2026-08-06T12:00:00Z level=info msg="dead letter" engine=tokenizer doc=R000042 err="bad rune"` + "\n"
+	if sb.String() != want {
+		t.Errorf("line = %q, want %q", sb.String(), want)
+	}
+}
+
+// TestLoggerLevels: events below the logger's level are dropped.
+func TestLoggerLevels(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LevelWarn).WithClock(fixedClock)
+	l.Debug("nope")
+	l.Info("nope")
+	l.Warn("kept")
+	l.Error("kept too")
+	out := sb.String()
+	if strings.Contains(out, "nope") {
+		t.Errorf("low-severity events leaked: %q", out)
+	}
+	if !strings.Contains(out, "level=warn msg=kept") || !strings.Contains(out, `level=error msg="kept too"`) {
+		t.Errorf("high-severity events missing: %q", out)
+	}
+}
+
+// TestLoggerWithAndSpan: derived context fields ride on every line, and
+// WithSpan injects hex trace/span IDs.
+func TestLoggerWithAndSpan(t *testing.T) {
+	var sb strings.Builder
+	base := NewLogger(&sb, LevelInfo).WithClock(fixedClock).With(L("component", "quest"))
+	tr := NewTracer(1, WithClock(fixedClock))
+	span := tr.Start(nil, "http.request")
+	base.WithSpan(span).Info("served", L("code", "200"))
+	line := sb.String()
+	for _, frag := range []string{"component=quest", "trace=1", "span=1", "code=200"} {
+		if !strings.Contains(line, frag) {
+			t.Errorf("line %q missing %q", line, frag)
+		}
+	}
+	// A nil span leaves the logger unchanged rather than crashing.
+	sb.Reset()
+	base.WithSpan(nil).Info("plain")
+	if strings.Contains(sb.String(), "trace=") {
+		t.Errorf("nil span injected trace context: %q", sb.String())
+	}
+}
+
+// TestNilLoggerIsNoOp: every method on a nil logger does nothing.
+func TestNilLoggerIsNoOp(t *testing.T) {
+	var l *Logger
+	l.Debug("x")
+	l.Info("x")
+	l.Warn("x")
+	l.Error("x")
+	if l.With(L("k", "v")) != nil || l.WithClock(fixedClock) != nil {
+		t.Error("derivations of a nil logger are not nil")
+	}
+	l.WithSpan(nil).Info("still fine")
+}
+
+// TestQuoting: empty and grammar-breaking values are quoted, plain ones
+// are not.
+func TestQuoting(t *testing.T) {
+	cases := map[string]string{
+		"":         `""`,
+		"plain":    "plain",
+		"a b":      `"a b"`,
+		`say "hi"`: `"say \"hi\""`,
+		"k=v":      `"k=v"`,
+	}
+	for in, want := range cases {
+		if got := quoteValue(in); got != want {
+			t.Errorf("quoteValue(%q) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+// TestBuildIdentity: the gauge registers with value 1 and the identity
+// carries the toolchain version.
+func TestBuildIdentity(t *testing.T) {
+	r := NewRegistry()
+	id := RegisterBuildInfo(r)
+	if id.GoVersion == "" {
+		t.Error("build identity lacks a Go version")
+	}
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "# TYPE build_info gauge") || !strings.Contains(sb.String(), "build_info{") {
+		t.Errorf("exposition missing build_info: %q", sb.String())
+	}
+}

@@ -1,0 +1,347 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics: counters, gauges and fixed-bucket histograms, exposed in the
+// Prometheus text exposition format (version 0.0.4). The registry hands
+// out typed handles; all mutation goes through atomic operations so the
+// handles are safe for concurrent use without locking, and a nil registry
+// (observability disabled) yields nil handles whose methods are no-ops.
+
+// metricKind distinguishes the three exposition families.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// DefBuckets are the default histogram buckets for request latencies in
+// seconds, spanning sub-millisecond handlers to multi-second stragglers.
+var DefBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Registry holds metric families keyed by name. The zero value is not
+// usable; call NewRegistry. A nil *Registry is the sanctioned "disabled"
+// state: every lookup returns a nil handle.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one named metric with its labeled series.
+type family struct {
+	name    string
+	kind    metricKind
+	buckets []float64 // histograms only; ascending upper bounds
+	series  map[string]any
+}
+
+// NewRegistry builds an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// renderLabels serializes labels sorted by key into the inner exposition
+// form `k1="v1",k2="v2"` ("" for no labels). The rendered string doubles
+// as the series identity.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var b strings.Builder
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(l.Value))
+	}
+	return b.String()
+}
+
+// lookup returns (creating if needed) the series for name+labels, or nil
+// when the registry is nil or the name is already registered with a
+// different kind (misregistration must not panic; qatklint/paniccontract
+// confines panics to the pipeline recovery layer).
+func (r *Registry) lookup(name string, kind metricKind, buckets []float64, labels []Label, make func() any) any {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, kind: kind, buckets: buckets, series: map[string]any{}}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		return nil
+	}
+	sig := renderLabels(labels)
+	s, ok := f.series[sig]
+	if !ok {
+		s = make()
+		f.series[sig] = s
+	}
+	return s
+}
+
+// Counter is a monotonically increasing count. A nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Counter returns the counter series for name+labels, registering it on
+// first use. Nil registry or a kind clash yields a nil (no-op) handle.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	s, _ := r.lookup(name, kindCounter, nil, labels, func() any { return new(Counter) }).(*Counter)
+	return s
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. A nil *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Gauge returns the gauge series for name+labels, registering it on first
+// use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	s, _ := r.lookup(name, kindGauge, nil, labels, func() any { return new(Gauge) }).(*Gauge)
+	return s
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments the gauge by delta (negative deltas decrement).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed cumulative buckets. A nil
+// *Histogram is a no-op.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds (le); +Inf implicit
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Histogram returns the histogram series for name+labels with the given
+// ascending bucket upper bounds (nil means DefBuckets), registering it on
+// first use. Bounds are fixed by the first registration of the family.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	s, _ := r.lookup(name, kindHistogram, buckets, labels, func() any {
+		return &Histogram{bounds: buckets, counts: make([]atomic.Uint64, len(buckets))}
+	}).(*Histogram)
+	return s
+}
+
+// Observe records one observation. A value exactly on a bucket's upper
+// bound counts into that bucket (le is inclusive, as in Prometheus).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reads the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reads the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// formatFloat renders a float the way the Prometheus text format expects
+// (shortest round-trip representation; integers print without a dot).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm renders every registered family in the Prometheus text
+// exposition format, deterministically ordered: families sorted by name,
+// series sorted by their rendered label set.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Snapshot the family pointers under the lock; the atomic series
+	// values are read lock-free afterwards.
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		sigs := make([]string, 0, len(f.series))
+		for sig := range f.series {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			if err := writeSeries(w, f, sig); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSeries renders one labeled series of a family.
+func writeSeries(w io.Writer, f *family, sig string) error {
+	switch s := f.series[sig].(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, braced(sig), s.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, braced(sig), formatFloat(s.Value()))
+		return err
+	case *Histogram:
+		cumulative := uint64(0)
+		for i, b := range s.bounds {
+			cumulative += s.counts[i].Load()
+			le := L("le", formatFloat(b))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, braced(joinSig(sig, le)), cumulative); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, braced(joinSig(sig, L("le", "+Inf"))), s.Count()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, braced(sig), formatFloat(s.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, braced(sig), s.Count())
+		return err
+	}
+	return nil
+}
+
+// braced wraps a non-empty rendered label set in {…}.
+func braced(sig string) string {
+	if sig == "" {
+		return ""
+	}
+	return "{" + sig + "}"
+}
+
+// joinSig appends one more label to a rendered label set.
+func joinSig(sig string, l Label) string {
+	extra := l.Key + "=" + strconv.Quote(l.Value)
+	if sig == "" {
+		return extra
+	}
+	return sig + "," + extra
+}
+
+// Handler serves the exposition at an HTTP endpoint (mounted as /metrics
+// on the questd probe mux).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPromExpositionGolden pins the full text exposition of a mixed
+// registry byte for byte: family ordering is alphabetical, series
+// ordering follows the rendered label set, histograms emit cumulative
+// buckets plus _sum/_count — the format a Prometheus scraper parses.
+func TestPromExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("quest_http_requests_total", L("code", "200")).Add(3)
+	r.Counter("quest_http_requests_total", L("code", "500")).Inc()
+	r.Counter("qatk_pipeline_documents_total").Add(7)
+	r.Gauge("build_info", L("version", "(devel)"), L("go_version", "go1.22")).Set(1)
+	h := r.Histogram("quest_http_request_duration_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE build_info gauge
+build_info{go_version="go1.22",version="(devel)"} 1
+# TYPE qatk_pipeline_documents_total counter
+qatk_pipeline_documents_total 7
+# TYPE quest_http_request_duration_seconds histogram
+quest_http_request_duration_seconds_bucket{le="0.1"} 1
+quest_http_request_duration_seconds_bucket{le="1"} 2
+quest_http_request_duration_seconds_bucket{le="+Inf"} 3
+quest_http_request_duration_seconds_sum 2.55
+quest_http_request_duration_seconds_count 3
+# TYPE quest_http_requests_total counter
+quest_http_requests_total{code="200"} 3
+quest_http_requests_total{code="500"} 1
+`
+	if sb.String() != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", sb.String(), want)
+	}
+	// The exposition is deterministic across renders.
+	var again strings.Builder
+	if err := r.WriteProm(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != sb.String() {
+		t.Error("two renders of the same registry differ")
+	}
+}
+
+// TestHistogramBucketBoundaries: le is inclusive — an observation exactly
+// on a bound lands in that bucket, one epsilon above falls through to the
+// next, and values beyond the last bound only appear in +Inf (the total
+// count).
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("qatk_pipeline_engine_seconds", []float64{1, 2})
+	h.Observe(1)   // exactly on the first bound → bucket le=1
+	h.Observe(1.5) // → bucket le=2
+	h.Observe(2)   // exactly on the second bound → bucket le=2
+	h.Observe(3)   // beyond every bound → +Inf only
+
+	if got := h.counts[0].Load(); got != 1 {
+		t.Errorf("bucket le=1 = %d, want 1", got)
+	}
+	if got := h.counts[1].Load(); got != 2 {
+		t.Errorf("bucket le=2 = %d, want 2", got)
+	}
+	if got := h.Count(); got != 4 {
+		t.Errorf("count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 7.5 {
+		t.Errorf("sum = %g, want 7.5", got)
+	}
+	// Rendered buckets are cumulative: 1, 3, 4.
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`qatk_pipeline_engine_seconds_bucket{le="1"} 1`,
+		`qatk_pipeline_engine_seconds_bucket{le="2"} 3`,
+		`qatk_pipeline_engine_seconds_bucket{le="+Inf"} 4`,
+	} {
+		if !strings.Contains(sb.String(), line) {
+			t.Errorf("exposition missing %q:\n%s", line, sb.String())
+		}
+	}
+}
+
+// TestNilRegistryIsNoOp: the disabled state hands out nil handles whose
+// methods do nothing — the contract the pipeline hot path relies on.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("qatk_pipeline_documents_total")
+	g := r.Gauge("quest_http_requests_inflight")
+	h := r.Histogram("quest_http_request_duration_seconds", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry returned non-nil handles")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(-1)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil handles accumulated state")
+	}
+	if err := r.WriteProm(io.Discard); err != nil {
+		t.Errorf("nil registry WriteProm = %v", err)
+	}
+}
+
+// TestKindClashYieldsNoOp: re-registering a name as a different kind must
+// not panic (qatklint/paniccontract) — it yields a nil no-op handle and
+// the original family survives.
+func TestKindClashYieldsNoOp(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("qatk_pipeline_documents_total").Add(2)
+	if g := r.Gauge("qatk_pipeline_documents_total"); g != nil {
+		t.Error("kind clash returned a live gauge")
+	}
+	if got := r.Counter("qatk_pipeline_documents_total").Value(); got != 2 {
+		t.Errorf("original counter lost: %d", got)
+	}
+}
+
+// TestCounterConcurrency: handles are safe without external locking.
+func TestCounterConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("qatk_pipeline_documents_total")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("count = %d, want 8000", got)
+	}
+}
+
+// TestHandlerServesExposition: the HTTP handler answers with the text
+// exposition content type and body.
+func TestHandlerServesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("quest_http_requests_total").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "quest_http_requests_total 1") {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}

@@ -1,0 +1,32 @@
+// Package obs is the QATK/QUEST observability layer: a concurrency-safe
+// metrics registry with Prometheus text exposition, lightweight in-process
+// trace spans with a ring-buffer exporter and per-name aggregation, and a
+// structured key=value logger with levels and span-context injection.
+//
+// The paper's feasibility argument (§5.2.2) rests on knowing where
+// per-bundle processing time goes — UIMA ships per-annotator performance
+// reports, and this package is the reproduction's equivalent, threaded
+// through the pipeline, the evaluation harness, and the QUEST serving path.
+//
+// Everything is stdlib-only and nil-safe by design: a nil *Registry,
+// *Tracer, *Logger, or any handle obtained from one is a no-op, so
+// instrumented hot paths (Engine.Process, the classifier loop) stay
+// allocation-free when observability is disabled. Clocks are injectable
+// throughout so deterministic packages can keep their no-wall-clock
+// invariant (qatklint/determinism).
+//
+// Metric names are registered as package-level constants and linted by
+// qatklint/metricname: snake_case, a qatk_/quest_/reldb_ subsystem prefix,
+// and a conventional unit suffix (_total, _seconds, _bytes, _info,
+// _inflight); build_info is the one sanctioned prefix-free name.
+package obs
+
+// Label is one key=value pair attached to a metric series, span, or log
+// line.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Lightweight structured tracing. A Tracer hands out spans (trace ID,
+// parent, name, start, duration, attributes, error) and keeps two views
+// of every finished span: a fixed-capacity ring buffer of recent spans
+// for inspection, and a per-name aggregation (count, total duration,
+// errors) that survives eviction — the aggregation is what rebuilds the
+// per-engine timing report the old pipeline.Timed wrapper produced,
+// exactly, no matter how many documents streamed through.
+
+// SpanData is one finished (or in-flight) span.
+type SpanData struct {
+	TraceID  uint64
+	SpanID   uint64
+	ParentID uint64 // 0 for root spans
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []Label
+	Err      string // "" on success
+}
+
+// SpanStat aggregates every finished span of one name.
+type SpanStat struct {
+	Name   string
+	Count  int
+	Total  time.Duration
+	Errors int
+}
+
+// Per reports the mean duration per span (0 when no spans finished).
+func (s SpanStat) Per() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// Tracer records spans. A nil *Tracer is disabled: Start returns a nil
+// span and every span method is a no-op, so traced hot paths cost two
+// nil checks when tracing is off.
+type Tracer struct {
+	clock  func() time.Time
+	nextID atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []SpanData
+	next  int
+	count int // spans currently in the ring
+	stats map[string]*SpanStat
+}
+
+// TracerOption configures a Tracer.
+type TracerOption func(*Tracer)
+
+// WithClock injects the time source (tests and deterministic callers
+// substitute a fake; default time.Now).
+func WithClock(clock func() time.Time) TracerOption {
+	return func(t *Tracer) { t.clock = clock }
+}
+
+// NewTracer builds a tracer whose ring buffer holds up to capacity
+// finished spans (older spans are evicted first; capacity < 1 is raised
+// to 1). The per-name aggregation is unbounded and unaffected by
+// eviction.
+func NewTracer(capacity int, opts ...TracerOption) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &Tracer{
+		clock: time.Now,
+		ring:  make([]SpanData, capacity),
+		stats: make(map[string]*SpanStat),
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Span is one in-flight operation. A nil *Span is a no-op.
+type Span struct {
+	tracer *Tracer
+	data   SpanData
+}
+
+// Start opens a span under parent (nil parent starts a new trace) and
+// returns it; call End to record it. A nil tracer returns a nil span.
+func (t *Tracer) Start(parent *Span, name string, attrs ...Label) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tracer: t, data: SpanData{
+		SpanID: t.nextID.Add(1),
+		Name:   name,
+		Start:  t.clock(),
+	}}
+	if len(attrs) > 0 {
+		s.data.Attrs = attrs
+	}
+	if parent != nil {
+		s.data.TraceID = parent.data.TraceID
+		s.data.ParentID = parent.data.SpanID
+	} else {
+		s.data.TraceID = s.data.SpanID
+	}
+	return s
+}
+
+// SetAttr attaches one attribute to the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.data.Attrs = append(s.data.Attrs, Label{Key: key, Value: value})
+}
+
+// TraceID returns the span's trace identifier (0 for a nil span).
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.data.TraceID
+}
+
+// SpanID returns the span's identifier (0 for a nil span).
+func (s *Span) SpanID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.data.SpanID
+}
+
+// End finishes the span, stamping its duration and error, and records it
+// in the tracer's ring buffer and aggregation.
+func (s *Span) End(err error) {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	s.data.Duration = t.clock().Sub(s.data.Start)
+	if err != nil {
+		s.data.Err = err.Error()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring[t.next] = s.data
+	t.next = (t.next + 1) % len(t.ring)
+	if t.count < len(t.ring) {
+		t.count++
+	}
+	st, ok := t.stats[s.data.Name]
+	if !ok {
+		st = &SpanStat{Name: s.data.Name}
+		t.stats[s.data.Name] = st
+	}
+	st.Count++
+	st.Total += s.data.Duration
+	if err != nil {
+		st.Errors++
+	}
+}
+
+// Snapshot returns the buffered finished spans, oldest first.
+func (t *Tracer) Snapshot() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanData, 0, t.count)
+	start := t.next - t.count
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.ring[(start+i+len(t.ring))%len(t.ring)])
+	}
+	return out
+}
+
+// Stats returns the per-name aggregation over every finished span (not
+// just the buffered ones), sorted by descending total duration, ties by
+// name.
+func (t *Tracer) Stats() []SpanStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanStat, 0, len(t.stats))
+	for _, st := range t.stats {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Reset clears the ring buffer and the aggregation.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next, t.count = 0, 0
+	t.stats = make(map[string]*SpanStat)
+}

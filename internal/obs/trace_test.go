@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic time source advancing a fixed step per
+// read.
+type fakeClock struct {
+	now  time.Time
+	step time.Duration
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.now = f.now.Add(f.step)
+	return f.now
+}
+
+// TestSpanParentChild: child spans share the root's trace ID and point at
+// their parent; roots have no parent and their own trace ID.
+func TestSpanParentChild(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0), step: time.Millisecond}
+	tr := NewTracer(16, WithClock(clk.Now))
+
+	root := tr.Start(nil, "pipeline.run")
+	child := tr.Start(root, "pipeline.document")
+	grand := tr.Start(child, "engine:tokenizer")
+	grand.End(nil)
+	child.End(nil)
+	root.End(nil)
+
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("snapshot holds %d spans, want 3", len(spans))
+	}
+	// Finished in reverse start order: grand, child, root.
+	g, c, r := spans[0], spans[1], spans[2]
+	if r.ParentID != 0 || r.TraceID != r.SpanID {
+		t.Errorf("root: parent=%d trace=%d span=%d", r.ParentID, r.TraceID, r.SpanID)
+	}
+	if c.ParentID != r.SpanID || c.TraceID != r.TraceID {
+		t.Errorf("child: parent=%d trace=%d, want parent=%d trace=%d", c.ParentID, c.TraceID, r.SpanID, r.TraceID)
+	}
+	if g.ParentID != c.SpanID || g.TraceID != r.TraceID {
+		t.Errorf("grandchild: parent=%d trace=%d", g.ParentID, g.TraceID)
+	}
+	for _, s := range spans {
+		if s.Duration <= 0 {
+			t.Errorf("span %q has non-positive duration %v", s.Name, s.Duration)
+		}
+	}
+}
+
+// TestRingBufferEviction: the ring keeps only the newest capacity spans,
+// oldest first, while the aggregation counts everything.
+func TestRingBufferEviction(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0), step: time.Second}
+	tr := NewTracer(3, WithClock(clk.Now))
+	for i := 0; i < 5; i++ {
+		tr.Start(nil, "engine:tokenizer").End(nil)
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("ring holds %d spans, want 3", len(spans))
+	}
+	// SpanIDs are monotonic: eviction dropped 1 and 2, kept 3..5 in order.
+	for i, want := range []uint64{3, 4, 5} {
+		if spans[i].SpanID != want {
+			t.Errorf("spans[%d].SpanID = %d, want %d", i, spans[i].SpanID, want)
+		}
+	}
+	stats := tr.Stats()
+	if len(stats) != 1 || stats[0].Count != 5 {
+		t.Fatalf("aggregation lost evicted spans: %+v", stats)
+	}
+}
+
+// TestStatsReproduceTimedTotals: the per-name aggregation is the old
+// pipeline.Timed measurement — count and summed wall-clock per name —
+// with errors tallied alongside.
+func TestStatsReproduceTimedTotals(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0), step: time.Second}
+	tr := NewTracer(2, WithClock(clk.Now)) // smaller than the span count: aggregation must not care
+	boom := errors.New("bad doc")
+	for i := 0; i < 4; i++ {
+		var err error
+		if i == 3 {
+			err = boom
+		}
+		tr.Start(nil, "engine:annotator").End(err)
+	}
+	tr.Start(nil, "engine:tokenizer").End(nil)
+
+	stats := tr.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Each span lasts exactly one fake-clock step; annotator has 4.
+	if stats[0].Name != "engine:annotator" || stats[0].Count != 4 ||
+		stats[0].Total != 4*time.Second || stats[0].Errors != 1 {
+		t.Errorf("annotator stat = %+v", stats[0])
+	}
+	if stats[1].Name != "engine:tokenizer" || stats[1].Count != 1 || stats[1].Total != time.Second {
+		t.Errorf("tokenizer stat = %+v", stats[1])
+	}
+	if per := stats[0].Per(); per != time.Second {
+		t.Errorf("per-span mean = %v, want 1s", per)
+	}
+
+	tr.Reset()
+	if len(tr.Snapshot()) != 0 || len(tr.Stats()) != 0 {
+		t.Error("Reset left state behind")
+	}
+}
+
+// TestNilTracerIsNoOp: nil tracer and nil span cost nothing and crash
+// nothing — the disabled-observability contract.
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start(nil, "anything", L("k", "v"))
+	if s != nil {
+		t.Fatal("nil tracer returned a live span")
+	}
+	s.SetAttr("k", "v")
+	s.End(errors.New("ignored"))
+	if s.TraceID() != 0 || s.SpanID() != 0 {
+		t.Error("nil span has identity")
+	}
+	if tr.Snapshot() != nil || tr.Stats() != nil {
+		t.Error("nil tracer returned data")
+	}
+	tr.Reset()
+}
+
+// TestSpanAttrsAndError: attributes and the error string survive into the
+// recorded span data.
+func TestSpanAttrsAndError(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0), step: time.Millisecond}
+	tr := NewTracer(4, WithClock(clk.Now))
+	s := tr.Start(nil, "http.request", L("method", "GET"))
+	s.SetAttr("path", "/bundle/R1")
+	s.End(errors.New("boom"))
+	got := tr.Snapshot()[0]
+	if len(got.Attrs) != 2 || got.Attrs[0] != L("method", "GET") || got.Attrs[1] != L("path", "/bundle/R1") {
+		t.Errorf("attrs = %+v", got.Attrs)
+	}
+	if got.Err != "boom" {
+		t.Errorf("err = %q", got.Err)
+	}
+}

@@ -3,87 +3,45 @@ package pipeline
 import (
 	"fmt"
 	"io"
-	"sort"
-	"sync"
+	"strings"
 	"time"
 
-	"repro/internal/cas"
+	"repro/internal/obs"
 )
 
 // Engine instrumentation: UIMA ships per-annotator performance reports;
 // the QATK feasibility discussion (§5.2.2) needs the same visibility to
-// attribute per-bundle cost to pipeline steps.
+// attribute per-bundle cost to pipeline steps. Timing rides on trace
+// spans now — RunWithConfig opens one span per engine invocation under
+// the name "engine:<name>", and the tracer's per-name aggregation yields
+// the same count/total/per-document table the retired Timed wrapper
+// produced, without wrapping engines.
 
-// Timed wraps an engine and accumulates its wall-clock time and document
-// count. Safe for concurrent use.
-type Timed struct {
-	inner Engine
-	mu    sync.Mutex
-	total time.Duration
-	docs  int
-}
+// EngineSpanPrefix namespaces per-engine spans so reports can separate
+// engine timings from run- and document-level spans sharing the tracer.
+const EngineSpanPrefix = "engine:"
 
-// NewTimed wraps an engine with timing instrumentation.
-func NewTimed(inner Engine) *Timed { return &Timed{inner: inner} }
-
-// Name implements Engine.
-func (t *Timed) Name() string { return t.inner.Name() }
-
-// Process times the wrapped engine.
-func (t *Timed) Process(c *cas.CAS) error {
-	start := time.Now()
-	err := t.inner.Process(c)
-	d := time.Since(start)
-	t.mu.Lock()
-	t.total += d
-	t.docs++
-	t.mu.Unlock()
-	return err
-}
-
-// Stats reports accumulated totals.
-func (t *Timed) Stats() (docs int, total time.Duration) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.docs, t.total
-}
-
-// Reset clears the accumulated totals.
-func (t *Timed) Reset() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.total, t.docs = 0, 0
-}
-
-// InstrumentAll wraps every engine with timing and returns both the
-// instrumented engines (for pipeline.New) and the wrappers (for reports).
-func InstrumentAll(engines ...Engine) ([]Engine, []*Timed) {
-	out := make([]Engine, len(engines))
-	timed := make([]*Timed, len(engines))
-	for i, e := range engines {
-		t := NewTimed(e)
-		out[i] = t
-		timed[i] = t
-	}
-	return out, timed
-}
-
-// PrintReport writes a per-engine timing table, slowest first.
-func PrintReport(w io.Writer, timed []*Timed) {
-	rows := append([]*Timed(nil), timed...)
-	sort.SliceStable(rows, func(i, j int) bool {
-		_, a := rows[i].Stats()
-		_, b := rows[j].Stats()
-		return a > b
-	})
-	fmt.Fprintf(w, "%-28s %10s %10s %14s\n", "engine", "documents", "total", "per document")
-	for _, t := range rows {
-		docs, total := t.Stats()
-		per := time.Duration(0)
-		if docs > 0 {
-			per = total / time.Duration(docs)
+// EngineStats filters a tracer aggregation down to per-engine rows,
+// stripping the span-name prefix. Order (descending total) is preserved.
+func EngineStats(stats []obs.SpanStat) []obs.SpanStat {
+	var out []obs.SpanStat
+	for _, s := range stats {
+		if name, ok := strings.CutPrefix(s.Name, EngineSpanPrefix); ok {
+			s.Name = name
+			out = append(out, s)
 		}
-		fmt.Fprintf(w, "%-28s %10d %10s %14s\n", t.Name(), docs, total.Round(time.Microsecond), per)
+	}
+	return out
+}
+
+// PrintSpanReport writes a per-engine timing table, slowest first, from a
+// tracer aggregation (tr.Stats()). Rows without the engine span prefix —
+// run, document, fold spans — are skipped.
+func PrintSpanReport(w io.Writer, stats []obs.SpanStat) {
+	fmt.Fprintf(w, "%-28s %10s %10s %14s %8s\n", "engine", "documents", "total", "per document", "errors")
+	for _, s := range EngineStats(stats) {
+		fmt.Fprintf(w, "%-28s %10d %10s %14s %8d\n",
+			s.Name, s.Count, s.Total.Round(time.Microsecond), s.Per(), s.Errors)
 	}
 }
 

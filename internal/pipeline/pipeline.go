@@ -13,6 +13,7 @@ import (
 	"runtime/debug"
 
 	"repro/internal/cas"
+	"repro/internal/obs"
 )
 
 // Engine is one analysis step. Process may mutate the CAS.
@@ -36,6 +37,9 @@ func (e EngineFunc) Process(c *cas.CAS) error { return e.Fn(c) }
 // Pipeline runs a fixed sequence of engines.
 type Pipeline struct {
 	engines []Engine
+	// spanNames holds the per-engine trace span names ("engine:<name>"),
+	// precomputed so the processing hot path never concatenates strings.
+	spanNames []string
 }
 
 // New builds a pipeline from the given engines, in order.
@@ -44,7 +48,8 @@ func New(engines ...Engine) (*Pipeline, error) {
 		return nil, errors.New("pipeline: no engines")
 	}
 	seen := make(map[string]bool, len(engines))
-	for _, e := range engines {
+	spanNames := make([]string, len(engines))
+	for i, e := range engines {
 		if e == nil {
 			return nil, errors.New("pipeline: nil engine")
 		}
@@ -55,8 +60,9 @@ func New(engines ...Engine) (*Pipeline, error) {
 			return nil, fmt.Errorf("pipeline: duplicate engine name %q", e.Name())
 		}
 		seen[e.Name()] = true
+		spanNames[i] = EngineSpanPrefix + e.Name()
 	}
-	return &Pipeline{engines: engines}, nil
+	return &Pipeline{engines: engines, spanNames: spanNames}, nil
 }
 
 // Engines returns the engine names in execution order.
@@ -107,8 +113,18 @@ func safeProcess(e Engine, c *cas.CAS) (err error) {
 // engine is recovered and reported the same way (as an *EngineError wrapping
 // a *PanicError).
 func (p *Pipeline) Process(c *cas.CAS) error {
-	for _, e := range p.engines {
-		if err := safeProcess(e, c); err != nil {
+	return p.process(c, nil, nil)
+}
+
+// process is Process with a trace seam: every engine runs under its own
+// span (a child of parent) when tr is non-nil. A nil tracer makes every
+// span call a no-op, keeping the disabled path allocation-free.
+func (p *Pipeline) process(c *cas.CAS, tr *obs.Tracer, parent *obs.Span) error {
+	for i, e := range p.engines {
+		span := tr.Start(parent, p.spanNames[i])
+		err := safeProcess(e, c)
+		span.End(err)
+		if err != nil {
 			return &EngineError{Engine: e.Name(), Err: err}
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cas"
+	"repro/internal/obs"
 )
 
 func appendEngine(name, mark string) Engine {
@@ -104,61 +105,207 @@ func TestEnginesNames(t *testing.T) {
 	}
 }
 
-func TestTimedEngine(t *testing.T) {
+// TestRunRecordsSpansAndMetrics: a traced run produces the span hierarchy
+// run → document → engine and the pipeline counters.
+func TestRunRecordsSpansAndMetrics(t *testing.T) {
 	slow := EngineFunc{EngineName: "slow", Fn: func(c *cas.CAS) error {
-		time.Sleep(2 * time.Millisecond)
+		time.Sleep(time.Millisecond)
 		return nil
 	}}
-	timed := NewTimed(slow)
-	p, err := New(timed)
+	p, err := New(appendEngine("a", "A"), slow)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 3; i++ {
-		if err := p.Process(cas.New("doc")); err != nil {
-			t.Fatal(err)
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(64)
+	reader := &SliceReader{CASes: []*cas.CAS{cas.New("1"), cas.New("2"), cas.New("3")}}
+	stats, err := p.RunWithConfig(reader, nil, RunConfig{Metrics: reg, Tracer: tr})
+	if err != nil || stats.Processed != 3 {
+		t.Fatalf("stats=%+v err=%v", stats, err)
+	}
+	if got := reg.Counter(MetricDocumentsTotal).Value(); got != 3 {
+		t.Errorf("documents counter = %d, want 3", got)
+	}
+	if got := reg.Counter(MetricDeadLettersTotal).Value(); got != 0 {
+		t.Errorf("dead-letter counter = %d, want 0", got)
+	}
+
+	byName := map[string]obs.SpanStat{}
+	for _, s := range tr.Stats() {
+		byName[s.Name] = s
+	}
+	if byName["pipeline.run"].Count != 1 || byName["pipeline.document"].Count != 3 {
+		t.Fatalf("run/document spans: %+v", byName)
+	}
+	if byName["engine:a"].Count != 3 || byName["engine:slow"].Count != 3 {
+		t.Fatalf("engine spans: %+v", byName)
+	}
+	if byName["engine:slow"].Total < 3*time.Millisecond {
+		t.Errorf("engine:slow total = %v, want >= 3ms", byName["engine:slow"].Total)
+	}
+	// Structural check on the recorded spans: every engine span is parented
+	// by a document span, every document span by the single run span.
+	ids := map[uint64]string{}
+	for _, s := range tr.Snapshot() {
+		ids[s.SpanID] = s.Name
+	}
+	for _, s := range tr.Snapshot() {
+		switch s.Name {
+		case "pipeline.run":
+			if s.ParentID != 0 {
+				t.Errorf("run span has parent %d", s.ParentID)
+			}
+		case "pipeline.document":
+			if ids[s.ParentID] != "pipeline.run" {
+				t.Errorf("document span parented by %q", ids[s.ParentID])
+			}
+		default:
+			if ids[s.ParentID] != "pipeline.document" {
+				t.Errorf("engine span parented by %q", ids[s.ParentID])
+			}
 		}
 	}
-	docs, total := timed.Stats()
-	if docs != 3 {
-		t.Fatalf("docs = %d", docs)
-	}
-	if total < 6*time.Millisecond {
-		t.Fatalf("total = %v, want >= 6ms", total)
-	}
-	timed.Reset()
-	if docs, total := timed.Stats(); docs != 0 || total != 0 {
-		t.Fatal("reset did not clear stats")
-	}
-	if timed.Name() != "slow" {
-		t.Fatal("name not forwarded")
-	}
 }
 
-func TestInstrumentAllAndReport(t *testing.T) {
-	engines, timed := InstrumentAll(appendEngine("a", "A"), appendEngine("b", "B"))
-	p, err := New(engines...)
-	if err != nil {
-		t.Fatal(err)
+// TestSpanReportReproducesTimedTotals: the aggregated span table carries
+// the same per-engine document counts and error tallies the retired Timed
+// wrapper reported, rendered slowest first.
+func TestSpanReportReproducesTimedTotals(t *testing.T) {
+	boom := errors.New("x")
+	p, _ := New(
+		appendEngine("a", "A"),
+		EngineFunc{EngineName: "flaky", Fn: func(c *cas.CAS) error {
+			if c.Text() == "bad" {
+				return boom
+			}
+			return nil
+		}},
+	)
+	tr := obs.NewTracer(64)
+	reader := &SliceReader{CASes: []*cas.CAS{cas.New("1"), cas.New("bad"), cas.New("2")}}
+	stats, err := p.RunWithConfig(reader, nil, RunConfig{
+		Tracer:     tr,
+		DeadLetter: func(DeadLetter) error { return nil },
+	})
+	if err != nil || stats.Processed != 2 || stats.DeadLettered != 1 {
+		t.Fatalf("stats=%+v err=%v", stats, err)
 	}
-	if err := p.Process(cas.New("doc")); err != nil {
-		t.Fatal(err)
+	rows := EngineStats(tr.Stats())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	byName := map[string]obs.SpanStat{}
+	for _, s := range rows {
+		byName[s.Name] = s
+	}
+	if byName["a"].Count != 3 || byName["a"].Errors != 0 {
+		t.Errorf("engine a stat = %+v", byName["a"])
+	}
+	if byName["flaky"].Count != 3 || byName["flaky"].Errors != 1 {
+		t.Errorf("engine flaky stat = %+v", byName["flaky"])
 	}
 	var sb strings.Builder
-	PrintReport(&sb, timed)
+	PrintSpanReport(&sb, tr.Stats())
 	out := sb.String()
-	if !strings.Contains(out, "a") || !strings.Contains(out, "per document") {
+	if !strings.Contains(out, "flaky") || !strings.Contains(out, "per document") {
 		t.Fatalf("report:\n%s", out)
+	}
+	if strings.Contains(out, "pipeline.run") {
+		t.Fatalf("report leaks non-engine spans:\n%s", out)
 	}
 }
 
-func TestTimedPropagatesErrors(t *testing.T) {
-	boom := errors.New("x")
-	timed := NewTimed(EngineFunc{EngineName: "f", Fn: func(*cas.CAS) error { return boom }})
-	if err := timed.Process(cas.New("d")); !errors.Is(err, boom) {
+// TestRunObsDeadLetterEvents: dead letters and circuit breaks surface as
+// counters and structured log lines.
+func TestRunObsDeadLetterEvents(t *testing.T) {
+	boom := errors.New("boom")
+	p, _ := New(EngineFunc{EngineName: "f", Fn: func(*cas.CAS) error { return boom }})
+	reg := obs.NewRegistry()
+	var logged strings.Builder
+	cfg := RunConfig{
+		DeadLetter:  func(DeadLetter) error { return nil },
+		ErrorBudget: 2,
+		Metrics:     reg,
+		Logger:      obs.NewLogger(&logged, obs.LevelInfo),
+	}
+	reader := &SliceReader{CASes: []*cas.CAS{cas.New("1"), cas.New("2"), cas.New("3")}}
+	_, err := p.RunWithConfig(reader, nil, cfg)
+	if !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("err = %v", err)
 	}
-	if docs, _ := timed.Stats(); docs != 1 {
-		t.Fatal("failed document not counted")
+	if got := reg.Counter(MetricDeadLettersTotal).Value(); got != 2 {
+		t.Errorf("dead-letter counter = %d, want 2", got)
+	}
+	if got := reg.Counter(MetricCircuitBreaksTotal).Value(); got != 1 {
+		t.Errorf("circuit-break counter = %d, want 1", got)
+	}
+	out := logged.String()
+	if !strings.Contains(out, `msg="document dead-lettered"`) || !strings.Contains(out, "engine=f") {
+		t.Errorf("missing dead-letter event:\n%s", out)
+	}
+	if !strings.Contains(out, `msg="circuit breaker tripped"`) {
+		t.Errorf("missing circuit-break event:\n%s", out)
+	}
+}
+
+// TestRegisterMetricsPreTouch: families render at zero before any run, so
+// a scraper sees the inventory from process start.
+func TestRegisterMetricsPreTouch(t *testing.T) {
+	reg := obs.NewRegistry()
+	RegisterMetrics(reg)
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		MetricDocumentsTotal, MetricDeadLettersTotal,
+		MetricCircuitBreaksTotal, MetricRetriesTotal,
+	} {
+		if !strings.Contains(sb.String(), name+" 0") {
+			t.Errorf("exposition missing %s at zero:\n%s", name, sb.String())
+		}
+	}
+}
+
+// TestProcessDisabledObsZeroAllocs proves the acceptance bound: with
+// observability disabled (nil registry/tracer), Process allocates nothing.
+func TestProcessDisabledObsZeroAllocs(t *testing.T) {
+	p, _ := New(EngineFunc{EngineName: "noop", Fn: func(*cas.CAS) error { return nil }})
+	c := cas.New("doc")
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if err := p.Process(c); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Process with disabled observability allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// BenchmarkProcessObsDisabled is the hot path without observability; its
+// allocs/op must stay 0 (see TestProcessDisabledObsZeroAllocs).
+func BenchmarkProcessObsDisabled(b *testing.B) {
+	p, _ := New(EngineFunc{EngineName: "noop", Fn: func(*cas.CAS) error { return nil }})
+	c := cas.New("doc")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := p.Process(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProcessObsEnabled quantifies the cost of live tracing on the
+// same path for comparison against the disabled baseline.
+func BenchmarkProcessObsEnabled(b *testing.B) {
+	p, _ := New(EngineFunc{EngineName: "noop", Fn: func(*cas.CAS) error { return nil }})
+	tr := obs.NewTracer(1024)
+	c := cas.New("doc")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		root := tr.Start(nil, "bench")
+		if err := p.process(c, tr, root); err != nil {
+			b.Fatal(err)
+		}
+		root.End(nil)
 	}
 }

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
 
 	"repro/internal/cas"
+	"repro/internal/obs"
 )
 
 // Fault-isolated collection processing. The paper positions the QATK at
@@ -66,6 +68,16 @@ type RunConfig struct {
 	// before the circuit breaker trips the run with ErrCircuitOpen. Zero or
 	// negative means no breaker: any number of isolated failures is allowed.
 	ErrorBudget int
+	// Metrics receives run counters (documents, dead letters, circuit
+	// breaks, retries). Nil disables metrics at zero cost.
+	Metrics *obs.Registry
+	// Tracer records one root span per run ("pipeline.run"), one child per
+	// document ("pipeline.document"), and one grandchild per engine
+	// invocation ("engine:<name>"). Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
+	// Logger receives structured dead-letter and circuit-break events.
+	// Nil disables logging.
+	Logger *obs.Logger
 }
 
 // ErrCircuitOpen reports a tripped consecutive-failure circuit breaker.
@@ -102,25 +114,53 @@ func (p *Pipeline) Retries() int {
 	return n
 }
 
+// Span names opened by RunWithConfig. Per-engine spans are named by
+// EngineSpanPrefix plus the engine name (see instrument.go).
+const (
+	spanRun      = "pipeline.run"
+	spanDocument = "pipeline.document"
+)
+
 // RunWithConfig streams every CAS from r through the pipeline into consumer
 // with document-level error isolation: a failing document is handed to
 // cfg.DeadLetter (with engine attribution) and the run continues. Reader
 // errors other than io.EOF remain fatal — a broken source cannot be skipped
 // past. The returned Stats are valid even when the run aborts early.
-func (p *Pipeline) RunWithConfig(r Reader, consumer Consumer, cfg RunConfig) (stats Stats, _ error) {
+//
+// Observability rides on the config: a root span covers the run, each
+// document gets a child span, each engine invocation a grandchild, and
+// counters/log events record documents, dead letters, circuit breaks and
+// retries. All of it is nil-safe — a zero RunConfig processes documents on
+// the exact pre-observability path.
+func (p *Pipeline) RunWithConfig(r Reader, consumer Consumer, cfg RunConfig) (stats Stats, err error) {
 	consecutive := 0
-	defer func() { stats.Retried = p.Retries() }()
+	docsRead := cfg.Metrics.Counter(MetricDocumentsTotal)
+	deadLetters := cfg.Metrics.Counter(MetricDeadLettersTotal)
+	circuitBreaks := cfg.Metrics.Counter(MetricCircuitBreaksTotal)
+	retries := cfg.Metrics.Counter(MetricRetriesTotal)
+	startRetries := p.Retries()
+	run := cfg.Tracer.Start(nil, spanRun)
+	log := cfg.Logger.WithSpan(run)
+	defer func() {
+		stats.Retried = p.Retries()
+		if delta := stats.Retried - startRetries; delta > 0 {
+			retries.Add(uint64(delta))
+		}
+		run.End(err)
+	}()
 	for index := 0; ; index++ {
-		c, err := r.Next()
-		if errors.Is(err, io.EOF) {
+		c, rerr := r.Next()
+		if errors.Is(rerr, io.EOF) {
 			return stats, nil
 		}
-		if err != nil {
-			return stats, fmt.Errorf("pipeline: reader: %w", err)
+		if rerr != nil {
+			return stats, fmt.Errorf("pipeline: reader: %w", rerr)
 		}
 		stats.Read++
+		docsRead.Inc()
 
-		docErr := p.Process(c)
+		doc := cfg.Tracer.Start(run, spanDocument)
+		docErr := p.process(c, cfg.Tracer, doc)
 		engine := ""
 		if docErr != nil {
 			var ee *EngineError
@@ -128,11 +168,12 @@ func (p *Pipeline) RunWithConfig(r Reader, consumer Consumer, cfg RunConfig) (st
 				engine = ee.Engine
 			}
 		} else if consumer != nil {
-			if err := consumer.Consume(c); err != nil {
-				docErr = fmt.Errorf("pipeline: consumer: %w", err)
+			if cerr := consumer.Consume(c); cerr != nil {
+				docErr = fmt.Errorf("pipeline: consumer: %w", cerr)
 				engine = consumerEngine
 			}
 		}
+		doc.End(docErr)
 
 		if docErr == nil {
 			stats.Processed++
@@ -145,12 +186,22 @@ func (p *Pipeline) RunWithConfig(r Reader, consumer Consumer, cfg RunConfig) (st
 			return stats, wrapped
 		}
 		dl := DeadLetter{Index: index, DocID: wrapped.DocID, Engine: engine, Err: docErr, CAS: c}
-		if err := cfg.DeadLetter(dl); err != nil {
-			return stats, fmt.Errorf("pipeline: dead-letter consumer: %w", err)
+		if dlErr := cfg.DeadLetter(dl); dlErr != nil {
+			return stats, fmt.Errorf("pipeline: dead-letter consumer: %w", dlErr)
 		}
 		stats.DeadLettered++
+		deadLetters.Inc()
+		log.Warn("document dead-lettered",
+			obs.L("engine", engine),
+			obs.L("doc", dl.DocID),
+			obs.L("index", strconv.Itoa(index)),
+			obs.L("err", docErr.Error()))
 		consecutive++
 		if cfg.ErrorBudget > 0 && consecutive >= cfg.ErrorBudget {
+			circuitBreaks.Inc()
+			log.Error("circuit breaker tripped",
+				obs.L("consecutive", strconv.Itoa(consecutive)),
+				obs.L("doc", dl.DocID))
 			// Both the sentinel and the last document failure are wrapped:
 			// callers match the breaker with errors.Is(err, ErrCircuitOpen)
 			// and still extract the *DocumentError with errors.As for

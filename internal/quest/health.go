@@ -4,14 +4,20 @@ import (
 	"net/http"
 
 	"repro/internal/bundle"
+	"repro/internal/obs"
 )
 
 // Liveness and readiness probes. /healthz answers 200 whenever the process
-// can serve requests at all; /readyz additionally checks that the database
-// answers queries and reports whether the §5.4 comparison screen is loaded
-// or running degraded (the screen itself degrades gracefully when the ODI
-// complaint data is absent — readiness reports that state rather than
-// hiding it).
+// can serve requests at all and identifies the build doing the answering;
+// /readyz additionally checks that the database answers queries and reports
+// whether the §5.4 comparison screen is loaded or running degraded (the
+// screen itself degrades gracefully when the ODI complaint data is absent —
+// readiness reports that state rather than hiding it).
+
+type liveness struct {
+	Status string            `json:"status"` // always "ok" when answered
+	Build  obs.BuildIdentity `json:"build"`  // which binary is serving
+}
 
 type readiness struct {
 	Status     string `json:"status"`     // "ok" | "unavailable"
@@ -20,9 +26,7 @@ type readiness struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write([]byte("ok\n"))
+	writeJSON(w, http.StatusOK, liveness{Status: "ok", Build: s.build})
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {

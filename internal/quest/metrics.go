@@ -1,0 +1,19 @@
+package quest
+
+// Metric names the QUEST serving tier emits, following the repository
+// convention enforced by qatklint's metricname analyzer: snake_case,
+// subsystem prefix, conventional unit suffix, declared as package-level
+// constants.
+const (
+	// MetricHTTPRequestsTotal counts completed requests by status code
+	// (label "code").
+	MetricHTTPRequestsTotal = "quest_http_requests_total"
+	// MetricHTTPRequestDurationSeconds observes wall-clock request latency.
+	MetricHTTPRequestDurationSeconds = "quest_http_request_duration_seconds"
+	// MetricHTTPRequestsInflight gauges requests currently being served.
+	MetricHTTPRequestsInflight = "quest_http_requests_inflight"
+	// MetricPanicsTotal counts handler panics absorbed by Recover.
+	MetricPanicsTotal = "quest_panics_total"
+	// MetricTimeoutsTotal counts requests cut short by WithTimeout.
+	MetricTimeoutsTotal = "quest_timeouts_total"
+)

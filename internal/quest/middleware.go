@@ -1,22 +1,34 @@
 package quest
 
 import (
-	"log"
+	"context"
+	"errors"
+	"fmt"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // HTTP hardening for the QUEST serving tier: the quality experts' web UI
 // must stay up through handler bugs and slow requests — one panicking or
 // stalled handler cannot be allowed to take the field-study deployment
-// (§5.3) down with it.
+// (§5.3) down with it. Every defensive event is observable: panics and
+// timeouts surface as counters and structured log lines, and Instrument
+// gives every request a trace span plus the RED metrics (rate, errors,
+// duration).
+
+// spanHTTPRequest names the per-request trace span.
+const spanHTTPRequest = "http.request"
 
 // Recover wraps a handler so that panics return 500 to the client and are
-// logged with a stack trace instead of killing the serving process.
+// logged with a stack trace instead of killing the serving process; each
+// absorbed panic also increments panics (quest_panics_total) when non-nil.
 // http.ErrAbortHandler is re-raised: it is the sanctioned way to abort a
 // response and is handled by the http server itself.
-func Recover(logger *log.Logger, next http.Handler) http.Handler {
+func Recover(logger *obs.Logger, panics *obs.Counter, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			//lint:ignore qatklint/paniccontract the HTTP serving tier is its own recovery boundary, mirroring the pipeline's: a handler panic must not kill the deployment
@@ -28,9 +40,12 @@ func Recover(logger *log.Logger, next http.Handler) http.Handler {
 				//lint:ignore qatklint/paniccontract http.ErrAbortHandler must be re-raised; net/http itself recovers it as the sanctioned abort path
 				panic(rec)
 			}
-			if logger != nil {
-				logger.Printf("quest: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
-			}
+			panics.Inc()
+			logger.Error("panic serving request",
+				obs.L("method", r.Method),
+				obs.L("path", r.URL.Path),
+				obs.L("panic", fmt.Sprint(rec)),
+				obs.L("stack", string(debug.Stack())))
 			// The handler may already have written a partial response; the
 			// extra WriteHeader is then a no-op and the client sees a torn
 			// body, which is the best that can be done at this point.
@@ -41,10 +56,78 @@ func Recover(logger *log.Logger, next http.Handler) http.Handler {
 }
 
 // WithTimeout bounds every request's handler time, answering 503 when it is
-// exceeded. d <= 0 disables the bound.
-func WithTimeout(d time.Duration, next http.Handler) http.Handler {
+// exceeded. Each exceeded budget increments timeouts (quest_timeouts_total)
+// and logs the request path. d <= 0 disables the bound.
+func WithTimeout(d time.Duration, timeouts *obs.Counter, logger *obs.Logger, next http.Handler) http.Handler {
 	if d <= 0 {
 		return next
 	}
-	return http.TimeoutHandler(next, d, "request timed out")
+	// The watcher runs inside the TimeoutHandler goroutine: when the inner
+	// handler returns after its context deadline fired, the 503 has already
+	// been (or is being) written by TimeoutHandler — record why.
+	watched := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(w, r)
+		if errors.Is(r.Context().Err(), context.DeadlineExceeded) {
+			timeouts.Inc()
+			logger.Warn("request timed out",
+				obs.L("method", r.Method),
+				obs.L("path", r.URL.Path),
+				obs.L("budget", d.String()))
+		}
+	})
+	return http.TimeoutHandler(watched, d, "request timed out")
+}
+
+// statusRecorder captures the first status code written to a response.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records the first explicit status.
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// Write records the implicit 200 of a body written without WriteHeader.
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// Instrument wraps a handler with request observability: a trace span per
+// request (method, path, status attributes), a request counter by status
+// code, a latency histogram, and an in-flight gauge. It sits outermost in
+// the chain so that panics recovered further in are still counted with
+// their 500. Nil registry and tracer disable the respective signal.
+func Instrument(reg *obs.Registry, tr *obs.Tracer, next http.Handler) http.Handler {
+	inflight := reg.Gauge(MetricHTTPRequestsInflight)
+	duration := reg.Histogram(MetricHTTPRequestDurationSeconds, obs.DefBuckets)
+	// Pre-touch the one series every deployment serves, so the family
+	// renders on a scrape that precedes the first completed request.
+	reg.Counter(MetricHTTPRequestsTotal, obs.L("code", "200"))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inflight.Add(1)
+		span := tr.Start(nil, spanHTTPRequest,
+			obs.L("method", r.Method), obs.L("path", r.URL.Path))
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			if rec.status == 0 {
+				rec.status = http.StatusOK
+			}
+			code := strconv.Itoa(rec.status)
+			inflight.Add(-1)
+			duration.Observe(time.Since(start).Seconds())
+			reg.Counter(MetricHTTPRequestsTotal, obs.L("code", code)).Inc()
+			span.SetAttr("code", code)
+			span.End(nil)
+		}()
+		next.ServeHTTP(rec, r)
+	})
 }

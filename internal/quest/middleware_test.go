@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -13,16 +12,39 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/reldb"
 )
 
-// TestRecoverMiddleware: a panicking handler answers 500 and the wrapping
-// handler (the process) stays alive for the next request.
+// syncBuilder is a strings.Builder safe for the concurrent writes a live
+// HTTP server produces.
+type syncBuilder struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuilder) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuilder) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+// TestRecoverMiddleware: a panicking handler answers 500, the panic is
+// counted and logged, and the wrapping handler (the process) stays alive
+// for the next request.
 func TestRecoverMiddleware(t *testing.T) {
-	var logged strings.Builder
-	logger := log.New(&logged, "", 0)
+	var logged syncBuilder
+	logger := obs.NewLogger(&logged, obs.LevelInfo)
+	reg := obs.NewRegistry()
+	panics := reg.Counter(MetricPanicsTotal)
 	calls := 0
-	h := Recover(logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	h := Recover(logger, panics, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		calls++
 		if r.URL.Path == "/boom" {
 			panic("handler bug")
@@ -40,8 +62,11 @@ func TestRecoverMiddleware(t *testing.T) {
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("status = %d, want 500", resp.StatusCode)
 	}
-	if !strings.Contains(logged.String(), "handler bug") {
-		t.Fatalf("panic not logged: %q", logged.String())
+	if !strings.Contains(logged.String(), "handler bug") || !strings.Contains(logged.String(), "path=/boom") {
+		t.Fatalf("panic not logged with attribution: %q", logged.String())
+	}
+	if got := panics.Value(); got != 1 {
+		t.Fatalf("panics counter = %d, want 1", got)
 	}
 	// The process survived: the next request is served normally.
 	resp, err = http.Get(ts.URL + "/ok")
@@ -62,8 +87,8 @@ func TestServerPanicReturns500(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db.Close()
-	var logged strings.Builder
-	s, err := NewServer(Config{DB: db, Logger: log.New(&logged, "", 0)})
+	var logged syncBuilder
+	s, err := NewServer(Config{DB: db, Logger: obs.NewLogger(&logged, obs.LevelInfo)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,14 +121,20 @@ func TestServerPanicReturns500(t *testing.T) {
 }
 
 func TestWithTimeoutBoundsSlowHandlers(t *testing.T) {
+	handlerDone := make(chan struct{})
 	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer close(handlerDone)
 		select {
 		case <-time.After(2 * time.Second):
 			w.WriteHeader(http.StatusOK)
 		case <-r.Context().Done():
 		}
 	})
-	ts := httptest.NewServer(WithTimeout(20*time.Millisecond, slow))
+	reg := obs.NewRegistry()
+	timeouts := reg.Counter(MetricTimeoutsTotal)
+	var logged syncBuilder
+	logger := obs.NewLogger(&logged, obs.LevelInfo)
+	ts := httptest.NewServer(WithTimeout(20*time.Millisecond, timeouts, logger, slow))
 	defer ts.Close()
 	start := time.Now()
 	resp, err := http.Get(ts.URL)
@@ -116,6 +147,113 @@ func TestWithTimeoutBoundsSlowHandlers(t *testing.T) {
 	}
 	if time.Since(start) > time.Second {
 		t.Fatal("timeout middleware did not cut the handler short")
+	}
+	// The watcher runs after the handler goroutine returns; wait for it.
+	select {
+	case <-handlerDone:
+	case <-time.After(time.Second):
+		t.Fatal("handler never observed its context deadline")
+	}
+	deadline := time.Now().Add(time.Second)
+	for timeouts.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := timeouts.Value(); got != 1 {
+		t.Fatalf("timeouts counter = %d, want 1", got)
+	}
+	if !strings.Contains(logged.String(), `msg="request timed out"`) {
+		t.Fatalf("timeout not logged: %q", logged.String())
+	}
+}
+
+// TestInstrumentMiddleware: one request through Instrument increments the
+// status-coded request counter, observes one latency sample, records a
+// span, and returns the in-flight gauge to zero.
+func TestInstrumentMiddleware(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(8)
+	var sawInflight float64
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawInflight = reg.Gauge(MetricHTTPRequestsInflight).Value()
+		w.WriteHeader(http.StatusTeapot)
+	})
+	rec := httptest.NewRecorder()
+	Instrument(reg, tr, inner).ServeHTTP(rec, httptest.NewRequest("GET", "/bundle/R1", nil))
+
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if sawInflight != 1 {
+		t.Errorf("in-flight during request = %g, want 1", sawInflight)
+	}
+	if got := reg.Gauge(MetricHTTPRequestsInflight).Value(); got != 0 {
+		t.Errorf("in-flight after request = %g, want 0", got)
+	}
+	if got := reg.Counter(MetricHTTPRequestsTotal, obs.L("code", "418")).Value(); got != 1 {
+		t.Errorf("request counter = %d, want 1", got)
+	}
+	if got := reg.Histogram(MetricHTTPRequestDurationSeconds, obs.DefBuckets).Count(); got != 1 {
+		t.Errorf("latency observations = %d, want 1", got)
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 1 || spans[0].Name != spanHTTPRequest {
+		t.Fatalf("spans = %+v", spans)
+	}
+	var gotCode bool
+	for _, a := range spans[0].Attrs {
+		if a == obs.L("code", "418") {
+			gotCode = true
+		}
+	}
+	if !gotCode {
+		t.Errorf("span attrs missing status code: %+v", spans[0].Attrs)
+	}
+}
+
+// TestServerServesMetrics: the full server exposes a parseable exposition
+// on /metrics including the serving and build families.
+func TestServerServesMetrics(t *testing.T) {
+	db, err := reldb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	reg := obs.NewRegistry()
+	s, err := NewServer(Config{DB: db, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// One application request so the request counter has a real sample.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE quest_http_requests_total counter",
+		`quest_http_requests_total{code="200"} 1`,
+		"# TYPE quest_http_request_duration_seconds histogram",
+		"quest_http_request_duration_seconds_bucket",
+		"# TYPE quest_panics_total counter",
+		"# TYPE quest_timeouts_total counter",
+		"# TYPE build_info gauge",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
 	}
 }
 

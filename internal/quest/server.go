@@ -4,8 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"html/template"
-	"log"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -13,6 +13,7 @@ import (
 	"repro/internal/bundle"
 	"repro/internal/compare"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/reldb"
 )
 
@@ -29,6 +30,7 @@ type Server struct {
 	comparisonNote string
 	mux            *http.ServeMux
 	handler        http.Handler
+	build          obs.BuildIdentity
 }
 
 // Config wires a Server.
@@ -45,8 +47,14 @@ type Config struct {
 	// Health probes are exempt so a stalled application handler cannot
 	// mask the process's liveness.
 	RequestTimeout time.Duration
-	// Logger receives panic reports (nil = the standard logger).
-	Logger *log.Logger
+	// Logger receives panic, timeout and lifecycle events (nil = a
+	// structured logger on stderr at info level).
+	Logger *obs.Logger
+	// Metrics receives serving metrics and is exposed at /metrics on the
+	// probe mux. Nil disables both.
+	Metrics *obs.Registry
+	// Tracer records one span per request. Nil disables request tracing.
+	Tracer *obs.Tracer
 }
 
 // NewServer builds the application. The database must already contain the
@@ -72,15 +80,27 @@ func NewServer(cfg Config) (*Server, error) {
 
 	logger := cfg.Logger
 	if logger == nil {
-		logger = log.Default()
+		logger = obs.NewLogger(os.Stderr, obs.LevelInfo)
 	}
-	// Health probes bypass the request timeout; everything else runs under
-	// timeout + panic recovery.
+	// Resolving the defensive counters up front also pre-registers their
+	// families, so a scrape sees them at zero before the first incident.
+	// RegisterBuildInfo records the binary identity served by /healthz and
+	// the build_info gauge.
+	s.build = obs.RegisterBuildInfo(cfg.Metrics)
+	panics := cfg.Metrics.Counter(MetricPanicsTotal)
+	timeouts := cfg.Metrics.Counter(MetricTimeoutsTotal)
+
+	// Health probes and /metrics bypass the request timeout; everything
+	// else runs under timeout + panic recovery. Instrument sits outermost
+	// so recovered panics are still counted with their 500.
 	probes := http.NewServeMux()
 	probes.HandleFunc("/healthz", s.handleHealthz)
 	probes.HandleFunc("/readyz", s.handleReadyz)
-	probes.Handle("/", WithTimeout(cfg.RequestTimeout, s.mux))
-	s.handler = Recover(logger, probes)
+	if cfg.Metrics != nil {
+		probes.Handle("/metrics", cfg.Metrics.Handler())
+	}
+	probes.Handle("/", WithTimeout(cfg.RequestTimeout, timeouts, logger, s.mux))
+	s.handler = Instrument(cfg.Metrics, cfg.Tracer, Recover(logger, panics, probes))
 	return s, nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // table holds the rows and indexes of one relation.
@@ -39,6 +41,12 @@ type DB struct {
 	tables map[string]*table
 	wal    *wal // nil for purely in-memory databases
 	dir    string
+
+	// Observability, attached after Open via Instrument (all nil-safe).
+	logger      *obs.Logger
+	walRecords  *obs.Counter
+	checkpoints *obs.Counter
+	replayed    int // records replayed during recovery at Open
 }
 
 // Open opens (or creates) a database in dir. If dir is empty the database

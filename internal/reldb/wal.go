@@ -12,6 +12,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // Write-ahead logging and snapshot checkpoints.
@@ -152,9 +154,13 @@ func replayFile(path string, apply func(walRecord) error) error {
 	}
 }
 
-// recover rebuilds in-memory state from snapshot + WAL.
+// recover rebuilds in-memory state from snapshot + WAL. The replay count
+// is kept on the DB so Instrument can surface it after Open returns.
 func (db *DB) recover() error {
-	apply := func(r walRecord) error { return db.applyRecord(r) }
+	apply := func(r walRecord) error {
+		db.replayed++
+		return db.applyRecord(r)
+	}
 	if err := replayFile(filepath.Join(db.dir, snapshotFileName), apply); err != nil {
 		return err
 	}
@@ -222,7 +228,11 @@ func (db *DB) logRecords(recs ...walRecord) error {
 	if db.wal == nil || len(recs) == 0 {
 		return nil
 	}
-	return db.wal.append(recs...)
+	if err := db.wal.append(recs...); err != nil {
+		return err
+	}
+	db.walRecords.Add(uint64(len(recs)))
+	return nil
 }
 
 // checkpointLocked snapshots the full state and truncates the WAL.
@@ -306,7 +316,12 @@ func (db *DB) checkpointLocked() error {
 	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotFileName)); err != nil {
 		return err
 	}
-	return db.wal.truncate()
+	if err := db.wal.truncate(); err != nil {
+		return err
+	}
+	db.checkpoints.Inc()
+	db.logger.Info("checkpoint written", obs.L("dir", db.dir))
+	return nil
 }
 
 // --- record encoding ---------------------------------------------------
