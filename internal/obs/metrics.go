@@ -88,8 +88,10 @@ func renderLabels(labels []Label) string {
 // lookup returns (creating if needed) the series for name+labels, or nil
 // when the registry is nil or the name is already registered with a
 // different kind (misregistration must not panic; qatklint/paniccontract
-// confines panics to the pipeline recovery layer).
-func (r *Registry) lookup(name string, kind metricKind, buckets []float64, labels []Label, make func() any) any {
+// confines panics to the pipeline recovery layer). New series are built
+// from the family's bounds (fixed by its first registration) so every
+// series of one histogram family shares a single le set.
+func (r *Registry) lookup(name string, kind metricKind, buckets []float64, labels []Label, make func(bounds []float64) any) any {
 	if r == nil {
 		return nil
 	}
@@ -106,7 +108,7 @@ func (r *Registry) lookup(name string, kind metricKind, buckets []float64, label
 	sig := renderLabels(labels)
 	s, ok := f.series[sig]
 	if !ok {
-		s = make()
+		s = make(f.buckets)
 		f.series[sig] = s
 	}
 	return s
@@ -120,7 +122,7 @@ type Counter struct {
 // Counter returns the counter series for name+labels, registering it on
 // first use. Nil registry or a kind clash yields a nil (no-op) handle.
 func (r *Registry) Counter(name string, labels ...Label) *Counter {
-	s, _ := r.lookup(name, kindCounter, nil, labels, func() any { return new(Counter) }).(*Counter)
+	s, _ := r.lookup(name, kindCounter, nil, labels, func([]float64) any { return new(Counter) }).(*Counter)
 	return s
 }
 
@@ -151,7 +153,7 @@ type Gauge struct {
 // Gauge returns the gauge series for name+labels, registering it on first
 // use.
 func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
-	s, _ := r.lookup(name, kindGauge, nil, labels, func() any { return new(Gauge) }).(*Gauge)
+	s, _ := r.lookup(name, kindGauge, nil, labels, func([]float64) any { return new(Gauge) }).(*Gauge)
 	return s
 }
 
@@ -201,8 +203,8 @@ func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *H
 	if buckets == nil {
 		buckets = DefBuckets
 	}
-	s, _ := r.lookup(name, kindHistogram, buckets, labels, func() any {
-		return &Histogram{bounds: buckets, counts: make([]atomic.Uint64, len(buckets))}
+	s, _ := r.lookup(name, kindHistogram, buckets, labels, func(bounds []float64) any {
+		return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
 	}).(*Histogram)
 	return s
 }
@@ -251,6 +253,16 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// famSnapshot is one family's render view: its series handles copied out
+// under the registry lock so rendering never reads the live series maps
+// (which Registry.lookup mutates under the same lock).
+type famSnapshot struct {
+	name   string
+	kind   metricKind
+	sigs   []string // sorted rendered label sets
+	series []any    // handle per sig, same order
+}
+
 // WriteProm renders every registered family in the Prometheus text
 // exposition format, deterministically ordered: families sorted by name,
 // series sorted by their rendered label set.
@@ -258,31 +270,32 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	// Snapshot family names, series sigs and handle pointers under the
+	// lock; the atomic series values are then read lock-free, so a scrape
+	// concurrent with first-use series creation is race-free.
 	r.mu.Lock()
-	names := make([]string, 0, len(r.families))
-	for n := range r.families {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	// Snapshot the family pointers under the lock; the atomic series
-	// values are read lock-free afterwards.
-	fams := make([]*family, len(names))
-	for i, n := range names {
-		fams[i] = r.families[n]
+	snaps := make([]famSnapshot, 0, len(r.families))
+	for _, f := range r.families {
+		snap := famSnapshot{name: f.name, kind: f.kind, sigs: make([]string, 0, len(f.series))}
+		for sig := range f.series {
+			snap.sigs = append(snap.sigs, sig)
+		}
+		sort.Strings(snap.sigs)
+		snap.series = make([]any, len(snap.sigs))
+		for i, sig := range snap.sigs {
+			snap.series[i] = f.series[sig]
+		}
+		snaps = append(snaps, snap)
 	}
 	r.mu.Unlock()
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].name < snaps[j].name })
 
-	for _, f := range fams {
+	for _, f := range snaps {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
 			return err
 		}
-		sigs := make([]string, 0, len(f.series))
-		for sig := range f.series {
-			sigs = append(sigs, sig)
-		}
-		sort.Strings(sigs)
-		for _, sig := range sigs {
-			if err := writeSeries(w, f, sig); err != nil {
+		for i, sig := range f.sigs {
+			if err := writeSeries(w, f.name, sig, f.series[i]); err != nil {
 				return err
 			}
 		}
@@ -291,30 +304,38 @@ func (r *Registry) WriteProm(w io.Writer) error {
 }
 
 // writeSeries renders one labeled series of a family.
-func writeSeries(w io.Writer, f *family, sig string) error {
-	switch s := f.series[sig].(type) {
+func writeSeries(w io.Writer, name, sig string, series any) error {
+	switch s := series.(type) {
 	case *Counter:
-		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, braced(sig), s.Value())
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, braced(sig), s.Value())
 		return err
 	case *Gauge:
-		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, braced(sig), formatFloat(s.Value()))
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, braced(sig), formatFloat(s.Value()))
 		return err
 	case *Histogram:
 		cumulative := uint64(0)
 		for i, b := range s.bounds {
 			cumulative += s.counts[i].Load()
 			le := L("le", formatFloat(b))
-			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, braced(joinSig(sig, le)), cumulative); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, braced(joinSig(sig, le)), cumulative); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, braced(joinSig(sig, L("le", "+Inf"))), s.Count()); err != nil {
+		// Observe bumps the matched bucket before the total count, so a
+		// concurrent scrape can see cumulative > Count(); clamp the +Inf
+		// bucket and _count to the same value to keep the rendered
+		// histogram monotonic (+Inf bucket == _count always holds).
+		count := s.Count()
+		if cumulative > count {
+			count = cumulative
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, braced(joinSig(sig, L("le", "+Inf"))), count); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, braced(sig), formatFloat(s.Sum())); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, braced(sig), formatFloat(s.Sum())); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, braced(sig), s.Count())
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, braced(sig), count)
 		return err
 	}
 	return nil

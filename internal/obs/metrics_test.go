@@ -3,6 +3,7 @@ package obs
 import (
 	"io"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -148,6 +149,77 @@ func TestCounterConcurrency(t *testing.T) {
 	wg.Wait()
 	if got := c.Value(); got != 8000 {
 		t.Errorf("count = %d, want 8000", got)
+	}
+}
+
+// TestScrapeDuringSeriesCreation: a /metrics render concurrent with
+// first-use series creation must be race-free — WriteProm snapshots each
+// family's series under the registry lock instead of walking the live
+// maps lookup mutates. Run under -race this is the regression test for
+// the concurrent map read/write crash.
+func TestScrapeDuringSeriesCreation(t *testing.T) {
+	r := NewRegistry()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			r.Counter("quest_http_requests_total", L("code", strconv.Itoa(i))).Inc()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			r.Histogram("quest_http_request_duration_seconds", nil, L("route", strconv.Itoa(i))).Observe(0.1)
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		if err := r.WriteProm(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+// TestHistogramBucketsFixedByFamily: bucket bounds are set by the first
+// registration of a family; a later caller asking for different bounds
+// (even for a brand-new label set) gets series built from the original
+// bounds, so one exposition family never mixes le sets.
+func TestHistogramBucketsFixedByFamily(t *testing.T) {
+	r := NewRegistry()
+	first := r.Histogram("qatk_pipeline_engine_seconds", []float64{1, 2}, L("engine", "tok"))
+	first.Observe(1.5)
+	second := r.Histogram("qatk_pipeline_engine_seconds", []float64{5, 10, 20}, L("engine", "ner"))
+	second.Observe(1.5)
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		`qatk_pipeline_engine_seconds_bucket{engine="ner",le="1"} 0`,
+		`qatk_pipeline_engine_seconds_bucket{engine="ner",le="2"} 1`,
+		`qatk_pipeline_engine_seconds_bucket{engine="tok",le="2"} 1`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, `le="5"`) || strings.Contains(got, `le="10"`) {
+		t.Errorf("later caller's divergent buckets leaked into the family:\n%s", got)
 	}
 }
 

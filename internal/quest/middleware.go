@@ -100,6 +100,20 @@ func (sr *statusRecorder) Write(b []byte) (int, error) {
 	return sr.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the underlying writer so streaming handlers keep
+// working behind Instrument.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the wrapped writer to http.NewResponseController, which
+// restores Hijack/SetDeadline support the embedding alone would hide.
+func (sr *statusRecorder) Unwrap() http.ResponseWriter {
+	return sr.ResponseWriter
+}
+
 // Instrument wraps a handler with request observability: a trace span per
 // request (method, path, status attributes), a request counter by status
 // code, a latency histogram, and an in-flight gauge. It sits outermost in

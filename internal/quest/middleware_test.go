@@ -210,6 +210,34 @@ func TestInstrumentMiddleware(t *testing.T) {
 	}
 }
 
+// TestInstrumentPreservesFlusher: statusRecorder forwards Flush and
+// exposes the wrapped writer via Unwrap, so streaming handlers behind
+// Instrument keep their http.Flusher / ResponseController support.
+func TestInstrumentPreservesFlusher(t *testing.T) {
+	var flushed bool
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Error("instrumented writer lost http.Flusher")
+			return
+		}
+		fmt.Fprint(w, "chunk")
+		f.Flush()
+		flushed = true
+		if err := http.NewResponseController(w).Flush(); err != nil {
+			t.Errorf("ResponseController.Flush via Unwrap: %v", err)
+		}
+	})
+	rec := httptest.NewRecorder()
+	Instrument(obs.NewRegistry(), obs.NewTracer(8), inner).ServeHTTP(rec, httptest.NewRequest("GET", "/stream", nil))
+	if !flushed {
+		t.Fatal("handler never reached Flush")
+	}
+	if !rec.Flushed {
+		t.Fatal("Flush was not forwarded to the underlying writer")
+	}
+}
+
 // TestServerServesMetrics: the full server exposes a parseable exposition
 // on /metrics including the serving and build families.
 func TestServerServesMetrics(t *testing.T) {
