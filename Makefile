@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race check bench
+.PHONY: build test vet lint race crash check bench
 
 ## build: compile every package and command
 build:
@@ -22,13 +22,21 @@ lint:
 race:
 	$(GO) test -race ./...
 
-## check: the pre-merge tier — vet, qatklint and the race-enabled suite
-check: vet lint race
+## crash: power-cut recovery harness — the fixed-seed enumeration (every
+## VFS op index, every retention mode, no -short truncation) plus one
+## randomized smoke run with a fresh seed.
+crash:
+	$(GO) test -run 'TestPowerCut' -count 1 ./internal/reldb/crashharness
+	CRASH_RANDOM_SEED=1 $(GO) test -run 'TestPowerCutSmokeRandomSeed' -count 1 ./internal/reldb/crashharness
 
-## bench: full benchmark suite -> BENCH_pr3.json (see EXPERIMENTS.md).
+## check: the pre-merge tier — vet, qatklint, the race-enabled suite and
+## the crash harness
+check: vet lint race crash
+
+## bench: full benchmark suite -> BENCH_pr4.json (see EXPERIMENTS.md).
 ## The root-package paper replications are full 5-fold CVs, so they run
 ## -benchtime=1x; the micro benchmarks use the default sampling.
 bench:
 	{ $(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . ; \
 	  $(GO) test -run '^$$' -bench . -benchmem ./internal/... ; } | \
-	  $(GO) run ./cmd/benchjson -o BENCH_pr3.json
+	  $(GO) run ./cmd/benchjson -o BENCH_pr4.json

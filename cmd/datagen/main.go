@@ -26,15 +26,16 @@ func main() {
 	small := flag.Bool("small", false, "generate the small test corpus")
 	seed := flag.Int64("seed", 1, "generation seed")
 	complaints := flag.Int("complaints", 2500, "number of ODI-style complaints")
+	dbSync := flag.String("db-sync", "never", "WAL durability: always | interval | never (bulk load is regenerable, and the final checkpoint syncs)")
 	flag.Parse()
 
-	if err := run(*out, *small, *seed, *complaints); err != nil {
+	if err := run(*out, *small, *seed, *complaints, *dbSync); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, small bool, seed int64, complaints int) error {
+func run(out string, small bool, seed int64, complaints int, dbSync string) error {
 	cfg := datagen.DefaultConfig()
 	if small {
 		cfg = datagen.SmallConfig()
@@ -58,7 +59,11 @@ func run(out string, small bool, seed int64, complaints int) error {
 
 	// Relational database with bundles, QUEST catalog and users.
 	dbDir := filepath.Join(out, "db")
-	db, err := reldb.Open(dbDir)
+	sync, err := reldb.ParseSyncPolicy(dbSync)
+	if err != nil {
+		return err
+	}
+	db, err := reldb.OpenWith(dbDir, reldb.Options{Sync: sync})
 	if err != nil {
 		return err
 	}

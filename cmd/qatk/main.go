@@ -36,20 +36,25 @@ func main() {
 	sim := flag.String("sim", "jaccard", "similarity: jaccard | overlap")
 	ref := flag.String("ref", "", "bundle reference number (for recommend)")
 	errorBudget := flag.Int("error-budget", 25, "consecutive bundle failures tolerated before train aborts (0 = abort on first failure)")
+	dbSync := flag.String("db-sync", "always", "WAL durability: always | interval | never")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*data, *model, *sim, *ref, *errorBudget, flag.Arg(0), flag.Args()[1:]); err != nil {
+	if err := run(*data, *model, *sim, *ref, *dbSync, *errorBudget, flag.Arg(0), flag.Args()[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "qatk:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data, model, sim, ref string, errorBudget int, cmd string, rest []string) error {
-	db, err := reldb.Open(filepath.Join(data, "db"))
+func run(data, model, sim, ref, dbSync string, errorBudget int, cmd string, rest []string) error {
+	sync, err := reldb.ParseSyncPolicy(dbSync)
+	if err != nil {
+		return err
+	}
+	db, err := reldb.OpenWith(filepath.Join(data, "db"), reldb.Options{Sync: sync})
 	if err != nil {
 		return err
 	}

@@ -51,9 +51,11 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "pprof listen address (e.g. localhost:6060; empty disables)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request handler time budget (0 disables)")
+	dbSync := flag.String("db-sync", "always", "WAL durability: always | interval | never")
+	dbSyncEvery := flag.Duration("db-sync-interval", reldb.DefaultSyncEvery, "group-commit fsync cadence (with -db-sync=interval)")
 	flag.Parse()
 
-	if err := run(*data, *addr, *debugAddr, *shutdownTimeout, *requestTimeout); err != nil {
+	if err := run(*data, *addr, *debugAddr, *dbSync, *shutdownTimeout, *requestTimeout, *dbSyncEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "questd:", err)
 		os.Exit(1)
 	}
@@ -71,7 +73,7 @@ func pprofMux() *http.ServeMux {
 	return mux
 }
 
-func run(data, addr, debugAddr string, shutdownTimeout, requestTimeout time.Duration) error {
+func run(data, addr, debugAddr, dbSync string, shutdownTimeout, requestTimeout, dbSyncEvery time.Duration) error {
 	logger := obs.NewLogger(os.Stderr, obs.LevelInfo)
 	metrics := obs.NewRegistry()
 	tracer := obs.NewTracer(1024)
@@ -80,7 +82,11 @@ func run(data, addr, debugAddr string, shutdownTimeout, requestTimeout time.Dura
 	// inventory so dashboards bind to stable names.
 	pipeline.RegisterMetrics(metrics)
 
-	db, err := reldb.Open(filepath.Join(data, "db"))
+	sync, err := reldb.ParseSyncPolicy(dbSync)
+	if err != nil {
+		return err
+	}
+	db, err := reldb.OpenWith(filepath.Join(data, "db"), reldb.Options{Sync: sync, SyncEvery: dbSyncEvery})
 	if err != nil {
 		return err
 	}

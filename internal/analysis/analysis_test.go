@@ -60,6 +60,7 @@ func TestLoadFixtureModule(t *testing.T) {
 		"qatktest/internal/panics",
 		"qatktest/internal/pipeline",
 		"qatktest/internal/obs",
+		"qatktest/internal/reldb",
 		"qatktest/datagen",
 		"qatktest/metrics",
 		"qatktest/locks",

@@ -15,6 +15,7 @@ func All() []*Analyzer {
 		PanicContract,
 		LockCopy,
 		MetricName,
+		VFSOnly,
 	}
 }
 

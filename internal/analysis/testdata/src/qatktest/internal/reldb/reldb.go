@@ -1,0 +1,65 @@
+// Package reldb exercises the vfsonly analyzer: this import path is the
+// storage tier, where all file I/O must flow through the vfs.FS
+// abstraction so crash and disk-fault injection cannot be bypassed.
+// Direct package-os file calls and *os.File method calls are findings.
+package reldb
+
+import (
+	"io/fs"
+	"os"
+)
+
+// FS is a stand-in for the real vfs.FS; calls through an abstraction are
+// the sanctioned pattern and produce no findings.
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (*os.File, error)
+	Rename(oldpath, newpath string) error
+}
+
+// WriteSnapshot uses the os package directly at every step.
+func WriteSnapshot(dir string) error {
+	f, err := os.Create(dir + "/db.snapshot.tmp") // want vfsonly "os.Create"
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("state")); err != nil { // want vfsonly "Write"
+		f.Close() // want vfsonly "Close"
+		return err
+	}
+	if err := f.Sync(); err != nil { // want vfsonly "Sync"
+		return err
+	}
+	if err := f.Close(); err != nil { // want vfsonly "Close"
+		return err
+	}
+	return os.Rename(dir+"/db.snapshot.tmp", dir+"/db.snapshot") // want vfsonly "os.Rename"
+}
+
+// OpenWAL opens the log file directly.
+func OpenWAL(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644) // want vfsonly "os.OpenFile"
+}
+
+// Cleanup removes and recreates state with direct calls.
+func Cleanup(dir string) error {
+	if err := os.RemoveAll(dir); err != nil { // want vfsonly "os.RemoveAll"
+		return err
+	}
+	return os.MkdirAll(dir, 0o755) // want vfsonly "os.MkdirAll"
+}
+
+// ThroughVFS routes the same operations through the abstraction; no
+// findings here.
+func ThroughVFS(fsys FS, dir string) error {
+	f, err := fsys.OpenFile(dir+"/db.wal", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	_ = f
+	return fsys.Rename(dir+"/a", dir+"/b")
+}
+
+// Getenv is an os call that does not touch the filesystem; out of scope.
+func Getenv() string {
+	return os.Getenv("RELDB_DIR")
+}

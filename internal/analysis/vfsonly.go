@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// VFSOnly keeps the storage tier honest about its I/O: inside
+// internal/reldb (and its subpackages) every file operation must go
+// through vfs.FS, because that indirection is what lets the crash
+// harness enumerate power-cut points and inject disk faults. One direct
+// os.OpenFile or (*os.File).Sync bypasses the fault matrix silently —
+// the harness would keep passing while the bypassed call sites stay
+// untested.
+var VFSOnly = &Analyzer{
+	Name: "vfsonly",
+	Doc: "inside internal/reldb, direct file I/O through package os (Create, Open, OpenFile, " +
+		"Rename, Remove, Mkdir, ReadFile, WriteFile, ...) or *os.File methods is forbidden; " +
+		"all storage I/O must flow through vfs.FS so fault injection cannot be bypassed.",
+	Run: runVFSOnly,
+}
+
+// osFileFuncs are the package-level os functions that touch the
+// filesystem in ways reldb must route through vfs.FS.
+var osFileFuncs = map[string]bool{
+	"Create":     true,
+	"Open":       true,
+	"OpenFile":   true,
+	"Rename":     true,
+	"Remove":     true,
+	"RemoveAll":  true,
+	"Mkdir":      true,
+	"MkdirAll":   true,
+	"ReadFile":   true,
+	"WriteFile":  true,
+	"Truncate":   true,
+	"CreateTemp": true,
+}
+
+func runVFSOnly(pass *Pass) error {
+	if !strings.Contains(pass.Pkg.Path(), "internal/reldb") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Pkg().Path() != "os" {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig != nil && sig.Recv() != nil {
+				// A method on an os type: *os.File I/O (Sync, Write,
+				// Truncate, ...) is exactly the durability surface the
+				// fault matrix must see.
+				pass.Reportf(call.Pos(), "direct-file-method",
+					"direct (*os.%s).%s call in reldb bypasses fault injection; use the vfs.File handle instead",
+					recvTypeName(sig), fn.Name())
+				return true
+			}
+			if osFileFuncs[fn.Name()] {
+				pass.Reportf(call.Pos(), "direct-os-call",
+					"direct os.%s call in reldb bypasses fault injection; route it through vfs.FS", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// recvTypeName names a method's receiver type without package qualifier
+// or pointer marker.
+func recvTypeName(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

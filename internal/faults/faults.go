@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cas"
 	"repro/internal/pipeline"
+	"repro/internal/vfs"
 )
 
 // InjectedError is the error returned by injected failures. Seq is the
@@ -50,12 +51,33 @@ func (p InjectedPanic) String() string {
 // Config sets the per-call fault rates of an Injector. Rates are
 // probabilities in [0, 1] and are evaluated independently in the order
 // panic, error, stall: at most one fault fires per call.
+//
+// The disk rates configure storage-level chaos instead of call-level
+// chaos; they take effect through DiskFS, which injects them below the
+// database rather than around it.
 type Config struct {
 	ErrorRate float64       // probability of returning an *InjectedError
 	PanicRate float64       // probability of panicking with InjectedPanic
 	StallRate float64       // probability of sleeping Stall before running
 	Stall     time.Duration // stall duration (default 1ms)
 	Transient bool          // injected errors report themselves transient
+
+	FsyncFailRate  float64 // probability an fsync fails (vfs.ErrFsyncFailed)
+	ShortWriteRate float64 // probability a write is torn (vfs.ErrShortWrite)
+	ENOSPCRate     float64 // probability a write fails with vfs.ErrNoSpace
+}
+
+// DiskFS builds a fault-injecting filesystem sharing the package's
+// seeded-schedule discipline: the same seed and operation order reproduce
+// the same disk faults. Plug it into reldb via Options.FS to run a
+// storage workload on misbehaving media.
+func DiskFS(seed int64, cfg Config) *vfs.FaultFS {
+	return vfs.NewFaultFS(vfs.FaultConfig{
+		Seed:           seed,
+		FsyncFailRate:  cfg.FsyncFailRate,
+		ShortWriteRate: cfg.ShortWriteRate,
+		ENOSPCRate:     cfg.ENOSPCRate,
+	})
 }
 
 // Injector draws faults from a seeded source. All methods are safe for

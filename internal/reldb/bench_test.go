@@ -111,6 +111,67 @@ func BenchmarkWALAppend(b *testing.B) {
 	}
 }
 
+// benchSyncDB opens an on-disk database under the given durability
+// policy with a one-column table ready for commits.
+func benchSyncDB(b *testing.B, sync SyncPolicy) *DB {
+	b.Helper()
+	db, err := OpenWith(b.TempDir(), Options{Sync: sync})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	if err := db.CreateTable(Schema{Name: "t", Columns: []Column{
+		{Name: "id", Type: TInt}, {Name: "x", Type: TString},
+	}, PrimaryKey: "id"}); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkCommitSyncAlways measures the per-commit cost of the default
+// policy: one fsync on every write before it returns.
+func BenchmarkCommitSyncAlways(b *testing.B) {
+	db := benchSyncDB(b, SyncAlways)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Insert("t", Row{nil, "payload payload payload"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCommitGroupCommit measures SyncInterval under concurrent
+// writers: commits from parallel goroutines share fsyncs, so per-commit
+// cost amortizes toward the WAL-append cost as parallelism grows.
+func BenchmarkCommitGroupCommit(b *testing.B) {
+	db := benchSyncDB(b, SyncInterval)
+	// 8 writers per core: batching is the point, and GOMAXPROCS may be 1.
+	b.SetParallelism(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := db.Insert("t", Row{nil, "payload payload payload"}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCommitSyncNever is the durability-free upper bound: WAL
+// appends reach the OS page cache but are never fsynced.
+func BenchmarkCommitSyncNever(b *testing.B) {
+	db := benchSyncDB(b, SyncNever)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Insert("t", Row{nil, "payload payload payload"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSkipListInsert(b *testing.B) {
 	sl := newSkipList()
 	b.ReportAllocs()

@@ -129,8 +129,8 @@ func TestCrashRecoveryTruncatedTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	offsets := walRecordOffsets(t, walBytes)
-	if len(offsets) != rows+1 { // CREATE TABLE + the inserts
-		t.Fatalf("WAL holds %d records, want %d", len(offsets), rows+1)
+	if len(offsets) != rows+2 { // generation header + CREATE TABLE + the inserts
+		t.Fatalf("WAL holds %d frames, want %d", len(offsets), rows+2)
 	}
 	last := offsets[len(offsets)-1]
 

@@ -1,0 +1,198 @@
+// Package crashharness proves reldb's crash-consistency contract by
+// exhaustive power-cut enumeration: it runs a scripted workload once on a
+// fault-free simulated disk to count the filesystem operations it
+// performs, then replays the workload once per operation index with the
+// power dying exactly there, reboots, re-opens the database, and checks
+// the recovered state against the trail of per-commit state digests.
+//
+// The invariant checked is prefix consistency with a durability floor:
+// after any cut, the recovered state must equal the state after some
+// prefix of the committed steps (no partial transaction, no reordering,
+// no double-apply — a double-applied record produces a state that matches
+// no prefix digest), and under SyncAlways that prefix must include every
+// step that had already returned success before the power died.
+package crashharness
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/reldb"
+	"repro/internal/vfs"
+)
+
+// Step is one unit of committed work in a workload. Apply must be
+// deterministic: the enumeration replays the workload once per cut point
+// and the state after step k must be identical in every run.
+type Step struct {
+	Name  string
+	Apply func(db *reldb.DB) error
+}
+
+// Config tunes a harness run.
+type Config struct {
+	// Seed drives the FaultFS retention draws.
+	Seed int64
+	// Opts configures the database under test; Opts.FS is overwritten by
+	// the harness with its own FaultFS.
+	Opts reldb.Options
+	// Retain lists the crash-retention modes exercised at every cut
+	// point. Empty means all three.
+	Retain []vfs.RetainMode
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// Result summarizes an enumeration.
+type Result struct {
+	// Ops is the number of mutating filesystem operations the fault-free
+	// run performed; the harness tested a power cut at every index 1..Ops.
+	Ops int
+	// Cuts is the number of (cut point, retention mode) cases exercised.
+	Cuts int
+}
+
+const dbDir = "data/db"
+
+// Run executes the full enumeration and returns an error describing the
+// first violated invariant.
+func Run(workload []Step, cfg Config) (Result, error) {
+	if len(workload) == 0 {
+		return Result{}, errors.New("crashharness: empty workload")
+	}
+	retain := cfg.Retain
+	if len(retain) == 0 {
+		retain = []vfs.RetainMode{vfs.RetainNone, vfs.RetainPrefix, vfs.RetainAll}
+	}
+
+	// Recording run on a fault-free disk: capture the digest after every
+	// step and the total operation count.
+	digests, ops, err := record(workload, cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("crashharness: recording run: %w", err)
+	}
+	if ops == 0 {
+		return Result{}, errors.New("crashharness: workload performed no filesystem operations")
+	}
+	res := Result{Ops: ops}
+	floor := cfg.Opts.Sync == reldb.SyncAlways
+	for cut := 1; cut <= ops; cut++ {
+		for _, mode := range retain {
+			res.Cuts++
+			if err := runCut(workload, cfg, digests, cut, mode, floor); err != nil {
+				return res, fmt.Errorf("crashharness: cut=%d retain=%d: %w", cut, mode, err)
+			}
+		}
+		if cfg.Log != nil && cut%50 == 0 {
+			cfg.Log("crashharness: %d/%d cut points done", cut, ops)
+		}
+	}
+	return res, nil
+}
+
+// record runs the workload without faults and returns the digest after
+// Open and after each step, plus the total mutating-op count (including
+// Close, whose checkpoint is part of the enumerated surface).
+func record(workload []Step, cfg Config) ([]string, int, error) {
+	fsys := vfs.NewFaultFS(vfs.FaultConfig{Seed: cfg.Seed})
+	opts := cfg.Opts
+	opts.FS = fsys
+	db, err := reldb.OpenWith(dbDir, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	digests := make([]string, 0, len(workload)+1)
+	d, err := db.StateDigest()
+	if err != nil {
+		return nil, 0, err
+	}
+	digests = append(digests, d)
+	for _, s := range workload {
+		if err := s.Apply(db); err != nil {
+			return nil, 0, fmt.Errorf("step %q: %w", s.Name, err)
+		}
+		if d, err = db.StateDigest(); err != nil {
+			return nil, 0, err
+		}
+		digests = append(digests, d)
+	}
+	if err := db.Close(); err != nil {
+		return nil, 0, err
+	}
+	return digests, fsys.OpCount(), nil
+}
+
+// runCut replays the workload with the power dying at mutating operation
+// index cut, reboots with the given retention, and verifies recovery.
+// With floor set, every step acknowledged before the cut must survive
+// (the SyncAlways durability contract).
+func runCut(workload []Step, cfg Config, digests []string, cut int, mode vfs.RetainMode, floor bool) error {
+	fsys := vfs.NewFaultFS(vfs.FaultConfig{Seed: cfg.Seed, CrashAt: cut})
+	opts := cfg.Opts
+	opts.FS = fsys
+
+	// committed counts the steps that returned success before the cut:
+	// the durability floor under SyncAlways.
+	committed := 0
+
+	db, err := reldb.OpenWith(dbDir, opts)
+	if err == nil {
+		for _, s := range workload {
+			stepErr := s.Apply(db)
+			if stepErr == nil {
+				committed++
+				continue
+			}
+			if !expectedCrashErr(stepErr) {
+				return fmt.Errorf("step %q failed for a non-crash reason: %w", s.Name, stepErr)
+			}
+			break
+		}
+		// The cut may only trip during Close's checkpoint; either way the
+		// handle is dead or closed now.
+		if closeErr := db.Close(); closeErr != nil && !expectedCrashErr(closeErr) {
+			return fmt.Errorf("close failed for a non-crash reason: %w", closeErr)
+		}
+	} else if !expectedCrashErr(err) {
+		return fmt.Errorf("open failed for a non-crash reason: %w", err)
+	}
+
+	// Reboot into the surviving image and recover.
+	fsys.Crash(mode)
+	re, err := reldb.OpenWith(dbDir, reldb.Options{FS: fsys, Sync: opts.Sync, SyncEvery: opts.SyncEvery})
+	if err != nil {
+		return fmt.Errorf("recovery open failed: %w", err)
+	}
+	defer re.Close()
+	got, err := re.StateDigest()
+	if err != nil {
+		return fmt.Errorf("digest of recovered state: %w", err)
+	}
+
+	// The recovered state must be exactly some prefix of the committed
+	// history... (scan from the end: steps that leave the logical state
+	// unchanged, like a checkpoint, duplicate digests, and the floor
+	// check below needs the highest matching prefix length)
+	k := -1
+	for i := len(digests) - 1; i >= 0; i-- {
+		if digests[i] == got {
+			k = i
+			break
+		}
+	}
+	if k < 0 {
+		return errors.New("recovered state matches no prefix of the committed history (partial transaction, reorder, or double-apply)")
+	}
+	// ...and under SyncAlways the prefix must cover every step that was
+	// acknowledged before the power died.
+	if floor && k < committed {
+		return fmt.Errorf("durability violation: %d steps acknowledged, only %d recovered", committed, k)
+	}
+	return nil
+}
+
+// expectedCrashErr reports whether err is attributable to the simulated
+// power cut (directly, or via the latch a mid-commit cut leaves behind).
+func expectedCrashErr(err error) bool {
+	return errors.Is(err, vfs.ErrPowerCut) || errors.Is(err, reldb.ErrFailed)
+}

@@ -1,0 +1,79 @@
+package crashharness
+
+import (
+	"repro/internal/reldb"
+)
+
+// DefaultWorkload is the canonical enumeration workload: it exercises
+// every WAL record kind (create table, insert, update, delete, index
+// create), multi-operation transactions (one WAL frame), and mid-history
+// checkpoints (snapshot rename + WAL reset), so the cut points cover
+// every distinct durability transition the storage layer has.
+func DefaultWorkload() []Step {
+	schema := reldb.Schema{
+		Name: "parts",
+		Columns: []reldb.Column{
+			{Name: "id", Type: reldb.TInt},
+			{Name: "name", Type: reldb.TString, NotNull: true},
+			{Name: "weight", Type: reldb.TFloat},
+		},
+		PrimaryKey: "id",
+	}
+	insert := func(name string, weight float64) Step {
+		return Step{
+			Name: "insert " + name,
+			Apply: func(db *reldb.DB) error {
+				_, err := db.Insert("parts", reldb.Row{nil, name, weight})
+				return err
+			},
+		}
+	}
+	return []Step{
+		{Name: "create table", Apply: func(db *reldb.DB) error {
+			return db.CreateTable(schema)
+		}},
+		insert("fender", 4.2),
+		insert("radio", 1.1),
+		insert("lamp", 0.4),
+		{Name: "tx insert+update+delete", Apply: func(db *reldb.DB) error {
+			tx := db.Begin()
+			tx.Insert("parts", reldb.Row{nil, "mirror", 0.7})
+			tx.Update("parts", 2, reldb.Row{int64(2), "radio mk2", 1.2})
+			tx.Delete("parts", 3)
+			return tx.Commit()
+		}},
+		{Name: "create index", Apply: func(db *reldb.DB) error {
+			return db.CreateIndex("parts", "ix_name", false, "name")
+		}},
+		insert("bumper", 6.0),
+		{Name: "checkpoint", Apply: func(db *reldb.DB) error {
+			return db.Checkpoint()
+		}},
+		{Name: "update post-checkpoint", Apply: func(db *reldb.DB) error {
+			return db.Update("parts", 1, reldb.Row{int64(1), "fender mk2", 4.5})
+		}},
+		{Name: "delete post-checkpoint", Apply: func(db *reldb.DB) error {
+			return db.Delete("parts", 4)
+		}},
+		{Name: "tx two inserts", Apply: func(db *reldb.DB) error {
+			tx := db.Begin()
+			tx.Insert("parts", reldb.Row{nil, "seal", 0.1})
+			tx.Insert("parts", reldb.Row{nil, "hinge", 0.3})
+			return tx.Commit()
+		}},
+		{Name: "second checkpoint", Apply: func(db *reldb.DB) error {
+			return db.Checkpoint()
+		}},
+		insert("strut", 2.2),
+	}
+}
+
+// Smoke runs the default workload under every retention mode with the
+// given seed and sync policy; it is the entry point for randomized
+// smoke testing.
+func Smoke(seed int64, sync reldb.SyncPolicy) (Result, error) {
+	return Run(DefaultWorkload(), Config{
+		Seed: seed,
+		Opts: reldb.Options{Sync: sync},
+	})
+}

@@ -1,11 +1,16 @@
 package reldb
 
 import (
+	"errors"
 	"fmt"
+	iofs "io/fs"
+	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/vfs"
 )
 
 // table holds the rows and indexes of one relation.
@@ -34,6 +39,31 @@ func newTable(schema Schema) *table {
 
 func pkIndexName(table string) string { return "pk_" + table }
 
+// ErrFailed is wrapped into every write rejected because the database has
+// latched a prior fsync failure. Once an fsync fails the kernel may have
+// dropped the dirty pages, so "retry the sync" would silently report old
+// data as durable; the only honest move is to refuse further writes until
+// the process re-opens the database and recovers from what is actually on
+// disk.
+var ErrFailed = errors.New("reldb: database failed")
+
+// DefaultSyncEvery is the group-commit fsync interval used by
+// SyncInterval when Options.SyncEvery is zero.
+const DefaultSyncEvery = 2 * time.Millisecond
+
+// Options configures durability for OpenWith.
+type Options struct {
+	// FS is the filesystem the database performs all I/O through.
+	// Nil means the real filesystem.
+	FS vfs.FS
+	// Sync selects when the WAL is fsynced. The zero value is
+	// SyncAlways: every commit is durable before the call returns.
+	Sync SyncPolicy
+	// SyncEvery is the group-commit interval under SyncInterval
+	// (DefaultSyncEvery if zero). Ignored by the other policies.
+	SyncEvery time.Duration
+}
+
 // DB is an embedded relational database. All exported methods are safe for
 // concurrent use; writes are serialized by a single writer lock.
 type DB struct {
@@ -41,42 +71,174 @@ type DB struct {
 	tables map[string]*table
 	wal    *wal // nil for purely in-memory databases
 	dir    string
+	fs     vfs.FS
+	opts   Options
+
+	gen       uint64 // current snapshot generation
+	staleWAL  bool   // recovery found a WAL predating the snapshot
+	failed    error  // latched fatal I/O error; non-nil refuses writes
+	committer *committer
 
 	// Observability, attached after Open via Instrument (all nil-safe).
-	logger      *obs.Logger
-	walRecords  *obs.Counter
-	checkpoints *obs.Counter
-	replayed    int // records replayed during recovery at Open
+	logger         *obs.Logger
+	walRecords     *obs.Counter
+	checkpoints    *obs.Counter
+	fsyncSeconds   *obs.Histogram
+	fsyncFailures  *obs.Counter
+	walSyncedBytes *obs.Counter
+	replayed       int // records replayed during recovery at Open
 }
 
-// Open opens (or creates) a database in dir. If dir is empty the database
-// is in-memory only and Close is a no-op for durability purposes.
-func Open(dir string) (*DB, error) {
-	db := &DB{tables: make(map[string]*table)}
+// Open opens (or creates) a database in dir with default durability
+// (SyncAlways on the real filesystem). If dir is empty the database is
+// in-memory only and Close is a no-op for durability purposes.
+func Open(dir string) (*DB, error) { return OpenWith(dir, Options{}) }
+
+// OpenWith opens (or creates) a database in dir with explicit durability
+// options. Recovery replays the newest snapshot plus the WAL frames of
+// the matching generation, discards any torn or stale WAL tail, and
+// removes a snapshot temp file left behind by a crash mid-checkpoint.
+func OpenWith(dir string, opts Options) (*DB, error) {
+	if opts.FS == nil {
+		opts.FS = vfs.OS()
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = DefaultSyncEvery
+	}
+	db := &DB{tables: make(map[string]*table), fs: opts.FS, opts: opts}
 	if dir == "" {
 		return db, nil
 	}
 	db.dir = dir
-	w, err := openWAL(dir)
+	if err := db.fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("reldb: create dir: %w", err)
+	}
+	// A crash while checkpointLocked was still writing the temp snapshot
+	// leaves it behind; it holds no committed state (the rename never
+	// happened) and would otherwise sit there forever.
+	tmp := filepath.Join(dir, snapshotTmpFileName)
+	switch err := db.fs.Remove(tmp); {
+	case err == nil:
+		if err := db.fs.SyncDir(dir); err != nil {
+			return nil, fmt.Errorf("reldb: sync dir after tmp cleanup: %w", err)
+		}
+	case !errors.Is(err, iofs.ErrNotExist):
+		return nil, fmt.Errorf("reldb: remove stale snapshot tmp: %w", err)
+	}
+	w, err := openWAL(db.fs, dir)
 	if err != nil {
 		return nil, err
 	}
 	db.wal = w
-	if err := db.recover(); err != nil {
+	walValid, err := db.recover()
+	if err != nil {
 		w.close()
 		return nil, err
+	}
+	size, err := w.size()
+	if err != nil {
+		w.close()
+		return nil, fmt.Errorf("reldb: stat wal: %w", err)
+	}
+	if size > walValid {
+		// Torn frame at the tail, or an entire stale-generation log:
+		// cut it before new frames can follow garbage.
+		if err := w.truncateTo(walValid); err != nil {
+			w.close()
+			return nil, fmt.Errorf("reldb: truncate wal tail: %w", err)
+		}
+	}
+	if walValid == 0 {
+		w.armHeader(db.gen)
+	}
+	if opts.Sync == SyncInterval {
+		db.committer = newCommitter(db, opts.SyncEvery)
 	}
 	return db, nil
 }
 
-// Close checkpoints (if durable) and releases the database.
+// commit runs apply (the in-memory mutation plus its WAL append) under
+// the writer lock, then enforces the sync policy: under SyncAlways the
+// append was already fsynced inside apply via logRecords; under
+// SyncInterval the call blocks, outside the lock, until a group fsync
+// covers the append.
+func (db *DB) commit(apply func() error) error {
+	db.mu.Lock()
+	if err := db.writableLocked(); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	err := apply()
+	wait := err == nil && db.committer != nil && db.wal != nil
+	var gen uint64
+	if wait {
+		gen = db.committer.noteAppend()
+	}
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if wait {
+		return db.committer.wait(gen)
+	}
+	return nil
+}
+
+// writableLocked reports the latched failure, if any. Caller holds db.mu.
+func (db *DB) writableLocked() error {
+	if db.failed != nil {
+		return fmt.Errorf("%w: %w", ErrFailed, db.failed)
+	}
+	return nil
+}
+
+// latchLocked records a fatal I/O error. All subsequent writes fail with
+// ErrFailed; reads keep working on the in-memory state. Caller holds
+// db.mu.
+func (db *DB) latchLocked(err error) {
+	if db.failed != nil {
+		return
+	}
+	db.failed = err
+	db.logger.Error("database latched, refusing further writes",
+		obs.L("dir", db.dir), obs.L("error", err.Error()))
+}
+
+// syncWALLocked fsyncs the WAL, recording latency, synced bytes, and —
+// on failure — the latch. Caller holds db.mu.
+func (db *DB) syncWALLocked() error {
+	pending := db.wal.unsynced
+	start := time.Now()
+	err := db.wal.sync()
+	db.fsyncSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		db.fsyncFailures.Inc()
+		db.latchLocked(err)
+		return fmt.Errorf("reldb: wal fsync: %w", err)
+	}
+	db.wal.unsynced = 0
+	db.walSyncedBytes.Add(uint64(pending))
+	return nil
+}
+
+// Close checkpoints (if durable and healthy) and releases the database.
+// A latched database skips the checkpoint — its WAL may be missing
+// records the kernel dropped — and reports the latched error.
 func (db *DB) Close() error {
+	if db.committer != nil {
+		db.committer.stop()
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.wal == nil {
 		return nil
 	}
+	if db.failed != nil {
+		db.wal.close()
+		return db.writableLocked()
+	}
 	if err := db.checkpointLocked(); err != nil {
+		db.wal.close()
 		return err
 	}
 	return db.wal.close()
@@ -124,21 +286,21 @@ func (db *DB) CreateTable(schema Schema) error {
 	if err := schema.validate(); err != nil {
 		return err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, ok := db.tables[schema.Name]; ok {
-		return fmt.Errorf("reldb: table %q already exists", schema.Name)
-	}
-	db.tables[schema.Name] = newTable(schema)
-	return db.logRecords(walRecord{Op: opCreateTable, Schema: &schema})
+	return db.commit(func() error {
+		if _, ok := db.tables[schema.Name]; ok {
+			return fmt.Errorf("reldb: table %q already exists", schema.Name)
+		}
+		db.tables[schema.Name] = newTable(schema)
+		return db.logRecords(walRecord{Op: opCreateTable, Schema: &schema})
+	})
 }
 
 // CreateIndex builds a secondary index named name on the given columns of
 // tableName, indexing all existing rows.
 func (db *DB) CreateIndex(tableName, name string, unique bool, cols ...string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.createIndexLocked(tableName, name, unique, cols, true)
+	return db.commit(func() error {
+		return db.createIndexLocked(tableName, name, unique, cols, true)
+	})
 }
 
 func (db *DB) createIndexLocked(tableName, name string, unique bool, cols []string, logIt bool) error {
@@ -180,14 +342,20 @@ func (db *DB) createIndexLocked(tableName, name string, unique bool, cols []stri
 // key and the corresponding cell is nil, the key is auto-assigned and
 // written back into the stored row.
 func (db *DB) Insert(tableName string, row Row) (int64, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	id, err := db.insertLocked(tableName, row)
+	var id int64
+	err := db.commit(func() error {
+		var err error
+		id, err = db.insertLocked(tableName, row)
+		if err != nil {
+			return err
+		}
+		t := db.tables[tableName]
+		return db.logRecords(walRecord{Op: opInsert, Table: tableName, RowID: id, Row: t.rows[id]})
+	})
 	if err != nil {
 		return 0, err
 	}
-	t := db.tables[tableName]
-	return id, db.logRecords(walRecord{Op: opInsert, Table: tableName, RowID: id, Row: t.rows[id]})
+	return id, nil
 }
 
 func (db *DB) insertLocked(tableName string, row Row) (int64, error) {
@@ -254,13 +422,13 @@ func (db *DB) Get(tableName string, id int64) (Row, bool) {
 
 // Update replaces the row with the given id.
 func (db *DB) Update(tableName string, id int64, row Row) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.updateLocked(tableName, id, row); err != nil {
-		return err
-	}
-	t := db.tables[tableName]
-	return db.logRecords(walRecord{Op: opUpdate, Table: tableName, RowID: id, Row: t.rows[id]})
+	return db.commit(func() error {
+		if err := db.updateLocked(tableName, id, row); err != nil {
+			return err
+		}
+		t := db.tables[tableName]
+		return db.logRecords(walRecord{Op: opUpdate, Table: tableName, RowID: id, Row: t.rows[id]})
+	})
 }
 
 func (db *DB) updateLocked(tableName string, id int64, row Row) error {
@@ -309,12 +477,12 @@ func compareSameType(a, b Value) int {
 
 // Delete removes the row with the given id.
 func (db *DB) Delete(tableName string, id int64) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.deleteLocked(tableName, id); err != nil {
-		return err
-	}
-	return db.logRecords(walRecord{Op: opDelete, Table: tableName, RowID: id})
+	return db.commit(func() error {
+		if err := db.deleteLocked(tableName, id); err != nil {
+			return err
+		}
+		return db.logRecords(walRecord{Op: opDelete, Table: tableName, RowID: id})
+	})
 }
 
 func (db *DB) deleteLocked(tableName string, id int64) error {

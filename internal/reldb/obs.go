@@ -19,6 +19,15 @@ const (
 	MetricWALReplayedTotal = "reldb_wal_replayed_records_total"
 	// MetricCheckpointsTotal counts completed snapshot checkpoints.
 	MetricCheckpointsTotal = "reldb_checkpoints_total"
+	// MetricFsyncSeconds observes WAL fsync latency (one observation per
+	// physical fsync, so group commit shows fewer, larger syncs).
+	MetricFsyncSeconds = "reldb_fsync_seconds"
+	// MetricFsyncFailuresTotal counts failed WAL fsyncs; any non-zero
+	// value means the database has latched and refuses writes.
+	MetricFsyncFailuresTotal = "reldb_fsync_failures_total"
+	// MetricWALSyncedBytesTotal counts WAL bytes made durable by
+	// successful fsyncs.
+	MetricWALSyncedBytesTotal = "reldb_wal_synced_bytes_total"
 )
 
 // Instrument attaches observability to an open database: WAL appends and
@@ -32,6 +41,9 @@ func (db *DB) Instrument(logger *obs.Logger, reg *obs.Registry) {
 	db.logger = logger
 	db.walRecords = reg.Counter(MetricWALRecordsTotal)
 	db.checkpoints = reg.Counter(MetricCheckpointsTotal)
+	db.fsyncSeconds = reg.Histogram(MetricFsyncSeconds, obs.DefBuckets)
+	db.fsyncFailures = reg.Counter(MetricFsyncFailuresTotal)
+	db.walSyncedBytes = reg.Counter(MetricWALSyncedBytesTotal)
 	replayed := reg.Counter(MetricWALReplayedTotal)
 	if db.replayed > 0 {
 		replayed.Add(uint64(db.replayed))

@@ -1,0 +1,167 @@
+package reldb
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when committed WAL frames are made durable with an
+// fsync. It trades commit latency against the window of commits a power
+// cut can lose; recovery is prefix-consistent under every policy (a
+// crash never surfaces a partial or reordered transaction, only a clean
+// prefix of committed ones).
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs inside every commit: a commit that returned nil
+	// survives any later power cut. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval groups commits under a shared periodic fsync. A
+	// commit still blocks until an fsync covers it — durability on
+	// return is preserved — but concurrent committers amortize one
+	// fsync between them.
+	SyncInterval
+	// SyncNever leaves fsync to checkpoints and the OS. A power cut may
+	// lose every commit since the last checkpoint. For regenerable bulk
+	// loads only.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy maps the -db-sync flag values onto a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("reldb: unknown sync policy %q (want always, interval, or never)", s)
+}
+
+// committer implements group commit for SyncInterval. Commits register
+// their WAL append under db.mu (noteAppend) and then block outside the
+// lock (wait) until the background fsync loop has covered their
+// generation; one fsync acknowledges every commit appended before it.
+//
+// Lock order is db.mu → c.mu; c.mu is only ever a leaf.
+type committer struct {
+	db       *DB
+	interval time.Duration
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	head uint64 // generation of the latest registered append
+	tail uint64 // generation covered by the latest successful fsync
+	err  error  // latched group-fsync failure, reported to waiters
+
+	quit     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+func newCommitter(db *DB, interval time.Duration) *committer {
+	c := &committer{db: db, interval: interval, quit: make(chan struct{}), done: make(chan struct{})}
+	c.cond = sync.NewCond(&c.mu)
+	go c.run()
+	return c
+}
+
+// noteAppend registers one appended commit and returns its generation.
+// Caller holds db.mu, which orders the generation with the append.
+func (c *committer) noteAppend() uint64 {
+	c.mu.Lock()
+	c.head++
+	g := c.head
+	c.mu.Unlock()
+	return g
+}
+
+// wait blocks until a group fsync covers generation g, or reports the
+// fsync failure that latched the database instead.
+func (c *committer) wait(g uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.tail < g && c.err == nil {
+		c.cond.Wait()
+	}
+	if c.tail < g {
+		return c.err
+	}
+	return nil
+}
+
+// coverAll marks every registered append durable — a checkpoint just
+// persisted the full state, which subsumes any pending WAL fsync.
+// Caller holds db.mu.
+func (c *committer) coverAll() {
+	c.mu.Lock()
+	c.tail = c.head
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// stop ends the fsync loop after one final flush, so no waiter is left
+// blocked. Safe to call more than once.
+func (c *committer) stop() {
+	c.stopOnce.Do(func() { close(c.quit) })
+	<-c.done
+}
+
+func (c *committer) run() {
+	defer close(c.done)
+	t := time.NewTicker(c.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.quit:
+			c.flush()
+			return
+		case <-t.C:
+			c.flush()
+		}
+	}
+}
+
+// flush fsyncs the WAL if any commit is waiting and advances tail to the
+// generation the fsync covered.
+func (c *committer) flush() {
+	c.mu.Lock()
+	pending := c.head > c.tail && c.err == nil
+	c.mu.Unlock()
+	if !pending {
+		return
+	}
+	c.db.mu.Lock()
+	// Appends happen under db.mu, so with db.mu held every registered
+	// generation up to head is already in the WAL; re-read head here so
+	// the fsync acknowledges late arrivals too.
+	c.mu.Lock()
+	target := c.head
+	c.mu.Unlock()
+	err := c.db.syncWALLocked()
+	c.db.mu.Unlock()
+
+	c.mu.Lock()
+	if err != nil {
+		c.err = err
+	} else if target > c.tail {
+		c.tail = target
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}

@@ -1,0 +1,392 @@
+package reldb
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/vfs"
+)
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, p := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		got, err := ParseSyncPolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round trip %v: got %v err %v", p, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("ParseSyncPolicy accepted garbage")
+	}
+}
+
+// openFault opens a database on a fresh FaultFS with no faults armed.
+func openFault(t *testing.T, opts Options) (*vfs.FaultFS, *DB) {
+	t.Helper()
+	fsys := vfs.NewFaultFS(vfs.FaultConfig{Seed: 42})
+	opts.FS = fsys
+	db, err := OpenWith("data/db", opts)
+	if err != nil {
+		t.Fatalf("OpenWith: %v", err)
+	}
+	return fsys, db
+}
+
+func TestFsyncFailureLatchesDB(t *testing.T) {
+	fsys, db := openFault(t, Options{})
+	if err := db.CreateTable(partsSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert("parts", Row{nil, "durable", 1.0, true}); err != nil {
+		t.Fatal(err)
+	}
+
+	fsys.SetRates(1, 0, 0)
+	_, err := db.Insert("parts", Row{nil, "doomed", 2.0, true})
+	if err == nil {
+		t.Fatal("insert with failing fsync succeeded")
+	}
+	var fe *vfs.FaultError
+	if !errors.As(err, &fe) || !errors.Is(err, vfs.ErrFsyncFailed) {
+		t.Fatalf("error does not attribute the injected fsync failure: %v", err)
+	}
+
+	// The database is latched: even with a healthy disk again, every
+	// write fails loudly and immediately.
+	fsys.DisableFaults()
+	if _, err := db.Insert("parts", Row{nil, "after", 3.0, true}); !errors.Is(err, ErrFailed) {
+		t.Fatalf("write after latch: %v, want ErrFailed", err)
+	}
+	if err := db.Update("parts", 1, Row{int64(1), "x", 1.0, true}); !errors.Is(err, ErrFailed) {
+		t.Fatalf("update after latch: %v, want ErrFailed", err)
+	}
+	if err := db.Checkpoint(); !errors.Is(err, ErrFailed) {
+		t.Fatalf("checkpoint after latch: %v, want ErrFailed", err)
+	}
+	// Reads still serve the in-memory state.
+	if _, ok := db.Get("parts", 1); !ok {
+		t.Fatal("read failed on latched database")
+	}
+	// Close reports the latch instead of pretending the shutdown was clean.
+	if err := db.Close(); !errors.Is(err, ErrFailed) {
+		t.Fatalf("close after latch: %v, want ErrFailed", err)
+	}
+
+	// Re-opening recovers what is actually durable: the pre-failure commit.
+	fsys.Crash(vfs.RetainNone)
+	re, err := OpenWith("data/db", Options{FS: fsys})
+	if err != nil {
+		t.Fatalf("reopen after latch: %v", err)
+	}
+	defer re.Close()
+	n, err := re.Count("parts")
+	if err != nil || n != 1 {
+		t.Fatalf("recovered rows = %d (%v), want 1", n, err)
+	}
+}
+
+func TestSyncNeverLosesUnsyncedCommits(t *testing.T) {
+	fsys, db := openFault(t, Options{Sync: SyncNever})
+	if err := db.CreateTable(partsSchema()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := db.Insert("parts", Row{nil, "p", 1.0, true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Power cut without any fsync: everything since Open is gone.
+	fsys.Crash(vfs.RetainNone)
+	re, err := OpenWith("data/db", Options{FS: fsys, Sync: SyncNever})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if got := re.Tables(); len(got) != 0 {
+		t.Fatalf("tables survived SyncNever power cut: %v", got)
+	}
+
+	// A checkpoint is still a durability point under SyncNever.
+	if err := re.CreateTable(partsSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := re.Insert("parts", Row{nil, "kept", 1.0, true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	fsys.Crash(vfs.RetainNone)
+	re2, err := OpenWith("data/db", Options{FS: fsys, Sync: SyncNever})
+	if err != nil {
+		t.Fatalf("reopen after checkpoint: %v", err)
+	}
+	defer re2.Close()
+	n, err := re2.Count("parts")
+	if err != nil || n != 1 {
+		t.Fatalf("rows after checkpoint+cut = %d (%v), want 1", n, err)
+	}
+}
+
+func TestGroupCommitDurableOnReturn(t *testing.T) {
+	const writers = 16
+	fsys, db := openFault(t, Options{Sync: SyncInterval, SyncEvery: 200 * time.Microsecond})
+	reg := obs.NewRegistry()
+	db.Instrument(nil, reg)
+	if err := db.CreateTable(partsSchema()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = db.Insert("parts", Row{nil, fmt.Sprintf("w%02d", i), 1.0, true})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	// Every Insert returned, so every row must survive the harshest cut
+	// without a Close or Checkpoint.
+	fsys.Crash(vfs.RetainNone)
+	re, err := OpenWith("data/db", Options{FS: fsys})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	n, err := re.Count("parts")
+	if err != nil || n != writers {
+		t.Fatalf("recovered rows = %d (%v), want %d", n, err, writers)
+	}
+	// Group commit amortizes: the writers were covered by shared fsyncs.
+	if got := reg.Histogram(MetricFsyncSeconds, obs.DefBuckets).Count(); got == 0 {
+		t.Fatal("no group fsync recorded")
+	}
+	// The old handle's disk was rebooted out from under it; its Close must
+	// not pretend to have shut down cleanly.
+	if db.Close() == nil {
+		t.Fatal("Close of the crashed handle's DB succeeded")
+	}
+}
+
+func TestGroupCommitFsyncFailureFailsWaiters(t *testing.T) {
+	fsys, db := openFault(t, Options{Sync: SyncInterval, SyncEvery: 100 * time.Microsecond})
+	if err := db.CreateTable(partsSchema()); err != nil {
+		t.Fatal(err)
+	}
+	fsys.SetRates(1, 0, 0)
+	if _, err := db.Insert("parts", Row{nil, "x", 1.0, true}); err == nil {
+		t.Fatal("insert acknowledged without a durable fsync")
+	} else if !errors.Is(err, vfs.ErrFsyncFailed) && !errors.Is(err, ErrFailed) {
+		t.Fatalf("unattributed group-commit failure: %v", err)
+	}
+	fsys.DisableFaults()
+	if _, err := db.Insert("parts", Row{nil, "y", 1.0, true}); !errors.Is(err, ErrFailed) {
+		t.Fatalf("write after latched group fsync: %v, want ErrFailed", err)
+	}
+}
+
+func TestSyncMetrics(t *testing.T) {
+	_, db := openFault(t, Options{})
+	reg := obs.NewRegistry()
+	db.Instrument(nil, reg)
+	if err := db.CreateTable(partsSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert("parts", Row{nil, "m", 1.0, true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Histogram(MetricFsyncSeconds, obs.DefBuckets).Count(); got < 2 {
+		t.Fatalf("fsync observations = %d, want >= 2 (create table + insert)", got)
+	}
+	if got := reg.Counter(MetricWALSyncedBytesTotal).Value(); got == 0 {
+		t.Fatal("no WAL bytes recorded as synced")
+	}
+	if got := reg.Counter(MetricFsyncFailuresTotal).Value(); got != 0 {
+		t.Fatalf("fsync failures = %d on a healthy disk", got)
+	}
+}
+
+// TestCheckpointStaleWALNotReplayed reconstructs the crash window between
+// the snapshot rename and the WAL reset: the new snapshot is on disk while
+// the old WAL (previous generation) still holds the same committed
+// records. Recovery must not replay them on top of the snapshot.
+func TestCheckpointStaleWALNotReplayed(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(partsSchema()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := db.Insert("parts", Row{nil, fmt.Sprintf("p%d", i), 1.0, true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preWAL, err := os.ReadFile(filepath.Join(dir, walFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := os.ReadFile(filepath.Join(dir, snapshotFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDigest, err := db.StateDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	// Fresh directory holding exactly the crash-window image.
+	crashDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(crashDir, snapshotFileName), snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(crashDir, walFileName), preWAL, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(crashDir)
+	if err != nil {
+		t.Fatalf("reopen in crash window: %v", err)
+	}
+	defer re.Close()
+	n, err := re.Count("parts")
+	if err != nil {
+		t.Fatalf("table lost: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("rows = %d, want 3 (stale WAL must not double-apply)", n)
+	}
+	gotDigest, err := re.StateDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDigest != wantDigest {
+		t.Fatal("recovered state differs from checkpointed state")
+	}
+	// The stale WAL was cut back to empty so new commits start clean.
+	fi, err := os.Stat(filepath.Join(crashDir, walFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 0 {
+		t.Fatalf("stale WAL still holds %d bytes after recovery", fi.Size())
+	}
+	if _, err := re.Insert("parts", Row{nil, "new", 1.0, true}); err != nil {
+		t.Fatalf("insert after stale-WAL recovery: %v", err)
+	}
+}
+
+// TestCheckpointWALTruncateDurable verifies the WAL reset after a
+// checkpoint is itself fsynced: a power cut right after Checkpoint must
+// not resurrect pre-checkpoint WAL bytes.
+func TestCheckpointWALTruncateDurable(t *testing.T) {
+	fsys, db := openFault(t, Options{})
+	if err := db.CreateTable(partsSchema()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := db.Insert("parts", Row{nil, "p", 1.0, true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	fsys.Crash(vfs.RetainNone)
+	fi, err := fsys.Stat("data/db/" + walFileName)
+	if err != nil {
+		t.Fatalf("wal after cut: %v", err)
+	}
+	if fi.Size() != 0 {
+		t.Fatalf("durable WAL size after checkpoint = %d, want 0", fi.Size())
+	}
+	re, err := OpenWith("data/db", Options{FS: fsys})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	n, err := re.Count("parts")
+	if err != nil || n != 4 {
+		t.Fatalf("rows = %d (%v), want 4", n, err)
+	}
+}
+
+// TestStaleTmpSnapshotRemoved asserts Open deletes a leftover temp
+// snapshot instead of letting it sit on disk forever.
+func TestStaleTmpSnapshotRemoved(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	tmp := filepath.Join(dir, snapshotTmpFileName)
+	if err := os.WriteFile(tmp, []byte("half-written snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen with stale tmp: %v", err)
+	}
+	defer re.Close()
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale tmp still present: err=%v", err)
+	}
+}
+
+// TestTxCommitIsOneFrame asserts a transaction's records land in a single
+// WAL frame, the unit of atomic replay.
+func TestTxCommitIsOneFrame(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(partsSchema()); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(filepath.Join(dir, walFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nBefore := len(walRecordOffsets(t, before))
+	tx := db.Begin()
+	tx.Insert("parts", Row{nil, "a", 1.0, true})
+	tx.Insert("parts", Row{nil, "b", 2.0, true})
+	tx.Insert("parts", Row{nil, "c", 3.0, true})
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(filepath.Join(dir, walFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nAfter := len(walRecordOffsets(t, after)); nAfter != nBefore+1 {
+		t.Fatalf("transaction produced %d frames, want 1", nAfter-nBefore)
+	}
+	db.Close()
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	n, err := re.Count("parts")
+	if err != nil || n != 3 {
+		t.Fatalf("rows = %d (%v), want 3", n, err)
+	}
+}

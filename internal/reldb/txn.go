@@ -66,17 +66,22 @@ type undo struct {
 }
 
 // Commit applies all staged operations atomically and appends them to the
-// WAL as one batch. On error nothing is persisted and memory state is
-// restored.
+// WAL as one frame, so recovery replays the transaction all-or-nothing
+// even if the frame is torn by a crash. On error nothing is persisted and
+// memory state is restored.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return errors.New("reldb: transaction already finished")
 	}
 	tx.done = true
 	db := tx.db
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	return db.commit(tx.applyLocked)
+}
 
+// applyLocked applies the staged operations and logs them as one batch.
+// Caller holds db.mu via DB.commit.
+func (tx *Tx) applyLocked() error {
+	db := tx.db
 	var undos []undo
 	var recs []walRecord
 	fail := func(err error) error {

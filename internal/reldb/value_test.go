@@ -92,7 +92,7 @@ func TestValueRoundTripQuick(t *testing.T) {
 		}
 		row := Row{i, fl, s, b, by, nil}
 		rec := walRecord{Op: opInsert, Table: "t", RowID: 1, Row: row}
-		got, err := decodeRecord(encodeRecord(rec))
+		got, err := decodeRecord(bytes.NewReader(encodeRecord(rec)))
 		if err != nil {
 			return false
 		}

@@ -3,26 +3,37 @@ package reldb
 import (
 	"bufio"
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	iofs "io/fs"
 	"math"
 	"os"
 	"path/filepath"
 	"sort"
 
 	"repro/internal/obs"
+	"repro/internal/vfs"
 )
 
 // Write-ahead logging and snapshot checkpoints.
 //
-// Every mutation is encoded as a walRecord and appended to db.wal before
-// the call returns. Checkpoint rewrites the full database state as a
-// snapshot file (a stream of the same records) and truncates the log.
-// Recovery replays snapshot then log; a torn record at the log tail is
-// detected by CRC and discarded.
+// Every committed mutation batch is encoded as one CRC-framed WAL frame
+// holding all of the batch's records, appended to db.wal before the call
+// returns; a frame is applied at recovery all-or-nothing, so a torn tail
+// can never surface a partial transaction. Checkpoint rewrites the full
+// database state as a snapshot file (a stream of single-record frames),
+// makes it durable with an fsync plus a directory fsync across the
+// rename, and resets the log. Both files carry a generation record at
+// their head: a WAL whose generation does not match the snapshot's is
+// stale (a crash hit the window between the snapshot rename and the log
+// reset) and is skipped rather than double-applied. All file I/O goes
+// through vfs.FS (enforced by qatklint/vfsonly) so the crash harness can
+// enumerate every operation as a power-cut point.
 
 type walOp uint8
 
@@ -33,6 +44,7 @@ const (
 	opUpdate
 	opDelete
 	opNextID // snapshot-only: restores a table's auto-increment high-water mark
+	opGen    // head-of-file only: the snapshot generation the file belongs to
 )
 
 type walRecord struct {
@@ -47,45 +59,94 @@ type walRecord struct {
 }
 
 const (
-	walFileName      = "db.wal"
-	snapshotFileName = "db.snapshot"
+	walFileName         = "db.wal"
+	snapshotFileName    = "db.snapshot"
+	snapshotTmpFileName = snapshotFileName + ".tmp"
 )
 
 type wal struct {
+	fs   vfs.FS
 	dir  string
-	f    *os.File
+	f    vfs.File
 	bw   *bufio.Writer
 	path string
+
+	gen           uint64 // generation stamped into the next header
+	headerPending bool   // write an opGen frame before the next append
+	unsynced      int64  // bytes appended since the last successful sync
 }
 
-func openWAL(dir string) (*wal, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("reldb: create dir: %w", err)
-	}
+// openWAL opens (creating if needed) the log file. A freshly created WAL
+// gets its directory entry made durable immediately: a log that vanishes
+// with its first power cut could silently lose every commit.
+func openWAL(fsys vfs.FS, dir string) (*wal, error) {
 	path := filepath.Join(dir, walFileName)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	_, statErr := fsys.Stat(path)
+	created := errors.Is(statErr, iofs.ErrNotExist)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("reldb: open wal: %w", err)
 	}
-	return &wal{dir: dir, f: f, bw: bufio.NewWriter(f), path: path}, nil
+	if created {
+		if err := fsys.SyncDir(dir); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("reldb: sync dir after wal create: %w", err)
+		}
+	}
+	return &wal{fs: fsys, dir: dir, f: f, bw: bufio.NewWriter(f), path: path}, nil
 }
 
+// size reports the current length of the log file.
+func (w *wal) size() (int64, error) {
+	fi, err := w.fs.Stat(w.path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// armHeader schedules an opGen frame carrying gen to be written before
+// the next appended frame. Only valid on an empty log.
+func (w *wal) armHeader(gen uint64) {
+	w.gen = gen
+	w.headerPending = true
+}
+
+// writeFrame frames one payload with its length and CRC.
+func (w *wal) writeFrame(payload []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		return err
+	}
+	w.unsynced += int64(len(hdr)) + int64(len(payload))
+	return nil
+}
+
+// append writes one atomic batch of records as a single frame (plus the
+// pending generation header, if armed) and flushes to the file.
 func (w *wal) append(recs ...walRecord) error {
+	if w.headerPending {
+		w.headerPending = false
+		if err := w.writeFrame(encodeRecord(walRecord{Op: opGen, RowID: int64(w.gen)})); err != nil {
+			return err
+		}
+	}
+	var payload bytes.Buffer
 	for _, r := range recs {
-		payload := encodeRecord(r)
-		var hdr [8]byte
-		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-		if _, err := w.bw.Write(hdr[:]); err != nil {
-			return err
-		}
-		if _, err := w.bw.Write(payload); err != nil {
-			return err
-		}
+		payload.Write(encodeRecord(r))
+	}
+	if err := w.writeFrame(payload.Bytes()); err != nil {
+		return err
 	}
 	return w.bw.Flush()
 }
 
+// sync makes every appended frame durable.
 func (w *wal) sync() error {
 	if err := w.bw.Flush(); err != nil {
 		return err
@@ -93,15 +154,31 @@ func (w *wal) sync() error {
 	return w.f.Sync()
 }
 
-func (w *wal) truncate() error {
+// truncateTo cuts the log to n bytes (discarding a torn or stale tail)
+// and fsyncs so the shortened log is durable — otherwise a power cut
+// could resurrect the discarded bytes.
+func (w *wal) truncateTo(n int64) error {
 	if err := w.bw.Flush(); err != nil {
 		return err
 	}
-	if err := w.f.Truncate(0); err != nil {
+	if err := w.f.Truncate(n); err != nil {
 		return err
 	}
-	_, err := w.f.Seek(0, io.SeekStart)
-	return err
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.unsynced = 0
+	return nil
+}
+
+// reset empties the log after a checkpoint and arms the new generation
+// header.
+func (w *wal) reset(gen uint64) error {
+	if err := w.truncateTo(0); err != nil {
+		return err
+	}
+	w.armHeader(gen)
+	return nil
 }
 
 func (w *wal) close() error {
@@ -112,59 +189,120 @@ func (w *wal) close() error {
 	return w.f.Close()
 }
 
-// replayFile streams records from a snapshot or log file. A short or
-// corrupt record at the tail terminates the replay without error (torn
-// write); corruption elsewhere is indistinguishable and treated the same.
-func replayFile(path string, apply func(walRecord) error) error {
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
+// errStopReplay is the internal sentinel an apply callback returns to end
+// a replay early without error (e.g. a stale-generation WAL).
+var errStopReplay = errors.New("reldb: stop replay")
+
+// replayFile streams records from a snapshot or log file, calling apply
+// for every record of every intact frame and returning the byte length of
+// the valid prefix. A short or corrupt frame at the tail terminates the
+// replay without error (torn write); corruption elsewhere is
+// indistinguishable and treated the same.
+func replayFile(fsys vfs.FS, path string, apply func(walRecord) error) (int64, error) {
+	f, err := vfs.Open(fsys, path)
+	if errors.Is(err, iofs.ErrNotExist) {
+		return 0, nil
 	}
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer f.Close()
 	br := bufio.NewReader(f)
+	valid := int64(0)
 	for {
 		var hdr [8]byte
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			return nil // clean EOF or torn header: stop
+			return valid, nil // clean EOF or torn header: stop
 		}
 		n := binary.LittleEndian.Uint32(hdr[0:4])
 		want := binary.LittleEndian.Uint32(hdr[4:8])
 		if n > 1<<30 {
-			return nil // implausible length: torn record
+			return valid, nil // implausible length: torn frame
 		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(br, payload); err != nil {
-			return nil
+			return valid, nil
 		}
 		if crc32.ChecksumIEEE(payload) != want {
-			return nil
+			return valid, nil
 		}
-		rec, err := decodeRecord(payload)
-		if err != nil {
-			return fmt.Errorf("reldb: corrupt record in %s: %w", path, err)
+		pr := bytes.NewReader(payload)
+		for pr.Len() > 0 {
+			rec, err := decodeRecord(pr)
+			if err != nil {
+				return valid, fmt.Errorf("reldb: corrupt record in %s: %w", path, err)
+			}
+			if err := apply(rec); err != nil {
+				if errors.Is(err, errStopReplay) {
+					return valid, errStopReplay
+				}
+				// Replay errors cross the package boundary through Open;
+				// attribute them here (decode errors above already are).
+				return valid, fmt.Errorf("reldb: replay %s: %w", path, err)
+			}
 		}
-		if err := apply(rec); err != nil {
-			// Replay errors cross the package boundary through Open;
-			// attribute them here (decode errors above already are).
-			return fmt.Errorf("reldb: replay %s: %w", path, err)
-		}
+		valid += 8 + int64(n)
 	}
 }
 
-// recover rebuilds in-memory state from snapshot + WAL. The replay count
-// is kept on the DB so Instrument can surface it after Open returns.
-func (db *DB) recover() error {
-	apply := func(r walRecord) error {
+// recover rebuilds in-memory state from snapshot + WAL and returns the
+// length of the WAL's valid prefix (the tail beyond it is torn or stale
+// and must be truncated before further appends). The replay count is
+// kept on the DB so Instrument can surface it after Open returns.
+func (db *DB) recover() (walValid int64, err error) {
+	snapGen := uint64(0)
+	firstSnap := true
+	applySnap := func(r walRecord) error {
+		if firstSnap {
+			firstSnap = false
+			if r.Op == opGen {
+				snapGen = uint64(r.RowID)
+				return nil
+			}
+		}
+		if r.Op == opGen {
+			return errors.New("generation record not at head of snapshot")
+		}
 		db.replayed++
 		return db.applyRecord(r)
 	}
-	if err := replayFile(filepath.Join(db.dir, snapshotFileName), apply); err != nil {
-		return err
+	if _, err := replayFile(db.fs, filepath.Join(db.dir, snapshotFileName), applySnap); err != nil {
+		return 0, err
 	}
-	return replayFile(db.wal.path, apply)
+	db.gen = snapGen
+
+	firstWAL := true
+	applyWAL := func(r walRecord) error {
+		if firstWAL {
+			firstWAL = false
+			if r.Op == opGen {
+				if uint64(r.RowID) != snapGen {
+					// The log predates the snapshot: a crash hit the window
+					// between the snapshot rename and the log reset. Its
+					// records are already folded into the snapshot; replaying
+					// them would double-apply.
+					db.staleWAL = true
+					return errStopReplay
+				}
+				return nil
+			}
+			// Legacy log without a generation header: generation zero.
+			if snapGen != 0 {
+				db.staleWAL = true
+				return errStopReplay
+			}
+		}
+		if r.Op == opGen {
+			return errors.New("generation record not at head of wal")
+		}
+		db.replayed++
+		return db.applyRecord(r)
+	}
+	walValid, err = replayFile(db.fs, db.wal.path, applyWAL)
+	if errors.Is(err, errStopReplay) {
+		return 0, nil // stale WAL: valid prefix is empty, reset it entirely
+	}
+	return walValid, err
 }
 
 // applyRecord replays one logged mutation into memory (no re-logging).
@@ -223,38 +361,28 @@ func (db *DB) applyRecord(r walRecord) error {
 	return fmt.Errorf("unknown wal op %d", r.Op)
 }
 
-// logRecords appends mutations to the WAL (no-op for in-memory databases).
+// logRecords appends one atomic batch of mutations to the WAL (no-op for
+// in-memory databases) and, under SyncAlways, makes it durable before
+// returning. Append and sync failures latch the database. Caller holds
+// db.mu.
 func (db *DB) logRecords(recs ...walRecord) error {
 	if db.wal == nil || len(recs) == 0 {
 		return nil
 	}
 	if err := db.wal.append(recs...); err != nil {
-		return err
+		db.latchLocked(err)
+		return fmt.Errorf("reldb: wal append: %w", err)
 	}
 	db.walRecords.Add(uint64(len(recs)))
+	if db.opts.Sync == SyncAlways {
+		return db.syncWALLocked()
+	}
 	return nil
 }
 
-// checkpointLocked snapshots the full state and truncates the WAL.
-// Caller holds db.mu.
-func (db *DB) checkpointLocked() error {
-	tmp := filepath.Join(db.dir, snapshotFileName+".tmp")
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	bw := bufio.NewWriter(f)
-	write := func(r walRecord) error {
-		payload := encodeRecord(r)
-		var hdr [8]byte
-		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-		if _, err := bw.Write(hdr[:]); err != nil {
-			return err
-		}
-		_, err := bw.Write(payload)
-		return err
-	}
+// writeStateLocked streams the full database state as snapshot records in
+// deterministic order. Caller holds db.mu (read or write).
+func (db *DB) writeStateLocked(write func(walRecord) error) error {
 	tableNames := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		tableNames = append(tableNames, n)
@@ -264,7 +392,6 @@ func (db *DB) checkpointLocked() error {
 		t := db.tables[name]
 		sc := t.schema
 		if err := write(walRecord{Op: opCreateTable, Schema: &sc}); err != nil {
-			f.Close()
 			return err
 		}
 		ixNames := make([]string, 0, len(t.indexes))
@@ -282,7 +409,6 @@ func (db *DB) checkpointLocked() error {
 				cols[i] = t.schema.Columns[p].Name
 			}
 			if err := write(walRecord{Op: opCreateIndex, Table: name, Index: in, Unique: ix.unique, Cols: cols}); err != nil {
-				f.Close()
 				return err
 			}
 		}
@@ -293,14 +419,52 @@ func (db *DB) checkpointLocked() error {
 		sortInt64s(ids)
 		for _, id := range ids {
 			if err := write(walRecord{Op: opInsert, Table: name, RowID: id, Row: t.rows[id]}); err != nil {
-				f.Close()
 				return err
 			}
 		}
 		if err := write(walRecord{Op: opNextID, Table: name, RowID: t.nextID}); err != nil {
-			f.Close()
 			return err
 		}
+	}
+	return nil
+}
+
+// checkpointLocked snapshots the full state and resets the WAL. The
+// sequence is crash-ordered: tmp snapshot written and fsynced, renamed
+// over the live snapshot, the rename made durable with a directory fsync,
+// and only then the WAL truncated (itself fsynced). A power cut anywhere
+// in between recovers to exactly the pre- or post-checkpoint state; the
+// generation stamps keep a surviving pre-checkpoint WAL from being
+// replayed onto the new snapshot. Caller holds db.mu.
+func (db *DB) checkpointLocked() error {
+	if err := db.writableLocked(); err != nil {
+		return err
+	}
+	newGen := db.gen + 1
+	tmp := filepath.Join(db.dir, snapshotTmpFileName)
+	f, err := vfs.Create(db.fs, tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	write := func(r walRecord) error {
+		payload := encodeRecord(r)
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err := bw.Write(payload)
+		return err
+	}
+	if err := write(walRecord{Op: opGen, RowID: int64(newGen)}); err != nil {
+		f.Close()
+		return err
+	}
+	if err := db.writeStateLocked(write); err != nil {
+		f.Close()
+		return err
 	}
 	if err := bw.Flush(); err != nil {
 		f.Close()
@@ -308,20 +472,52 @@ func (db *DB) checkpointLocked() error {
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return err
+		db.latchLocked(err)
+		return fmt.Errorf("reldb: snapshot fsync: %w", err)
 	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotFileName)); err != nil {
+	if err := db.fs.Rename(tmp, filepath.Join(db.dir, snapshotFileName)); err != nil {
 		return err
 	}
-	if err := db.wal.truncate(); err != nil {
-		return err
+	// From here on the new snapshot is (or may be) live; failures leave
+	// the on-disk sequencing uncertain, so they latch the database.
+	if err := db.fs.SyncDir(db.dir); err != nil {
+		db.latchLocked(err)
+		return fmt.Errorf("reldb: sync dir after snapshot rename: %w", err)
+	}
+	if err := db.wal.reset(newGen); err != nil {
+		db.latchLocked(err)
+		return fmt.Errorf("reldb: wal reset after checkpoint: %w", err)
+	}
+	db.gen = newGen
+	if db.committer != nil {
+		// The snapshot persisted every pending commit; release waiters.
+		db.committer.coverAll()
 	}
 	db.checkpoints.Inc()
 	db.logger.Info("checkpoint written", obs.L("dir", db.dir))
 	return nil
+}
+
+// StateDigest returns a SHA-256 digest of the full logical database
+// state (schemas, indexes, rows, auto-increment high-water marks) in the
+// same deterministic order a checkpoint would write it. Two databases
+// with equal digests hold identical state; the crash harness uses this
+// to check recovered state against the per-commit digest trail.
+func (db *DB) StateDigest() (string, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	h := sha256.New()
+	err := db.writeStateLocked(func(r walRecord) error {
+		h.Write(encodeRecord(r))
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // --- record encoding ---------------------------------------------------
@@ -370,9 +566,11 @@ func encodeRecord(r walRecord) []byte {
 	return b.Bytes()
 }
 
-func decodeRecord(p []byte) (walRecord, error) {
+// decodeRecord consumes exactly one record from br; records are
+// self-delimiting, so a frame holding a whole transaction decodes by
+// calling decodeRecord until the reader is empty.
+func decodeRecord(br *bytes.Reader) (walRecord, error) {
 	var r walRecord
-	br := bytes.NewReader(p)
 	op, err := br.ReadByte()
 	if err != nil {
 		return r, err

@@ -1,6 +1,7 @@
 package reldb
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -148,7 +149,7 @@ func TestRecordRoundTrip(t *testing.T) {
 		{Op: opInsert, Table: "blobs", RowID: 1, Row: Row{[]byte{0, 1, 255}, "s", 0.0, true}},
 	}
 	for i, r := range recs {
-		got, err := decodeRecord(encodeRecord(r))
+		got, err := decodeRecord(bytes.NewReader(encodeRecord(r)))
 		if err != nil {
 			t.Fatalf("rec %d: decode: %v", i, err)
 		}

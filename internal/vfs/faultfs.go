@@ -1,0 +1,627 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultFS is a deterministic in-memory filesystem for crash-consistency
+// and disk-chaos testing. It models the adversarial-but-realistic
+// durability contract of a journaled filesystem:
+//
+//   - a file's durable content is whatever it held at its last successful
+//     Sync; everything written since lives only in the "page cache",
+//   - a created, renamed or removed directory entry is durable only once
+//     the parent directory has been SyncDir'd,
+//   - a power cut (Crash) discards all volatile state, optionally keeping
+//     a seeded prefix of each file's unsynced bytes (the background
+//     writeback / torn-write case), and then "reboots" into the surviving
+//     image — stale handles from before the cut fail every operation.
+//
+// Every mutating operation (create, write, truncate, sync, sync-dir,
+// rename, remove, mkdir) increments an operation counter; configuring
+// CrashAt=k makes the k-th such operation the moment the power dies, so a
+// harness can enumerate every possible cut point of a workload. Fault
+// rates (fsync failure, short write, ENOSPC) draw from a seeded
+// schedule: the same seed and call sequence yield the same faults.
+type FaultFS struct {
+	mu  sync.Mutex
+	cfg FaultConfig
+	rng *rand.Rand
+
+	root  *memDir
+	epoch int // bumped on Crash; invalidates pre-cut handles
+	ops   int // mutating operations attempted
+	dead  bool
+
+	seq         int // injected fault sequence number
+	fsyncFails  int
+	shortWrites int
+	enospcs     int
+}
+
+// FaultConfig configures a FaultFS. The zero value is a well-behaved
+// in-memory filesystem (no faults, no crash).
+type FaultConfig struct {
+	// Seed drives the fault schedule and crash-retention draws.
+	Seed int64
+	// FsyncFailRate is the probability that a Sync or SyncDir fails,
+	// leaving durability untransferred (the fsyncgate model).
+	FsyncFailRate float64
+	// ShortWriteRate is the probability that a Write persists only a
+	// seeded prefix of its bytes and returns an error.
+	ShortWriteRate float64
+	// ENOSPCRate is the probability that a Write fails entirely with a
+	// no-space error.
+	ENOSPCRate float64
+	// CrashAt, when > 0, makes the CrashAt-th mutating operation the
+	// power-cut point: it and every later operation fail with ErrPowerCut
+	// until Crash is called to reboot into the surviving image.
+	CrashAt int
+}
+
+// RetainMode selects how much unsynced data survives a power cut.
+type RetainMode int
+
+const (
+	// RetainNone keeps only explicitly fsynced bytes — the strictest disk.
+	RetainNone RetainMode = iota
+	// RetainPrefix keeps fsynced bytes plus a seeded-random prefix of each
+	// file's unsynced suffix, modelling background writeback interrupted
+	// mid-flush (torn writes).
+	RetainPrefix
+	// RetainAll keeps every written byte — the kindest disk, where the OS
+	// flushed everything just before the cut.
+	RetainAll
+)
+
+// Sentinel errors for injected failures.
+var (
+	// ErrPowerCut is returned by every operation at and after the
+	// configured power-cut point, and by stale handles after a reboot.
+	ErrPowerCut = errors.New("vfs: simulated power cut")
+	// ErrFsyncFailed marks an injected fsync failure.
+	ErrFsyncFailed = errors.New("vfs: fsync failure")
+	// ErrShortWrite marks an injected torn write.
+	ErrShortWrite = errors.New("vfs: short write")
+	// ErrNoSpace marks an injected out-of-space failure.
+	ErrNoSpace = errors.New("vfs: no space left on device")
+)
+
+// FaultError is one injected disk fault, attributable by operation, path
+// and schedule sequence number; it unwraps to the kind sentinel.
+type FaultError struct {
+	Op   string
+	Path string
+	Seq  int
+	Err  error
+}
+
+// Error describes the injected fault.
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("vfs: injected %v during %s %s (fault #%d)", e.Err, e.Op, e.Path, e.Seq)
+}
+
+// Unwrap exposes the kind sentinel (ErrFsyncFailed, ErrShortWrite,
+// ErrNoSpace).
+func (e *FaultError) Unwrap() error { return e.Err }
+
+// memFile is one file inode: volatile content plus the durable image as
+// of the last successful sync.
+type memFile struct {
+	data    []byte
+	durable []byte
+}
+
+// memDir is one directory. Subdirectories are durable on creation (a
+// documented simplification); file entries become durable at SyncDir.
+type memDir struct {
+	dirs         map[string]*memDir
+	files        map[string]*memFile
+	durableFiles map[string]*memFile
+}
+
+func newMemDir() *memDir {
+	return &memDir{
+		dirs:         map[string]*memDir{},
+		files:        map[string]*memFile{},
+		durableFiles: map[string]*memFile{},
+	}
+}
+
+// NewFaultFS builds an empty filesystem with the given configuration.
+func NewFaultFS(cfg FaultConfig) *FaultFS {
+	return &FaultFS{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		root: newMemDir(),
+	}
+}
+
+// OpCount reports how many mutating operations have been attempted.
+func (f *FaultFS) OpCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Counts reports how many faults of each kind have been injected.
+func (f *FaultFS) Counts() (fsyncFails, shortWrites, enospcs int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fsyncFails, f.shortWrites, f.enospcs
+}
+
+// SetRates replaces the fault rates mid-run, leaving the seed schedule
+// position and crash configuration unchanged. Useful to set up state on a
+// healthy disk and then turn the weather bad.
+func (f *FaultFS) SetRates(fsyncFail, shortWrite, enospc float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cfg.FsyncFailRate = fsyncFail
+	f.cfg.ShortWriteRate = shortWrite
+	f.cfg.ENOSPCRate = enospc
+}
+
+// DisableFaults zeroes the fault rates (the crash point is unaffected),
+// so recovery can be verified on a well-behaved disk.
+func (f *FaultFS) DisableFaults() { f.SetRates(0, 0, 0) }
+
+// gate accounts one mutating operation and trips the power cut when the
+// configured operation index is reached. Caller holds f.mu.
+func (f *FaultFS) gate() error {
+	if f.dead {
+		return ErrPowerCut
+	}
+	f.ops++
+	if f.cfg.CrashAt > 0 && f.ops >= f.cfg.CrashAt {
+		f.dead = true
+		return ErrPowerCut
+	}
+	return nil
+}
+
+// draw decides whether a fault of the given kind fires. Caller holds f.mu.
+func (f *FaultFS) draw(rate float64) bool {
+	return rate > 0 && f.rng.Float64() < rate
+}
+
+// Crash simulates the power cut completing and the machine rebooting:
+// volatile state is discarded per the durability model, retain decides
+// how much unsynced file data the "page cache writeback" had managed to
+// flush, handles from before the cut are invalidated, and the filesystem
+// becomes usable again over the surviving image.
+func (f *FaultFS) Crash(retain RetainMode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	survivors := map[*memFile]bool{}
+	f.crashDir(f.root, survivors)
+	for file := range survivors {
+		switch retain {
+		case RetainAll:
+			// Everything written made it to disk just before the cut.
+			file.durable = append([]byte(nil), file.data...)
+		case RetainPrefix:
+			// Background writeback flushed a seeded prefix of the unsynced
+			// suffix; an unsynced truncate below the durable size is lost.
+			if n := len(file.data) - len(file.durable); n > 0 {
+				keep := f.rng.Intn(n + 1)
+				file.durable = append([]byte(nil), file.data[:len(file.durable)+keep]...)
+			}
+		}
+		file.data = append([]byte(nil), file.durable...)
+	}
+	f.epoch++
+	f.dead = false
+	f.cfg.CrashAt = 0
+}
+
+// crashDir reverts one directory's entries to the durable set and
+// collects the surviving inodes.
+func (f *FaultFS) crashDir(d *memDir, survivors map[*memFile]bool) {
+	d.files = map[string]*memFile{}
+	for name, file := range d.durableFiles {
+		d.files[name] = file
+		survivors[file] = true
+	}
+	for _, sub := range d.dirs {
+		f.crashDir(sub, survivors)
+	}
+}
+
+// split normalizes a path into its directory components.
+func split(name string) []string {
+	clean := filepath.ToSlash(filepath.Clean(name))
+	clean = strings.TrimPrefix(clean, "/")
+	if clean == "." || clean == "" {
+		return nil
+	}
+	return strings.Split(clean, "/")
+}
+
+// walk resolves the directory holding the last component of name.
+// Caller holds f.mu.
+func (f *FaultFS) walk(parts []string) (*memDir, error) {
+	d := f.root
+	for _, p := range parts {
+		sub, ok := d.dirs[p]
+		if !ok {
+			return nil, fs.ErrNotExist
+		}
+		d = sub
+	}
+	return d, nil
+}
+
+// resolveParent returns the parent directory and base name of path.
+func (f *FaultFS) resolveParent(name string) (*memDir, string, error) {
+	parts := split(name)
+	if len(parts) == 0 {
+		return nil, "", fs.ErrInvalid
+	}
+	d, err := f.walk(parts[:len(parts)-1])
+	if err != nil {
+		return nil, "", err
+	}
+	return d, parts[len(parts)-1], nil
+}
+
+func pathErr(op, path string, err error) error {
+	return &fs.PathError{Op: op, Path: path, Err: err}
+}
+
+// OpenFile implements FS.
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return nil, pathErr("open", name, ErrPowerCut)
+	}
+	dir, base, err := f.resolveParent(name)
+	if err != nil {
+		return nil, pathErr("open", name, err)
+	}
+	if _, isDir := dir.dirs[base]; isDir {
+		return nil, pathErr("open", name, errors.New("vfs: is a directory"))
+	}
+	file, ok := dir.files[base]
+	writable := flag&(os.O_WRONLY|os.O_RDWR) != 0
+	switch {
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, pathErr("open", name, fs.ErrNotExist)
+	case !ok:
+		if err := f.gate(); err != nil {
+			return nil, pathErr("create", name, err)
+		}
+		file = &memFile{}
+		dir.files[base] = file
+	case flag&os.O_TRUNC != 0 && writable:
+		if err := f.gate(); err != nil {
+			return nil, pathErr("truncate", name, err)
+		}
+		file.data = nil
+	}
+	return &faultFile{
+		fs: f, file: file, name: name, epoch: f.epoch,
+		append: flag&os.O_APPEND != 0, writable: writable,
+	}, nil
+}
+
+// Rename implements FS. The new entry is volatile until SyncDir.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.gate(); err != nil {
+		return pathErr("rename", oldpath, err)
+	}
+	od, ob, err := f.resolveParent(oldpath)
+	if err != nil {
+		return pathErr("rename", oldpath, err)
+	}
+	nd, nb, err := f.resolveParent(newpath)
+	if err != nil {
+		return pathErr("rename", newpath, err)
+	}
+	file, ok := od.files[ob]
+	if !ok {
+		return pathErr("rename", oldpath, fs.ErrNotExist)
+	}
+	delete(od.files, ob)
+	nd.files[nb] = file
+	return nil
+}
+
+// Remove implements FS. The removal is volatile until SyncDir.
+func (f *FaultFS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.gate(); err != nil {
+		return pathErr("remove", name, err)
+	}
+	dir, base, err := f.resolveParent(name)
+	if err != nil {
+		return pathErr("remove", name, err)
+	}
+	if _, ok := dir.files[base]; !ok {
+		return pathErr("remove", name, fs.ErrNotExist)
+	}
+	delete(dir.files, base)
+	return nil
+}
+
+// MkdirAll implements FS. Directories are durable on creation (a
+// simplification: reldb only ever creates its root data directory).
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	parts := split(path)
+	d := f.root
+	created := false
+	for _, p := range parts {
+		if _, clash := d.files[p]; clash {
+			return pathErr("mkdir", path, errors.New("vfs: not a directory"))
+		}
+		sub, ok := d.dirs[p]
+		if !ok {
+			if !created {
+				if err := f.gate(); err != nil {
+					return pathErr("mkdir", path, err)
+				}
+				created = true
+			}
+			sub = newMemDir()
+			d.dirs[p] = sub
+		}
+		d = sub
+	}
+	if !created && f.dead {
+		return pathErr("mkdir", path, ErrPowerCut)
+	}
+	return nil
+}
+
+// Stat implements FS.
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return nil, pathErr("stat", name, ErrPowerCut)
+	}
+	parts := split(name)
+	if len(parts) == 0 {
+		return memInfo{name: "/", dir: true}, nil
+	}
+	dir, err := f.walk(parts[:len(parts)-1])
+	if err != nil {
+		return nil, pathErr("stat", name, err)
+	}
+	base := parts[len(parts)-1]
+	if _, ok := dir.dirs[base]; ok {
+		return memInfo{name: base, dir: true}, nil
+	}
+	if file, ok := dir.files[base]; ok {
+		return memInfo{name: base, size: int64(len(file.data))}, nil
+	}
+	return nil, pathErr("stat", name, fs.ErrNotExist)
+}
+
+// SyncDir implements FS: the directory's current entries become durable.
+// Subject to the injected fsync failure rate, like File.Sync.
+func (f *FaultFS) SyncDir(dirPath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.gate(); err != nil {
+		return pathErr("syncdir", dirPath, err)
+	}
+	d, err := f.walk(split(dirPath))
+	if err != nil {
+		return pathErr("syncdir", dirPath, err)
+	}
+	if f.draw(f.cfg.FsyncFailRate) {
+		f.seq++
+		f.fsyncFails++
+		return &FaultError{Op: "syncdir", Path: dirPath, Seq: f.seq, Err: ErrFsyncFailed}
+	}
+	d.durableFiles = map[string]*memFile{}
+	for name, file := range d.files {
+		d.durableFiles[name] = file
+	}
+	return nil
+}
+
+// memInfo is the fs.FileInfo of an in-memory file or directory.
+type memInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (i memInfo) Name() string { return i.name }
+func (i memInfo) Size() int64  { return i.size }
+func (i memInfo) Mode() fs.FileMode {
+	if i.dir {
+		return fs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (i memInfo) ModTime() time.Time { return time.Time{} }
+func (i memInfo) IsDir() bool        { return i.dir }
+func (i memInfo) Sys() any           { return nil }
+
+// faultFile is an open handle on a FaultFS file.
+type faultFile struct {
+	fs       *FaultFS
+	file     *memFile
+	name     string
+	off      int64
+	epoch    int
+	append   bool
+	writable bool
+	closed   bool
+}
+
+// Name implements File.
+func (h *faultFile) Name() string { return h.name }
+
+// valid checks the handle against closure, reboot epoch and a dead disk.
+// Caller holds h.fs.mu.
+func (h *faultFile) valid() error {
+	if h.closed {
+		return fs.ErrClosed
+	}
+	if h.epoch != h.fs.epoch {
+		return ErrPowerCut // handle predates the reboot
+	}
+	if h.fs.dead {
+		return ErrPowerCut
+	}
+	return nil
+}
+
+// Read implements File.
+func (h *faultFile) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.valid(); err != nil {
+		return 0, pathErr("read", h.name, err)
+	}
+	if h.off >= int64(len(h.file.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.file.data[h.off:])
+	h.off += int64(n)
+	return n, nil
+}
+
+// Write implements File, subject to the injected ENOSPC and short-write
+// rates. Written bytes are volatile until Sync.
+func (h *faultFile) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.valid(); err != nil {
+		return 0, pathErr("write", h.name, err)
+	}
+	if !h.writable {
+		return 0, pathErr("write", h.name, fs.ErrInvalid)
+	}
+	if err := h.fs.gate(); err != nil {
+		return 0, pathErr("write", h.name, err)
+	}
+	if h.fs.draw(h.fs.cfg.ENOSPCRate) {
+		h.fs.seq++
+		h.fs.enospcs++
+		return 0, &FaultError{Op: "write", Path: h.name, Seq: h.fs.seq, Err: ErrNoSpace}
+	}
+	short := -1
+	if h.fs.draw(h.fs.cfg.ShortWriteRate) && len(p) > 0 {
+		h.fs.seq++
+		h.fs.shortWrites++
+		short = h.fs.rng.Intn(len(p))
+	}
+	if h.append {
+		h.off = int64(len(h.file.data))
+	}
+	if end := h.off + int64(len(p)); end > int64(len(h.file.data)) {
+		grown := make([]byte, end)
+		copy(grown, h.file.data)
+		h.file.data = grown
+	}
+	n := copy(h.file.data[h.off:], p)
+	if short >= 0 {
+		// Only the torn prefix made it; drop the rest again.
+		h.file.data = h.file.data[:h.off+int64(short)]
+		h.off += int64(short)
+		return short, &FaultError{Op: "write", Path: h.name, Seq: h.fs.seq, Err: ErrShortWrite}
+	}
+	h.off += int64(n)
+	return n, nil
+}
+
+// Seek implements File.
+func (h *faultFile) Seek(offset int64, whence int) (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.valid(); err != nil {
+		return 0, pathErr("seek", h.name, err)
+	}
+	switch whence {
+	case io.SeekStart:
+		h.off = offset
+	case io.SeekCurrent:
+		h.off += offset
+	case io.SeekEnd:
+		h.off = int64(len(h.file.data)) + offset
+	default:
+		return 0, pathErr("seek", h.name, fs.ErrInvalid)
+	}
+	if h.off < 0 {
+		h.off = 0
+		return 0, pathErr("seek", h.name, fs.ErrInvalid)
+	}
+	return h.off, nil
+}
+
+// Truncate implements File; the new size is volatile until Sync.
+func (h *faultFile) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.valid(); err != nil {
+		return pathErr("truncate", h.name, err)
+	}
+	if !h.writable {
+		return pathErr("truncate", h.name, fs.ErrInvalid)
+	}
+	if err := h.fs.gate(); err != nil {
+		return pathErr("truncate", h.name, err)
+	}
+	switch {
+	case size < 0:
+		return pathErr("truncate", h.name, fs.ErrInvalid)
+	case size <= int64(len(h.file.data)):
+		h.file.data = h.file.data[:size]
+	default:
+		grown := make([]byte, size)
+		copy(grown, h.file.data)
+		h.file.data = grown
+	}
+	return nil
+}
+
+// Sync implements File: on success the volatile content becomes the
+// durable image; an injected failure (FsyncFailRate) transfers nothing.
+func (h *faultFile) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.valid(); err != nil {
+		return pathErr("sync", h.name, err)
+	}
+	if err := h.fs.gate(); err != nil {
+		return pathErr("sync", h.name, err)
+	}
+	if h.fs.draw(h.fs.cfg.FsyncFailRate) {
+		h.fs.seq++
+		h.fs.fsyncFails++
+		return &FaultError{Op: "sync", Path: h.name, Seq: h.fs.seq, Err: ErrFsyncFailed}
+	}
+	h.file.durable = append([]byte(nil), h.file.data...)
+	return nil
+}
+
+// Close implements File.
+func (h *faultFile) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return pathErr("close", h.name, fs.ErrClosed)
+	}
+	h.closed = true
+	return nil
+}

@@ -1,0 +1,104 @@
+// Package vfs abstracts the filesystem operations the storage tier is
+// allowed to perform. internal/reldb does all of its file I/O through a
+// vfs.FS (enforced by qatklint's vfsonly analyzer), so a test can swap
+// the real disk for a deterministic fault-injecting filesystem and prove
+// crash consistency by simulation instead of assumption.
+//
+// The interface is deliberately narrow — open/create, rename, remove,
+// mkdir, stat, per-file fsync and per-directory fsync — because those are
+// exactly the operations whose durability semantics a write-ahead log
+// depends on. Anything not needed by a WAL plus snapshot scheme is left
+// out so the fault matrix stays enumerable.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"syscall"
+)
+
+// File is one open file handle. Durability is explicit: bytes written are
+// not guaranteed to survive a power cut until Sync returns nil.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Name returns the path the file was opened with.
+	Name() string
+	// Sync flushes the file's content to stable storage.
+	Sync() error
+	// Truncate changes the file's size. Like any other write it is not
+	// durable until the next successful Sync.
+	Truncate(size int64) error
+}
+
+// FS is a filesystem. Implementations must make Rename atomic with
+// respect to crashes (either the old or the new entry survives, never
+// neither) and must require SyncDir for directory-entry durability:
+// a created, renamed or removed entry may be lost on power cut until the
+// parent directory has been synced.
+type FS interface {
+	// OpenFile opens name with os.O_* flags.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(path string, perm fs.FileMode) error
+	// Stat describes the named file.
+	Stat(name string) (fs.FileInfo, error)
+	// SyncDir makes the directory's entries (creates, renames, removes)
+	// durable.
+	SyncDir(dir string) error
+}
+
+// Open opens name read-only.
+func Open(fsys FS, name string) (File, error) {
+	return fsys.OpenFile(name, os.O_RDONLY, 0)
+}
+
+// Create creates or truncates name for writing.
+func Create(fsys FS, name string) (File, error) {
+	return fsys.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// osFS is the passthrough to the real filesystem.
+type osFS struct{}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	cerr := d.Close()
+	if err != nil {
+		// Some filesystems refuse to fsync a directory handle; their
+		// journal is then the only entry-durability guarantee available.
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+			return cerr
+		}
+		return fmt.Errorf("vfs: sync dir %s: %w", dir, err)
+	}
+	return cerr
+}

@@ -1,0 +1,358 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeAll(t *testing.T, f File, p []byte) {
+	t.Helper()
+	if _, err := f.Write(p); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+}
+
+func readAll(t *testing.T, fsys FS, name string) []byte {
+	t.Helper()
+	f, err := Open(fsys, name)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	defer f.Close()
+	b, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	return b
+}
+
+func TestOSFSRoundTrip(t *testing.T) {
+	fsys := OS()
+	dir := t.TempDir()
+	name := filepath.Join(dir, "a.txt")
+	f, err := Create(fsys, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("hello"))
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatalf("syncdir: %v", err)
+	}
+	renamed := filepath.Join(dir, "b.txt")
+	if err := fsys.Rename(name, renamed); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := fsys.Stat(renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 5 {
+		t.Fatalf("size = %d, want 5", fi.Size())
+	}
+	if got := readAll(t, fsys, renamed); string(got) != "hello" {
+		t.Fatalf("content = %q", got)
+	}
+	if err := fsys.Remove(renamed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.Stat(renamed); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stat after remove: %v", err)
+	}
+}
+
+// setupDurable creates dir/f with a durable directory entry.
+func setupDurable(t *testing.T, fsys *FaultFS) File {
+	t.Helper()
+	if err := fsys.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Create(fsys, "d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFaultFSDurabilityModel(t *testing.T) {
+	fsys := NewFaultFS(FaultConfig{Seed: 1})
+	f := setupDurable(t, fsys)
+	writeAll(t, f, []byte("synced."))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("volatile"))
+
+	fsys.Crash(RetainNone)
+
+	// The handle from before the cut is poisoned.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("stale handle write: %v, want ErrPowerCut", err)
+	}
+	// Only explicitly fsynced bytes survive.
+	if got := readAll(t, fsys, "d/f"); string(got) != "synced." {
+		t.Fatalf("after crash: %q, want %q", got, "synced.")
+	}
+}
+
+func TestFaultFSEntryDurabilityNeedsSyncDir(t *testing.T) {
+	fsys := NewFaultFS(FaultConfig{Seed: 1})
+	if err := fsys.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Create(fsys, "d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("data"))
+	// File content fsynced, but the directory entry never was: the whole
+	// file is lost on power cut.
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fsys.Crash(RetainAll)
+	if _, err := fsys.Stat("d/f"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("unsynced dir entry survived the cut: %v", err)
+	}
+}
+
+func TestFaultFSRetainModes(t *testing.T) {
+	build := func(seed int64) (*FaultFS, File) {
+		fsys := NewFaultFS(FaultConfig{Seed: seed})
+		f := setupDurable(t, fsys)
+		writeAll(t, f, []byte("dur"))
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		writeAll(t, f, []byte("+unsynced"))
+		return fsys, f
+	}
+
+	fsys, _ := build(7)
+	fsys.Crash(RetainAll)
+	if got := readAll(t, fsys, "d/f"); string(got) != "dur+unsynced" {
+		t.Fatalf("RetainAll: %q", got)
+	}
+
+	fsys, _ = build(7)
+	fsys.Crash(RetainPrefix)
+	got := string(readAll(t, fsys, "d/f"))
+	if len(got) < len("dur") || len(got) > len("dur+unsynced") || got != "dur+unsynced"[:len(got)] {
+		t.Fatalf("RetainPrefix: %q is not a prefix extension of the durable image", got)
+	}
+	// Same seed, same retention draw.
+	fsys2, _ := build(7)
+	fsys2.Crash(RetainPrefix)
+	if got2 := string(readAll(t, fsys2, "d/f")); got2 != got {
+		t.Fatalf("RetainPrefix not deterministic: %q vs %q", got2, got)
+	}
+}
+
+func TestFaultFSCrashAtEnumerates(t *testing.T) {
+	// The workload's mutating ops: mkdir(1) create(2) write(3) sync(4)
+	// syncdir(5) rename(6).
+	workload := func(fsys *FaultFS) error {
+		if err := fsys.MkdirAll("d", 0o755); err != nil {
+			return err
+		}
+		f, err := Create(fsys, "d/f")
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte("x")); err != nil {
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if err := fsys.SyncDir("d"); err != nil {
+			return err
+		}
+		return fsys.Rename("d/f", "d/g")
+	}
+	clean := NewFaultFS(FaultConfig{Seed: 1})
+	if err := workload(clean); err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	total := clean.OpCount()
+	if total != 6 {
+		t.Fatalf("clean run counted %d mutating ops, want 6", total)
+	}
+	for cut := 1; cut <= total; cut++ {
+		fsys := NewFaultFS(FaultConfig{Seed: 1, CrashAt: cut})
+		err := workload(fsys)
+		if !errors.Is(err, ErrPowerCut) {
+			t.Fatalf("cut=%d: workload error %v, want ErrPowerCut", cut, err)
+		}
+		// Every operation after the cut point also fails until reboot.
+		if err := fsys.MkdirAll("late", 0o755); !errors.Is(err, ErrPowerCut) {
+			t.Fatalf("cut=%d: op on dead disk: %v", cut, err)
+		}
+		fsys.Crash(RetainNone)
+		// Rebooted: the disk works again over the surviving image.
+		if err := fsys.MkdirAll("late", 0o755); err != nil {
+			t.Fatalf("cut=%d: op after reboot: %v", cut, err)
+		}
+		// The rename is the last op; before it completes the durable view
+		// must still be the old name (or no file at all), never both.
+		_, oldErr := fsys.Stat("d/f")
+		_, newErr := fsys.Stat("d/g")
+		if oldErr == nil && newErr == nil {
+			t.Fatalf("cut=%d: both rename source and target exist", cut)
+		}
+		if cut == total && newErr == nil {
+			t.Fatalf("cut=%d: rename became durable without SyncDir", cut)
+		}
+	}
+}
+
+func TestFaultFSInjectedFaults(t *testing.T) {
+	t.Run("fsync", func(t *testing.T) {
+		fsys := NewFaultFS(FaultConfig{Seed: 3})
+		f := setupDurable(t, fsys)
+		writeAll(t, f, []byte("abc"))
+		fsys.cfg.FsyncFailRate = 1
+		err := f.Sync()
+		var fe *FaultError
+		if !errors.As(err, &fe) || !errors.Is(err, ErrFsyncFailed) {
+			t.Fatalf("sync: %v, want FaultError{ErrFsyncFailed}", err)
+		}
+		// The failed sync transferred nothing.
+		fsys.Crash(RetainNone)
+		if got := readAll(t, fsys, "d/f"); len(got) != 0 {
+			t.Fatalf("durable after failed sync: %q", got)
+		}
+	})
+	t.Run("enospc", func(t *testing.T) {
+		fsys := NewFaultFS(FaultConfig{Seed: 3})
+		f := setupDurable(t, fsys)
+		fsys.cfg.ENOSPCRate = 1
+		n, err := f.Write([]byte("abc"))
+		if n != 0 || !errors.Is(err, ErrNoSpace) {
+			t.Fatalf("write: n=%d err=%v, want 0, ErrNoSpace", n, err)
+		}
+	})
+	t.Run("short write", func(t *testing.T) {
+		fsys := NewFaultFS(FaultConfig{Seed: 3})
+		f := setupDurable(t, fsys)
+		fsys.cfg.ShortWriteRate = 1
+		n, err := f.Write([]byte("abcdefgh"))
+		if !errors.Is(err, ErrShortWrite) {
+			t.Fatalf("write: %v, want ErrShortWrite", err)
+		}
+		if n < 0 || n >= 8 {
+			t.Fatalf("short write persisted n=%d of 8", n)
+		}
+		fsys.DisableFaults()
+		if got := readAll(t, fsys, "d/f"); len(got) != n {
+			t.Fatalf("file holds %d bytes after short write of %d", len(got), n)
+		}
+		_, sw, _ := fsys.Counts()
+		if sw != 1 {
+			t.Fatalf("short write count = %d", sw)
+		}
+	})
+}
+
+func TestFaultFSDeterministicSchedule(t *testing.T) {
+	run := func() []int {
+		fsys := NewFaultFS(FaultConfig{Seed: 11})
+		f := setupDurable(t, fsys)
+		fsys.cfg.FsyncFailRate = 0.3
+		var fails []int
+		for i := 0; i < 40; i++ {
+			writeAll(t, f, []byte{byte(i)})
+			if err := f.Sync(); err != nil {
+				fails = append(fails, i)
+			}
+		}
+		return fails
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("rate 0.3 over 40 syncs injected nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("schedules differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules differ at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestFaultFSRemoveVolatileUntilSyncDir(t *testing.T) {
+	fsys := NewFaultFS(FaultConfig{Seed: 1})
+	f := setupDurable(t, fsys)
+	writeAll(t, f, []byte("keep"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove("d/f"); err != nil {
+		t.Fatal(err)
+	}
+	// Removal never made durable: the file is resurrected by the cut.
+	fsys.Crash(RetainNone)
+	if got := readAll(t, fsys, "d/f"); string(got) != "keep" {
+		t.Fatalf("after crash: %q, want %q", got, "keep")
+	}
+	// Now make the removal durable and crash again: the file stays gone.
+	if err := fsys.Remove("d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	fsys.Crash(RetainNone)
+	if _, err := fsys.Stat("d/f"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("durably removed file survived: %v", err)
+	}
+}
+
+func TestFaultFSAppendAndSeek(t *testing.T) {
+	fsys := NewFaultFS(FaultConfig{Seed: 1})
+	if err := fsys.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.OpenFile("d/log", os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("aa"))
+	// Appending ignores the read offset.
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("bb"))
+	if err := f.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	fsys.Crash(RetainNone)
+	if got := readAll(t, fsys, "d/log"); string(got) != "aab" {
+		t.Fatalf("append+truncate image: %q, want %q", got, "aab")
+	}
+}
