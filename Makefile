@@ -33,10 +33,10 @@ crash:
 ## the crash harness
 check: vet lint race crash
 
-## bench: full benchmark suite -> BENCH_pr4.json (see EXPERIMENTS.md).
+## bench: full benchmark suite -> BENCH_pr5.json (see EXPERIMENTS.md).
 ## The root-package paper replications are full 5-fold CVs, so they run
 ## -benchtime=1x; the micro benchmarks use the default sampling.
 bench:
 	{ $(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . ; \
 	  $(GO) test -run '^$$' -bench . -benchmem ./internal/... ; } | \
-	  $(GO) run ./cmd/benchjson -o BENCH_pr4.json
+	  $(GO) run ./cmd/benchjson -o BENCH_pr5.json

@@ -7,10 +7,19 @@
 //	qatk -data ./data sql "SELECT COUNT(*) FROM bundles"
 //	qatk -data ./data export                  dump bundles as TSV interchange files
 //	qatk -data ./data import                  load bundles from TSV interchange files
+//	qatk diagnose <bundle>                    render a flight-recorder bundle as an incident report
 //
 // Flags -model (concepts|words) and -sim (jaccard|overlap) select the
 // classifier variant; the default is the industrial configuration of the
 // paper: bag-of-concepts with Jaccard similarity.
+//
+// Observability: structured key=value logs go to stderr (tune with
+// -log-level, redirect with -log-file), and -flight-dir arms the same
+// black-box flight recorder questd carries: a tripped circuit breaker
+// during train, a stalled pipeline or cross-validation fold, a latched
+// reldb fsync failure, or a goroutine spike snapshots a diagnostic
+// bundle that `qatk diagnose` (or `qatk diagnose -v`, verbose) turns
+// into a readable incident report.
 package main
 
 import (
@@ -18,47 +27,117 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/bundle"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/kb"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/pipeline"
 	"repro/internal/qatk"
 	"repro/internal/reldb"
 	"repro/internal/taxonomy"
 )
 
+// options collects the parsed qatk flags.
+type options struct {
+	data, model, sim, ref string
+	dbSync                string
+	errorBudget           int
+	logLevel, logFile     string
+	flightDir             string
+	sloP99                time.Duration
+	stallDeadline         time.Duration
+}
+
 func main() {
-	data := flag.String("data", "data", "data directory (from cmd/datagen)")
-	model := flag.String("model", "concepts", "feature model: concepts | words")
-	sim := flag.String("sim", "jaccard", "similarity: jaccard | overlap")
-	ref := flag.String("ref", "", "bundle reference number (for recommend)")
-	errorBudget := flag.Int("error-budget", 25, "consecutive bundle failures tolerated before train aborts (0 = abort on first failure)")
-	dbSync := flag.String("db-sync", "always", "WAL durability: always | interval | never")
+	var o options
+	flag.StringVar(&o.data, "data", "data", "data directory (from cmd/datagen)")
+	flag.StringVar(&o.model, "model", "concepts", "feature model: concepts | words")
+	flag.StringVar(&o.sim, "sim", "jaccard", "similarity: jaccard | overlap")
+	flag.StringVar(&o.ref, "ref", "", "bundle reference number (for recommend)")
+	flag.IntVar(&o.errorBudget, "error-budget", 25, "consecutive bundle failures tolerated before train aborts (0 = abort on first failure)")
+	flag.StringVar(&o.dbSync, "db-sync", "always", "WAL durability: always | interval | never")
+	flag.StringVar(&o.logLevel, "log-level", "info", "log severity: debug | info | warn | error")
+	flag.StringVar(&o.logFile, "log-file", "", "log destination file (empty = stderr); appended, never truncated")
+	flag.StringVar(&o.flightDir, "flight-dir", "", "flight-recorder bundle directory (empty disables persistence)")
+	flag.DurationVar(&o.sloP99, "slo-p99", 0, "p99 latency budget for the SLO watchdog (0 disables it)")
+	flag.DurationVar(&o.stallDeadline, "stall-deadline", flight.DefaultStallDeadline, "heartbeat deadline before the stall trigger fires")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*data, *model, *sim, *ref, *dbSync, *errorBudget, flag.Arg(0), flag.Args()[1:]); err != nil {
+	cmd, rest := flag.Arg(0), flag.Args()[1:]
+	var err error
+	if cmd == "diagnose" {
+		// Reads a bundle from disk; needs no database, logger, or live
+		// recorder, so it must work even when -data points nowhere.
+		err = diagnose(rest)
+	} else {
+		err = run(o, cmd, rest)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "qatk:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data, model, sim, ref, dbSync string, errorBudget int, cmd string, rest []string) error {
-	sync, err := reldb.ParseSyncPolicy(dbSync)
+// diagnose implements `qatk diagnose [-v] <bundle>`: it accepts either a
+// bundle directory or a single-file JSON export (as served by questd's
+// /debug/bundle) and pretty-prints the incident report.
+func diagnose(args []string) error {
+	fs := flag.NewFlagSet("diagnose", flag.ContinueOnError)
+	verbose := fs.Bool("v", false, "full metric movement, span list, log tail, and goroutine dump")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: qatk diagnose [-v] <bundle dir or .json>")
+	}
+	b, err := flight.ReadBundle(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	db, err := reldb.OpenWith(filepath.Join(data, "db"), reldb.Options{Sync: sync})
+	return flight.WriteReport(os.Stdout, b, *verbose)
+}
+
+func run(o options, cmd string, rest []string) error {
+	logger, sink, closeLogs, err := flight.NewLogging(o.logLevel, o.logFile)
+	if err != nil {
+		return err
+	}
+	defer closeLogs()
+	metrics := obs.NewRegistry()
+	tracer := obs.NewTracer(256)
+	pipeline.RegisterMetrics(metrics)
+
+	recorder := flight.New(flight.Config{
+		Dir:           o.flightDir,
+		Registry:      metrics,
+		Tracer:        tracer,
+		Logs:          sink,
+		Logger:        logger,
+		SLOTarget:     o.sloP99,
+		StallDeadline: o.stallDeadline,
+	})
+	defer recorder.Close()
+	recorder.Watch(time.Second)
+
+	sync, err := reldb.ParseSyncPolicy(o.dbSync)
+	if err != nil {
+		return err
+	}
+	db, err := reldb.OpenWith(filepath.Join(o.data, "db"), reldb.Options{Sync: sync})
 	if err != nil {
 		return err
 	}
 	defer db.Close()
+	db.Instrument(logger, metrics)
+	db.WithFlight(recorder)
 
 	if cmd == "sql" {
 		if len(rest) != 1 {
@@ -85,26 +164,26 @@ func run(data, model, sim, ref, dbSync string, errorBudget int, cmd string, rest
 		return nil
 	}
 
-	tax, err := taxonomy.LoadFile(filepath.Join(data, "taxonomy.xml"))
+	tax, err := taxonomy.LoadFile(filepath.Join(o.data, "taxonomy.xml"))
 	if err != nil {
 		return err
 	}
 	opts := []qatk.Option{}
-	switch model {
+	switch o.model {
 	case "concepts":
 		opts = append(opts, qatk.WithModel(kb.BagOfConcepts))
 	case "words":
 		opts = append(opts, qatk.WithModel(kb.BagOfWords))
 	default:
-		return fmt.Errorf("unknown model %q", model)
+		return fmt.Errorf("unknown model %q", o.model)
 	}
-	switch sim {
+	switch o.sim {
 	case "jaccard":
 		opts = append(opts, qatk.WithSimilarity(core.Jaccard{}))
 	case "overlap":
 		opts = append(opts, qatk.WithSimilarity(core.Overlap{}))
 	default:
-		return fmt.Errorf("unknown similarity %q", sim)
+		return fmt.Errorf("unknown similarity %q", o.sim)
 	}
 	tk := qatk.New(tax, opts...)
 
@@ -126,14 +205,17 @@ func run(data, model, sim, ref, dbSync string, errorBudget int, cmd string, rest
 		// bundle is reported and skipped; only a run of consecutive
 		// failures (a systemic fault) aborts. The run is fully observed:
 		// dead letters come out as structured log lines, engine timings as
-		// trace spans aggregated into the closing report.
-		tracer := obs.NewTracer(256)
+		// trace spans aggregated into the closing report, and the flight
+		// recorder snapshots a bundle if the breaker trips or the run
+		// stalls past -stall-deadline.
 		cfg := pipeline.RunConfig{
-			ErrorBudget: errorBudget,
+			ErrorBudget: o.errorBudget,
+			Metrics:     metrics,
 			Tracer:      tracer,
-			Logger:      obs.NewLogger(os.Stderr, obs.LevelInfo),
+			Logger:      logger,
+			Flight:      recorder,
 		}
-		if errorBudget > 0 {
+		if o.errorBudget > 0 {
 			cfg.DeadLetter = func(pipeline.DeadLetter) error { return nil }
 		}
 		mem, stats, err := tk.TrainRun(assigned, cfg)
@@ -160,6 +242,7 @@ func run(data, model, sim, ref, dbSync string, errorBudget int, cmd string, rest
 		fmt.Printf("classified %d pending bundles\n", n)
 		return db.Checkpoint()
 	case "recommend":
+		ref := o.ref
 		if ref == "" && len(rest) > 0 {
 			// Accept `qatk recommend -ref R…` (flags after the subcommand).
 			fs := flag.NewFlagSet("recommend", flag.ContinueOnError)
@@ -194,11 +277,11 @@ func run(data, model, sim, ref, dbSync string, errorBudget int, cmd string, rest
 		return nil
 	case "export":
 		// Dump the bundle data as the two-file TSV interchange format.
-		bf, err := os.Create(filepath.Join(data, "bundles.tsv"))
+		bf, err := os.Create(filepath.Join(o.data, "bundles.tsv"))
 		if err != nil {
 			return err
 		}
-		rf, err := os.Create(filepath.Join(data, "reports.tsv"))
+		rf, err := os.Create(filepath.Join(o.data, "reports.tsv"))
 		if err != nil {
 			bf.Close()
 			return err
@@ -214,16 +297,16 @@ func run(data, model, sim, ref, dbSync string, errorBudget int, cmd string, rest
 		if err := rf.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("exported %d bundles to %s/{bundles,reports}.tsv\n", len(bundles), data)
+		fmt.Printf("exported %d bundles to %s/{bundles,reports}.tsv\n", len(bundles), o.data)
 		return nil
 	case "import":
 		// Load additional bundles from the TSV interchange files.
-		bf, err := os.Open(filepath.Join(data, "bundles.tsv"))
+		bf, err := os.Open(filepath.Join(o.data, "bundles.tsv"))
 		if err != nil {
 			return err
 		}
 		defer bf.Close()
-		rf, err := os.Open(filepath.Join(data, "reports.tsv"))
+		rf, err := os.Open(filepath.Join(o.data, "reports.tsv"))
 		if err != nil {
 			return err
 		}
@@ -244,18 +327,21 @@ func run(data, model, sim, ref, dbSync string, errorBudget int, cmd string, rest
 		return db.Checkpoint()
 	case "evaluate":
 		// Stratified 5-fold CV of the selected variant over the assigned
-		// bundles, exactly the §5.1 protocol.
+		// bundles, exactly the §5.1 protocol. Each fold heartbeats the
+		// flight recorder's stall guard.
 		e := eval.New(tax, assigned)
+		e.Tracer = tracer
+		e.Flight = recorder
 		var simObj core.Similarity = core.Jaccard{}
-		if sim == "overlap" {
+		if o.sim == "overlap" {
 			simObj = core.Overlap{}
 		}
 		modelObj := kb.BagOfConcepts
-		if model == "words" {
+		if o.model == "words" {
 			modelObj = kb.BagOfWords
 		}
 		res, err := e.Run(eval.Variant{
-			Name:  fmt.Sprintf("bag-of-%s + %s", model, sim),
+			Name:  fmt.Sprintf("bag-of-%s + %s", o.model, o.sim),
 			Model: modelObj, Sim: simObj,
 		})
 		if err != nil {
@@ -267,6 +353,6 @@ func run(data, model, sim, ref, dbSync string, errorBudget int, cmd string, rest
 			1000*res.SecPerBundle, res.KBNodes)
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (train | classify | recommend | evaluate | export | import | sql)", cmd)
+		return fmt.Errorf("unknown command %q (train | classify | recommend | evaluate | export | import | sql | diagnose)", cmd)
 	}
 }

@@ -16,8 +16,16 @@
 // Observability: /metrics serves a Prometheus text exposition (request
 // rate/latency/in-flight, panics, timeouts, WAL activity, build_info, and
 // the pre-registered pipeline families), structured key=value logs go to
-// stderr, and -debug-addr optionally serves net/http/pprof on a separate
-// loopback-only listener.
+// stderr (tune with -log-level, redirect with -log-file), and -debug-addr
+// optionally serves net/http/pprof plus GET /debug/bundle (on-demand
+// flight-recorder capture + download) on a separate loopback-only
+// listener.
+//
+// Flight recorder: -flight-dir arms a black-box recorder that retains
+// recent spans, log lines, and metric deltas, and snapshots a diagnostic
+// bundle (read it with `qatk diagnose <dir>`) when an anomaly fires — the
+// serving p99 exceeding -slo-p99 for consecutive windows, a recovered
+// handler panic, a reldb fsync-failure latch, or a goroutine-count spike.
 package main
 
 import (
@@ -39,23 +47,45 @@ import (
 	"repro/internal/kb"
 	"repro/internal/nhtsa"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/pipeline"
 	"repro/internal/quest"
 	"repro/internal/reldb"
 	"repro/internal/taxonomy"
 )
 
+// options collects the parsed questd flags.
+type options struct {
+	data, addr, debugAddr         string
+	dbSync                        string
+	shutdownTimeout               time.Duration
+	requestTimeout                time.Duration
+	dbSyncEvery                   time.Duration
+	logLevel, logFile             string
+	flightDir                     string
+	sloP99, sloWindow             time.Duration
+	flightInterval, stallDeadline time.Duration
+}
+
 func main() {
-	data := flag.String("data", "data", "data directory (from cmd/datagen)")
-	addr := flag.String("addr", ":8080", "listen address")
-	debugAddr := flag.String("debug-addr", "", "pprof listen address (e.g. localhost:6060; empty disables)")
-	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
-	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request handler time budget (0 disables)")
-	dbSync := flag.String("db-sync", "always", "WAL durability: always | interval | never")
-	dbSyncEvery := flag.Duration("db-sync-interval", reldb.DefaultSyncEvery, "group-commit fsync cadence (with -db-sync=interval)")
+	var o options
+	flag.StringVar(&o.data, "data", "data", "data directory (from cmd/datagen)")
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "pprof + /debug/bundle listen address (e.g. localhost:6060; empty disables)")
+	flag.DurationVar(&o.shutdownTimeout, "shutdown-timeout", 10*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
+	flag.DurationVar(&o.requestTimeout, "request-timeout", 30*time.Second, "per-request handler time budget (0 disables)")
+	flag.StringVar(&o.dbSync, "db-sync", "always", "WAL durability: always | interval | never")
+	flag.DurationVar(&o.dbSyncEvery, "db-sync-interval", reldb.DefaultSyncEvery, "group-commit fsync cadence (with -db-sync=interval)")
+	flag.StringVar(&o.logLevel, "log-level", "info", "log severity: debug | info | warn | error")
+	flag.StringVar(&o.logFile, "log-file", "", "log destination file (empty = stderr); appended, never truncated")
+	flag.StringVar(&o.flightDir, "flight-dir", "", "flight-recorder bundle directory (empty disables the recorder)")
+	flag.DurationVar(&o.sloP99, "slo-p99", 0, "serving-path p99 latency budget for the SLO watchdog (0 disables it)")
+	flag.DurationVar(&o.sloWindow, "slo-window", flight.DefaultSLOWindow, "SLO watchdog sliding-window length")
+	flag.DurationVar(&o.flightInterval, "flight-interval", 5*time.Second, "flight recorder watchdog tick interval")
+	flag.DurationVar(&o.stallDeadline, "stall-deadline", flight.DefaultStallDeadline, "heartbeat deadline before the stall trigger fires")
 	flag.Parse()
 
-	if err := run(*data, *addr, *debugAddr, *dbSync, *shutdownTimeout, *requestTimeout, *dbSyncEvery); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "questd:", err)
 		os.Exit(1)
 	}
@@ -73,8 +103,12 @@ func pprofMux() *http.ServeMux {
 	return mux
 }
 
-func run(data, addr, debugAddr, dbSync string, shutdownTimeout, requestTimeout, dbSyncEvery time.Duration) error {
-	logger := obs.NewLogger(os.Stderr, obs.LevelInfo)
+func run(o options) error {
+	logger, sink, closeLogs, err := flight.NewLogging(o.logLevel, o.logFile)
+	if err != nil {
+		return err
+	}
+	defer closeLogs()
 	metrics := obs.NewRegistry()
 	tracer := obs.NewTracer(1024)
 	// Pre-register the pipeline families: questd does not run collection
@@ -82,22 +116,39 @@ func run(data, addr, debugAddr, dbSync string, shutdownTimeout, requestTimeout, 
 	// inventory so dashboards bind to stable names.
 	pipeline.RegisterMetrics(metrics)
 
-	sync, err := reldb.ParseSyncPolicy(dbSync)
+	// The flight recorder runs whenever a bundle directory OR the debug
+	// mux could use it; without -flight-dir triggers still log and count
+	// but nothing is persisted.
+	recorder := flight.New(flight.Config{
+		Dir:           o.flightDir,
+		Registry:      metrics,
+		Tracer:        tracer,
+		Logs:          sink,
+		Logger:        logger,
+		SLOTarget:     o.sloP99,
+		SLOWindow:     o.sloWindow,
+		StallDeadline: o.stallDeadline,
+	})
+	defer recorder.Close()
+	recorder.Watch(o.flightInterval)
+
+	sync, err := reldb.ParseSyncPolicy(o.dbSync)
 	if err != nil {
 		return err
 	}
-	db, err := reldb.OpenWith(filepath.Join(data, "db"), reldb.Options{Sync: sync, SyncEvery: dbSyncEvery})
+	db, err := reldb.OpenWith(filepath.Join(o.data, "db"), reldb.Options{Sync: sync, SyncEvery: o.dbSyncEvery})
 	if err != nil {
 		return err
 	}
 	defer db.Close()
 	db.Instrument(logger, metrics)
+	db.WithFlight(recorder)
 
 	cfg := quest.Config{
-		DB: db, RequestTimeout: requestTimeout,
-		Logger: logger, Metrics: metrics, Tracer: tracer,
+		DB: db, RequestTimeout: o.requestTimeout,
+		Logger: logger, Metrics: metrics, Tracer: tracer, Flight: recorder,
 	}
-	if internal, public, err := buildComparison(data, db); err != nil {
+	if internal, public, err := buildComparison(o.data, db); err != nil {
 		fmt.Fprintf(os.Stderr, "comparison screen disabled: %v\n", err)
 		cfg.ComparisonNote = err.Error()
 	} else {
@@ -109,24 +160,26 @@ func run(data, addr, debugAddr, dbSync string, shutdownTimeout, requestTimeout, 
 		return err
 	}
 
-	if debugAddr != "" {
-		dbg := &http.Server{Addr: debugAddr, Handler: pprofMux()}
+	if o.debugAddr != "" {
+		mux := pprofMux()
+		mux.Handle("/debug/bundle", recorder.Handler())
+		dbg := &http.Server{Addr: o.debugAddr, Handler: mux}
 		go func() {
 			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				logger.Error("pprof server failed", obs.L("addr", debugAddr), obs.L("err", err.Error()))
+				logger.Error("debug server failed", obs.L("addr", o.debugAddr), obs.L("err", err.Error()))
 			}
 		}()
-		logger.Info("pprof listening", obs.L("addr", debugAddr))
+		logger.Info("debug mux listening (pprof + /debug/bundle)", obs.L("addr", o.debugAddr))
 	}
 
 	// WriteTimeout must outlast the handler budget, or the timeout
 	// middleware could never deliver its 503.
-	writeTimeout := requestTimeout + 5*time.Second
-	if requestTimeout <= 0 {
+	writeTimeout := o.requestTimeout + 5*time.Second
+	if o.requestTimeout <= 0 {
 		writeTimeout = 0
 	}
 	srv := &http.Server{
-		Addr:              addr,
+		Addr:              o.addr,
 		Handler:           app,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
@@ -136,8 +189,8 @@ func run(data, addr, debugAddr, dbSync string, shutdownTimeout, requestTimeout, 
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Fprintf(os.Stderr, "QUEST listening on %s\n", addr)
-	err = quest.ServeUntil(srv, shutdownTimeout, ctx.Done())
+	fmt.Fprintf(os.Stderr, "QUEST listening on %s\n", o.addr)
+	err = quest.ServeUntil(srv, o.shutdownTimeout, ctx.Done())
 	if err == nil && ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "QUEST drained and stopped")
 	}

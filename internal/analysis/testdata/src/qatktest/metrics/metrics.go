@@ -12,6 +12,8 @@ const (
 	MetricLatencySeconds  = "quest_http_request_duration_seconds"
 	MetricWALBytes        = "reldb_wal_bytes"
 	MetricInflight        = "quest_http_requests_inflight"
+	MetricFlightBundles   = "obs_flight_bundles_total"
+	MetricSLOBreaches     = "quest_slo_breaches_total"
 	MetricBuildInfo       = "build_info" // sanctioned prefix-free exception
 	metricNoPrefixTotal   = "pipeline_runs_total"
 	metricNoUnit          = "qatk_pipeline_runs"
@@ -25,6 +27,8 @@ func Register(r *obs.Registry) {
 	r.Histogram(MetricLatencySeconds, []float64{0.1, 1})
 	r.Gauge(MetricWALBytes, obs.L("dir", "db"))
 	r.Gauge(MetricInflight)
+	r.Counter(MetricFlightBundles, obs.L("reason", "slo_breach"))
+	r.Counter(MetricSLOBreaches)
 	r.Gauge(MetricBuildInfo).Set(1)
 
 	r.Counter("qatk_inline_total")    // want metricname "package-level constant"

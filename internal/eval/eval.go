@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kb"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/taxonomy"
 	"repro/internal/textproc"
 )
@@ -93,6 +94,10 @@ type Experiment struct {
 	// span per fold. Nil disables tracing. (The tracer carries its own
 	// clock; spans do not affect the deterministic results.)
 	Tracer *obs.Tracer
+	// Flight is the black-box flight recorder: Run heartbeats a stall
+	// guard per cross-validation fold, so a wedged variant trips the
+	// stall watchdog with fold attribution. Nil disables it.
+	Flight *flight.Recorder
 
 	annotator *annotate.ConceptAnnotator
 	stopwords textproc.StopwordSet
@@ -209,6 +214,8 @@ func (e *Experiment) Run(v Variant) (*Result, error) {
 	res := &Result{Variant: v.Name, Accuracy: AccuracyAtK{}}
 	vspan := e.Tracer.Start(nil, spanVariant, obs.L("variant", v.Name))
 	defer vspan.End(nil)
+	guard := e.Flight.Guard(spanVariant + ":" + v.Name)
+	defer guard.Stop()
 	hits := map[int]int{}
 	total := 0
 	var classifySeconds float64
@@ -217,6 +224,7 @@ func (e *Experiment) Run(v Variant) (*Result, error) {
 	var candTotal int64
 
 	for f := 0; f < e.Folds; f++ {
+		guard.Beat()
 		fspan := e.Tracer.Start(vspan, spanFold, obs.L("fold", strconv.Itoa(f)))
 		mem := kb.NewMemory()
 		inTest := make(map[int]bool, len(folds[f]))

@@ -1,0 +1,322 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// BundleSchema versions the bundle layout; qatk diagnose refuses bundles
+// from a future schema rather than misreading them.
+const BundleSchema = 1
+
+// MetricCapture is one timestamped reading of the full metric registry,
+// parsed from its own text exposition into flat series values keyed by
+// "name{labels}". Consecutive captures are the "metric deltas" a bundle
+// carries: the reader diffs them to show what moved in the window before
+// the anomaly.
+type MetricCapture struct {
+	Time   time.Time          `json:"time"`
+	Series map[string]float64 `json:"series"`
+}
+
+// MemSummary is the slice of runtime.MemStats worth keeping in a bundle.
+type MemSummary struct {
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes    uint64 `json:"heap_sys_bytes"`
+	HeapObjects     uint64 `json:"heap_objects"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	SysBytes        uint64 `json:"sys_bytes"`
+	NumGC           uint32 `json:"num_gc"`
+	PauseTotalNs    uint64 `json:"pause_total_ns"`
+}
+
+// Bundle is one diagnostic snapshot: everything an on-call engineer needs
+// to reconstruct the state of the process at the moment a trigger fired.
+// It serializes two ways — a timestamped directory of focused files
+// (WriteDir) for the flight directory, and a single JSON document
+// (MarshalJSON via the plain struct) for the /debug/bundle download.
+// ReadBundle accepts both.
+type Bundle struct {
+	Schema      int               `json:"schema"`
+	Reason      string            `json:"reason"`
+	Time        time.Time         `json:"time"`
+	Details     map[string]string `json:"details,omitempty"`
+	Build       obs.BuildIdentity `json:"build"`
+	Goroutines  int               `json:"goroutines"`
+	DroppedLogs uint64            `json:"dropped_logs"`
+	MemStats    MemSummary        `json:"mem_stats"`
+
+	Spans         []obs.SpanData  `json:"spans,omitempty"`
+	SpanStats     []obs.SpanStat  `json:"span_stats,omitempty"`
+	Logs          []string        `json:"logs,omitempty"`
+	Metrics       []MetricCapture `json:"metrics,omitempty"`
+	GoroutineDump string          `json:"goroutine_dump,omitempty"`
+	// Extras carries per-subsystem state from registered info providers
+	// (e.g. reldb WAL/sync stats), keyed provider name → field → value.
+	Extras map[string]map[string]string `json:"extras,omitempty"`
+}
+
+// manifest is the directory form's header file: the scalar fields of a
+// Bundle without the bulky sections, which get their own files.
+type manifest struct {
+	Schema      int               `json:"schema"`
+	Reason      string            `json:"reason"`
+	Time        time.Time         `json:"time"`
+	Details     map[string]string `json:"details,omitempty"`
+	Build       obs.BuildIdentity `json:"build"`
+	Goroutines  int               `json:"goroutines"`
+	DroppedLogs uint64            `json:"dropped_logs"`
+	MemStats    MemSummary        `json:"mem_stats"`
+}
+
+// spansFile groups the two span views into one file.
+type spansFile struct {
+	Spans     []obs.SpanData `json:"spans,omitempty"`
+	SpanStats []obs.SpanStat `json:"span_stats,omitempty"`
+}
+
+// Bundle directory file names.
+const (
+	manifestFile   = "manifest.json"
+	spansFileName  = "spans.json"
+	logsFileName   = "logs.txt"
+	metricsFile    = "metrics.json"
+	goroutinesFile = "goroutines.txt"
+	extrasFile     = "extras.json"
+)
+
+// DirName renders the timestamped directory name for this bundle:
+// bundle-<UTC compact RFC3339>-<reason>.
+func (b *Bundle) DirName() string {
+	return "bundle-" + b.Time.UTC().Format("20060102T150405Z") + "-" + sanitizeReason(b.Reason)
+}
+
+// sanitizeReason maps a trigger reason onto a filesystem-safe slug.
+func sanitizeReason(reason string) string {
+	var sb strings.Builder
+	for _, r := range reason {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_', r == '-':
+			sb.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			sb.WriteRune(r + ('a' - 'A'))
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "unknown"
+	}
+	return sb.String()
+}
+
+// WriteDir materializes the bundle as a directory under parent, creating
+// parent if needed, and returns the bundle directory path. If the
+// timestamped name collides (two triggers in the same second), a numeric
+// suffix disambiguates.
+func (b *Bundle) WriteDir(parent string) (string, error) {
+	if err := os.MkdirAll(parent, 0o755); err != nil {
+		return "", fmt.Errorf("flight: create flight dir: %w", err)
+	}
+	dir := filepath.Join(parent, b.DirName())
+	for i := 2; ; i++ {
+		err := os.Mkdir(dir, 0o755)
+		if err == nil {
+			break
+		}
+		if !os.IsExist(err) {
+			return "", fmt.Errorf("flight: create bundle dir: %w", err)
+		}
+		dir = filepath.Join(parent, b.DirName()+"-"+strconv.Itoa(i))
+	}
+	m := manifest{
+		Schema: b.Schema, Reason: b.Reason, Time: b.Time, Details: b.Details,
+		Build: b.Build, Goroutines: b.Goroutines, DroppedLogs: b.DroppedLogs,
+		MemStats: b.MemStats,
+	}
+	if err := writeJSONFile(filepath.Join(dir, manifestFile), m); err != nil {
+		return "", err
+	}
+	if err := writeJSONFile(filepath.Join(dir, spansFileName), spansFile{Spans: b.Spans, SpanStats: b.SpanStats}); err != nil {
+		return "", err
+	}
+	if err := writeJSONFile(filepath.Join(dir, metricsFile), b.Metrics); err != nil {
+		return "", err
+	}
+	if len(b.Extras) > 0 {
+		if err := writeJSONFile(filepath.Join(dir, extrasFile), b.Extras); err != nil {
+			return "", err
+		}
+	}
+	logs := strings.Join(b.Logs, "\n")
+	if logs != "" {
+		logs += "\n"
+	}
+	if err := os.WriteFile(filepath.Join(dir, logsFileName), []byte(logs), 0o644); err != nil {
+		return "", fmt.Errorf("flight: write %s: %w", logsFileName, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, goroutinesFile), []byte(b.GoroutineDump), 0o644); err != nil {
+		return "", fmt.Errorf("flight: write %s: %w", goroutinesFile, err)
+	}
+	return dir, nil
+}
+
+// writeJSONFile writes v as indented JSON.
+func writeJSONFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("flight: encode %s: %w", filepath.Base(path), err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("flight: write %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// ReadBundle loads a bundle from either serialized form: a bundle
+// directory written by WriteDir, or a single JSON file downloaded from
+// /debug/bundle.
+func ReadBundle(path string) (*Bundle, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("flight: open bundle: %w", err)
+	}
+	if !info.IsDir() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("flight: read bundle: %w", err)
+		}
+		var b Bundle
+		if err := json.Unmarshal(data, &b); err != nil {
+			return nil, fmt.Errorf("flight: parse bundle %s: %w", path, err)
+		}
+		if b.Schema > BundleSchema {
+			return nil, fmt.Errorf("flight: bundle %s has schema %d, newer than this reader (%d)", path, b.Schema, BundleSchema)
+		}
+		return &b, nil
+	}
+
+	var m manifest
+	if err := readJSONFile(filepath.Join(path, manifestFile), &m); err != nil {
+		return nil, err
+	}
+	if m.Schema > BundleSchema {
+		return nil, fmt.Errorf("flight: bundle %s has schema %d, newer than this reader (%d)", path, m.Schema, BundleSchema)
+	}
+	b := &Bundle{
+		Schema: m.Schema, Reason: m.Reason, Time: m.Time, Details: m.Details,
+		Build: m.Build, Goroutines: m.Goroutines, DroppedLogs: m.DroppedLogs,
+		MemStats: m.MemStats,
+	}
+	var sf spansFile
+	if err := readJSONFile(filepath.Join(path, spansFileName), &sf); err == nil {
+		b.Spans, b.SpanStats = sf.Spans, sf.SpanStats
+	}
+	_ = readJSONFile(filepath.Join(path, metricsFile), &b.Metrics)
+	_ = readJSONFile(filepath.Join(path, extrasFile), &b.Extras)
+	if data, err := os.ReadFile(filepath.Join(path, logsFileName)); err == nil && len(data) > 0 {
+		b.Logs = strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	}
+	if data, err := os.ReadFile(filepath.Join(path, goroutinesFile)); err == nil {
+		b.GoroutineDump = string(data)
+	}
+	return b, nil
+}
+
+// readJSONFile decodes one JSON file into v.
+func readJSONFile(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("flight: read %s: %w", filepath.Base(path), err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("flight: parse %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// parseProm parses the registry's own text exposition into flat series
+// values keyed "name{labels}" (comment lines skipped). The format is the
+// deterministic output of obs.Registry.WriteProm, so the parser can be
+// simple: the value is everything after the last space.
+func parseProm(text string) map[string]float64 {
+	series := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		series[line[:i]] = v
+	}
+	return series
+}
+
+// MetricDelta is one series' movement between the oldest and newest
+// capture in a bundle.
+type MetricDelta struct {
+	Series string
+	Delta  float64
+	Now    float64
+}
+
+// Deltas diffs the oldest against the newest metric capture, returning
+// the series that moved, sorted by series name. With fewer than two
+// captures it returns nil.
+func (b *Bundle) Deltas() []MetricDelta {
+	if len(b.Metrics) < 2 {
+		return nil
+	}
+	first, last := b.Metrics[0].Series, b.Metrics[len(b.Metrics)-1].Series
+	var out []MetricDelta
+	for name, now := range last {
+		if d := now - first[name]; d != 0 {
+			out = append(out, MetricDelta{Series: name, Delta: d, Now: now})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Series < out[j].Series })
+	return out
+}
+
+// Handler serves on-demand capture + download: GET captures a bundle
+// right now (reason "on_demand", rate limit bypassed), persists it to the
+// flight directory when one is configured, and answers with the complete
+// bundle as a single JSON document. A nil recorder answers 503 so probes
+// can tell "disabled" from "broken".
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "flight recorder disabled", http.StatusServiceUnavailable)
+			return
+		}
+		b, dir, err := r.CaptureNow("on_demand", obs.L("remote", req.RemoteAddr))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition",
+			`attachment; filename="`+b.DirName()+`.json"`)
+		if dir != "" {
+			w.Header().Set("X-Flight-Bundle-Dir", dir)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(b)
+	})
+}

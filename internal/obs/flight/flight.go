@@ -1,0 +1,627 @@
+// Package flight is the QATK/QUEST black-box flight recorder: it
+// continuously retains the recent past — trace spans (via the obs ring
+// tracer), log lines (via the non-blocking obs.RingSink), and periodic
+// metric-registry captures — and snapshots all of it into a diagnostic
+// bundle the moment an anomaly fires, so an on-call engineer
+// investigates the state *at the incident*, not a reconstruction.
+//
+// Triggers come in two kinds. Watchdogs evaluate on every Tick of an
+// injected clock: an SLO watchdog over a sliding-window latency histogram
+// on the QUEST serving path (p99 over budget for K consecutive windows),
+// a stall detector over per-subsystem heartbeat Guards (no document or
+// fold progress before a deadline), and a goroutine-count spike check.
+// Hard events trigger directly from the subsystem that detects them:
+// handler panic recovery (quest), the pipeline circuit breaker, and the
+// reldb fsync-failure latch.
+//
+// Everything is nil-safe: a nil *Recorder (recording disabled) makes
+// every method — including Guard heartbeats on the pipeline hot path — a
+// cheap no-op, mirroring the obs package contract.
+package flight
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metric names the flight recorder emits (qatklint/metricname: constants,
+// snake_case, subsystem prefix, unit suffix). The quest_slo_* families
+// describe the QUEST serving-path SLO the watchdog guards; they live here
+// because the watchdog does.
+const (
+	// MetricFlightBundlesTotal counts written diagnostic bundles by
+	// trigger reason (label "reason").
+	MetricFlightBundlesTotal = "obs_flight_bundles_total"
+	// MetricFlightSuppressedTotal counts triggers suppressed by the
+	// minimum-interval rate limit.
+	MetricFlightSuppressedTotal = "obs_flight_suppressed_total"
+	// MetricLogDroppedTotal counts log lines the ring sink dropped from
+	// the forward path because the underlying writer could not keep up.
+	MetricLogDroppedTotal = "obs_log_dropped_total"
+	// MetricSLOBreachesTotal counts sliding windows whose serving-path
+	// p99 exceeded the budget.
+	MetricSLOBreachesTotal = "quest_slo_breaches_total"
+	// MetricSLOWindowP99Seconds gauges the most recent completed window's
+	// estimated p99 latency.
+	MetricSLOWindowP99Seconds = "quest_slo_window_p99_seconds"
+)
+
+// Trigger reasons, as recorded in bundle manifests and the reason label.
+const (
+	ReasonSLOBreach      = "slo_breach"
+	ReasonStall          = "stall"
+	ReasonPanic          = "panic"
+	ReasonCircuitBreaker = "circuit_breaker"
+	ReasonFsyncLatch     = "fsync_latch"
+	ReasonGoroutineSpike = "goroutine_spike"
+	ReasonOnDemand       = "on_demand"
+)
+
+// Defaults for zero Config fields.
+const (
+	DefaultSLOWindow      = 10 * time.Second
+	DefaultSLOBreaches    = 3
+	DefaultSLOMinSamples  = 10
+	DefaultStallDeadline  = 2 * time.Minute
+	DefaultGoroutineLimit = 5000
+	DefaultMetricsHistory = 8
+	DefaultMaxBundles     = 16
+	DefaultMinInterval    = 30 * time.Second
+	DefaultLogLines       = 200
+)
+
+// Config wires a Recorder.
+type Config struct {
+	// Dir is where bundles are written, one timestamped directory each.
+	// Empty disables persistence: triggers still fire, log, and count,
+	// and /debug/bundle still serves in-memory captures.
+	Dir string
+	// Clock is the injected time source (default time.Now). Every
+	// watchdog decision reads it, so tests are deterministic.
+	Clock func() time.Time
+
+	// Sources. Any of them may be nil; the bundle simply omits that
+	// section.
+	Registry *obs.Registry
+	Tracer   *obs.Tracer
+	Logs     *obs.RingSink
+	// Logger receives the recorder's own events (bundle written, trigger
+	// suppressed). Nil disables them.
+	Logger *obs.Logger
+
+	// SLOTarget is the serving-path p99 latency budget; 0 disables the
+	// SLO watchdog. SLOWindow is the sliding-window length, SLOBreaches
+	// the number of consecutive over-budget windows that trigger, and
+	// SLOMinSamples the observations a window needs before it is judged
+	// (quiet windows neither breach nor reset the streak).
+	SLOTarget     time.Duration
+	SLOWindow     time.Duration
+	SLOBreaches   int
+	SLOMinSamples int
+
+	// StallDeadline is how long a Guard may go without a heartbeat before
+	// the stall trigger fires (default 2m).
+	StallDeadline time.Duration
+
+	// GoroutineLimit triggers when the process goroutine count reaches
+	// it: 0 means DefaultGoroutineLimit, negative disables. Goroutines
+	// injects the counter (default runtime.NumGoroutine).
+	GoroutineLimit int
+	Goroutines     func() int
+
+	// MetricsHistory bounds the ring of periodic registry captures a
+	// bundle carries; MaxBundles bounds flight-directory retention
+	// (oldest deleted first); MinInterval rate-limits anomaly-triggered
+	// bundles (on-demand captures bypass it); LogLines caps the log tail
+	// per bundle.
+	MetricsHistory int
+	MaxBundles     int
+	MinInterval    time.Duration
+	LogLines       int
+}
+
+// Recorder is the flight recorder. A nil *Recorder is disabled and every
+// method is a no-op.
+type Recorder struct {
+	cfg        Config
+	clock      func() time.Time
+	goroutines func() int
+	log        *obs.Logger
+
+	bundlesByReason func(reason string) *obs.Counter
+	suppressed      *obs.Counter
+	sloBreaches     *obs.Counter
+	sloP99          *obs.Gauge
+
+	// sloMu guards only the latency window, so the serving hot path never
+	// contends with bundle writes.
+	sloMu     sync.Mutex
+	sloCounts []uint64
+	sloTotal  int
+	sloStart  time.Time
+	sloStreak int
+
+	mu          sync.Mutex
+	metricHist  []MetricCapture
+	guards      map[*Guard]struct{}
+	infos       []infoProvider
+	lastAuto    time.Time
+	lastDir     string
+	goroLatched bool
+
+	watchOnce sync.Once
+	closeOnce sync.Once
+	quit      chan struct{}
+	done      chan struct{}
+}
+
+// infoProvider is one registered extra-state source.
+type infoProvider struct {
+	name string
+	fn   func() map[string]string
+}
+
+// New builds a Recorder. Zero Config fields take the package defaults.
+func New(cfg Config) *Recorder {
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.Goroutines == nil {
+		cfg.Goroutines = runtime.NumGoroutine
+	}
+	if cfg.SLOWindow <= 0 {
+		cfg.SLOWindow = DefaultSLOWindow
+	}
+	if cfg.SLOBreaches <= 0 {
+		cfg.SLOBreaches = DefaultSLOBreaches
+	}
+	if cfg.SLOMinSamples <= 0 {
+		cfg.SLOMinSamples = DefaultSLOMinSamples
+	}
+	if cfg.StallDeadline <= 0 {
+		cfg.StallDeadline = DefaultStallDeadline
+	}
+	if cfg.GoroutineLimit == 0 {
+		cfg.GoroutineLimit = DefaultGoroutineLimit
+	}
+	if cfg.MetricsHistory <= 0 {
+		cfg.MetricsHistory = DefaultMetricsHistory
+	}
+	if cfg.MaxBundles <= 0 {
+		cfg.MaxBundles = DefaultMaxBundles
+	}
+	if cfg.MinInterval < 0 {
+		cfg.MinInterval = 0
+	} else if cfg.MinInterval == 0 {
+		cfg.MinInterval = DefaultMinInterval
+	}
+	if cfg.LogLines <= 0 {
+		cfg.LogLines = DefaultLogLines
+	}
+	r := &Recorder{
+		cfg:        cfg,
+		clock:      cfg.Clock,
+		goroutines: cfg.Goroutines,
+		log:        cfg.Logger,
+		guards:     make(map[*Guard]struct{}),
+		sloCounts:  make([]uint64, len(obs.DefBuckets)+1),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	reg := cfg.Registry
+	r.bundlesByReason = func(reason string) *obs.Counter {
+		return reg.Counter(MetricFlightBundlesTotal, obs.L("reason", reason))
+	}
+	r.suppressed = reg.Counter(MetricFlightSuppressedTotal)
+	if cfg.SLOTarget > 0 {
+		r.sloBreaches = reg.Counter(MetricSLOBreachesTotal)
+		r.sloP99 = reg.Gauge(MetricSLOWindowP99Seconds)
+	}
+	if cfg.Logs != nil {
+		cfg.Logs.Instrument(reg.Counter(MetricLogDroppedTotal))
+	}
+	return r
+}
+
+// AddInfo registers an extra-state provider whose fields are embedded in
+// every bundle under name (e.g. "reldb" → WAL/sync stats). fn runs at
+// capture time and must be safe to call from any goroutine.
+func (r *Recorder) AddInfo(name string, fn func() map[string]string) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.infos = append(r.infos, infoProvider{name: name, fn: fn})
+	r.mu.Unlock()
+}
+
+// --- SLO watchdog --------------------------------------------------------
+
+// ObserveLatency feeds one serving-path latency observation into the SLO
+// sliding window. Cheap and allocation-free: one mutex and a bucket
+// increment.
+func (r *Recorder) ObserveLatency(d time.Duration) {
+	if r == nil || r.cfg.SLOTarget <= 0 {
+		return
+	}
+	s := d.Seconds()
+	r.sloMu.Lock()
+	i := 0
+	for ; i < len(obs.DefBuckets); i++ {
+		if s <= obs.DefBuckets[i] {
+			break
+		}
+	}
+	r.sloCounts[i]++
+	r.sloTotal++
+	r.sloMu.Unlock()
+}
+
+// sloWindowResult harvests and resets the current window if it has run
+// its course, returning (p99, sampled, rotated).
+func (r *Recorder) sloWindowResult(now time.Time) (float64, bool, bool) {
+	r.sloMu.Lock()
+	defer r.sloMu.Unlock()
+	if r.sloStart.IsZero() {
+		r.sloStart = now
+		return 0, false, false
+	}
+	if now.Sub(r.sloStart) < r.cfg.SLOWindow {
+		return 0, false, false
+	}
+	total, counts := r.sloTotal, r.sloCounts
+	r.sloCounts = make([]uint64, len(obs.DefBuckets)+1)
+	r.sloTotal = 0
+	r.sloStart = now
+	if total < r.cfg.SLOMinSamples {
+		return 0, false, true
+	}
+	// p99 estimate: upper bound of the first bucket whose cumulative
+	// count covers the 99th percentile; observations beyond the last
+	// bound report the last bound ("at least").
+	need := uint64((99*total + 99) / 100)
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= need {
+			if i < len(obs.DefBuckets) {
+				return obs.DefBuckets[i], true, true
+			}
+			return obs.DefBuckets[len(obs.DefBuckets)-1], true, true
+		}
+	}
+	return 0, false, true
+}
+
+// --- stall guards --------------------------------------------------------
+
+// Guard is one heartbeat-monitored activity (a collection run, a
+// cross-validation). Beat marks progress; Stop disarms the guard. A nil
+// *Guard (from a nil recorder) is a no-op.
+type Guard struct {
+	r        *Recorder
+	name     string
+	lastNano atomic.Int64
+	fired    atomic.Bool
+}
+
+// Guard arms a stall guard named name. The caller must Stop it when the
+// guarded activity completes.
+func (r *Recorder) Guard(name string) *Guard {
+	if r == nil {
+		return nil
+	}
+	g := &Guard{r: r, name: name}
+	g.lastNano.Store(r.clock().UnixNano())
+	r.mu.Lock()
+	r.guards[g] = struct{}{}
+	r.mu.Unlock()
+	return g
+}
+
+// Beat records progress: the stall deadline restarts from now. Safe on
+// the per-document hot path (two atomics and a clock read).
+func (g *Guard) Beat() {
+	if g == nil {
+		return
+	}
+	g.lastNano.Store(g.r.clock().UnixNano())
+	g.fired.Store(false)
+}
+
+// Stop disarms the guard.
+func (g *Guard) Stop() {
+	if g == nil {
+		return
+	}
+	g.r.mu.Lock()
+	delete(g.r.guards, g)
+	g.r.mu.Unlock()
+}
+
+// --- watchdog loop -------------------------------------------------------
+
+// Tick runs one watchdog pass at the injected now: it captures a metric
+// reading into the delta ring and evaluates the SLO window, stall
+// deadlines, and the goroutine-count limit, firing triggers as needed.
+// The background Watch loop calls it; deterministic tests call it
+// directly.
+func (r *Recorder) Tick(now time.Time) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.captureMetricsLocked(now)
+	r.mu.Unlock()
+
+	if r.cfg.SLOTarget > 0 {
+		if p99, sampled, rotated := r.sloWindowResult(now); rotated && sampled {
+			r.sloP99.Set(p99)
+			target := r.cfg.SLOTarget.Seconds()
+			if p99 > target {
+				r.sloBreaches.Inc()
+				r.sloMu.Lock()
+				r.sloStreak++
+				streak := r.sloStreak
+				r.sloMu.Unlock()
+				if streak >= r.cfg.SLOBreaches {
+					r.sloMu.Lock()
+					r.sloStreak = 0
+					r.sloMu.Unlock()
+					r.Trigger(ReasonSLOBreach,
+						obs.L("p99_seconds", formatSeconds(p99)),
+						obs.L("target_seconds", formatSeconds(target)),
+						obs.L("windows", strconv.Itoa(r.cfg.SLOBreaches)),
+						obs.L("window", r.cfg.SLOWindow.String()))
+				}
+			} else {
+				r.sloMu.Lock()
+				r.sloStreak = 0
+				r.sloMu.Unlock()
+			}
+		}
+	}
+
+	r.mu.Lock()
+	var stalled []*Guard
+	for g := range r.guards {
+		last := time.Unix(0, g.lastNano.Load())
+		if now.Sub(last) > r.cfg.StallDeadline && g.fired.CompareAndSwap(false, true) {
+			stalled = append(stalled, g)
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(stalled, func(i, j int) bool { return stalled[i].name < stalled[j].name })
+	for _, g := range stalled {
+		r.Trigger(ReasonStall,
+			obs.L("guard", g.name),
+			obs.L("last_heartbeat", time.Unix(0, g.lastNano.Load()).UTC().Format(time.RFC3339)),
+			obs.L("deadline", r.cfg.StallDeadline.String()))
+	}
+
+	if limit := r.cfg.GoroutineLimit; limit > 0 {
+		n := r.goroutines()
+		r.mu.Lock()
+		fire := n >= limit && !r.goroLatched
+		r.goroLatched = n >= limit
+		r.mu.Unlock()
+		if fire {
+			r.Trigger(ReasonGoroutineSpike,
+				obs.L("goroutines", strconv.Itoa(n)),
+				obs.L("limit", strconv.Itoa(limit)))
+		}
+	}
+}
+
+// formatSeconds renders a seconds value compactly for details fields.
+func formatSeconds(s float64) string { return strconv.FormatFloat(s, 'g', 4, 64) }
+
+// Watch starts the background watchdog loop, Ticking every interval until
+// Close. Call at most once; tests use Tick directly instead.
+func (r *Recorder) Watch(interval time.Duration) {
+	if r == nil || interval <= 0 {
+		return
+	}
+	r.watchOnce.Do(func() {
+		go func() {
+			defer close(r.done)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-r.quit:
+					return
+				case <-t.C:
+					r.Tick(r.clock())
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the Watch loop, if one was started. Idempotent.
+func (r *Recorder) Close() {
+	if r == nil {
+		return
+	}
+	// Claim the watch slot: if no loop ever started, mark it finished.
+	r.watchOnce.Do(func() { close(r.done) })
+	r.closeOnce.Do(func() { close(r.quit) })
+	<-r.done
+}
+
+// --- capture & trigger ---------------------------------------------------
+
+// captureMetricsLocked renders the registry and appends the parsed
+// capture to the delta ring. Caller holds r.mu.
+func (r *Recorder) captureMetricsLocked(now time.Time) {
+	if r.cfg.Registry == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := r.cfg.Registry.WriteProm(&buf); err != nil {
+		return
+	}
+	r.metricHist = append(r.metricHist, MetricCapture{Time: now, Series: parseProm(buf.String())})
+	if n := len(r.metricHist); n > r.cfg.MetricsHistory {
+		r.metricHist = append(r.metricHist[:0], r.metricHist[n-r.cfg.MetricsHistory:]...)
+	}
+}
+
+// capture assembles a complete in-memory bundle. Caller holds r.mu.
+func (r *Recorder) captureLocked(reason string, details []obs.Label) *Bundle {
+	now := r.clock()
+	b := &Bundle{
+		Schema: BundleSchema,
+		Reason: reason,
+		Time:   now,
+		Build:  obs.Build(),
+	}
+	if len(details) > 0 {
+		b.Details = make(map[string]string, len(details))
+		for _, l := range details {
+			b.Details[l.Key] = l.Value
+		}
+	}
+	b.Spans = r.cfg.Tracer.Snapshot()
+	b.SpanStats = r.cfg.Tracer.Stats()
+	b.Logs = r.cfg.Logs.Recent(r.cfg.LogLines)
+	b.DroppedLogs = r.cfg.Logs.Dropped()
+	r.captureMetricsLocked(now)
+	b.Metrics = append([]MetricCapture(nil), r.metricHist...)
+	b.Goroutines = r.goroutines()
+	b.GoroutineDump = goroutineDump()
+	b.MemStats = readMemStats()
+	if len(r.infos) > 0 {
+		b.Extras = make(map[string]map[string]string, len(r.infos))
+		for _, p := range r.infos {
+			b.Extras[p.name] = p.fn()
+		}
+	}
+	return b
+}
+
+// goroutineDump renders all goroutine stacks.
+func goroutineDump() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	return string(buf[:n])
+}
+
+// readMemStats summarizes runtime.MemStats.
+func readMemStats() MemSummary {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return MemSummary{
+		HeapAllocBytes:  m.HeapAlloc,
+		HeapSysBytes:    m.HeapSys,
+		HeapObjects:     m.HeapObjects,
+		TotalAllocBytes: m.TotalAlloc,
+		SysBytes:        m.Sys,
+		NumGC:           m.NumGC,
+		PauseTotalNs:    m.PauseTotalNs,
+	}
+}
+
+// Trigger fires an anomaly trigger: subject to the MinInterval rate
+// limit, it captures a bundle, persists it when a flight directory is
+// configured, prunes retention, and logs the incident. It returns the
+// bundle directory ("" when persistence is disabled or the trigger was
+// suppressed).
+func (r *Recorder) Trigger(reason string, details ...obs.Label) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clock()
+	if !r.lastAuto.IsZero() && now.Sub(r.lastAuto) < r.cfg.MinInterval {
+		r.suppressed.Inc()
+		r.log.Info("flight trigger suppressed by rate limit",
+			append([]obs.Label{obs.L("reason", reason)}, details...)...)
+		return ""
+	}
+	r.lastAuto = now
+	dir, _ := r.writeLocked(r.captureLocked(reason, details))
+	return dir
+}
+
+// CaptureNow captures a bundle on demand, bypassing the rate limit, and
+// persists it when a flight directory is configured. It returns the
+// bundle, the directory it was written to ("" without persistence), and
+// any persistence error (the in-memory bundle is valid regardless).
+func (r *Recorder) CaptureNow(reason string, details ...obs.Label) (*Bundle, string, error) {
+	if r == nil {
+		return nil, "", fmt.Errorf("flight: recorder disabled")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.captureLocked(reason, details)
+	dir, err := r.writeLocked(b)
+	return b, dir, err
+}
+
+// writeLocked persists a bundle (when Dir is set), prunes retention,
+// counts, and logs. Caller holds r.mu.
+func (r *Recorder) writeLocked(b *Bundle) (string, error) {
+	r.bundlesByReason(b.Reason).Inc()
+	if r.cfg.Dir == "" {
+		r.log.Error("flight trigger fired (no flight dir, bundle not persisted)",
+			obs.L("reason", b.Reason))
+		return "", nil
+	}
+	dir, err := b.WriteDir(r.cfg.Dir)
+	if err != nil {
+		r.log.Error("flight bundle write failed",
+			obs.L("reason", b.Reason), obs.L("err", err.Error()))
+		return "", err
+	}
+	r.lastDir = dir
+	r.pruneLocked()
+	r.log.Error("diagnostic bundle captured",
+		obs.L("reason", b.Reason), obs.L("dir", dir))
+	return dir, nil
+}
+
+// pruneLocked enforces MaxBundles retention, deleting the oldest bundle
+// directories first (names sort chronologically). Caller holds r.mu.
+func (r *Recorder) pruneLocked() {
+	entries, err := os.ReadDir(r.cfg.Dir)
+	if err != nil {
+		return
+	}
+	var bundles []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "bundle-") {
+			bundles = append(bundles, e.Name())
+		}
+	}
+	if len(bundles) <= r.cfg.MaxBundles {
+		return
+	}
+	sort.Strings(bundles)
+	for _, name := range bundles[:len(bundles)-r.cfg.MaxBundles] {
+		_ = os.RemoveAll(filepath.Join(r.cfg.Dir, name))
+	}
+}
+
+// LastBundleDir reports the most recently written bundle directory.
+func (r *Recorder) LastBundleDir() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastDir
+}

@@ -1,0 +1,490 @@
+package flight
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fakeClock is a hand-advanced time source shared by recorder and tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1700000000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+	return c.t
+}
+
+// newTestRecorder builds a recorder with every source wired, a fake
+// clock, and rate limiting effectively off unless the test opts in.
+func newTestRecorder(t *testing.T, mutate func(*Config)) (*Recorder, *fakeClock, *obs.Registry, string) {
+	t.Helper()
+	dir := t.TempDir()
+	clock := newFakeClock()
+	reg := obs.NewRegistry().WithClock(clock.Now)
+	cfg := Config{
+		Dir:      dir,
+		Clock:    clock.Now,
+		Registry: reg,
+		Tracer:   obs.NewTracer(16, obs.WithClock(clock.Now)),
+		Logs:     obs.NewRingSink(nil, 32),
+		Logger:   obs.NewLogger(io.Discard, obs.LevelError),
+		// Per-test triggers opt in; keep the others out of the way.
+		SLOTarget:      0,
+		StallDeadline:  time.Hour,
+		GoroutineLimit: -1,
+		MinInterval:    -1, // no rate limit
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	r := New(cfg)
+	t.Cleanup(r.Close)
+	return r, clock, reg, dir
+}
+
+// listBundles returns the bundle directory names under dir, sorted by
+// the directory listing order (names sort chronologically).
+func listBundles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "bundle-") {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+// TestSLOWatchdogTriggersAfterConsecutiveBreaches drives the sliding
+// window with an injected clock: two over-budget windows in a row fire
+// exactly one slo_breach bundle, and a healthy window resets the streak.
+func TestSLOWatchdogTriggersAfterConsecutiveBreaches(t *testing.T) {
+	r, clock, reg, dir := newTestRecorder(t, func(c *Config) {
+		c.SLOTarget = 100 * time.Millisecond
+		c.SLOWindow = 10 * time.Second
+		c.SLOBreaches = 2
+		c.SLOMinSamples = 1
+	})
+	r.Tick(clock.Now()) // arm the first window
+
+	// Window 1: slow. Breach streak 1, no bundle yet.
+	for i := 0; i < 20; i++ {
+		r.ObserveLatency(500 * time.Millisecond)
+	}
+	r.Tick(clock.Advance(10 * time.Second))
+	if got := listBundles(t, dir); len(got) != 0 {
+		t.Fatalf("bundle fired after a single breach window: %v", got)
+	}
+	if got := reg.Counter(MetricSLOBreachesTotal).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricSLOBreachesTotal, got)
+	}
+
+	// Window 2: fast. Streak resets.
+	r.ObserveLatency(time.Millisecond)
+	r.Tick(clock.Advance(10 * time.Second))
+
+	// Windows 3+4: slow twice in a row → exactly one bundle.
+	for i := 0; i < 20; i++ {
+		r.ObserveLatency(500 * time.Millisecond)
+	}
+	r.Tick(clock.Advance(10 * time.Second))
+	for i := 0; i < 20; i++ {
+		r.ObserveLatency(500 * time.Millisecond)
+	}
+	r.Tick(clock.Advance(10 * time.Second))
+
+	bundles := listBundles(t, dir)
+	if len(bundles) != 1 || !strings.HasSuffix(bundles[0], "-slo_breach") {
+		t.Fatalf("bundles = %v, want one slo_breach", bundles)
+	}
+	b, err := ReadBundle(filepath.Join(dir, bundles[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reason != ReasonSLOBreach {
+		t.Errorf("reason = %q", b.Reason)
+	}
+	if b.Details["p99_seconds"] != "0.5" {
+		t.Errorf("p99 detail = %q, want 0.5", b.Details["p99_seconds"])
+	}
+	if got := reg.Counter(MetricSLOBreachesTotal).Value(); got != 3 {
+		t.Errorf("%s = %d, want 3", MetricSLOBreachesTotal, got)
+	}
+}
+
+// TestSLOQuietWindowNeitherBreachesNorResets: a window with too few
+// samples is skipped — the breach streak carries across it.
+func TestSLOQuietWindowNeitherBreachesNorResets(t *testing.T) {
+	r, clock, _, dir := newTestRecorder(t, func(c *Config) {
+		c.SLOTarget = 100 * time.Millisecond
+		c.SLOWindow = 10 * time.Second
+		c.SLOBreaches = 2
+		c.SLOMinSamples = 5
+	})
+	r.Tick(clock.Now())
+
+	for i := 0; i < 10; i++ {
+		r.ObserveLatency(500 * time.Millisecond)
+	}
+	r.Tick(clock.Advance(10 * time.Second)) // breach, streak 1
+
+	r.ObserveLatency(time.Millisecond) // 1 sample < SLOMinSamples: quiet
+	r.Tick(clock.Advance(10 * time.Second))
+
+	for i := 0; i < 10; i++ {
+		r.ObserveLatency(500 * time.Millisecond)
+	}
+	r.Tick(clock.Advance(10 * time.Second)) // breach, streak 2 → trigger
+
+	if got := listBundles(t, dir); len(got) != 1 {
+		t.Fatalf("bundles = %v, want one (quiet window must not reset the streak)", got)
+	}
+}
+
+// TestStallGuardFiresOnceAndBeatRearms: a guard with no heartbeat past
+// the deadline fires one stall bundle (not one per Tick); a Beat re-arms
+// it; Stop disarms it for good.
+func TestStallGuardFiresOnceAndBeatRearms(t *testing.T) {
+	r, clock, _, dir := newTestRecorder(t, func(c *Config) {
+		c.StallDeadline = time.Minute
+	})
+	g := r.Guard("pipeline.run")
+
+	r.Tick(clock.Advance(30 * time.Second))
+	if got := listBundles(t, dir); len(got) != 0 {
+		t.Fatalf("stall fired before the deadline: %v", got)
+	}
+
+	r.Tick(clock.Advance(45 * time.Second)) // 75s since heartbeat
+	r.Tick(clock.Advance(10 * time.Second)) // still stalled — must not re-fire
+	bundles := listBundles(t, dir)
+	if len(bundles) != 1 || !strings.HasSuffix(bundles[0], "-stall") {
+		t.Fatalf("bundles = %v, want exactly one stall", bundles)
+	}
+	b, err := ReadBundle(filepath.Join(dir, bundles[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Details["guard"] != "pipeline.run" {
+		t.Errorf("guard detail = %q", b.Details["guard"])
+	}
+
+	g.Beat() // progress → re-armed
+	r.Tick(clock.Advance(90 * time.Second))
+	if got := listBundles(t, dir); len(got) != 2 {
+		t.Fatalf("re-armed guard did not fire again: %v", got)
+	}
+
+	g.Stop()
+	r.Tick(clock.Advance(time.Hour))
+	if got := listBundles(t, dir); len(got) != 2 {
+		t.Fatalf("stopped guard fired: %v", got)
+	}
+}
+
+// TestGoroutineSpikeLatches: crossing the limit fires once; staying above
+// it stays latched; dipping below and crossing again fires again.
+func TestGoroutineSpikeLatches(t *testing.T) {
+	var n int
+	r, clock, _, dir := newTestRecorder(t, func(c *Config) {
+		c.GoroutineLimit = 100
+		c.Goroutines = func() int { return n }
+	})
+	n = 50
+	r.Tick(clock.Advance(time.Second))
+	n = 150
+	r.Tick(clock.Advance(time.Second))
+	r.Tick(clock.Advance(time.Second)) // latched
+	if got := listBundles(t, dir); len(got) != 1 || !strings.HasSuffix(got[0], "-goroutine_spike") {
+		t.Fatalf("bundles = %v, want one goroutine_spike", got)
+	}
+	n = 50
+	r.Tick(clock.Advance(time.Second))
+	n = 200
+	r.Tick(clock.Advance(time.Second))
+	if got := listBundles(t, dir); len(got) != 2 {
+		t.Fatalf("bundles after re-spike = %v, want 2", got)
+	}
+}
+
+// TestTriggerRateLimitAndOnDemandBypass: anomaly triggers inside
+// MinInterval are suppressed and counted; CaptureNow ignores the limit.
+func TestTriggerRateLimitAndOnDemandBypass(t *testing.T) {
+	r, clock, reg, dir := newTestRecorder(t, func(c *Config) {
+		c.MinInterval = time.Minute
+	})
+	if d := r.Trigger(ReasonPanic, obs.L("value", "boom")); d == "" {
+		t.Fatal("first trigger suppressed")
+	}
+	clock.Advance(10 * time.Second)
+	if d := r.Trigger(ReasonPanic); d != "" {
+		t.Fatal("second trigger inside MinInterval was not suppressed")
+	}
+	if got := reg.Counter(MetricFlightSuppressedTotal).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricFlightSuppressedTotal, got)
+	}
+	if _, _, err := r.CaptureNow(ReasonOnDemand); err != nil {
+		t.Fatalf("CaptureNow during rate limit: %v", err)
+	}
+	if got := listBundles(t, dir); len(got) != 2 {
+		t.Fatalf("bundles = %v, want panic + on_demand", got)
+	}
+	clock.Advance(time.Minute)
+	if d := r.Trigger(ReasonCircuitBreaker); d == "" {
+		t.Fatal("trigger after MinInterval elapsed was suppressed")
+	}
+	if got := reg.Counter(MetricFlightBundlesTotal, obs.L("reason", ReasonPanic)).Value(); got != 1 {
+		t.Errorf("bundles{reason=panic} = %d, want 1", got)
+	}
+}
+
+// TestBundleRoundTripDirAndJSON: a captured bundle survives both
+// serializations — the flight directory and the single JSON download —
+// with spans, logs, metrics, and extras intact.
+func TestBundleRoundTripDirAndJSON(t *testing.T) {
+	r, clock, reg, dir := newTestRecorder(t, func(c *Config) {})
+	r.AddInfo("reldb", func() map[string]string {
+		return map[string]string{"wal_bytes": "4096", "sync_policy": "interval"}
+	})
+	reg.Counter("qatk_pipeline_documents_total").Add(5)
+	sp := r.cfg.Tracer.Start(nil, "pipeline.run")
+	clock.Advance(20 * time.Millisecond)
+	sp.End(nil)
+	r.cfg.Logs.Write([]byte("ts=0 level=info msg=hello\n"))
+	r.Tick(clock.Advance(time.Second))
+	reg.Counter("qatk_pipeline_documents_total").Add(3)
+	r.Tick(clock.Advance(time.Second))
+
+	b, bdir, err := r.CaptureNow(ReasonOnDemand, obs.L("remote", "test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bdir == "" {
+		t.Fatal("no bundle dir written")
+	}
+
+	fromDir, err := ReadBundle(bdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "download.json")
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ReadBundle(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, got := range map[string]*Bundle{"dir": fromDir, "json": fromJSON} {
+		if got.Reason != ReasonOnDemand || got.Details["remote"] != "test" {
+			t.Errorf("%s: reason/details = %q/%v", name, got.Reason, got.Details)
+		}
+		if len(got.Spans) != 1 || got.Spans[0].Name != "pipeline.run" {
+			t.Errorf("%s: spans = %+v", name, got.Spans)
+		}
+		if len(got.Logs) != 1 || !strings.Contains(got.Logs[0], "msg=hello") {
+			t.Errorf("%s: logs = %v", name, got.Logs)
+		}
+		if got.Extras["reldb"]["wal_bytes"] != "4096" {
+			t.Errorf("%s: extras = %v", name, got.Extras)
+		}
+		if len(got.Metrics) < 2 {
+			t.Fatalf("%s: %d metric captures, want >= 2", name, len(got.Metrics))
+		}
+		deltas := got.Deltas()
+		var found bool
+		for _, d := range deltas {
+			if d.Series == "qatk_pipeline_documents_total" && d.Delta == 3 && d.Now == 8 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: deltas missing documents_total +3 (got %+v)", name, deltas)
+		}
+	}
+}
+
+// TestReadBundleRejectsNewerSchema guards against silently misreading a
+// bundle written by a future build.
+func TestReadBundleRejectsNewerSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bundle.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 99, "reason": "x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBundle(path); err == nil || !strings.Contains(err.Error(), "schema 99") {
+		t.Fatalf("err = %v, want schema rejection", err)
+	}
+}
+
+// TestRetentionPrunesOldest: MaxBundles is enforced with oldest-first
+// deletion.
+func TestRetentionPrunesOldest(t *testing.T) {
+	r, clock, _, dir := newTestRecorder(t, func(c *Config) {
+		c.MaxBundles = 3
+	})
+	for i := 0; i < 5; i++ {
+		if _, _, err := r.CaptureNow(ReasonOnDemand); err != nil {
+			t.Fatal(err)
+		}
+		clock.Advance(time.Second)
+	}
+	bundles := listBundles(t, dir)
+	if len(bundles) != 3 {
+		t.Fatalf("retained %d bundles, want 3: %v", len(bundles), bundles)
+	}
+	// The survivors are the newest three (names sort chronologically).
+	first := "bundle-" + time.Unix(1700000000, 0).UTC().Add(2*time.Second).Format("20060102T150405Z")
+	if !strings.HasPrefix(bundles[0], first) {
+		t.Errorf("oldest survivor %q, want prefix %q", bundles[0], first)
+	}
+}
+
+// TestHandlerServesParseableBundle: GET /debug/bundle answers a JSON
+// document ReadBundle-compatible, with the attachment headers set.
+func TestHandlerServesParseableBundle(t *testing.T) {
+	r, _, _, dir := newTestRecorder(t, func(c *Config) {})
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/bundle", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	var b Bundle
+	if err := json.Unmarshal(rec.Body.Bytes(), &b); err != nil {
+		t.Fatalf("response not a bundle: %v", err)
+	}
+	if b.Reason != ReasonOnDemand || b.Details["remote"] == "" {
+		t.Errorf("reason/remote = %q/%q", b.Reason, b.Details["remote"])
+	}
+	if cd := rec.Header().Get("Content-Disposition"); !strings.Contains(cd, "attachment") {
+		t.Errorf("Content-Disposition = %q", cd)
+	}
+	if got := rec.Header().Get("X-Flight-Bundle-Dir"); !strings.HasPrefix(got, dir) {
+		t.Errorf("X-Flight-Bundle-Dir = %q, want under %q", got, dir)
+	}
+	// Nil recorder: disabled, not broken.
+	rec = httptest.NewRecorder()
+	(*Recorder)(nil).Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/bundle", nil))
+	if rec.Code != 503 {
+		t.Errorf("nil recorder status = %d, want 503", rec.Code)
+	}
+}
+
+// TestWriteReport smoke-tests the incident report against a real capture:
+// every section header renders and the trigger details appear.
+func TestWriteReport(t *testing.T) {
+	r, clock, reg, _ := newTestRecorder(t, func(c *Config) {})
+	r.AddInfo("reldb", func() map[string]string { return map[string]string{"sync_policy": "always"} })
+	reg.Counter("qatk_pipeline_documents_total").Add(2)
+	r.cfg.Logs.Write([]byte("ts=0 level=error msg=boom\n"))
+	sp := r.cfg.Tracer.Start(nil, "quest.query")
+	sp.End(nil)
+	r.Tick(clock.Advance(time.Second))
+	reg.Counter("qatk_pipeline_documents_total").Add(2)
+	r.Tick(clock.Advance(time.Second))
+	b, _, err := r.CaptureNow(ReasonPanic, obs.L("value", "nil deref"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteReport(&sb, b, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"INCIDENT REPORT — PANIC",
+		"value                nil deref",
+		"== RUNTIME ==",
+		"== SUBSYSTEM RELDB ==",
+		"sync_policy          always",
+		"== METRIC MOVEMENT",
+		"qatk_pipeline_documents_total",
+		"== SPANS BY TOTAL TIME ==",
+		"quest.query",
+		"== LOG TAIL",
+		"msg=boom",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if err := WriteReport(&sb, nil, false); err == nil {
+		t.Error("nil bundle must error")
+	}
+}
+
+// TestNilRecorderIsNoOp: the disabled state the hot paths rely on.
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.ObserveLatency(time.Second)
+	g := r.Guard("anything")
+	g.Beat()
+	g.Stop()
+	r.AddInfo("x", func() map[string]string { return nil })
+	r.Tick(time.Unix(0, 0))
+	r.Watch(time.Second)
+	if d := r.Trigger(ReasonPanic); d != "" {
+		t.Errorf("nil Trigger = %q", d)
+	}
+	if _, _, err := r.CaptureNow(ReasonOnDemand); err == nil {
+		t.Error("nil CaptureNow must error")
+	}
+	if r.LastBundleDir() != "" {
+		t.Error("nil LastBundleDir non-empty")
+	}
+	r.Close()
+}
+
+// TestWatchLoopTicks: the background loop drives Tick off the real
+// ticker; a guard stalled under the injected clock produces a bundle
+// without any explicit Tick calls.
+func TestWatchLoopTicks(t *testing.T) {
+	r, clock, _, dir := newTestRecorder(t, func(c *Config) {
+		c.StallDeadline = time.Minute
+	})
+	r.Guard("eval.fold")
+	clock.Advance(10 * time.Minute) // stalled per the fake clock
+	r.Watch(time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(listBundles(t, dir)) > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := listBundles(t, dir); len(got) == 0 {
+		t.Fatal("watch loop never fired the stall trigger")
+	}
+	r.Close()
+	r.Close() // idempotent
+}

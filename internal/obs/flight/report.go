@@ -1,0 +1,197 @@
+package flight
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteReport pretty-prints a bundle as a human-readable incident report:
+// header (when, why, where), runtime vitals, what moved in the metrics,
+// the slowest span families, the log tail, and how to dig further. This
+// is the read side of the flight recorder — `qatk diagnose <bundle>`.
+func WriteReport(w io.Writer, b *Bundle, verbose bool) error {
+	if b == nil {
+		return fmt.Errorf("flight: nil bundle")
+	}
+	p := &printer{w: w}
+
+	p.head("INCIDENT REPORT — %s", strings.ToUpper(b.Reason))
+	p.kv("captured", b.Time.UTC().Format(time.RFC3339))
+	p.kv("schema", fmt.Sprintf("%d", b.Schema))
+	if b.Build.Version != "" || b.Build.GoVersion != "" {
+		p.kv("build", strings.TrimSpace(b.Build.Version+" "+b.Build.GoVersion))
+	}
+	if b.Build.Revision != "" {
+		rev := b.Build.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if b.Build.Modified {
+			rev += " (dirty)"
+		}
+		p.kv("revision", rev)
+	}
+	if len(b.Details) > 0 {
+		keys := make([]string, 0, len(b.Details))
+		for k := range b.Details {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p.kv(k, b.Details[k])
+		}
+	}
+
+	p.head("RUNTIME")
+	p.kv("goroutines", fmt.Sprintf("%d", b.Goroutines))
+	p.kv("heap_alloc", byteSize(b.MemStats.HeapAllocBytes))
+	p.kv("heap_objects", fmt.Sprintf("%d", b.MemStats.HeapObjects))
+	p.kv("sys", byteSize(b.MemStats.SysBytes))
+	p.kv("gc_cycles", fmt.Sprintf("%d", b.MemStats.NumGC))
+	p.kv("gc_pause_total", time.Duration(b.MemStats.PauseTotalNs).String())
+	if b.DroppedLogs > 0 {
+		p.kv("dropped_log_lines", fmt.Sprintf("%d (log destination could not keep up)", b.DroppedLogs))
+	}
+
+	if len(b.Extras) > 0 {
+		names := make([]string, 0, len(b.Extras))
+		for n := range b.Extras {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			p.head("SUBSYSTEM %s", strings.ToUpper(n))
+			fields := b.Extras[n]
+			keys := make([]string, 0, len(fields))
+			for k := range fields {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				p.kv(k, fields[k])
+			}
+		}
+	}
+
+	if deltas := b.Deltas(); len(deltas) > 0 {
+		window := b.Metrics[len(b.Metrics)-1].Time.Sub(b.Metrics[0].Time)
+		p.head("METRIC MOVEMENT (over %s, %d captures)", window, len(b.Metrics))
+		// Largest absolute movement first; the long tail only with -v.
+		sort.SliceStable(deltas, func(i, j int) bool {
+			di, dj := deltas[i].Delta, deltas[j].Delta
+			if di < 0 {
+				di = -di
+			}
+			if dj < 0 {
+				dj = -dj
+			}
+			return di > dj
+		})
+		limit := len(deltas)
+		if !verbose && limit > 20 {
+			limit = 20
+		}
+		for _, d := range deltas[:limit] {
+			p.line("  %+12g  %s (now %g)", d.Delta, d.Series, d.Now)
+		}
+		if limit < len(deltas) {
+			p.line("  … %d more series moved (rerun with -v)", len(deltas)-limit)
+		}
+	} else if len(b.Metrics) > 0 {
+		p.head("METRIC MOVEMENT")
+		p.line("  single capture only — no deltas to show")
+	}
+
+	if len(b.SpanStats) > 0 {
+		p.head("SPANS BY TOTAL TIME")
+		limit := len(b.SpanStats)
+		if !verbose && limit > 10 {
+			limit = 10
+		}
+		for _, s := range b.SpanStats[:limit] {
+			avg := time.Duration(0)
+			if s.Count > 0 {
+				avg = s.Total / time.Duration(s.Count)
+			}
+			errs := ""
+			if s.Errors > 0 {
+				errs = fmt.Sprintf("  errors=%d", s.Errors)
+			}
+			p.line("  %-40s total=%-12s count=%-6d avg=%s%s", s.Name, s.Total, s.Count, avg, errs)
+		}
+		if limit < len(b.SpanStats) {
+			p.line("  … %d more span families (rerun with -v)", len(b.SpanStats)-limit)
+		}
+	}
+
+	if len(b.Logs) > 0 {
+		p.head("LOG TAIL (%d lines retained)", len(b.Logs))
+		logs := b.Logs
+		if !verbose && len(logs) > 25 {
+			p.line("  … %d earlier lines (rerun with -v)", len(logs)-25)
+			logs = logs[len(logs)-25:]
+		}
+		for _, line := range logs {
+			p.line("  %s", line)
+		}
+	}
+
+	if verbose && len(b.Spans) > 0 {
+		p.head("RECENT SPANS (%d buffered)", len(b.Spans))
+		for _, s := range b.Spans {
+			status := "ok"
+			if s.Err != "" {
+				status = "ERR " + s.Err
+			}
+			p.line("  %s %-40s %-12s %s", s.Start.UTC().Format("15:04:05.000"), s.Name, s.Duration, status)
+		}
+	}
+
+	if verbose && b.GoroutineDump != "" {
+		p.head("GOROUTINE DUMP")
+		p.line("%s", strings.TrimRight(b.GoroutineDump, "\n"))
+	} else if b.GoroutineDump != "" {
+		p.head("GOROUTINE DUMP")
+		p.line("  %d bytes captured — rerun with -v to print, or read goroutines.txt in the bundle", len(b.GoroutineDump))
+	}
+
+	p.line("")
+	return p.err
+}
+
+// printer accumulates the first write error so report code stays linear.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) line(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format+"\n", args...)
+}
+
+func (p *printer) head(format string, args ...any) {
+	p.line("")
+	p.line("== "+format+" ==", args...)
+}
+
+func (p *printer) kv(k, v string) { p.line("  %-20s %s", k, v) }
+
+// byteSize renders a byte count with a binary unit.
+func byteSize(n uint64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	div, exp := uint64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}

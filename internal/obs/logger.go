@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"io"
 	"strconv"
 	"strings"
@@ -40,6 +41,21 @@ func (l Level) String() string {
 		return "error"
 	}
 	return "unknown"
+}
+
+// ParseLevel maps a -log-level flag value onto a severity.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
 }
 
 // Logger writes structured events to one writer. Derived loggers (With,

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Metrics: counters, gauges and fixed-bucket histograms, exposed in the
@@ -43,12 +44,30 @@ func (k metricKind) String() string {
 // seconds, spanning sub-millisecond handlers to multi-second stragglers.
 var DefBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 
+// Scrape self-instrumentation: every WriteProm pass counts itself and
+// observes its own rendering cost, so the price of the exposition is
+// visible in the exposition. The histogram is observed after the render
+// completes, so one scrape reports the cost of its predecessors.
+const (
+	// MetricScrapeTotal counts WriteProm passes (scrapes), including the
+	// one being rendered.
+	MetricScrapeTotal = "obs_scrape_total"
+	// MetricScrapeSeconds observes the wall-clock cost of each completed
+	// WriteProm pass.
+	MetricScrapeSeconds = "obs_scrape_seconds"
+)
+
+// ScrapeBuckets are the histogram bounds for exposition rendering cost:
+// scrapes are fast, so the buckets start at 10µs.
+var ScrapeBuckets = []float64{0.00001, 0.0001, 0.001, 0.01, 0.1, 1}
+
 // Registry holds metric families keyed by name. The zero value is not
 // usable; call NewRegistry. A nil *Registry is the sanctioned "disabled"
 // state: every lookup returns a nil handle.
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+	clock    func() time.Time
 }
 
 // family is one named metric with its labeled series.
@@ -59,9 +78,34 @@ type family struct {
 	series  map[string]any
 }
 
-// NewRegistry builds an empty metrics registry.
+// NewRegistry builds a metrics registry. The scrape self-instrumentation
+// families are pre-registered so they render (at zero) from the first
+// exposition on.
 func NewRegistry() *Registry {
-	return &Registry{families: make(map[string]*family)}
+	r := &Registry{families: make(map[string]*family), clock: time.Now}
+	r.Counter(MetricScrapeTotal)
+	r.Histogram(MetricScrapeSeconds, ScrapeBuckets)
+	return r
+}
+
+// WithClock injects the time source used to cost scrapes (a test seam;
+// default time.Now) and returns the registry.
+func (r *Registry) WithClock(clock func() time.Time) *Registry {
+	if r == nil || clock == nil {
+		return r
+	}
+	r.mu.Lock()
+	r.clock = clock
+	r.mu.Unlock()
+	return r
+}
+
+// now reads the registry clock.
+func (r *Registry) now() time.Time {
+	r.mu.Lock()
+	c := r.clock
+	r.mu.Unlock()
+	return c()
 }
 
 // renderLabels serializes labels sorted by key into the inner exposition
@@ -270,6 +314,15 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	// Self-instrumentation: the counter is bumped before the snapshot so
+	// the rendered exposition includes the scrape reading it; the duration
+	// is observed after rendering, so each scrape reports the cost of the
+	// ones before it.
+	start := r.now()
+	r.Counter(MetricScrapeTotal).Inc()
+	defer func() {
+		r.Histogram(MetricScrapeSeconds, ScrapeBuckets).Observe(r.now().Sub(start).Seconds())
+	}()
 	// Snapshot family names, series sigs and handle pointers under the
 	// lock; the atomic series values are then read lock-free, so a scrape
 	// concurrent with first-use series creation is race-free.

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestPromExpositionGolden pins the full text exposition of a mixed
@@ -14,7 +15,7 @@ import (
 // ordering follows the rendered label set, histograms emit cumulative
 // buckets plus _sum/_count — the format a Prometheus scraper parses.
 func TestPromExpositionGolden(t *testing.T) {
-	r := NewRegistry()
+	r := NewRegistry().WithClock(func() time.Time { return time.Unix(0, 0) })
 	r.Counter("quest_http_requests_total", L("code", "200")).Add(3)
 	r.Counter("quest_http_requests_total", L("code", "500")).Inc()
 	r.Counter("qatk_pipeline_documents_total").Add(7)
@@ -30,6 +31,18 @@ func TestPromExpositionGolden(t *testing.T) {
 	}
 	want := `# TYPE build_info gauge
 build_info{go_version="go1.22",version="(devel)"} 1
+# TYPE obs_scrape_seconds histogram
+obs_scrape_seconds_bucket{le="1e-05"} 0
+obs_scrape_seconds_bucket{le="0.0001"} 0
+obs_scrape_seconds_bucket{le="0.001"} 0
+obs_scrape_seconds_bucket{le="0.01"} 0
+obs_scrape_seconds_bucket{le="0.1"} 0
+obs_scrape_seconds_bucket{le="1"} 0
+obs_scrape_seconds_bucket{le="+Inf"} 0
+obs_scrape_seconds_sum 0
+obs_scrape_seconds_count 0
+# TYPE obs_scrape_total counter
+obs_scrape_total 1
 # TYPE qatk_pipeline_documents_total counter
 qatk_pipeline_documents_total 7
 # TYPE quest_http_request_duration_seconds histogram
@@ -45,13 +58,59 @@ quest_http_requests_total{code="500"} 1
 	if sb.String() != want {
 		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", sb.String(), want)
 	}
-	// The exposition is deterministic across renders.
+	// The exposition is deterministic across renders, apart from the
+	// scrape self-instrumentation, which necessarily moves per render.
 	var again strings.Builder
 	if err := r.WriteProm(&again); err != nil {
 		t.Fatal(err)
 	}
-	if again.String() != sb.String() {
-		t.Error("two renders of the same registry differ")
+	if got := stripScrapeLines(again.String()); got != stripScrapeLines(sb.String()) {
+		t.Errorf("two renders of the same registry differ beyond scrape self-instrumentation:\n%s\nvs\n%s",
+			got, stripScrapeLines(sb.String()))
+	}
+}
+
+// stripScrapeLines removes the obs_scrape_* families from an exposition.
+func stripScrapeLines(s string) string {
+	var b strings.Builder
+	for _, line := range strings.SplitAfter(s, "\n") {
+		if strings.Contains(line, "obs_scrape_") {
+			continue
+		}
+		b.WriteString(line)
+	}
+	return b.String()
+}
+
+// TestScrapeSelfInstrumentationGolden pins the second scrape of a fresh
+// registry under a fixed clock: the first WriteProm incremented the
+// counter and observed one zero-duration render, so the second exposition
+// shows obs_scrape_total 2 and a one-observation histogram — the scrape
+// cost made visible, deterministically, in a stable family order.
+func TestScrapeSelfInstrumentationGolden(t *testing.T) {
+	r := NewRegistry().WithClock(func() time.Time { return time.Unix(0, 0) })
+	if err := r.WriteProm(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE obs_scrape_seconds histogram
+obs_scrape_seconds_bucket{le="1e-05"} 1
+obs_scrape_seconds_bucket{le="0.0001"} 1
+obs_scrape_seconds_bucket{le="0.001"} 1
+obs_scrape_seconds_bucket{le="0.01"} 1
+obs_scrape_seconds_bucket{le="0.1"} 1
+obs_scrape_seconds_bucket{le="1"} 1
+obs_scrape_seconds_bucket{le="+Inf"} 1
+obs_scrape_seconds_sum 0
+obs_scrape_seconds_count 1
+# TYPE obs_scrape_total counter
+obs_scrape_total 2
+`
+	if sb.String() != want {
+		t.Errorf("scrape self-instrumentation mismatch:\n got:\n%s\nwant:\n%s", sb.String(), want)
 	}
 }
 

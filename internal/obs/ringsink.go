@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// RingSink is a Logger destination built for black-box recording: it
+// retains the most recent lines in a fixed ring (so a diagnostic bundle
+// can include the log tail at the moment of an anomaly) and forwards
+// lines to an optional underlying writer through a bounded queue drained
+// by a background goroutine. Forwarding never blocks the caller: when the
+// queue is full — an unresponsive disk, a wedged pipe — the line is
+// dropped from the forward path and counted, while the ring still keeps
+// it. A slow or stuck writer therefore costs log lines, never latency on
+// the serving or pipeline hot path.
+type RingSink struct {
+	mu     sync.Mutex
+	ring   []string
+	next   int
+	count  int
+	closed bool
+
+	dropped atomic.Uint64
+	counter *Counter // optional drop counter (obs_log_dropped_total)
+
+	w    io.Writer
+	out  chan string
+	done chan struct{}
+}
+
+// NewRingSink builds a sink retaining the last capacity lines (capacity
+// < 1 is raised to 1). w receives every line that fits the forward queue;
+// nil disables forwarding entirely (ring-only recording).
+func NewRingSink(w io.Writer, capacity int) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	s := &RingSink{ring: make([]string, capacity), w: w}
+	if w != nil {
+		s.out = make(chan string, capacity)
+		s.done = make(chan struct{})
+		go s.forward()
+	}
+	return s
+}
+
+// Instrument attaches a counter incremented once per dropped line.
+func (s *RingSink) Instrument(dropped *Counter) {
+	s.mu.Lock()
+	s.counter = dropped
+	s.mu.Unlock()
+}
+
+// forward drains the queue into the underlying writer. Write errors are
+// ignored: the sink's contract is best-effort forwarding, and the ring
+// copy survives regardless.
+func (s *RingSink) forward() {
+	defer close(s.done)
+	for line := range s.out {
+		_, _ = io.WriteString(s.w, line)
+	}
+}
+
+// Write implements io.Writer for Logger. It never blocks and never
+// returns an error. The contents of p are copied before retention, as
+// the io.Writer contract requires.
+func (s *RingSink) Write(p []byte) (int, error) {
+	line := string(p)
+	s.mu.Lock()
+	s.ring[s.next] = strings.TrimRight(line, "\n")
+	s.next = (s.next + 1) % len(s.ring)
+	if s.count < len(s.ring) {
+		s.count++
+	}
+	forward := s.out != nil && !s.closed
+	counter := s.counter
+	if forward {
+		select {
+		case s.out <- line:
+		default:
+			s.dropped.Add(1)
+			counter.Inc()
+		}
+	}
+	s.mu.Unlock()
+	return len(p), nil
+}
+
+// Recent returns up to n of the most recent lines, oldest first (without
+// trailing newlines). n <= 0 means all retained lines.
+func (s *RingSink) Recent(n int) []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 || n > s.count {
+		n = s.count
+	}
+	out := make([]string, 0, n)
+	start := s.next - n
+	for i := 0; i < n; i++ {
+		out = append(out, s.ring[(start+i+len(s.ring))%len(s.ring)])
+	}
+	return out
+}
+
+// Dropped reports how many lines the forward path has dropped because the
+// queue was full.
+func (s *RingSink) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped.Load()
+}
+
+// Close stops forwarding after draining the queued lines and waits for
+// the background writer to finish. Lines written after Close stay in the
+// ring but are no longer forwarded. Safe to call on a ring-only sink.
+func (s *RingSink) Close() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		if s.done != nil {
+			<-s.done
+		}
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if s.out != nil {
+		close(s.out)
+		<-s.done
+	}
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// blockingWriter blocks every Write until release is closed — a stand-in
+// for a wedged disk or pipe behind the log destination.
+type blockingWriter struct {
+	release chan struct{}
+	mu      sync.Mutex
+	lines   []string
+}
+
+func (w *blockingWriter) Write(p []byte) (int, error) {
+	<-w.release
+	w.mu.Lock()
+	w.lines = append(w.lines, string(p))
+	w.mu.Unlock()
+	return len(p), nil
+}
+
+// TestRingSinkRetainsRecent: the ring keeps the newest lines in order and
+// evicts the oldest beyond capacity.
+func TestRingSinkRetainsRecent(t *testing.T) {
+	s := NewRingSink(nil, 3)
+	for _, line := range []string{"a", "b", "c", "d"} {
+		if _, err := s.Write([]byte(line + "\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Recent(0)
+	want := []string{"b", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("Recent = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Recent = %v, want %v", got, want)
+		}
+	}
+	if got := s.Recent(2); len(got) != 2 || got[0] != "c" || got[1] != "d" {
+		t.Errorf("Recent(2) = %v, want [c d]", got)
+	}
+	if s.Dropped() != 0 {
+		t.Errorf("ring-only sink dropped %d lines", s.Dropped())
+	}
+	s.Close() // no-op on a ring-only sink
+}
+
+// TestRingSinkNeverBlocksOnStuckWriter: the guarantee the flight recorder
+// depends on — a logger whose destination has wedged must keep absorbing
+// Logger.Info calls without blocking, dropping forwarded lines and
+// counting every drop, while the ring still retains the newest lines.
+func TestRingSinkNeverBlocksOnStuckWriter(t *testing.T) {
+	w := &blockingWriter{release: make(chan struct{})}
+	s := NewRingSink(w, 4)
+	s.Instrument(NewRegistry().Counter("obs_test_dropped_total"))
+	logger := NewLogger(s, LevelInfo).WithClock(func() time.Time { return time.Unix(0, 0) })
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Queue capacity is 4 and one line may be in-flight inside the
+		// blocked Write; far more writes than that must all return.
+		for i := 0; i < 100; i++ {
+			logger.Info("event", L("i", "x"))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Logger.Info blocked on a stuck underlying writer")
+	}
+	if s.Dropped() == 0 {
+		t.Error("no lines counted as dropped despite a full forward queue")
+	}
+	if got := len(s.Recent(0)); got != 4 {
+		t.Errorf("ring retained %d lines, want 4", got)
+	}
+	close(w.release)
+	s.Close()
+	w.mu.Lock()
+	delivered := len(w.lines)
+	w.mu.Unlock()
+	if delivered == 0 {
+		t.Error("unblocked writer received no lines after Close drained the queue")
+	}
+	if uint64(delivered)+s.Dropped() != 100 {
+		t.Errorf("delivered %d + dropped %d != 100 written", delivered, s.Dropped())
+	}
+}
+
+// TestRingSinkConcurrentWriters: many goroutines log through one sink
+// under -race; every line is either delivered or counted dropped, and
+// Recent stays well-formed.
+func TestRingSinkConcurrentWriters(t *testing.T) {
+	w := &blockingWriter{release: make(chan struct{})}
+	close(w.release) // writer never blocks in this test
+	s := NewRingSink(w, 64)
+	logger := NewLogger(s, LevelInfo)
+
+	const writers, perWriter = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			l := logger.With(L("writer", strings.Repeat("w", g+1)))
+			for i := 0; i < perWriter; i++ {
+				l.Info("concurrent event")
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.Close()
+	w.mu.Lock()
+	delivered := len(w.lines)
+	w.mu.Unlock()
+	if uint64(delivered)+s.Dropped() != writers*perWriter {
+		t.Errorf("delivered %d + dropped %d != %d written", delivered, s.Dropped(), writers*perWriter)
+	}
+	for _, line := range s.Recent(0) {
+		if !strings.HasPrefix(line, "ts=") || strings.HasSuffix(line, "\n") {
+			t.Fatalf("malformed retained line %q", line)
+		}
+	}
+}
+
+// TestRingSinkWriteAfterClose: lines written after Close stay in the ring
+// and are not forwarded — and nothing panics.
+func TestRingSinkWriteAfterClose(t *testing.T) {
+	w := &blockingWriter{release: make(chan struct{})}
+	close(w.release)
+	s := NewRingSink(w, 4)
+	if _, err := s.Write([]byte("before\n")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Write([]byte("after\n")); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Recent(0)
+	if len(got) != 2 || got[1] != "after" {
+		t.Errorf("Recent after Close = %v", got)
+	}
+}

@@ -2,12 +2,14 @@ package pipeline
 
 import (
 	"errors"
+	"io"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/cas"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 func appendEngine(name, mark string) Engine {
@@ -307,5 +309,68 @@ func BenchmarkProcessObsEnabled(b *testing.B) {
 			b.Fatal(err)
 		}
 		root.End(nil)
+	}
+}
+
+// TestCircuitBreakerTriggersFlightBundle: a tripped error-budget breaker
+// is a hard anomaly — the flight recorder wired through RunConfig.Flight
+// captures a diagnostic bundle attributing the failing document.
+func TestCircuitBreakerTriggersFlightBundle(t *testing.T) {
+	boom := errors.New("boom")
+	p, _ := New(EngineFunc{EngineName: "f", Fn: func(*cas.CAS) error { return boom }})
+	fr := flight.New(flight.Config{
+		Dir:         t.TempDir(),
+		Logger:      obs.NewLogger(io.Discard, obs.LevelError),
+		MinInterval: -1,
+	})
+	defer fr.Close()
+	cfg := RunConfig{
+		DeadLetter:  func(DeadLetter) error { return nil },
+		ErrorBudget: 2,
+		Flight:      fr,
+	}
+	reader := &SliceReader{CASes: []*cas.CAS{cas.New("1"), cas.New("2"), cas.New("3")}}
+	if _, err := p.RunWithConfig(reader, nil, cfg); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v", err)
+	}
+	bdir := fr.LastBundleDir()
+	if bdir == "" {
+		t.Fatal("circuit trip did not produce a flight bundle")
+	}
+	b, err := flight.ReadBundle(bdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reason != flight.ReasonCircuitBreaker {
+		t.Fatalf("bundle reason = %q", b.Reason)
+	}
+	if b.Details["consecutive"] != "2" || !strings.Contains(b.Details["err"], "boom") {
+		t.Fatalf("bundle details = %v", b.Details)
+	}
+}
+
+// TestRunHeartbeatsStallGuard: each document read re-arms the stall guard
+// and the guard is disarmed when the run returns, so a completed run can
+// never fire a stale stall trigger.
+func TestRunHeartbeatsStallGuard(t *testing.T) {
+	now := time.Unix(1700000000, 0)
+	clock := func() time.Time { return now }
+	fr := flight.New(flight.Config{
+		Dir:           t.TempDir(),
+		Clock:         clock,
+		Logger:        obs.NewLogger(io.Discard, obs.LevelError),
+		StallDeadline: time.Minute,
+		MinInterval:   -1,
+	})
+	defer fr.Close()
+	p, _ := New(appendEngine("a", "x"))
+	reader := &SliceReader{CASes: []*cas.CAS{cas.New("1"), cas.New("2")}}
+	if _, err := p.RunWithConfig(reader, nil, RunConfig{Flight: fr}); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(time.Hour)
+	fr.Tick(now)
+	if got := fr.LastBundleDir(); got != "" {
+		t.Fatalf("completed run left an armed stall guard: %s", got)
 	}
 }

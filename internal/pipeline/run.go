@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cas"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // Fault-isolated collection processing. The paper positions the QATK at
@@ -78,6 +79,11 @@ type RunConfig struct {
 	// Logger receives structured dead-letter and circuit-break events.
 	// Nil disables logging.
 	Logger *obs.Logger
+	// Flight is the black-box flight recorder: the run heartbeats a stall
+	// guard per document (so a wedged reader, engine, or consumer trips
+	// the stall watchdog) and a tripped circuit breaker captures a
+	// diagnostic bundle. Nil disables flight recording at zero cost.
+	Flight *flight.Recorder
 }
 
 // ErrCircuitOpen reports a tripped consecutive-failure circuit breaker.
@@ -141,6 +147,8 @@ func (p *Pipeline) RunWithConfig(r Reader, consumer Consumer, cfg RunConfig) (st
 	startRetries := p.Retries()
 	run := cfg.Tracer.Start(nil, spanRun)
 	log := cfg.Logger.WithSpan(run)
+	guard := cfg.Flight.Guard(spanRun)
+	defer guard.Stop()
 	defer func() {
 		stats.Retried = p.Retries()
 		if delta := stats.Retried - startRetries; delta > 0 {
@@ -158,6 +166,7 @@ func (p *Pipeline) RunWithConfig(r Reader, consumer Consumer, cfg RunConfig) (st
 		}
 		stats.Read++
 		docsRead.Inc()
+		guard.Beat()
 
 		doc := cfg.Tracer.Start(run, spanDocument)
 		docErr := p.process(c, cfg.Tracer, doc)
@@ -202,6 +211,10 @@ func (p *Pipeline) RunWithConfig(r Reader, consumer Consumer, cfg RunConfig) (st
 			log.Error("circuit breaker tripped",
 				obs.L("consecutive", strconv.Itoa(consecutive)),
 				obs.L("doc", dl.DocID))
+			cfg.Flight.Trigger(flight.ReasonCircuitBreaker,
+				obs.L("consecutive", strconv.Itoa(consecutive)),
+				obs.L("doc", dl.DocID),
+				obs.L("err", docErr.Error()))
 			// Both the sentinel and the last document failure are wrapped:
 			// callers match the breaker with errors.Is(err, ErrCircuitOpen)
 			// and still extract the *DocumentError with errors.As for

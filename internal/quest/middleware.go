@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // HTTP hardening for the QUEST serving tier: the quality experts' web UI
@@ -26,9 +27,11 @@ const spanHTTPRequest = "http.request"
 // Recover wraps a handler so that panics return 500 to the client and are
 // logged with a stack trace instead of killing the serving process; each
 // absorbed panic also increments panics (quest_panics_total) when non-nil.
+// A recovered panic is a hard anomaly: the flight recorder (nil = off)
+// captures a diagnostic bundle with the panic value and request identity.
 // http.ErrAbortHandler is re-raised: it is the sanctioned way to abort a
 // response and is handled by the http server itself.
-func Recover(logger *obs.Logger, panics *obs.Counter, next http.Handler) http.Handler {
+func Recover(logger *obs.Logger, panics *obs.Counter, fr *flight.Recorder, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			//lint:ignore qatklint/paniccontract the HTTP serving tier is its own recovery boundary, mirroring the pipeline's: a handler panic must not kill the deployment
@@ -46,6 +49,10 @@ func Recover(logger *obs.Logger, panics *obs.Counter, next http.Handler) http.Ha
 				obs.L("path", r.URL.Path),
 				obs.L("panic", fmt.Sprint(rec)),
 				obs.L("stack", string(debug.Stack())))
+			fr.Trigger(flight.ReasonPanic,
+				obs.L("method", r.Method),
+				obs.L("path", r.URL.Path),
+				obs.L("value", fmt.Sprint(rec)))
 			// The handler may already have written a partial response; the
 			// extra WriteHeader is then a no-op and the client sees a torn
 			// body, which is the best that can be done at this point.
@@ -116,10 +123,12 @@ func (sr *statusRecorder) Unwrap() http.ResponseWriter {
 
 // Instrument wraps a handler with request observability: a trace span per
 // request (method, path, status attributes), a request counter by status
-// code, a latency histogram, and an in-flight gauge. It sits outermost in
-// the chain so that panics recovered further in are still counted with
-// their 500. Nil registry and tracer disable the respective signal.
-func Instrument(reg *obs.Registry, tr *obs.Tracer, next http.Handler) http.Handler {
+// code, a latency histogram, and an in-flight gauge. Each request's
+// latency also feeds the flight recorder's SLO sliding window (nil = off).
+// It sits outermost in the chain so that panics recovered further in are
+// still counted with their 500. Nil registry and tracer disable the
+// respective signal.
+func Instrument(reg *obs.Registry, tr *obs.Tracer, fr *flight.Recorder, next http.Handler) http.Handler {
 	inflight := reg.Gauge(MetricHTTPRequestsInflight)
 	duration := reg.Histogram(MetricHTTPRequestDurationSeconds, obs.DefBuckets)
 	// Pre-touch the one series every deployment serves, so the family
@@ -137,7 +146,9 @@ func Instrument(reg *obs.Registry, tr *obs.Tracer, next http.Handler) http.Handl
 			}
 			code := strconv.Itoa(rec.status)
 			inflight.Add(-1)
-			duration.Observe(time.Since(start).Seconds())
+			elapsed := time.Since(start)
+			duration.Observe(elapsed.Seconds())
+			fr.ObserveLatency(elapsed)
 			reg.Counter(MetricHTTPRequestsTotal, obs.L("code", code)).Inc()
 			span.SetAttr("code", code)
 			span.End(nil)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/reldb"
 )
 
@@ -44,7 +45,7 @@ func TestRecoverMiddleware(t *testing.T) {
 	reg := obs.NewRegistry()
 	panics := reg.Counter(MetricPanicsTotal)
 	calls := 0
-	h := Recover(logger, panics, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	h := Recover(logger, panics, nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		calls++
 		if r.URL.Path == "/boom" {
 			panic("handler bug")
@@ -178,7 +179,7 @@ func TestInstrumentMiddleware(t *testing.T) {
 		w.WriteHeader(http.StatusTeapot)
 	})
 	rec := httptest.NewRecorder()
-	Instrument(reg, tr, inner).ServeHTTP(rec, httptest.NewRequest("GET", "/bundle/R1", nil))
+	Instrument(reg, tr, nil, inner).ServeHTTP(rec, httptest.NewRequest("GET", "/bundle/R1", nil))
 
 	if rec.Code != http.StatusTeapot {
 		t.Fatalf("status = %d", rec.Code)
@@ -229,7 +230,7 @@ func TestInstrumentPreservesFlusher(t *testing.T) {
 		}
 	})
 	rec := httptest.NewRecorder()
-	Instrument(obs.NewRegistry(), obs.NewTracer(8), inner).ServeHTTP(rec, httptest.NewRequest("GET", "/stream", nil))
+	Instrument(obs.NewRegistry(), obs.NewTracer(8), nil, inner).ServeHTTP(rec, httptest.NewRequest("GET", "/stream", nil))
 	if !flushed {
 		t.Fatal("handler never reached Flush")
 	}
@@ -460,5 +461,67 @@ func TestShutdownTimeoutForcesClose(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("shutdown did not force-close the stuck connection")
+	}
+}
+
+// TestPanicTriggersFlightBundle: a recovered handler panic is a hard
+// anomaly — the flight recorder wired through Config.Flight captures a
+// diagnostic bundle attributing the panicking request, and the server
+// keeps serving afterwards.
+func TestPanicTriggersFlightBundle(t *testing.T) {
+	db, err := reldb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	dir := t.TempDir()
+	fr := flight.New(flight.Config{
+		Dir:         dir,
+		Logger:      obs.NewLogger(io.Discard, obs.LevelError),
+		MinInterval: -1,
+	})
+	defer fr.Close()
+	s, err := NewServer(Config{
+		DB: db, Logger: obs.NewLogger(io.Discard, obs.LevelError), Flight: fr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mux.HandleFunc("/test/panic", func(http.ResponseWriter, *http.Request) {
+		panic("flight test panic")
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/test/panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	bdir := fr.LastBundleDir()
+	if bdir == "" {
+		t.Fatal("panic did not produce a flight bundle")
+	}
+	b, err := flight.ReadBundle(bdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reason != flight.ReasonPanic || b.Details["path"] != "/test/panic" {
+		t.Fatalf("bundle reason=%q details=%v", b.Reason, b.Details)
+	}
+	if !strings.Contains(b.Details["value"], "flight test panic") {
+		t.Fatalf("panic value not attributed: %v", b.Details)
+	}
+	// The server keeps serving while bundles exist.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after panic = %d", resp.StatusCode)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/compare"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/reldb"
 )
 
@@ -55,6 +56,10 @@ type Config struct {
 	Metrics *obs.Registry
 	// Tracer records one span per request. Nil disables request tracing.
 	Tracer *obs.Tracer
+	// Flight is the black-box flight recorder: request latencies feed its
+	// SLO sliding window and recovered panics trigger diagnostic bundles.
+	// Nil disables flight recording.
+	Flight *flight.Recorder
 }
 
 // NewServer builds the application. The database must already contain the
@@ -100,7 +105,8 @@ func NewServer(cfg Config) (*Server, error) {
 		probes.Handle("/metrics", cfg.Metrics.Handler())
 	}
 	probes.Handle("/", WithTimeout(cfg.RequestTimeout, timeouts, logger, s.mux))
-	s.handler = Instrument(cfg.Metrics, cfg.Tracer, Recover(logger, panics, probes))
+	s.handler = Instrument(cfg.Metrics, cfg.Tracer, cfg.Flight,
+		Recover(logger, panics, cfg.Flight, probes))
 	return s, nil
 }
 

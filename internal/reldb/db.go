@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/vfs"
 )
 
@@ -87,6 +88,15 @@ type DB struct {
 	fsyncFailures  *obs.Counter
 	walSyncedBytes *obs.Counter
 	replayed       int // records replayed during recovery at Open
+
+	// Flight recorder wiring (attached via WithFlight). flightMu is a
+	// leaf below db.mu: latchLocked only records the pending trigger
+	// under it, and fireLatchTrigger — called by the exported paths
+	// AFTER releasing db.mu — performs the actual capture, because the
+	// bundle's FlightInfo provider needs db.mu.RLock itself.
+	flightMu     sync.Mutex
+	flightRec    *flight.Recorder
+	pendingLatch error
 }
 
 // Open opens (or creates) a database in dir with default durability
@@ -175,6 +185,7 @@ func (db *DB) commit(apply func() error) error {
 		gen = db.committer.noteAppend()
 	}
 	db.mu.Unlock()
+	db.fireLatchTrigger()
 	if err != nil {
 		return err
 	}
@@ -202,6 +213,27 @@ func (db *DB) latchLocked(err error) {
 	db.failed = err
 	db.logger.Error("database latched, refusing further writes",
 		obs.L("dir", db.dir), obs.L("error", err.Error()))
+	// Defer the flight trigger: capture needs db.mu.RLock (FlightInfo),
+	// which this caller holds exclusively. The exported entry points fire
+	// it once they have released db.mu.
+	db.flightMu.Lock()
+	db.pendingLatch = err
+	db.flightMu.Unlock()
+}
+
+// fireLatchTrigger captures the diagnostic bundle for a latch recorded by
+// latchLocked. Must be called WITHOUT db.mu held. Idempotent: the pending
+// error is consumed by the first call.
+func (db *DB) fireLatchTrigger() {
+	db.flightMu.Lock()
+	err, fr := db.pendingLatch, db.flightRec
+	db.pendingLatch = nil
+	db.flightMu.Unlock()
+	if err == nil || fr == nil {
+		return
+	}
+	fr.Trigger(flight.ReasonFsyncLatch,
+		obs.L("dir", db.dir), obs.L("err", err.Error()))
 }
 
 // syncWALLocked fsyncs the WAL, recording latency, synced bytes, and —
@@ -229,7 +261,14 @@ func (db *DB) Close() error {
 		db.committer.stop()
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
+	err := db.closeLocked()
+	db.mu.Unlock()
+	db.fireLatchTrigger()
+	return err
+}
+
+// closeLocked is Close under db.mu.
+func (db *DB) closeLocked() error {
 	if db.wal == nil {
 		return nil
 	}
@@ -248,11 +287,13 @@ func (db *DB) Close() error {
 // write-ahead log.
 func (db *DB) Checkpoint() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.wal == nil {
-		return nil
+	var err error
+	if db.wal != nil {
+		err = db.checkpointLocked()
 	}
-	return db.checkpointLocked()
+	db.mu.Unlock()
+	db.fireLatchTrigger()
+	return err
 }
 
 // Tables returns the names of all tables, sorted.

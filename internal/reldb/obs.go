@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // Metric names the storage layer emits, following the repository
@@ -54,4 +55,47 @@ func (db *DB) Instrument(logger *obs.Logger, reg *obs.Registry) {
 			obs.L("replayed_records", strconv.Itoa(db.replayed)),
 			obs.L("tables", strconv.Itoa(len(db.tables))))
 	}
+}
+
+// WithFlight attaches the black-box flight recorder: a latched fsync
+// failure triggers a diagnostic bundle (fired outside db.mu — see
+// fireLatchTrigger), and the database registers a "reldb" info provider
+// so every bundle, whatever its trigger, embeds the WAL/sync state.
+// Nil-safe on both sides.
+func (db *DB) WithFlight(fr *flight.Recorder) {
+	if db == nil {
+		return
+	}
+	db.flightMu.Lock()
+	db.flightRec = fr
+	db.flightMu.Unlock()
+	fr.AddInfo("reldb", db.FlightInfo)
+}
+
+// FlightInfo reports the storage state embedded in diagnostic bundles.
+// Safe to call from any goroutine.
+func (db *DB) FlightInfo() map[string]string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	info := map[string]string{
+		"sync_policy":      db.opts.Sync.String(),
+		"tables":           strconv.Itoa(len(db.tables)),
+		"generation":       strconv.FormatUint(db.gen, 10),
+		"replayed_records": strconv.Itoa(db.replayed),
+	}
+	if db.dir == "" {
+		info["mode"] = "memory"
+	} else {
+		info["dir"] = db.dir
+	}
+	if db.opts.Sync == SyncInterval {
+		info["sync_interval"] = db.opts.SyncEvery.String()
+	}
+	if db.wal != nil {
+		info["wal_unsynced_bytes"] = strconv.FormatInt(db.wal.unsynced, 10)
+	}
+	if db.failed != nil {
+		info["latched_error"] = db.failed.Error()
+	}
+	return info
 }

@@ -155,6 +155,7 @@ func (c *committer) flush() {
 	c.mu.Unlock()
 	err := c.db.syncWALLocked()
 	c.db.mu.Unlock()
+	c.db.fireLatchTrigger()
 
 	c.mu.Lock()
 	if err != nil {

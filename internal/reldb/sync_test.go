@@ -3,13 +3,16 @@ package reldb
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/vfs"
 )
 
@@ -388,5 +391,65 @@ func TestTxCommitIsOneFrame(t *testing.T) {
 	n, err := re.Count("parts")
 	if err != nil || n != 3 {
 		t.Fatalf("rows = %d (%v), want 3", n, err)
+	}
+}
+
+// TestFsyncLatchTriggersFlightBundle: an fsync failure latching the
+// database is a hard anomaly — the flight recorder attached via
+// WithFlight captures a diagnostic bundle (fired after db.mu is
+// released, so the bundle's own FlightInfo read cannot deadlock) whose
+// reldb section reports the latched state.
+func TestFsyncLatchTriggersFlightBundle(t *testing.T) {
+	fsys, db := openFault(t, Options{})
+	defer db.Close()
+	fr := flight.New(flight.Config{
+		Dir:         t.TempDir(),
+		Logger:      obs.NewLogger(io.Discard, obs.LevelError),
+		MinInterval: -1,
+	})
+	defer fr.Close()
+	db.WithFlight(fr)
+	if err := db.CreateTable(partsSchema()); err != nil {
+		t.Fatal(err)
+	}
+
+	fsys.SetRates(1, 0, 0)
+	if _, err := db.Insert("parts", Row{nil, "doomed", 2.0, true}); err == nil {
+		t.Fatal("insert with failing fsync succeeded")
+	}
+	bdir := fr.LastBundleDir()
+	if bdir == "" {
+		t.Fatal("fsync latch did not produce a flight bundle")
+	}
+	b, err := flight.ReadBundle(bdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reason != flight.ReasonFsyncLatch {
+		t.Fatalf("bundle reason = %q", b.Reason)
+	}
+	info := b.Extras["reldb"]
+	if info == nil || info["latched_error"] == "" {
+		t.Fatalf("bundle reldb extras missing latched state: %v", b.Extras)
+	}
+	if info["sync_policy"] != "always" {
+		t.Errorf("sync_policy = %q", info["sync_policy"])
+	}
+
+	// The latch fires exactly once: further rejected writes add nothing.
+	fsys.DisableFaults()
+	_, _ = db.Insert("parts", Row{nil, "after", 3.0, true})
+	entries, err := os.ReadDir(filepath.Dir(bdir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "bundle-") {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("latch produced %d bundles, want 1", n)
 	}
 }
