@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race crash check bench
+.PHONY: build test vet lint race crash chaos check bench bench-load
 
 ## build: compile every package and command
 build:
@@ -29,9 +29,14 @@ crash:
 	$(GO) test -run 'TestPowerCut' -count 1 ./internal/reldb/crashharness
 	CRASH_RANDOM_SEED=1 $(GO) test -run 'TestPowerCutSmokeRandomSeed' -count 1 ./internal/reldb/crashharness
 
-## check: the pre-merge tier — vet, qatklint, the race-enabled suite and
-## the crash harness
-check: vet lint race crash
+## chaos: the shard fault matrix under the race detector — {slow, error,
+## wedged} × {owning, non-owning} plus hedging/breaker/goroutine hygiene
+chaos:
+	$(GO) test -race -count 1 ./internal/shard
+
+## check: the pre-merge tier — vet, qatklint, the race-enabled suite, the
+## crash harness and the shard chaos matrix
+check: vet lint race crash chaos
 
 ## bench: full benchmark suite -> BENCH_pr5.json (see EXPERIMENTS.md).
 ## The root-package paper replications are full 5-fold CVs, so they run
@@ -40,3 +45,11 @@ bench:
 	{ $(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . ; \
 	  $(GO) test -run '^$$' -bench . -benchmem ./internal/... ; } | \
 	  $(GO) run ./cmd/benchjson -o BENCH_pr5.json
+
+## bench-load: closed-loop load against a 4-shard in-process server with
+## one artificially slow shard -> BENCH_pr6.json. The hedged fan-out must
+## keep p99 inside the 50ms SLO despite the 50ms-slow shard.
+bench-load:
+	$(GO) run ./cmd/loadgen -shards 4 -slow-shard 2 -slow-delay 50ms \
+	  -rps 200 -duration 10s -slo-p99 50ms | \
+	  $(GO) run ./cmd/benchjson -o BENCH_pr6.json

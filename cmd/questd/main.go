@@ -38,6 +38,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -51,6 +52,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/quest"
 	"repro/internal/reldb"
+	"repro/internal/shard"
 	"repro/internal/taxonomy"
 )
 
@@ -65,6 +67,8 @@ type options struct {
 	flightDir                     string
 	sloP99, sloWindow             time.Duration
 	flightInterval, stallDeadline time.Duration
+	shards                        int
+	hedgeAfter, shardTimeout      time.Duration
 }
 
 func main() {
@@ -83,6 +87,9 @@ func main() {
 	flag.DurationVar(&o.sloWindow, "slo-window", flight.DefaultSLOWindow, "SLO watchdog sliding-window length")
 	flag.DurationVar(&o.flightInterval, "flight-interval", 5*time.Second, "flight recorder watchdog tick interval")
 	flag.DurationVar(&o.stallDeadline, "stall-deadline", flight.DefaultStallDeadline, "heartbeat deadline before the stall trigger fires")
+	flag.IntVar(&o.shards, "shards", 1, "shard count for the live /api/recommend fan-out tier")
+	flag.DurationVar(&o.hedgeAfter, "hedge-after", shard.DefaultHedgeAfter, "delay before a shard sub-query is hedged with a second attempt (0 disables hedging)")
+	flag.DurationVar(&o.shardTimeout, "shard-timeout", shard.DefaultShardTimeout, "per-shard sub-query deadline")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -153,6 +160,34 @@ func run(o options) error {
 		cfg.ComparisonNote = err.Error()
 	} else {
 		cfg.Internal, cfg.Public = internal, public
+	}
+
+	// The live /api/recommend fan-out tier: the persisted knowledge base is
+	// partitioned by part ID into -shards in-process workers behind the
+	// hedging/breaker router. An untrained knowledge base disables the tier
+	// (the batch-persisted suggestion screens still work) rather than
+	// failing startup.
+	if store, err := kb.OpenDB(db); err != nil {
+		fmt.Fprintf(os.Stderr, "sharded serving disabled: %v\n", err)
+	} else {
+		router, err := shard.New(shard.Config{
+			Stores:       shard.PartitionStores(store, o.shards),
+			ShardTimeout: o.shardTimeout,
+			HedgeAfter:   o.hedgeAfter,
+			Metrics:      metrics,
+			Tracer:       tracer,
+			Logger:       logger,
+			Flight:       recorder,
+		})
+		if err != nil {
+			return err
+		}
+		defer router.Close()
+		cfg.Shards = router
+		logger.Info("sharded serving enabled",
+			obs.L("shards", strconv.Itoa(router.Shards())),
+			obs.L("hedge_after", o.hedgeAfter.String()),
+			obs.L("shard_timeout", o.shardTimeout.String()))
 	}
 
 	app, err := quest.NewServer(cfg)

@@ -14,6 +14,10 @@ const (
 	MetricInflight        = "quest_http_requests_inflight"
 	MetricFlightBundles   = "obs_flight_bundles_total"
 	MetricSLOBreaches     = "quest_slo_breaches_total"
+	MetricShardRequests   = "quest_shard_requests_total"
+	MetricShardHedges     = "quest_shard_hedges_total"
+	MetricShardDuration   = "quest_shard_query_duration_seconds"
+	MetricShardInflight   = "quest_shard_queries_inflight"
 	MetricBuildInfo       = "build_info" // sanctioned prefix-free exception
 	metricNoPrefixTotal   = "pipeline_runs_total"
 	metricNoUnit          = "qatk_pipeline_runs"
@@ -29,6 +33,10 @@ func Register(r *obs.Registry) {
 	r.Gauge(MetricInflight)
 	r.Counter(MetricFlightBundles, obs.L("reason", "slo_breach"))
 	r.Counter(MetricSLOBreaches)
+	r.Counter(MetricShardRequests, obs.L("shard", "0"))
+	r.Counter(MetricShardHedges, obs.L("shard", "0"))
+	r.Histogram(MetricShardDuration, []float64{0.01, 0.1})
+	r.Gauge(MetricShardInflight)
 	r.Gauge(MetricBuildInfo).Set(1)
 
 	r.Counter("qatk_inline_total")    // want metricname "package-level constant"

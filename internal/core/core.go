@@ -121,12 +121,20 @@ func (c *Classifier) rankNodes(partID string, features []string) []scoredNode {
 	return scored
 }
 
-// Recommend returns the ranked error-code list for a data bundle given its
-// part ID and extracted feature set: the distinct error codes of the
-// best-scored candidate nodes, each with the score of its best node, in
-// rank order. At most NodeCutoff nodes are consumed, so the list holds at
-// most that many codes.
-func (c *Classifier) Recommend(partID string, features []string) []ScoredCode {
+// ScoredNode is one best-scored candidate node, pre-deduplication: the
+// sharded serving tier merges these across partitions before collapsing to
+// codes, so the merge ranks exactly like a single-store ranking. The node
+// ID is the global tie-breaker (kb.Subset preserves IDs).
+type ScoredNode struct {
+	ID    int64
+	Code  string
+	Score float64
+}
+
+// RecommendNodes returns the best-scored candidate nodes (at most
+// NodeCutoff) in rank order, before codes are deduplicated. Recommend is
+// CodesFromNodes(RecommendNodes(...)).
+func (c *Classifier) RecommendNodes(partID string, features []string) []ScoredNode {
 	cutoff := c.NodeCutoff
 	if cutoff <= 0 {
 		cutoff = DefaultNodeCutoff
@@ -135,17 +143,35 @@ func (c *Classifier) Recommend(partID string, features []string) []ScoredCode {
 	if len(scored) > cutoff {
 		scored = scored[:cutoff]
 	}
-	seen := make(map[string]bool, len(scored))
-	out := make([]ScoredCode, 0, len(scored))
-	for _, sn := range scored {
-		code := sn.node.ErrorCode
-		if seen[code] {
-			continue
-		}
-		seen[code] = true
-		out = append(out, ScoredCode{Code: code, Score: sn.score})
+	out := make([]ScoredNode, len(scored))
+	for i, sn := range scored {
+		out[i] = ScoredNode{ID: sn.node.ID, Code: sn.node.ErrorCode, Score: sn.score}
 	}
 	return out
+}
+
+// CodesFromNodes collapses a ranked node list to the distinct error codes
+// in rank order, each carrying the score of its best node.
+func CodesFromNodes(nodes []ScoredNode) []ScoredCode {
+	seen := make(map[string]bool, len(nodes))
+	out := make([]ScoredCode, 0, len(nodes))
+	for _, sn := range nodes {
+		if seen[sn.Code] {
+			continue
+		}
+		seen[sn.Code] = true
+		out = append(out, ScoredCode{Code: sn.Code, Score: sn.Score})
+	}
+	return out
+}
+
+// Recommend returns the ranked error-code list for a data bundle given its
+// part ID and extracted feature set: the distinct error codes of the
+// best-scored candidate nodes, each with the score of its best node, in
+// rank order. At most NodeCutoff nodes are consumed, so the list holds at
+// most that many codes.
+func (c *Classifier) Recommend(partID string, features []string) []ScoredCode {
+	return CodesFromNodes(c.RecommendNodes(partID, features))
 }
 
 // MajorityVote is the standard unweighted instance-based kNN assignment

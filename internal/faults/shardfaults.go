@@ -1,0 +1,86 @@
+package faults
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Shard-tier chaos: deterministic misbehavior modes for the sharded QUEST
+// serving tier (internal/shard). Unlike the rate-based Injector, shard
+// faults are assigned, not drawn — the chaos matrix pins a mode to a
+// shard and the test knows exactly which sub-queries misbehave, so every
+// failure path (hedge rescue, breaker trip, degraded merge) is asserted
+// rather than sampled. The hook signature matches shard.FaultHook without
+// either package importing the other.
+
+// ShardMode is one misbehavior mode.
+type ShardMode int
+
+const (
+	// ShardHealthy leaves the shard untouched.
+	ShardHealthy ShardMode = iota
+	// ShardSlow delays each affected attempt by Delay (respecting the
+	// attempt context, like a slow replica that is eventually right).
+	ShardSlow
+	// ShardError fails each affected attempt with an *InjectedError.
+	ShardError
+	// ShardWedge blocks each affected attempt until its context is
+	// cancelled, then returns the context error — a wedged worker whose
+	// goroutine is reclaimed only by cancellation.
+	ShardWedge
+)
+
+// ShardFault pins one mode to a shard.
+type ShardFault struct {
+	Mode  ShardMode
+	Delay time.Duration // ShardSlow's delay (default 5ms)
+	// FirstAttempts restricts the fault to each sub-query's first N
+	// attempts (0 = every attempt). FirstAttempts=1 models a slow or
+	// failing primary whose hedged second attempt reaches a healthy
+	// replica.
+	FirstAttempts int
+}
+
+// ShardHook builds a deterministic fault hook from a shard → fault
+// assignment, suitable as shard.Config.Hook. Unassigned shards are
+// healthy. Injected errors are transient *InjectedError values numbered
+// by a hook-wide sequence, so dead letters and logs distinguish them.
+func ShardHook(assign map[int]ShardFault) func(ctx context.Context, shard, attempt int) error {
+	var mu sync.Mutex
+	seq := 0
+	return func(ctx context.Context, shard, attempt int) error {
+		f, ok := assign[shard]
+		if !ok || f.Mode == ShardHealthy {
+			return nil
+		}
+		if f.FirstAttempts > 0 && attempt > f.FirstAttempts {
+			return nil
+		}
+		switch f.Mode {
+		case ShardSlow:
+			d := f.Delay
+			if d <= 0 {
+				d = 5 * time.Millisecond
+			}
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		case ShardError:
+			mu.Lock()
+			seq++
+			n := seq
+			mu.Unlock()
+			return &InjectedError{Op: "shard", Seq: n, Transient: true}
+		case ShardWedge:
+			<-ctx.Done()
+			return ctx.Err()
+		}
+		return nil
+	}
+}

@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestShardHookModes(t *testing.T) {
+	hook := ShardHook(map[int]ShardFault{
+		1: {Mode: ShardError},
+		2: {Mode: ShardSlow, Delay: 5 * time.Millisecond},
+		3: {Mode: ShardWedge},
+	})
+	ctx := context.Background()
+
+	if err := hook(ctx, 0, 1); err != nil {
+		t.Fatalf("unassigned shard errored: %v", err)
+	}
+
+	err := hook(ctx, 1, 1)
+	var inj *InjectedError
+	if !errors.As(err, &inj) || !inj.Transient || inj.Op != "shard" {
+		t.Fatalf("error shard returned %v, want transient shard *InjectedError", err)
+	}
+
+	start := time.Now()
+	if err := hook(ctx, 2, 1); err != nil {
+		t.Fatalf("slow shard errored: %v", err)
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("slow shard returned after %v, want >= 5ms", d)
+	}
+
+	// A wedged shard blocks until its context is cancelled.
+	wctx, cancel := context.WithCancel(ctx)
+	done := make(chan error, 1)
+	go func() { done <- hook(wctx, 3, 1) }()
+	select {
+	case err := <-done:
+		t.Fatalf("wedged shard returned early: %v", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("wedged shard returned %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("wedged shard never observed cancellation")
+	}
+}
+
+func TestShardHookFirstAttempts(t *testing.T) {
+	hook := ShardHook(map[int]ShardFault{
+		0: {Mode: ShardError, FirstAttempts: 1},
+	})
+	if err := hook(context.Background(), 0, 1); err == nil {
+		t.Fatal("first attempt should fail")
+	}
+	if err := hook(context.Background(), 0, 2); err != nil {
+		t.Fatalf("second attempt should be healthy, got %v", err)
+	}
+}
+
+func TestShardSlowRespectsContext(t *testing.T) {
+	hook := ShardHook(map[int]ShardFault{0: {Mode: ShardSlow, Delay: time.Second}})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := hook(ctx, 0, 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("slow shard ignored context cancellation")
+	}
+}

@@ -1,0 +1,123 @@
+package kb
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Part-ID partitioning for the sharded serving tier. The paper's candidate
+// selection (§4.3/Fig. 5) keys on part ID, so a knowledge base splits
+// cleanly along part boundaries: every node, inverted-index entry and
+// code-frequency row of one part lands on exactly one shard, and a query
+// for a known part is answered completely by the shard owning that part.
+
+// PartOwner returns the owning shard of a part ID under n-way partitioning
+// (FNV-1a; stable across processes and restarts, so routing tables never
+// need to be persisted). n <= 1 always owns everything at shard 0.
+func PartOwner(partID string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(partID))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Subset materializes the slice of src owned by shard `shard` of `n` into
+// an in-memory Store. Node IDs are preserved, so rankings merged across
+// subsets tie-break exactly like a ranking over the whole store — the
+// property the router's deterministic merge relies on. Code frequencies
+// are restricted to the kept parts; BundleCount reports the kept share.
+func Subset(src Store, shard, n int) Store {
+	sub := &subsetStore{
+		byPart: make(map[string][]int32),
+		byPF:   make(map[string][]int32),
+		freq:   make(map[string][]CodeCount),
+	}
+	for _, node := range src.AllNodes() {
+		if PartOwner(node.PartID, n) != shard {
+			continue
+		}
+		idx := int32(len(sub.nodes))
+		sub.nodes = append(sub.nodes, node)
+		sub.byPart[node.PartID] = append(sub.byPart[node.PartID], idx)
+		for _, f := range node.Features {
+			key := node.PartID + "\x00" + f
+			sub.byPF[key] = append(sub.byPF[key], idx)
+		}
+	}
+	parts := make([]string, 0, len(sub.byPart))
+	for p := range sub.byPart {
+		parts = append(parts, p)
+	}
+	sort.Strings(parts)
+	for _, p := range parts {
+		counts := src.CodeFrequencies(p)
+		sub.freq[p] = counts
+		for _, cc := range counts {
+			sub.bundles += cc.Count
+		}
+	}
+	return sub
+}
+
+// subsetStore is the in-memory partition view produced by Subset.
+type subsetStore struct {
+	nodes   []*Node
+	byPart  map[string][]int32
+	byPF    map[string][]int32
+	freq    map[string][]CodeCount
+	bundles int
+}
+
+// NodeCount implements Store.
+func (s *subsetStore) NodeCount() int { return len(s.nodes) }
+
+// BundleCount implements Store.
+func (s *subsetStore) BundleCount() int { return s.bundles }
+
+// KnownPart implements Store.
+func (s *subsetStore) KnownPart(partID string) bool { return len(s.byPart[partID]) > 0 }
+
+// Candidates implements Store with the standard contract: for a known part
+// the (part, feature) inverted index drives selection; an unknown part
+// falls back to every local node (the scatter path ranks all shards'
+// nodes, reproducing the unsharded all-nodes fallback).
+func (s *subsetStore) Candidates(partID string, features []string) []*Node {
+	if !s.KnownPart(partID) {
+		return s.AllNodes()
+	}
+	seen := make(map[int32]bool)
+	var out []*Node
+	for _, f := range features {
+		for _, idx := range s.byPF[partID+"\x00"+f] {
+			if !seen[idx] {
+				seen[idx] = true
+				out = append(out, s.nodes[idx])
+			}
+		}
+	}
+	return out
+}
+
+// AllNodes implements Store.
+func (s *subsetStore) AllNodes() []*Node {
+	return append([]*Node(nil), s.nodes...)
+}
+
+// CodeFrequencies implements Store. The global fallback for unknown parts
+// aggregates over the kept parts only — the shard's view of the world.
+func (s *subsetStore) CodeFrequencies(partID string) []CodeCount {
+	if counts, ok := s.freq[partID]; ok {
+		return append([]CodeCount(nil), counts...)
+	}
+	agg := map[string]int{}
+	for _, counts := range s.freq {
+		for _, cc := range counts {
+			agg[cc.Code] += cc.Count
+		}
+	}
+	return sortedCounts(agg)
+}
+
+var _ Store = (*subsetStore)(nil)

@@ -65,6 +65,7 @@ const (
 	ReasonCircuitBreaker = "circuit_breaker"
 	ReasonFsyncLatch     = "fsync_latch"
 	ReasonGoroutineSpike = "goroutine_spike"
+	ReasonShardStall     = "shard_stall"
 	ReasonOnDemand       = "on_demand"
 )
 

@@ -41,6 +41,7 @@ func (s *Server) registerAPI() {
 	s.mux.HandleFunc("/api/bundle/", s.apiBundle)
 	s.mux.HandleFunc("/api/compare", s.apiCompare)
 	s.mux.HandleFunc("/api/audit/summary", s.apiAuditSummary)
+	s.mux.HandleFunc("/api/recommend", s.apiRecommend)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bundle"
 	"repro/internal/obs"
+	"repro/internal/shard"
 )
 
 // Liveness and readiness probes. /healthz answers 200 whenever the process
@@ -23,6 +24,13 @@ type readiness struct {
 	Status     string `json:"status"`     // "ok" | "unavailable"
 	DB         string `json:"db"`         // "ok" | the failing query's error
 	Comparison string `json:"comparison"` // "loaded" | "degraded[: reason]"
+	// Serving reports the sharded recommendation tier: "ok" when every
+	// breaker is closed, "degraded" when any shard is broken (the tier
+	// still answers from survivors, so degradation does not flip Status),
+	// omitted when sharded serving is disabled.
+	Serving string `json:"serving,omitempty"`
+	// Shards lists each shard's breaker state, node count and last error.
+	Shards []shard.ShardHealth `json:"shards,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -41,6 +49,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		if s.comparisonNote != "" {
 			rd.Comparison += ": " + s.comparisonNote
 		}
+	}
+	if s.shards != nil {
+		rd.Serving = "ok"
+		if s.shards.Degraded() {
+			rd.Serving = "degraded"
+		}
+		rd.Shards = s.shards.Health()
 	}
 	writeJSON(w, status, rd)
 }

@@ -1,0 +1,75 @@
+package quest
+
+import (
+	"net/http"
+	"strings"
+)
+
+// Live recommendation API over the sharded serving tier (internal/shard):
+//
+//	GET /api/recommend?part=P42&features=f1,f2,f3
+//
+// Unlike /api/bundle/{ref}, which reads recommendations persisted by the
+// batch pipeline, this endpoint classifies on demand — fanned out across
+// the shard router with hedging, per-shard breakers, and graceful
+// degradation. The response envelope threads the degradation contract to
+// the client: `degraded` plus `failed_shards` mean the ranking came from
+// the surviving shards only.
+
+type apiRecommendation struct {
+	Part         string          `json:"part"`
+	Codes        []apiSuggestion `json:"codes"`
+	Degraded     bool            `json:"degraded"`
+	FailedShards []int           `json:"failed_shards,omitempty"`
+	// Scatter reports the unknown-part fallback: no shard owns the part,
+	// so every shard ranked its whole partition (§4.3's all-nodes path).
+	Scatter bool `json:"scatter"`
+	// Hedged reports that at least one sub-query was answered by a hedged
+	// second attempt.
+	Hedged bool `json:"hedged"`
+}
+
+func (s *Server) apiRecommend(w http.ResponseWriter, r *http.Request) {
+	if s.shards == nil {
+		apiError(w, http.StatusNotFound, "sharded serving not enabled (knowledge base not trained?)")
+		return
+	}
+	q := r.URL.Query()
+	part := q.Get("part")
+	if part == "" {
+		apiError(w, http.StatusBadRequest, "part parameter required")
+		return
+	}
+	// features may repeat or be comma-separated; both forms compose.
+	var features []string
+	for _, v := range q["features"] {
+		for _, f := range strings.Split(v, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				features = append(features, f)
+			}
+		}
+	}
+	if len(features) == 0 {
+		apiError(w, http.StatusBadRequest, "features parameter required")
+		return
+	}
+
+	res, err := s.shards.Query(r.Context(), part, features)
+	if err != nil {
+		apiError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	out := apiRecommendation{
+		Part: part, Degraded: res.Degraded, FailedShards: res.FailedShards,
+		Scatter: res.Scatter, Hedged: res.Hedged,
+		Codes: make([]apiSuggestion, 0, len(res.Codes)),
+	}
+	limit := len(res.Codes)
+	if limit > SuggestionLimit {
+		limit = SuggestionLimit
+	}
+	for i, sc := range res.Codes[:limit] {
+		out.Codes = append(out.Codes, apiSuggestion{Rank: i + 1, Code: sc.Code, Score: sc.Score})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

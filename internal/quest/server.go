@@ -16,6 +16,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
 	"repro/internal/reldb"
+	"repro/internal/shard"
 )
 
 // SuggestionLimit is how many recommendations the assignment screen shows
@@ -29,6 +30,7 @@ type Server struct {
 	internal       *compare.Distribution
 	public         *compare.Distribution
 	comparisonNote string
+	shards         *shard.Router
 	mux            *http.ServeMux
 	handler        http.Handler
 	build          obs.BuildIdentity
@@ -60,6 +62,10 @@ type Config struct {
 	// SLO sliding window and recovered panics trigger diagnostic bundles.
 	// Nil disables flight recording.
 	Flight *flight.Recorder
+	// Shards is the live recommendation fan-out tier. Nil disables
+	// GET /api/recommend and the per-shard readiness section; the
+	// batch-persisted suggestion screens keep working either way.
+	Shards *shard.Router
 }
 
 // NewServer builds the application. The database must already contain the
@@ -70,7 +76,8 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		db: cfg.DB, internal: cfg.Internal, public: cfg.Public,
-		comparisonNote: cfg.ComparisonNote, mux: http.NewServeMux(),
+		comparisonNote: cfg.ComparisonNote, shards: cfg.Shards,
+		mux: http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/", s.handleBundles)
 	s.mux.HandleFunc("/bundle/", s.handleBundle)

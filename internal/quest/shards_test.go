@@ -1,0 +1,254 @@
+package quest
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sort"
+	"testing"
+
+	"repro/internal/bundle"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/kb"
+	"repro/internal/reldb"
+	"repro/internal/shard"
+)
+
+// Satellite: /readyz per-shard health and the /api/recommend envelope over
+// a live shard router.
+
+// shardKB synthesizes a deterministic knowledge base for the router.
+func shardKB(t *testing.T) *kb.Memory {
+	t.Helper()
+	rng := rand.New(rand.NewSource(23))
+	m := kb.NewMemory()
+	for i := 0; i < 200; i++ {
+		part := fmt.Sprintf("P%02d", rng.Intn(12))
+		code := fmt.Sprintf("E%02d", rng.Intn(9))
+		n := 3 + rng.Intn(4)
+		set := map[string]bool{}
+		for len(set) < n {
+			set[fmt.Sprintf("f%02d", rng.Intn(30))] = true
+		}
+		feats := make([]string, 0, len(set))
+		for f := range set {
+			feats = append(feats, f)
+		}
+		sort.Strings(feats)
+		m.AddBundle(part, code, feats)
+	}
+	return m
+}
+
+// shardedServer stands up a QUEST instance with a 4-shard router, the
+// given fault hook wired in.
+func shardedServer(t *testing.T, hook shard.FaultHook) (*httptest.Server, *kb.Memory, *shard.Router) {
+	t.Helper()
+	db, err := reldb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := bundle.CreateTables(db); err != nil {
+		t.Fatal(err)
+	}
+	src := shardKB(t)
+	router, err := shard.New(shard.Config{
+		Stores: shard.PartitionStores(src, 4),
+		Hook:   hook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(router.Close)
+	srv, err := NewServer(Config{DB: db, Shards: router})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, src, router
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestReadyzReportsShards(t *testing.T) {
+	ts, _, _ := shardedServer(t, nil)
+	var rd struct {
+		Status  string              `json:"status"`
+		Serving string              `json:"serving"`
+		Shards  []shard.ShardHealth `json:"shards"`
+	}
+	if code := getJSON(t, ts.URL+"/readyz", &rd); code != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200", code)
+	}
+	if rd.Status != "ok" || rd.Serving != "ok" {
+		t.Fatalf("status=%q serving=%q, want ok/ok", rd.Status, rd.Serving)
+	}
+	if len(rd.Shards) != 4 {
+		t.Fatalf("shards = %d entries, want 4", len(rd.Shards))
+	}
+	for i, h := range rd.Shards {
+		if h.ID != i || h.State != shard.StateClosed || h.LastError != "" {
+			t.Errorf("shard %d health = %+v, want closed and error-free", i, h)
+		}
+	}
+}
+
+func TestReadyzReportsBrokenShard(t *testing.T) {
+	// Every sub-query to shard 2 fails; querying its parts until the
+	// breaker budget is exhausted must surface through /readyz: serving
+	// "degraded", shard 2 open with its last error.
+	ts, src, router := shardedServer(t, faults.ShardHook(map[int]faults.ShardFault{
+		2: {Mode: faults.ShardError},
+	}))
+	victimParts := []string{}
+	for p := 0; p < 12; p++ {
+		part := fmt.Sprintf("P%02d", p)
+		if src.KnownPart(part) && kb.PartOwner(part, 4) == 2 {
+			victimParts = append(victimParts, part)
+		}
+	}
+	if len(victimParts) == 0 {
+		t.Fatal("fixture has no parts owned by shard 2")
+	}
+	for i := 0; i < shard.DefaultBreakerBudget; i++ {
+		var out apiRecommendation
+		u := ts.URL + "/api/recommend?part=" + url.QueryEscape(victimParts[0]) + "&features=f01,f02,f03"
+		if code := getJSON(t, u, &out); code != http.StatusOK {
+			t.Fatalf("recommend %d = %d, want 200 (degraded, not failed)", i, code)
+		}
+		if !out.Degraded {
+			t.Fatalf("recommend %d not degraded with owner erroring", i)
+		}
+	}
+	if !router.Degraded() {
+		t.Fatal("router not degraded after breaker budget")
+	}
+
+	var rd struct {
+		Status  string              `json:"status"`
+		Serving string              `json:"serving"`
+		Shards  []shard.ShardHealth `json:"shards"`
+	}
+	if code := getJSON(t, ts.URL+"/readyz", &rd); code != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200 (degraded serving stays ready)", code)
+	}
+	if rd.Status != "ok" || rd.Serving != "degraded" {
+		t.Fatalf("status=%q serving=%q, want ok/degraded", rd.Status, rd.Serving)
+	}
+	if rd.Shards[2].State != shard.StateOpen {
+		t.Errorf("shard 2 state = %q, want open", rd.Shards[2].State)
+	}
+	if rd.Shards[2].LastError == "" {
+		t.Error("shard 2 last_error empty, want the injected error")
+	}
+}
+
+func TestAPIRecommend(t *testing.T) {
+	ts, src, _ := shardedServer(t, nil)
+	part := "P03"
+	if !src.KnownPart(part) {
+		t.Fatalf("fixture part %s unknown", part)
+	}
+	feats := []string{"f01", "f05", "f11"}
+
+	var out apiRecommendation
+	u := ts.URL + "/api/recommend?part=" + part + "&features=f01,f05&features=f11"
+	if code := getJSON(t, u, &out); code != http.StatusOK {
+		t.Fatalf("recommend = %d, want 200", code)
+	}
+	if out.Degraded || out.Scatter {
+		t.Fatalf("degraded=%v scatter=%v, want false/false", out.Degraded, out.Scatter)
+	}
+	want := core.New(src, core.Jaccard{}).Recommend(part, feats)
+	limit := len(want)
+	if limit > SuggestionLimit {
+		limit = SuggestionLimit
+	}
+	if len(out.Codes) != limit {
+		t.Fatalf("codes = %d entries, want %d", len(out.Codes), limit)
+	}
+	for i, c := range out.Codes {
+		if c.Code != want[i].Code || c.Rank != i+1 {
+			t.Errorf("rank %d: got %s, want %s", i+1, c.Code, want[i].Code)
+		}
+	}
+
+	// Unknown part: the scatter fallback, still a 200 envelope.
+	if code := getJSON(t, ts.URL+"/api/recommend?part=PXX&features=f01", &out); code != http.StatusOK {
+		t.Fatalf("scatter recommend = %d, want 200", code)
+	}
+	if !out.Scatter || out.Degraded {
+		t.Fatalf("scatter=%v degraded=%v, want true/false", out.Scatter, out.Degraded)
+	}
+
+	// Parameter validation.
+	resp, err := http.Get(ts.URL + "/api/recommend?features=f01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing part = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/api/recommend?part=P03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing features = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestAPIRecommendDisabled(t *testing.T) {
+	db, err := reldb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := bundle.CreateTables(db); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(Config{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/api/recommend?part=P1&features=f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("recommend without router = %d, want 404", resp.StatusCode)
+	}
+	// And /readyz omits the shards section entirely.
+	var rd map[string]any
+	if code := getJSON(t, ts.URL+"/readyz", &rd); code != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200", code)
+	}
+	if _, ok := rd["shards"]; ok {
+		t.Error("/readyz reports shards without a router")
+	}
+	if _, ok := rd["serving"]; ok {
+		t.Error("/readyz reports serving without a router")
+	}
+}

@@ -1,0 +1,130 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states, reported by State and /readyz.
+const (
+	StateClosed   = "closed"
+	StateOpen     = "open"
+	StateHalfOpen = "half-open"
+)
+
+// Breaker is a per-shard consecutive-failure circuit breaker. The trip
+// rule reuses the PR 1 pipeline semantics — an error budget of
+// *consecutive* failures, any success resets the streak — and adds the
+// serving-tier recovery arc the long-lived router needs: an open breaker
+// rejects sub-queries outright (shedding load off a misbehaving shard)
+// until Cooldown has elapsed, then admits exactly one probe in half-open
+// state; a probe success closes the breaker, a probe failure re-opens it
+// for another cooldown.
+type Breaker struct {
+	budget   int
+	cooldown time.Duration
+	clock    func() time.Time
+
+	mu          sync.Mutex
+	state       string
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+	lastErr     error
+}
+
+// NewBreaker builds a closed breaker tripping after budget consecutive
+// failures and probing again after cooldown. clock nil means time.Now.
+func NewBreaker(budget int, cooldown time.Duration, clock func() time.Time) *Breaker {
+	if budget <= 0 {
+		budget = DefaultBreakerBudget
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Breaker{budget: budget, cooldown: cooldown, clock: clock, state: StateClosed}
+}
+
+// Allow reports whether a sub-query may be dispatched now. In half-open
+// state only one probe is admitted at a time; callers that got true must
+// report the outcome via Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if b.clock().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = StateHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a completed sub-query: the breaker closes and the
+// failure streak resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = StateClosed
+	b.consecutive = 0
+	b.probing = false
+	b.lastErr = nil
+}
+
+// Failure records a failed sub-query and returns true when this failure
+// tripped the breaker open (closed → open on the budget's exhaustion, or
+// a failed half-open probe re-opening).
+func (b *Breaker) Failure(err error) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lastErr = err
+	switch b.state {
+	case StateHalfOpen:
+		b.state = StateOpen
+		b.openedAt = b.clock()
+		b.probing = false
+		return true
+	case StateOpen:
+		return false
+	default:
+		b.consecutive++
+		if b.consecutive < b.budget {
+			return false
+		}
+		b.state = StateOpen
+		b.openedAt = b.clock()
+		b.consecutive = 0
+		return true
+	}
+}
+
+// State reports the current state, resolving an elapsed cooldown as
+// half-open so health reporting matches what Allow would do next.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateOpen && b.clock().Sub(b.openedAt) >= b.cooldown {
+		return StateHalfOpen
+	}
+	return b.state
+}
+
+// LastError reports the most recent failure, nil after a success.
+func (b *Breaker) LastError() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastErr
+}

@@ -1,0 +1,84 @@
+package shard
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := NewBreaker(3, time.Minute, clk.Now)
+
+	if b.State() != StateClosed || !b.Allow() {
+		t.Fatal("fresh breaker must be closed and admitting")
+	}
+
+	// Failures below the budget keep it closed; the budget-th trips it.
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		if tripped := b.Failure(boom); tripped {
+			t.Fatalf("failure %d tripped early", i+1)
+		}
+	}
+	if !b.Failure(boom) {
+		t.Fatal("budget-th failure did not report a trip transition")
+	}
+	if b.State() != StateOpen || b.Allow() {
+		t.Fatal("tripped breaker must be open and rejecting")
+	}
+	if last := b.LastError(); last == nil || last.Error() != "boom" {
+		t.Errorf("last error = %v, want boom", last)
+	}
+
+	// A repeat failure while open is not a second trip transition.
+	if b.Failure(boom) {
+		t.Error("failure while open reported another trip")
+	}
+
+	// Cooldown elapses: exactly one half-open probe is admitted.
+	clk.Advance(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("breaker did not admit a half-open probe after cooldown")
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state after probe admit = %s, want %s", b.State(), StateHalfOpen)
+	}
+	if b.Allow() {
+		t.Error("half-open breaker admitted a second probe")
+	}
+
+	// Probe failure reopens — that re-open IS a trip transition (it feeds
+	// the flight recorder); probe success closes.
+	if !b.Failure(boom) {
+		t.Error("probe failure did not report the re-open transition")
+	}
+	if b.State() != StateOpen {
+		t.Fatal("probe failure did not reopen the breaker")
+	}
+	clk.Advance(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("no probe after second cooldown")
+	}
+	b.Success()
+	if b.State() != StateClosed || !b.Allow() {
+		t.Fatal("probe success did not close the breaker")
+	}
+	if last := b.LastError(); last != nil {
+		t.Errorf("last error after recovery = %v, want nil", last)
+	}
+}
+
+func TestBreakerSuccessResetsBudget(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := NewBreaker(2, time.Minute, clk.Now)
+	boom := errors.New("boom")
+	b.Failure(boom)
+	b.Success() // consecutive counter resets
+	if b.Failure(boom) {
+		t.Fatal("first failure after a success tripped the breaker")
+	}
+	if !b.Failure(boom) {
+		t.Fatal("budget-th consecutive failure did not trip")
+	}
+}

@@ -1,0 +1,112 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/kb"
+)
+
+// Satellite: hedged-request hygiene. The losing attempt's context must be
+// cancelled once the winner returns, and the router must not leak
+// goroutines — asserted by bracketing the whole exercise with goroutine
+// counts.
+
+// recordingHook observes every attempt's context so the test can assert
+// cancellation, and makes the first attempt slow enough that the hedge
+// always wins.
+type recordingHook struct {
+	mu       sync.Mutex
+	attempts []attemptRecord
+}
+
+type attemptRecord struct {
+	shard, attempt int
+	ctx            context.Context
+}
+
+func (h *recordingHook) hook(ctx context.Context, shard, attempt int) error {
+	h.mu.Lock()
+	h.attempts = append(h.attempts, attemptRecord{shard, attempt, ctx})
+	h.mu.Unlock()
+	if attempt == 1 {
+		// Losing attempt: stall until cancelled or a long fallback fires.
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(500 * time.Millisecond):
+			return nil
+		}
+	}
+	return nil
+}
+
+func (h *recordingHook) record(shard, attempt int) (attemptRecord, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, r := range h.attempts {
+		if r.shard == shard && r.attempt == attempt {
+			return r, true
+		}
+	}
+	return attemptRecord{}, false
+}
+
+func TestHedgeCancelsLosingAttempt(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	src := buildKB(5, 12, 10, 250)
+	hook := &recordingHook{}
+	r := newTestRouter(t, src, 4, func(cfg *Config) {
+		cfg.HedgeAfter = 2 * time.Millisecond
+		cfg.ShardTimeout = time.Second
+		cfg.Hook = hook.hook
+	})
+
+	part := "P004"
+	if !src.KnownPart(part) {
+		t.Fatalf("fixture part %s not in knowledge base", part)
+	}
+	res, err := r.Query(context.Background(), part, []string{"f03", "f11", "f27"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hedged {
+		t.Fatal("query was not hedged")
+	}
+	if res.Degraded {
+		t.Fatal("hedged query unexpectedly degraded")
+	}
+
+	// The losing first attempt's context must be cancelled promptly after
+	// the hedge wins — not left to run out its 500ms stall.
+	loser, ok := hook.record(kb.PartOwner(part, 4), 1)
+	if !ok {
+		t.Fatal("first attempt never reached the fault hook")
+	}
+	select {
+	case <-loser.ctx.Done():
+	case <-time.After(200 * time.Millisecond):
+		t.Fatal("losing attempt's context was not cancelled")
+	}
+	if err := loser.ctx.Err(); !errors.Is(err, context.Canceled) {
+		t.Errorf("losing attempt ctx.Err() = %v, want context.Canceled", err)
+	}
+
+	// Closing the router must reclaim every worker and attempt goroutine.
+	r.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after close", before, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,443 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kb"
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+)
+
+// Defaults for zero Config fields. DefaultHedgeAfter is NOT applied to a
+// zero Config.HedgeAfter (zero disables hedging); it is the default
+// questd serves with (-hedge-after).
+const (
+	DefaultShardTimeout    = 250 * time.Millisecond
+	DefaultHedgeAfter      = 20 * time.Millisecond
+	DefaultWorkersPerShard = 2
+	DefaultBreakerBudget   = 5
+	DefaultBreakerCooldown = time.Second
+)
+
+// ErrShardBroken reports a sub-query rejected by an open circuit breaker.
+var ErrShardBroken = errors.New("shard: breaker open")
+
+// ErrAllShardsFailed reports a query no shard could answer.
+var ErrAllShardsFailed = errors.New("shard: all shards failed")
+
+// Config wires a Router.
+type Config struct {
+	// Stores holds one partition per shard (kb.Subset produces them); its
+	// length is the shard count.
+	Stores []kb.Store
+	// Sim is the similarity measure (default core.Jaccard{}); NodeCutoff
+	// caps best-scored nodes per shard (0 = core.DefaultNodeCutoff).
+	Sim        core.Similarity
+	NodeCutoff int
+	// WorkersPerShard sizes each shard's serving pool (default 2): the
+	// second worker is what lets a hedged attempt overtake a wedged one.
+	WorkersPerShard int
+	// ShardTimeout bounds each attempt; the effective per-attempt deadline
+	// is the smaller of ShardTimeout and the request context's remaining
+	// budget (default 250ms).
+	ShardTimeout time.Duration
+	// HedgeAfter issues a second attempt when the primary has not answered
+	// after this delay (first-response-wins, loser cancelled via context).
+	// A fast-failing primary is retried immediately. 0 disables hedging.
+	HedgeAfter time.Duration
+	// BreakerBudget and BreakerCooldown configure the per-shard breakers
+	// (consecutive failures to trip; cooldown before a half-open probe).
+	BreakerBudget   int
+	BreakerCooldown time.Duration
+	// Hook injects deterministic chaos into every attempt (see FaultHook);
+	// nil means healthy shards.
+	Hook FaultHook
+	// Observability, all nil-safe: quest_shard_* metrics, one span per
+	// query plus one per attempt, structured failure events, and flight
+	// hard triggers on breaker trips and shard stalls.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
+	Logger  *obs.Logger
+	Flight  *flight.Recorder
+	// Clock is the breakers' time source (default time.Now); tests drive
+	// cooldown recovery deterministically through it.
+	Clock func() time.Time
+}
+
+// handle is one shard with its robustness wrapping.
+type handle struct {
+	worker  *worker
+	breaker *Breaker
+	nodes   int
+
+	requests     *obs.Counter
+	failures     *obs.Counter
+	hedges       *obs.Counter
+	hedgeWins    *obs.Counter
+	breakerOpens *obs.Counter
+
+	// stallLatched keeps the flight stall trigger to the transition into
+	// the stalled state (deadline expiry on every attempt) rather than
+	// firing per query; any success re-arms it.
+	stallLatched atomic.Bool
+}
+
+// Router fans queries out over the shard set.
+type Router struct {
+	cfg    Config
+	shards []*handle
+
+	duration *obs.Histogram
+	inflight *obs.Gauge
+	degraded *obs.Counter
+}
+
+// Result is one answered query, carrying the degradation contract: Codes
+// always ranks deterministically over whatever shards answered, and
+// Degraded marks the set as partial (mirrored into the API envelope and
+// /readyz).
+type Result struct {
+	Codes []core.ScoredCode
+	// Degraded reports partial results: at least one shard failed or was
+	// skipped by its breaker and the answer was served from the survivors.
+	Degraded bool
+	// FailedShards lists the shards (ascending) that did not contribute.
+	FailedShards []int
+	// Scatter reports the all-shards fallback path (part owned by no
+	// shard, or the owner unavailable).
+	Scatter bool
+	// Hedged reports that at least one hedged second attempt was issued.
+	Hedged bool
+}
+
+// ShardHealth is one shard's health view, served by /readyz.
+type ShardHealth struct {
+	ID        int    `json:"id"`
+	State     string `json:"state"` // breaker state: closed | open | half-open
+	Nodes     int    `json:"nodes"`
+	Requests  uint64 `json:"requests"`
+	Failures  uint64 `json:"failures"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// New builds and starts a router over cfg.Stores. Callers must Close it.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Stores) == 0 {
+		return nil, fmt.Errorf("shard: no stores")
+	}
+	if cfg.Sim == nil {
+		cfg.Sim = core.Jaccard{}
+	}
+	if cfg.WorkersPerShard <= 0 {
+		cfg.WorkersPerShard = DefaultWorkersPerShard
+	}
+	if cfg.ShardTimeout <= 0 {
+		cfg.ShardTimeout = DefaultShardTimeout
+	}
+	r := &Router{
+		cfg:      cfg,
+		duration: cfg.Metrics.Histogram(MetricShardQueryDurationSeconds, obs.DefBuckets),
+		inflight: cfg.Metrics.Gauge(MetricShardQueriesInflight),
+		degraded: cfg.Metrics.Counter(MetricShardDegradedTotal),
+	}
+	for i, store := range cfg.Stores {
+		label := obs.L("shard", strconv.Itoa(i))
+		r.shards = append(r.shards, &handle{
+			worker:       newWorker(i, store, cfg.Sim, cfg.NodeCutoff, cfg.WorkersPerShard, cfg.Hook),
+			breaker:      NewBreaker(cfg.BreakerBudget, cfg.BreakerCooldown, cfg.Clock),
+			nodes:        store.NodeCount(),
+			requests:     cfg.Metrics.Counter(MetricShardRequestsTotal, label),
+			failures:     cfg.Metrics.Counter(MetricShardFailuresTotal, label),
+			hedges:       cfg.Metrics.Counter(MetricShardHedgesTotal, label),
+			hedgeWins:    cfg.Metrics.Counter(MetricShardHedgeWinsTotal, label),
+			breakerOpens: cfg.Metrics.Counter(MetricShardBreakerOpensTotal, label),
+		})
+	}
+	return r, nil
+}
+
+// Shards reports the shard count.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// Close stops every shard's worker pool.
+func (r *Router) Close() {
+	for _, h := range r.shards {
+		h.worker.close()
+	}
+}
+
+// Health reports every shard's breaker state and counters.
+func (r *Router) Health() []ShardHealth {
+	out := make([]ShardHealth, len(r.shards))
+	for i, h := range r.shards {
+		sh := ShardHealth{
+			ID:       i,
+			State:    h.breaker.State(),
+			Nodes:    h.nodes,
+			Requests: h.requests.Value(),
+			Failures: h.failures.Value(),
+		}
+		if err := h.breaker.LastError(); err != nil {
+			sh.LastError = err.Error()
+		}
+		out[i] = sh
+	}
+	return out
+}
+
+// Degraded reports whether any shard's breaker is currently not closed —
+// the router-level bit /readyz folds into its status.
+func (r *Router) Degraded() bool {
+	for _, h := range r.shards {
+		if h.breaker.State() != StateClosed {
+			return true
+		}
+	}
+	return false
+}
+
+// Query answers one recommendation query. The owning shard (kb.PartOwner)
+// is consulted first; a part no shard owns scatters to every shard and
+// merges, reproducing the paper's all-nodes fallback bit-identically. An
+// unavailable owner degrades to a scatter over the survivors; failing
+// non-owning shards in a scatter are skipped and the response is marked
+// Degraded. The error return is reserved for a query *no* shard answered.
+func (r *Router) Query(ctx context.Context, partID string, features []string) (*Result, error) {
+	start := time.Now()
+	r.inflight.Add(1)
+	span := r.cfg.Tracer.Start(nil, spanShardQuery, obs.L("part", partID))
+	res := &Result{}
+	var qerr error
+	defer func() {
+		r.inflight.Add(-1)
+		r.duration.Observe(time.Since(start).Seconds())
+		span.SetAttr("scatter", strconv.FormatBool(res.Scatter))
+		span.SetAttr("degraded", strconv.FormatBool(res.Degraded))
+		span.End(qerr)
+	}()
+
+	owner := kb.PartOwner(partID, len(r.shards))
+	out, hedged, err := r.queryShard(ctx, span, owner, partID, features, false)
+	res.Hedged = res.Hedged || hedged
+	if err == nil && out.known {
+		res.Codes = core.CodesFromNodes(out.nodes)
+		return res, nil
+	}
+	skip := -1
+	if err != nil {
+		// The owner is unavailable: serve what the surviving shards can
+		// rank rather than failing the query outright.
+		res.Degraded = true
+		res.FailedShards = append(res.FailedShards, owner)
+		skip = owner
+	}
+
+	res.Scatter = true
+	type scatterOut struct {
+		idx    int
+		out    response
+		hedged bool
+		err    error
+	}
+	ch := make(chan scatterOut, len(r.shards))
+	dispatched := 0
+	for i := range r.shards {
+		if i == skip {
+			continue
+		}
+		dispatched++
+		go func(i int) {
+			o, hg, e := r.queryShard(ctx, span, i, partID, features, true)
+			ch <- scatterOut{idx: i, out: o, hedged: hg, err: e}
+		}(i)
+	}
+	lists := make([][]core.ScoredNode, 0, dispatched)
+	for j := 0; j < dispatched; j++ {
+		so := <-ch
+		res.Hedged = res.Hedged || so.hedged
+		if so.err != nil {
+			res.Degraded = true
+			res.FailedShards = append(res.FailedShards, so.idx)
+			continue
+		}
+		lists = append(lists, so.out.nodes)
+	}
+	sort.Ints(res.FailedShards)
+	if len(lists) == 0 {
+		qerr = fmt.Errorf("%w: part %q", ErrAllShardsFailed, partID)
+		return nil, qerr
+	}
+	cutoff := r.cfg.NodeCutoff
+	if cutoff <= 0 {
+		cutoff = core.DefaultNodeCutoff
+	}
+	res.Codes = core.CodesFromNodes(mergeNodes(lists, cutoff))
+	if res.Degraded {
+		r.degraded.Inc()
+		r.cfg.Logger.Warn("degraded shard response",
+			obs.L("part", partID),
+			obs.L("failed_shards", fmt.Sprint(res.FailedShards)))
+	}
+	return res, nil
+}
+
+// mergeNodes merges per-shard ranked lists into one ranking under the
+// classifier's total order — score descending, then error code, then node
+// ID (globally unique, preserved by kb.Subset) — and applies the node
+// cutoff. Every input list is already cut to the same cutoff and sorted
+// under the same order, so the merge is deterministic and identical to
+// ranking the union store.
+func mergeNodes(lists [][]core.ScoredNode, cutoff int) []core.ScoredNode {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	merged := make([]core.ScoredNode, 0, total)
+	for _, l := range lists {
+		merged = append(merged, l...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		a, b := merged[i], merged[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.ID < b.ID
+	})
+	if len(merged) > cutoff {
+		merged = merged[:cutoff]
+	}
+	return merged
+}
+
+// attemptOut is one attempt's outcome inside queryShard.
+type attemptOut struct {
+	attempt int
+	out     response
+	err     error
+}
+
+// queryShard runs one robust sub-query against shard idx: breaker
+// admission, a per-attempt deadline derived from the request budget, and
+// a hedged second attempt after HedgeAfter (first-response-wins, the
+// loser cancelled via its attempt context). The breaker records one
+// outcome per sub-query, not per attempt. The bool reports whether a
+// hedged attempt was issued.
+func (r *Router) queryShard(ctx context.Context, parent *obs.Span, idx int, partID string, features []string, scatter bool) (response, bool, error) {
+	h := r.shards[idx]
+	h.requests.Inc()
+	if !h.breaker.Allow() {
+		h.failures.Inc()
+		return response{}, false, fmt.Errorf("%w: shard %d", ErrShardBroken, idx)
+	}
+
+	outc := make(chan attemptOut, 2)
+	cancels := make([]context.CancelFunc, 0, 2)
+	defer func() {
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}()
+	launch := func(attempt int) {
+		actx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+		cancels = append(cancels, cancel)
+		span := r.cfg.Tracer.Start(parent, spanShardAttempt,
+			obs.L("shard", strconv.Itoa(idx)),
+			obs.L("attempt", strconv.Itoa(attempt)))
+		go func() {
+			out, err := h.worker.query(actx, partID, features, scatter, attempt)
+			span.End(err)
+			outc <- attemptOut{attempt: attempt, out: out, err: err}
+		}()
+	}
+	launch(1)
+
+	var hedgeC <-chan time.Time
+	if r.cfg.HedgeAfter > 0 {
+		t := time.NewTimer(r.cfg.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	pending := 1
+	hedged := false
+	hedge := func() {
+		hedgeC = nil
+		hedged = true
+		h.hedges.Inc()
+		launch(2)
+		pending++
+	}
+	for {
+		select {
+		case <-hedgeC:
+			hedge()
+		case ao := <-outc:
+			pending--
+			if ao.err == nil {
+				// First response wins: cancel the loser (its context) and
+				// let its goroutine drain into the buffered channel.
+				for _, cancel := range cancels {
+					cancel()
+				}
+				if ao.attempt == 2 {
+					h.hedgeWins.Inc()
+				}
+				h.breaker.Success()
+				h.stallLatched.Store(false)
+				return ao.out, hedged, nil
+			}
+			if pending > 0 {
+				continue // the other attempt may still win
+			}
+			if !hedged && r.cfg.HedgeAfter > 0 && ctx.Err() == nil {
+				// The primary failed before the hedge delay elapsed:
+				// spend the hedge as an immediate retry.
+				hedge()
+				continue
+			}
+			return response{}, hedged, r.shardFailed(ctx, h, idx, ao.err)
+		case <-ctx.Done():
+			// The request budget expired; attempt contexts are children
+			// of ctx, so the workers unwind on their own.
+			return response{}, hedged, r.shardFailed(ctx, h, idx, ctx.Err())
+		}
+	}
+}
+
+// shardFailed accounts one sub-query failure: counters, breaker, the
+// stall hard trigger on deadline expiry, and the breaker-trip hard
+// trigger, both latched to state transitions.
+func (r *Router) shardFailed(ctx context.Context, h *handle, idx int, err error) error {
+	h.failures.Inc()
+	shardLabel := obs.L("shard", strconv.Itoa(h.worker.id))
+	if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+		// Every attempt burned its per-shard deadline while the request
+		// budget was still live: the shard is wedged, not the client.
+		if !h.stallLatched.Swap(true) {
+			r.cfg.Flight.Trigger(flight.ReasonShardStall,
+				shardLabel,
+				obs.L("timeout", r.cfg.ShardTimeout.String()))
+		}
+	}
+	r.cfg.Logger.Warn("shard sub-query failed", shardLabel, obs.L("err", err.Error()))
+	if tripped := h.breaker.Failure(err); tripped {
+		h.breakerOpens.Inc()
+		r.cfg.Logger.Error("shard circuit breaker tripped",
+			shardLabel, obs.L("err", err.Error()))
+		r.cfg.Flight.Trigger(flight.ReasonCircuitBreaker,
+			shardLabel,
+			obs.L("tier", "shard-router"),
+			obs.L("err", err.Error()))
+	}
+	return fmt.Errorf("shard %d: %w", idx, err)
+}
