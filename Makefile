@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race crash chaos check bench bench-load
+.PHONY: build test vet lint lint-json race crash chaos check bench bench-load bench-alloc
 
 ## build: compile every package and command
 build:
@@ -17,6 +17,13 @@ vet:
 ## lint: project-specific invariants (qatklint); exit 1 on any finding
 lint:
 	$(GO) run ./cmd/qatklint ./...
+
+## lint-json: qatklint findings as machine-readable JSON -> lint.json
+## (the CI artifact; written even when there are findings, so a red run
+## still leaves the evidence behind)
+lint-json:
+	$(GO) run ./cmd/qatklint -json ./... > lint.json; \
+	  status=$$?; cat lint.json; exit $$status
 
 ## race: full test suite under the race detector
 race:
@@ -53,3 +60,13 @@ bench-load:
 	$(GO) run ./cmd/loadgen -shards 4 -slow-shard 2 -slow-delay 50ms \
 	  -rps 200 -duration 10s -slo-p99 50ms | \
 	  $(GO) run ./cmd/benchjson -o BENCH_pr6.json
+
+## bench-alloc: the //qatk:hotpath contract in numbers -> BENCH_pr7.json.
+## Runs the hot-path benchmarks with -benchmem and fails unless every
+## metric mutator (BenchmarkHot*) and disabled-observability fast path
+## (*Disabled) reports exactly 0 allocs/op.
+bench-alloc:
+	$(GO) test -run '^$$' -bench 'BenchmarkHot|Disabled$$' -benchmem \
+	  ./internal/obs ./internal/obs/flight ./internal/pipeline | \
+	  $(GO) run ./cmd/benchjson -assert-zero-allocs '/BenchmarkHot|Disabled$$' \
+	  -o BENCH_pr7.json

@@ -18,7 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -45,14 +47,16 @@ type File struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout only echoes input)")
+	assertZero := flag.String("assert-zero-allocs", "",
+		"regexp of benchmark keys (pkg/BenchmarkName) that must report 0 allocs/op; any violation, or a match without an allocs/op column, fails the run")
 	flag.Parse()
-	if err := run(os.Stdin, os.Stdout, *out); err != nil {
+	if err := run(os.Stdin, os.Stdout, *out, *assertZero); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in *os.File, echo *os.File, outPath string) error {
+func run(in *os.File, echo *os.File, outPath, assertZero string) error {
 	doc := File{Go: runtime.Version(), Benchmarks: map[string]Result{}}
 	pkg := ""
 	sc := bufio.NewScanner(in)
@@ -81,6 +85,11 @@ func run(in *os.File, echo *os.File, outPath string) error {
 	if len(doc.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark result lines in input")
 	}
+	if assertZero != "" {
+		if err := checkZeroAllocs(doc, assertZero); err != nil {
+			return err
+		}
+	}
 	if outPath == "" {
 		return nil
 	}
@@ -92,6 +101,42 @@ func run(in *os.File, echo *os.File, outPath string) error {
 		return err
 	}
 	fmt.Fprintf(echo, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), outPath)
+	return nil
+}
+
+// checkZeroAllocs enforces the hot-path allocation contract on the parsed
+// results: every benchmark whose key matches the pattern must carry an
+// allocs/op column reading exactly 0. A pattern matching no benchmark at
+// all is its own failure — a vacuous gate would pass silently when the
+// benchmarks are renamed away.
+func checkZeroAllocs(doc File, pattern string) error {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("-assert-zero-allocs: %w", err)
+	}
+	keys := make([]string, 0, len(doc.Benchmarks))
+	for key := range doc.Benchmarks {
+		if re.MatchString(key) {
+			keys = append(keys, key)
+		}
+	}
+	if len(keys) == 0 {
+		return fmt.Errorf("-assert-zero-allocs %q matched no benchmark", pattern)
+	}
+	sort.Strings(keys)
+	var bad []string
+	for _, key := range keys {
+		r := doc.Benchmarks[key]
+		switch {
+		case r.AllocsOp == nil:
+			bad = append(bad, key+": no allocs/op column (run with -benchmem)")
+		case *r.AllocsOp != 0:
+			bad = append(bad, fmt.Sprintf("%s: %g allocs/op, want 0", key, *r.AllocsOp))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("hot-path allocation gate failed:\n  %s", strings.Join(bad, "\n  "))
+	}
 	return nil
 }
 

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -195,7 +196,7 @@ func runFeasibility(corpus *datagen.Corpus) {
 	}
 	tracer := obs.NewTracer(256)
 	reader := bundle.NewReader(corpus.Bundles, bundle.TrainingSources())
-	stats, err := p.RunWithConfig(reader, nil, pipeline.RunConfig{
+	stats, err := p.RunWithConfig(context.Background(), reader, nil, pipeline.RunConfig{
 		DeadLetter: func(d pipeline.DeadLetter) error {
 			fmt.Fprintf(os.Stderr, "pipeline: skipping bundle %d (%s): %v\n", d.Index, d.DocID, d.Err)
 			return nil

@@ -238,6 +238,7 @@ func run(o options, out io.Writer) error {
 	if interval <= 0 {
 		interval = time.Microsecond
 	}
+	//lint:ignore qatklint/goroleak the dispatcher self-terminates when the run duration elapses and hands the workers their exit by closing jobs; the workers' WaitGroup is the join
 	go func() {
 		defer close(jobs)
 		start := time.Now()

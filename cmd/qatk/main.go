@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -218,7 +219,7 @@ func run(o options, cmd string, rest []string) error {
 		if o.errorBudget > 0 {
 			cfg.DeadLetter = func(pipeline.DeadLetter) error { return nil }
 		}
-		mem, stats, err := tk.TrainRun(assigned, cfg)
+		mem, stats, err := tk.TrainRun(context.Background(), assigned, cfg)
 		if err != nil {
 			return err
 		}

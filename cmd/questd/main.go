@@ -199,6 +199,7 @@ func run(o options) error {
 		mux := pprofMux()
 		mux.Handle("/debug/bundle", recorder.Handler())
 		dbg := &http.Server{Addr: o.debugAddr, Handler: mux}
+		//lint:ignore qatklint/goroleak the debug listener is process-lifetime by design: it dies with the daemon, and tearing it down on drain would cut off pprof exactly when a stuck shutdown needs diagnosing
 		go func() {
 			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Error("debug server failed", obs.L("addr", o.debugAddr), obs.L("err", err.Error()))

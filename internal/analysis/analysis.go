@@ -52,6 +52,9 @@ type Pass struct {
 	// `go list -deps`), letting analyzers scope themselves to packages
 	// that depend on a subsystem without walking the import graph.
 	Deps map[string]bool
+	// Prog is the whole-load call-graph view shared by every pass of one
+	// driver run; nil when the driver was handed no packages.
+	Prog *Program
 
 	report func(Diagnostic)
 }
@@ -61,6 +64,21 @@ type Pass struct {
 // the JSON output carries for tooling.
 func (p *Pass) Reportf(pos token.Pos, category, format string, args ...any) {
 	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Category: category,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportPosf records a finding at an already-resolved file position. It
+// exists for analyzers whose evidence comes from outside the AST —
+// hotalloc's findings originate in compiler escape diagnostics that only
+// carry file:line:col text, not a token.Pos.
+func (p *Pass) ReportPosf(position token.Position, category, format string, args ...any) {
 	p.report(Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Category: category,

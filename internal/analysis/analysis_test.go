@@ -65,6 +65,10 @@ func TestLoadFixtureModule(t *testing.T) {
 		"qatktest/metrics",
 		"qatktest/locks",
 		"qatktest/suppress",
+		"qatktest/ctxflow",
+		"qatktest/goroleak",
+		"qatktest/guarded",
+		"qatktest/hotalloc",
 	} {
 		p := byPath[want]
 		if p == nil {
@@ -213,16 +217,23 @@ func TestSuppression(t *testing.T) {
 			inFile = append(inFile, d)
 		}
 	}
-	var malformed, errattr int
+	var malformed, unused, errattr, lockcopy int
 	for _, d := range inFile {
-		switch d.Analyzer {
-		case "suppression":
+		switch {
+		case d.Analyzer == "suppression" && d.Category == "unused":
+			unused++
+			if !strings.Contains(d.Message, "matched no diagnostic") {
+				t.Errorf("unexpected stale-suppression diagnostic: %s", d.String())
+			}
+		case d.Analyzer == "suppression":
 			malformed++
 			if !strings.Contains(d.Message, "requires a reason") && !strings.Contains(d.Message, "unknown check") {
 				t.Errorf("unexpected suppression diagnostic: %s", d.String())
 			}
-		case "errattr":
+		case d.Analyzer == "errattr":
 			errattr++
+		case d.Analyzer == "lockcopy":
+			lockcopy++
 		default:
 			t.Errorf("unexpected analyzer in suppress fixture: %s", d.String())
 		}
@@ -230,10 +241,56 @@ func TestSuppression(t *testing.T) {
 	if malformed != 2 {
 		t.Errorf("malformed suppressions reported = %d, want 2 (reasonless + unknown check)", malformed)
 	}
-	// Three %v sites exist; exactly one is silenced by the well-formed
-	// suppression.
+	// Unused's suppression matches nothing: exactly one stale finding.
+	if unused != 1 {
+		t.Errorf("stale suppressions reported = %d, want 1", unused)
+	}
+	// Four %v sites exist; the well-formed suppressions silence the ones
+	// in Wrapped and MultiDiag.
 	if errattr != 2 {
-		t.Errorf("surviving errattr findings = %d, want 2 (one suppressed)", errattr)
+		t.Errorf("surviving errattr findings = %d, want 2 (two suppressed)", errattr)
+	}
+	// MultiDiag's suppression names errattr only: the lockcopy finding
+	// sharing the line survives.
+	if lockcopy != 1 {
+		t.Errorf("surviving lockcopy findings = %d, want 1 (multi-diagnostic line)", lockcopy)
+	}
+}
+
+// TestHotAllocGate pins the acceptance behavior of the allocation gate:
+// a //qatk:hotpath function that heap-allocates IS a finding (the fixture
+// would fail the lint), while stack-only, acknowledged and suppressed
+// allocations are not.
+func TestHotAllocGate(t *testing.T) {
+	_, _, diags := loadFixtures(t)
+	var hits []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == "hotalloc" && strings.HasSuffix(filepath.ToSlash(d.File), "/hotalloc/hotalloc.go") {
+			hits = append(hits, d)
+		}
+	}
+	if len(hits) == 0 {
+		t.Fatal("hotalloc produced no findings on its fixture: the gate does not fail on heap escapes")
+	}
+	var boxed, moved bool
+	for _, d := range hits {
+		if strings.Contains(d.Message, "escapes to heap") && strings.Contains(d.Message, "Box") {
+			boxed = true
+		}
+		if strings.Contains(d.Message, "moved to heap") && strings.Contains(d.Message, "Escape") {
+			moved = true
+		}
+		for _, clean := range []string{"Sum", "Cold", "Acknowledged", "Tolerated"} {
+			if strings.Contains(d.Message, "function "+clean) {
+				t.Errorf("hotalloc flagged %s, want clean (stack-only/unannotated/acknowledged/suppressed): %s", clean, d.String())
+			}
+		}
+	}
+	if !boxed {
+		t.Error("interface boxing in Box was not reported")
+	}
+	if !moved {
+		t.Error("heap move in Escape was not reported")
 	}
 }
 

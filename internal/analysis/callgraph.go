@@ -1,0 +1,306 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Cross-function dataflow support. The single-pass analyzers inspect one
+// package at a time; the request-path analyzers (ctxflow, goroleak) need
+// to know how control flows *between* functions — a context dropped three
+// calls below a handler is just as lost as one dropped in the handler.
+// Program is the whole-module view the driver builds once per run: every
+// declared function, a static-dispatch call graph over them, and
+// interface-method edges resolved to the in-repo implementations.
+//
+// The graph is deliberately static: calls through function values, fields
+// of func type, and reflection are not resolved (the repository's hook
+// seams — shard.FaultHook, pipeline.DeadLetterFunc — are therefore edges
+// the graph does not see; analyzers that care must say so in their docs).
+
+// Program is the whole-load view shared by every pass of one driver run.
+type Program struct {
+	Pkgs []*Package
+
+	// Decls maps every function and method declared (with a body) in the
+	// loaded root packages to its declaration.
+	Decls map[*types.Func]*ast.FuncDecl
+	// PkgOf maps each declared function to the package declaring it.
+	PkgOf map[*types.Func]*Package
+	// Calls holds the static call edges: caller to the set of resolved
+	// callees, including in-repo implementations of called interface
+	// methods. Calls made inside function literals belong to the
+	// enclosing declared function.
+	Calls map[*types.Func][]*types.Func
+
+	// methodsByName indexes declared methods by name for interface
+	// resolution.
+	methodsByName map[string][]*types.Func
+
+	reach     map[*types.Func]bool // memoized request-path reachability
+	reachDone bool
+}
+
+// BuildProgram constructs the call graph over the loaded root packages.
+func BuildProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		Pkgs:          pkgs,
+		Decls:         map[*types.Func]*ast.FuncDecl{},
+		PkgOf:         map[*types.Func]*Package{},
+		Calls:         map[*types.Func][]*types.Func{},
+		methodsByName: map[string][]*types.Func{},
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				prog.Decls[obj] = fd
+				prog.PkgOf[obj] = pkg
+				if fd.Recv != nil {
+					prog.methodsByName[obj.Name()] = append(prog.methodsByName[obj.Name()], obj)
+				}
+			}
+		}
+	}
+	for obj, fd := range prog.Decls {
+		prog.addEdges(obj, fd)
+	}
+	// Deterministic edge order: analyzers iterate callees while reporting.
+	for caller, callees := range prog.Calls {
+		sort.Slice(callees, func(i, j int) bool {
+			return callees[i].FullName() < callees[j].FullName()
+		})
+		prog.Calls[caller] = dedupeFuncs(callees)
+	}
+	return prog
+}
+
+// addEdges records every resolvable call made inside fn's declaration
+// (function literals included — a goroutine launched in fn is still fn's
+// control flow).
+func (prog *Program) addEdges(fn *types.Func, fd *ast.FuncDecl) {
+	info := prog.PkgOf[fn].Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(info, call)
+		if callee == nil {
+			return true
+		}
+		if _, declared := prog.Decls[callee]; declared {
+			prog.Calls[fn] = append(prog.Calls[fn], callee)
+			return true
+		}
+		if impls := prog.implementations(callee); len(impls) > 0 {
+			prog.Calls[fn] = append(prog.Calls[fn], impls...)
+		}
+		return true
+	})
+}
+
+// implementations resolves an interface method to the in-repo methods
+// that implement it: declared methods of the same name whose receiver
+// type satisfies the interface.
+func (prog *Program) implementations(callee *types.Func) []*types.Func {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*types.Func
+	for _, m := range prog.methodsByName[callee.Name()] {
+		recv := m.Type().(*types.Signature).Recv()
+		if recv == nil {
+			continue
+		}
+		t := recv.Type()
+		if types.Implements(t, iface) || types.Implements(types.NewPointer(derefType(t)), iface) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Reachable computes the transitive callee closure of the given roots.
+func (prog *Program) Reachable(roots []*types.Func) map[*types.Func]bool {
+	seen := map[*types.Func]bool{}
+	queue := append([]*types.Func(nil), roots...)
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if seen[fn] {
+			continue
+		}
+		seen[fn] = true
+		queue = append(queue, prog.Calls[fn]...)
+	}
+	return seen
+}
+
+// FuncsOf returns the declared functions of one package in source order.
+func (prog *Program) FuncsOf(pkg *types.Package) []*types.Func {
+	var out []*types.Func
+	for obj, p := range prog.PkgOf {
+		if p.Types == pkg {
+			out = append(out, obj)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return prog.Decls[out[i]].Pos() < prog.Decls[out[j]].Pos() })
+	return out
+}
+
+// derefType unwraps one pointer level.
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// dedupeFuncs removes adjacent duplicates from a sorted callee list.
+func dedupeFuncs(fns []*types.Func) []*types.Func {
+	out := fns[:0]
+	for i, fn := range fns {
+		if i > 0 && fn == fns[i-1] {
+			continue
+		}
+		out = append(out, fn)
+	}
+	return out
+}
+
+// --- request-path roots --------------------------------------------------
+
+// Request-path roots are where a request's context budget is born. The
+// set is deliberately scoped to request entry points and excludes
+// lifecycle and shutdown code: a graceful-drain path (quest.ServeUntil's
+// shutdown timeout, main's signal context) legitimately derives a fresh
+// context.Background() because the request contexts are exactly what is
+// being drained. The roots are:
+//
+//   - HTTP handlers: any declared function or method whose parameters
+//     include net/http.ResponseWriter and *net/http.Request.
+//   - Serving-tier entry points: exported methods of a type named Router
+//     in a package path ending in internal/shard taking a
+//     context.Context.
+//   - The collection pipeline: a function named RunWithConfig in a
+//     package path ending in internal/pipeline.
+//   - Any function annotated with a //qatk:ctxroot doc comment.
+func (prog *Program) requestPathRoots() []*types.Func {
+	var roots []*types.Func
+	for obj, fd := range prog.Decls {
+		if prog.isRequestRoot(obj, fd) {
+			roots = append(roots, obj)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
+	return roots
+}
+
+func (prog *Program) isRequestRoot(obj *types.Func, fd *ast.FuncDecl) bool {
+	if hasDirective(fd.Doc, "qatk:ctxroot") {
+		return true
+	}
+	if isHandlerShaped(obj) {
+		return true
+	}
+	pkgPath := obj.Pkg().Path()
+	if pathIs(pkgPath, "internal/pipeline") && obj.Name() == "RunWithConfig" {
+		return true
+	}
+	if pathIs(pkgPath, "internal/shard") && fd.Recv != nil && ast.IsExported(obj.Name()) {
+		if named, ok := derefType(obj.Type().(*types.Signature).Recv().Type()).(*types.Named); ok &&
+			named.Obj().Name() == "Router" && hasCtxParam(obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// RequestPathReachable returns (memoized) the set of declared functions
+// reachable from the request-path roots.
+func (prog *Program) RequestPathReachable() map[*types.Func]bool {
+	if !prog.reachDone {
+		prog.reach = prog.Reachable(prog.requestPathRoots())
+		prog.reachDone = true
+	}
+	return prog.reach
+}
+
+// isHandlerShaped reports whether fn's parameters include an
+// http.ResponseWriter and a *http.Request — the net/http handler
+// contract, whose request carries the context.
+func isHandlerShaped(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	var w, r bool
+	for i := 0; i < sig.Params().Len(); i++ {
+		switch types.TypeString(sig.Params().At(i).Type(), nil) {
+		case "net/http.ResponseWriter":
+			w = true
+		case "*net/http.Request":
+			r = true
+		}
+	}
+	return w && r
+}
+
+// hasCtxParam reports whether fn takes a context.Context parameter.
+func hasCtxParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return t != nil && types.TypeString(t, nil) == "context.Context"
+}
+
+// hasDirective reports whether a comment group contains a //qatk:<name>
+// machine directive (exact token, optionally followed by arguments).
+func hasDirective(cg *ast.CommentGroup, directive string) bool {
+	_, ok := directiveArg(cg, directive)
+	return ok
+}
+
+// directiveArg extracts the argument text of a //qatk:<name> directive
+// from a comment group ("" when the directive is bare).
+func directiveArg(cg *ast.CommentGroup, directive string) (string, bool) {
+	if cg == nil {
+		return "", false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if text == directive {
+			return "", true
+		}
+		if strings.HasPrefix(text, directive+" ") {
+			return strings.TrimSpace(strings.TrimPrefix(text, directive+" ")), true
+		}
+	}
+	return "", false
+}

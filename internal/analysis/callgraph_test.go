@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// progFixture builds the whole-module Program over the shared fixture
+// load; the graph is immutable so one build serves every test below.
+func progFixture(t *testing.T) *Program {
+	t.Helper()
+	_, pkgs, _ := loadFixtures(t)
+	return BuildProgram(pkgs)
+}
+
+// fixtureFunc locates a declared function of the fixture program by a
+// FullName substring ("qatktest/ctxflow.Handle").
+func fixtureFunc(t *testing.T, prog *Program, fullName string) *types.Func {
+	t.Helper()
+	for obj := range prog.Decls {
+		if strings.Contains(obj.FullName(), fullName) {
+			return obj
+		}
+	}
+	t.Fatalf("function %q not declared in the fixture program", fullName)
+	return nil
+}
+
+// TestCallGraphResolvesInterfaceEdges: a call through the ctxflow fixture's
+// store interface must resolve to the declared memstore.get implementation —
+// the edge the sleep-on-path finding depends on.
+func TestCallGraphResolvesInterfaceEdges(t *testing.T) {
+	prog := progFixture(t)
+	useStore := fixtureFunc(t, prog, "ctxflow.useStore")
+	get := fixtureFunc(t, prog, "ctxflow.memstore).get")
+
+	found := false
+	for _, callee := range prog.Calls[useStore] {
+		if callee == get {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("useStore's interface call did not resolve to memstore.get; callees: %v", prog.Calls[useStore])
+	}
+}
+
+// TestRequestPathReachability: everything Handle calls — including the
+// interface-resolved memstore.get two hops down — is request-path
+// reachable; the offline function is not.
+func TestRequestPathReachability(t *testing.T) {
+	prog := progFixture(t)
+	reach := prog.RequestPathReachable()
+
+	for _, name := range []string{
+		"ctxflow.Handle",        // the //qatk:ctxroot root itself
+		"ctxflow.detach",        // direct callee
+		"ctxflow.lookup",        // via relay
+		"ctxflow.memstore).get", // through the store interface
+	} {
+		if !reach[fixtureFunc(t, prog, name)] {
+			t.Errorf("%s is not request-path reachable, want reachable", name)
+		}
+	}
+	if reach[fixtureFunc(t, prog, "ctxflow.offline")] {
+		t.Error("offline is request-path reachable, want unreachable (no root calls it)")
+	}
+}
+
+// TestReachableIsTransitiveClosure: Reachable from an explicit root walks
+// edges transitively and includes the root.
+func TestReachableIsTransitiveClosure(t *testing.T) {
+	prog := progFixture(t)
+	relay := fixtureFunc(t, prog, "ctxflow.relay")
+	lookup := fixtureFunc(t, prog, "ctxflow.lookup")
+	handle := fixtureFunc(t, prog, "ctxflow.Handle")
+
+	reach := prog.Reachable([]*types.Func{relay})
+	if !reach[relay] {
+		t.Error("root not in its own reachable set")
+	}
+	if !reach[lookup] {
+		t.Error("lookup not reachable from relay")
+	}
+	if reach[handle] {
+		t.Error("Handle reachable from relay: edges must not be walked backwards")
+	}
+}
+
+// TestFuncsOfSourceOrder: FuncsOf returns one package's declarations in
+// source position order, so analyzers report deterministically.
+func TestFuncsOfSourceOrder(t *testing.T) {
+	prog := progFixture(t)
+	handle := fixtureFunc(t, prog, "ctxflow.Handle")
+	pkg := handle.Pkg()
+
+	fns := prog.FuncsOf(pkg)
+	if len(fns) == 0 {
+		t.Fatal("FuncsOf returned no functions for the ctxflow fixture")
+	}
+	for i := 1; i < len(fns); i++ {
+		if prog.Decls[fns[i-1]].Pos() >= prog.Decls[fns[i]].Pos() {
+			t.Errorf("FuncsOf out of source order at %d: %s before %s",
+				i, fns[i-1].Name(), fns[i].Name())
+		}
+	}
+	for _, fn := range fns {
+		if fn.Pkg() != pkg {
+			t.Errorf("FuncsOf leaked a foreign function: %s", fn.FullName())
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow checks that the request path propagates context.Context.
+//
+// The serving tier budgets every request with a deadline (per-shard
+// timeouts, hedged attempts cancelled via context); that machinery only
+// works if the context actually flows from the entry point to the code
+// doing the waiting. A context.Background() three calls below a handler
+// silently detaches everything beneath it from the request budget.
+//
+// The analyzer computes the set of functions reachable (over the static
+// call graph, interface methods resolved to in-repo implementations)
+// from the request-path roots:
+//
+//   - HTTP handlers: declared functions and methods whose parameters
+//     include net/http.ResponseWriter and *net/http.Request;
+//   - exported context-taking methods of internal/shard.Router;
+//   - internal/pipeline.RunWithConfig, the batch entry point whose
+//     per-document loop honors cancellation;
+//   - anything annotated //qatk:ctxroot.
+//
+// The root set is deliberately scoped to request ENTRY points.
+// Lifecycle and shutdown code — quest.ServeUntil's graceful-drain
+// timeout, main()'s signal context — is not a root: a drain path
+// legitimately derives a fresh context.Background() because the request
+// contexts are exactly what is being drained. Scoping the roots keeps
+// those paths exempt by design instead of by suppression.
+//
+// Within the reachable set, four shapes are findings:
+//
+//	background-call  context.Background()/context.TODO() severs the
+//	                 caller's deadline and cancellation;
+//	sleep-on-path    time.Sleep ignores cancellation — select on the
+//	                 context's Done channel and a timer instead;
+//	missing-ctx      a reachable function with no context parameter (and
+//	                 no *http.Request to derive one from) calls an
+//	                 in-repo context-taking function, so it has nothing
+//	                 legitimate to forward;
+//	ctx-field        a struct field of type context.Context (checked in
+//	                 every loaded package, reachable or not): contexts
+//	                 are call-scoped values, and storing one hides the
+//	                 request budget from this analysis and from readers.
+//
+// Calls through function values and hook seams (shard.FaultHook,
+// pipeline's dead-letter func) are not in the static call graph, so code
+// reached only through them is not checked.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "functions reachable from request-path roots (HTTP handlers, shard.Router " +
+		"entry points, pipeline.RunWithConfig, //qatk:ctxroot) must propagate " +
+		"context.Context: no context.Background()/TODO() below a root, no " +
+		"time.Sleep on the request path, no context stored in struct fields.",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	// ctx-field: flagged at the declaration wherever it appears.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if isContextType(pass.Info.TypeOf(field.Type)) {
+					pass.Reportf(field.Pos(), "ctx-field",
+						"context.Context stored in a struct field; contexts are call-scoped — pass one as a parameter so cancellation follows the call path")
+				}
+			}
+			return true
+		})
+	}
+
+	if pass.Prog == nil {
+		return nil
+	}
+	reach := pass.Prog.RequestPathReachable()
+	for _, fn := range pass.Prog.FuncsOf(pass.Pkg) {
+		if !reach[fn] {
+			continue
+		}
+		fd := pass.Prog.Decls[fn]
+		hasCtx := hasCtxParam(fn)
+		hasReq := hasRequestParam(fn)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.Info, call)
+			if callee == nil {
+				return true
+			}
+			switch callee.FullName() {
+			case "context.Background", "context.TODO":
+				pass.Reportf(call.Pos(), "background-call",
+					"context.%s in %s severs the request's deadline and cancellation; derive from the inbound context", callee.Name(), fn.Name())
+			case "time.Sleep":
+				pass.Reportf(call.Pos(), "sleep-on-path",
+					"time.Sleep in request-path %s ignores cancellation; select on the context's Done channel and a timer instead", fn.Name())
+			}
+			if !hasCtx && !hasReq && hasCtxParam(callee) {
+				if _, declared := pass.Prog.Decls[callee]; declared {
+					pass.Reportf(call.Pos(), "missing-ctx",
+						"request-path %s has no context parameter but calls context-taking %s; add a ctx parameter and forward it", fn.Name(), callee.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// hasRequestParam reports whether fn receives a *http.Request, giving it
+// a legitimate context source via r.Context().
+func hasRequestParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if types.TypeString(sig.Params().At(i).Type(), nil) == "*net/http.Request" {
+			return true
+		}
+	}
+	return false
+}

@@ -14,6 +14,7 @@ import (
 type suppression struct {
 	file     string
 	line     int // line the comment sits on
+	col      int
 	analyzer string
 	reason   string
 }
@@ -59,6 +60,7 @@ func parseSuppressions(fset *token.FileSet, f *ast.File, known map[string]bool, 
 			out = append(out, suppression{
 				file:     pos.Filename,
 				line:     pos.Line,
+				col:      pos.Column,
 				analyzer: name,
 				reason:   strings.Join(fields[2:], " "),
 			})
@@ -70,7 +72,10 @@ func parseSuppressions(fset *token.FileSet, f *ast.File, known map[string]bool, 
 // Run applies every analyzer to every package and returns the surviving
 // diagnostics sorted by file, line, column and analyzer. A finding is
 // dropped when a well-formed suppression for its analyzer sits on the
-// same line or the line directly above.
+// same line or the line directly above. A suppression that drops nothing
+// is itself a finding (analyzer "suppression", category "unused"): stale
+// suppressions must not outlive the code they excused. Unused-suppression
+// findings cannot be suppressed in turn — delete the stale comment.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
@@ -80,16 +85,22 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnos
 	var diags []Diagnostic
 	collect := func(d Diagnostic) { diags = append(diags, d) }
 
-	suppressed := map[string]bool{} // "file:line:analyzer"
+	var supps []suppression
+	covering := map[string][]int{} // "file:line:analyzer" -> supps indices
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, s := range parseSuppressions(fset, f, known, collect) {
-				suppressed[fmt.Sprintf("%s:%d:%s", s.file, s.line, s.analyzer)] = true
-				suppressed[fmt.Sprintf("%s:%d:%s", s.file, s.line+1, s.analyzer)] = true
+				supps = append(supps, s)
+				i := len(supps) - 1
+				for _, line := range []int{s.line, s.line + 1} {
+					key := fmt.Sprintf("%s:%d:%s", s.file, line, s.analyzer)
+					covering[key] = append(covering[key], i)
+				}
 			}
 		}
 	}
 
+	prog := BuildProgram(pkgs)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -99,6 +110,7 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnos
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				Deps:     pkg.Deps,
+				Prog:     prog,
 				report:   collect,
 			}
 			if err := a.Run(pass); err != nil {
@@ -107,12 +119,29 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnos
 		}
 	}
 
+	used := make([]bool, len(supps))
 	kept := diags[:0]
 	for _, d := range diags {
-		if suppressed[fmt.Sprintf("%s:%d:%s", d.File, d.Line, d.Analyzer)] {
+		if idxs := covering[fmt.Sprintf("%s:%d:%s", d.File, d.Line, d.Analyzer)]; len(idxs) > 0 {
+			for _, i := range idxs {
+				used[i] = true
+			}
 			continue
 		}
 		kept = append(kept, d)
+	}
+	for i, s := range supps {
+		if used[i] {
+			continue
+		}
+		kept = append(kept, Diagnostic{
+			Analyzer: "suppression",
+			Category: "unused",
+			File:     s.file,
+			Line:     s.line,
+			Col:      s.col,
+			Message:  fmt.Sprintf("suppression of qatklint/%s matched no diagnostic; delete the stale comment", s.analyzer),
+		})
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak checks that every `go` statement has a provable join or
+// cancel path — the hygiene internal/shard's hedging hand-proves with
+// goroutine-count bracketing in its tests, promoted to a compile-time
+// contract. A goroutine with none of the shapes below can outlive its
+// request forever: blocked on an unbuffered send after the receiver gave
+// up, or spinning with no one able to tell it to stop.
+//
+// Accepted evidence, looked for in the goroutine's body (a function
+// literal, or the declaration of the called function/method resolved
+// through the call graph, one level deep):
+//
+//   - a (*sync.WaitGroup).Done call — the launcher can Wait for it;
+//   - any channel receive (<-ch, a select with a receive case, or
+//     for-range over a channel) — the goroutine has a signal it drains
+//     or blocks on, including ctx.Done() and quit channels;
+//   - every channel send in the body targets a channel provably created
+//     with a non-zero buffer in the surrounding function, so senders
+//     cannot block even if the receiver abandoned the rendezvous (the
+//     hedging pattern: make(chan out, len(attempts)) outlives losers).
+//
+// A `go` call that cannot be resolved (function value, method of an
+// unloaded type) is reported as category "unresolved": the analyzer
+// cannot vouch for it, and a suppression must say why a human can.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "every `go` statement needs a provable join or cancel path: a WaitGroup.Done, " +
+		"a channel receive/select/range in the body, or all sends on provably " +
+		"buffered channels; anything else can leak the goroutine permanently.",
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) error {
+	eachFunc(pass, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, info, search := goroutineBody(pass, fd, gs)
+			if body == nil {
+				pass.Reportf(gs.Pos(), "unresolved",
+					"cannot resolve the goroutine body statically, so no join or cancel path can be proven")
+				return true
+			}
+			if !goroutineJoinEvidence(info, body, search) {
+				pass.Reportf(gs.Pos(), "no-join",
+					"goroutine has no provable join or cancel path (no WaitGroup.Done, no channel receive, and not all sends provably buffered); it can leak permanently")
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// goroutineBody resolves the body a `go` statement will execute: the
+// literal itself, or — one level through the call graph — the declared
+// function or method being launched. search is the declaration enclosing
+// the body, used to resolve channel buffer capacities.
+func goroutineBody(pass *Pass, enclosing *ast.FuncDecl, gs *ast.GoStmt) (ast.Node, *types.Info, *ast.FuncDecl) {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body, pass.Info, enclosing
+	}
+	callee := calleeFunc(pass.Info, gs.Call)
+	if callee == nil || pass.Prog == nil {
+		return nil, nil, nil
+	}
+	fd, ok := pass.Prog.Decls[callee]
+	if !ok {
+		return nil, nil, nil
+	}
+	return fd.Body, pass.Prog.PkgOf[callee].Info, fd
+}
+
+// goroutineJoinEvidence reports whether the body contains any accepted
+// join/cancel shape (see the analyzer doc).
+func goroutineJoinEvidence(info *types.Info, body ast.Node, search *ast.FuncDecl) bool {
+	joined := false
+	var sends []*ast.SendStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, x); fn != nil && fn.FullName() == "(*sync.WaitGroup).Done" {
+				joined = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				joined = true // a receive: the goroutine drains or blocks on a signal
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					joined = true
+				}
+			}
+		case *ast.SendStmt:
+			sends = append(sends, x)
+		}
+		return !joined
+	})
+	if joined {
+		return true
+	}
+	if len(sends) == 0 {
+		return false
+	}
+	for _, s := range sends {
+		if !chanProvablyBuffered(info, s.Chan, search) {
+			return false
+		}
+	}
+	return true
+}
+
+// chanProvablyBuffered reports whether ch resolves to a local channel
+// created with a non-zero buffer inside search. A constant capacity must
+// be non-zero; a non-constant capacity (make(chan T, len(xs))) is
+// accepted — the launcher sized the buffer to its fan-out.
+func chanProvablyBuffered(info *types.Info, ch ast.Expr, search *ast.FuncDecl) bool {
+	id, ok := ast.Unparen(ch).(*ast.Ident)
+	if !ok || search == nil {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	buffered := false
+	ast.Inspect(search, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				lid, ok := lhs.(*ast.Ident)
+				if !ok || info.Defs[lid] != obj || i >= len(x.Rhs) {
+					continue
+				}
+				if makeChanBuffered(info, x.Rhs[i]) {
+					buffered = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range x.Names {
+				if info.Defs[name] != obj || i >= len(x.Values) {
+					continue
+				}
+				if makeChanBuffered(info, x.Values[i]) {
+					buffered = true
+				}
+			}
+		}
+		return !buffered
+	})
+	return buffered
+}
+
+// makeChanBuffered reports whether e is make(chan T, n) with n provably
+// non-zero (non-zero constant, or any non-constant capacity expression).
+func makeChanBuffered(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || !isBuiltinCall(info, call, "make") || len(call.Args) < 2 {
+		return false
+	}
+	if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil {
+		return tv.Value.String() != "0"
+	}
+	return true
+}

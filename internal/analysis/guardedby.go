@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GuardedBy enforces a machine-checked lock-ownership vocabulary:
+//
+//	type Breaker struct {
+//		mu    sync.Mutex
+//		state State //qatk:guardedby mu
+//	}
+//
+// Every read or write of an annotated field must happen while the named
+// sibling lock is statically held (see walkHeld in helpers.go): between
+// an X.Lock()/X.RLock() and the matching release on the same path, with
+// defer X.Unlock() holding to function end. Writes additionally require
+// the exclusive lock — mutating a field under RLock is its own category.
+//
+// Escape hatches that match the repository's idioms rather than fight
+// them:
+//
+//   - functions whose name ends in "Locked" are skipped entirely — the
+//     caller-holds-the-lock convention (reldb's writableLocked et al.)
+//     is exactly the case the annotation cannot see locally;
+//   - composite literals do not count as accesses, so constructors can
+//     initialize fields before the value is shared;
+//   - code inside `go` statements is analyzed with an empty lock set —
+//     a goroutine does not inherit the launcher's critical section.
+//
+// The annotation must name a sibling field of the same struct; anything
+// else is reported as category "bad-annotation". Annotations are checked
+// within the declaring package (all current annotations guard unexported
+// fields, which cannot be accessed elsewhere anyway).
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc: "fields annotated //qatk:guardedby <lock> may only be accessed while the " +
+		"named sibling sync.Mutex/RWMutex is statically held; writes require the " +
+		"exclusive lock. Functions named *Locked are exempt (caller holds it).",
+	Run: runGuardedBy,
+}
+
+func runGuardedBy(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	eachFunc(pass, func(fd *ast.FuncDecl) {
+		if isLockedSuffixed(fd.Name.Name) {
+			return
+		}
+		walkHeld(pass.Info, fd.Body, func(n ast.Node, held heldSet) {
+			writes := writeTargets(n)
+			ast.Inspect(n, func(m ast.Node) bool {
+				sel, ok := m.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection, ok := pass.Info.Selections[sel]
+				if !ok {
+					return true
+				}
+				fieldVar, ok := selection.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				lockName, guarded := guards[fieldVar]
+				if !guarded {
+					return true
+				}
+				base, ok := lockExprKey(pass.Info, sel.X)
+				if !ok {
+					return true // unmodeled base (call result etc.): cannot key the lock
+				}
+				lockKey := base + "." + lockName
+				mode, heldAtAll := held[lockKey]
+				isWrite := writes[sel]
+				switch {
+				case !heldAtAll:
+					pass.Reportf(sel.Pos(), "unguarded",
+						"access to %s requires holding %s (//qatk:guardedby)", fieldVar.Name(), lockName)
+				case isWrite && mode == lockRead:
+					pass.Reportf(sel.Pos(), "write-under-rlock",
+						"write to %s requires the exclusive %s lock, but only RLock is held", fieldVar.Name(), lockName)
+				}
+				return true
+			})
+		})
+	})
+	return nil
+}
+
+// isLockedSuffixed reports the caller-holds-the-lock naming convention.
+func isLockedSuffixed(name string) bool {
+	return len(name) > len("Locked") && name[len(name)-len("Locked"):] == "Locked" || name == "Locked"
+}
+
+// collectGuards gathers //qatk:guardedby annotations from the pass's
+// struct declarations, validating that each names a sibling field.
+func collectGuards(pass *Pass) map[*types.Var]string {
+	guards := map[*types.Var]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			siblings := map[string]bool{}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					siblings[name.Name] = true
+				}
+			}
+			for _, field := range st.Fields.List {
+				arg, ok := directiveArg(field.Doc, "qatk:guardedby")
+				if !ok {
+					arg, ok = directiveArg(field.Comment, "qatk:guardedby")
+				}
+				if !ok {
+					continue
+				}
+				// The lock name is the first token; anything after is
+				// free-form commentary.
+				lockName := ""
+				if fields := strings.Fields(arg); len(fields) > 0 {
+					lockName = fields[0]
+				}
+				if lockName == "" || !siblings[lockName] {
+					pass.Reportf(field.Pos(), "bad-annotation",
+						"//qatk:guardedby must name a sibling field of the struct (got %q)", lockName)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						guards[v] = lockName
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// writeTargets collects the expressions written to within one visited
+// node: assignment left-hand sides (stripped of index/star/paren
+// wrapping), inc/dec operands, and unary & operands (taking the address
+// hands out mutable access).
+func writeTargets(n ast.Node) map[ast.Expr]bool {
+	writes := map[ast.Expr]bool{}
+	mark := func(e ast.Expr) {
+		for {
+			writes[e] = true
+			switch x := e.(type) {
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(x.X)
+		case *ast.UnaryExpr:
+			if x.Op.String() == "&" {
+				mark(x.X)
+			}
+		}
+		return true
+	})
+	return writes
+}

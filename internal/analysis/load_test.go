@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module under a temp dir: files maps
+// relative paths to contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadNoPackages: a module with no Go files is a load error, not an
+// empty (vacuously clean) analysis run.
+func TestLoadNoPackages(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":       "module nogo.test\n\ngo 1.22\n",
+		"README.md":    "no Go code here\n",
+		"doc/note.txt": "still none\n",
+	})
+	_, err := Load(token.NewFileSet(), dir)
+	if err == nil {
+		t.Fatal("Load succeeded on a module with no Go files, want error")
+	}
+	if !strings.Contains(err.Error(), "no packages matched") {
+		t.Errorf("err = %v, want mention of no packages matched", err)
+	}
+}
+
+// TestLoadToleratesBrokenDependency: a type error inside a dependency's
+// function body must not sink the analysis of the root that imports it —
+// the dependency's exported surface still type-checks, which is all the
+// root needs. (Load mirrors the stdlib tolerance: DepOnly packages that
+// do not check perfectly remain usable as imports.)
+func TestLoadToleratesBrokenDependency(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module brokendep.test\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+import "brokendep.test/internal/bad"
+
+// Use calls through to the broken dependency's healthy export.
+func Use() int { return bad.Healthy() }
+`,
+		"internal/bad/bad.go": `package bad
+
+// Healthy has a fine signature; the analysis of importers only needs
+// the exported surface.
+func Healthy() int { return 1 }
+
+// broken fails the type check inside its body.
+func broken() string { return 42 }
+`,
+	})
+	fset := token.NewFileSet()
+	pkgs, err := Load(fset, dir, "./a")
+	if err != nil {
+		t.Fatalf("Load failed on a root with a broken dependency: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "brokendep.test/a" {
+		t.Fatalf("roots = %v, want exactly brokendep.test/a", importPaths(pkgs))
+	}
+	if !pkgs[0].Deps["brokendep.test/internal/bad"] {
+		t.Error("root package is missing its broken dependency in Deps")
+	}
+
+	// The same type error in a *root* package stays fatal: the code under
+	// analysis itself must type check.
+	if _, err := Load(token.NewFileSet(), dir, "./..."); err == nil {
+		t.Error("Load succeeded with the broken package as a root, want type-check error")
+	}
+}
+
+// TestLoadBrokenRootReportsPackage: the fatal type-check error names the
+// offending package so the finding is actionable.
+func TestLoadBrokenRootReportsPackage(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module brokenroot.test\n\ngo 1.22\n",
+		"b/b.go": `package b
+
+func Bad() string { return 42 }
+`,
+	})
+	_, err := Load(token.NewFileSet(), dir)
+	if err == nil {
+		t.Fatal("Load succeeded on a broken root package, want error")
+	}
+	if !strings.Contains(err.Error(), "brokenroot.test/b") {
+		t.Errorf("err = %v, want the failing package named", err)
+	}
+}
+
+func importPaths(pkgs []*Package) []string {
+	var out []string
+	for _, p := range pkgs {
+		out = append(out, p.ImportPath)
+	}
+	return out
+}

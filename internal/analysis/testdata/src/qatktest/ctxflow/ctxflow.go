@@ -1,0 +1,88 @@
+// Package ctxflow exercises the ctxflow analyzer: context propagation
+// below a request-path root (declared here with //qatk:ctxroot so the
+// fixture does not need net/http), Background/TODO severing the budget,
+// sleeping on the request path, contexts stored in fields, and the
+// unreachable-code negative cases.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+// holder stashes a context for later: the budget no longer follows the
+// call path.
+type holder struct {
+	ctx context.Context // want ctxflow "stored in a struct field"
+}
+
+// store's get is called through the interface below; the analyzer must
+// resolve the edge to memstore.get to see its sleep.
+type store interface {
+	get(ctx context.Context) error
+}
+
+type memstore struct{}
+
+func (memstore) get(ctx context.Context) error {
+	time.Sleep(time.Millisecond) // want ctxflow "ignores cancellation"
+	return ctx.Err()
+}
+
+// Handle is this fixture's request-path root.
+//
+//qatk:ctxroot
+func Handle(ctx context.Context, s store) error {
+	detach()
+	drain()
+	if err := relay(); err != nil {
+		return err
+	}
+	if err := useStore(ctx, s); err != nil {
+		return err
+	}
+	return lookup(ctx)
+}
+
+// detach severs the request budget.
+func detach() {
+	ctx := context.Background() // want ctxflow "severs the request's deadline"
+	_ = ctx
+}
+
+// relay has nothing legitimate to forward to a context-taking callee.
+func relay() error {
+	return lookup(todoCtx()) // want ctxflow "no context parameter"
+}
+
+func todoCtx() context.Context {
+	return context.TODO() // want ctxflow "severs the request's deadline"
+}
+
+// useStore forwards properly through the interface call.
+func useStore(ctx context.Context, s store) error {
+	return s.get(ctx)
+}
+
+// lookup is the clean shape: ctx in, honored, forwarded nowhere.
+func lookup(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// drain detaches on purpose; the suppression records why.
+func drain() {
+	//lint:ignore qatklint/ctxflow fixture: drain path detaches by design
+	ctx := context.Background()
+	_ = ctx
+}
+
+// offline is reachable from no root: its Background is not the request
+// path's problem.
+func offline() *holder {
+	return &holder{ctx: context.Background()}
+}

@@ -1,0 +1,106 @@
+// Package goroleak exercises the goroleak analyzer: goroutines must
+// carry a provable join or cancel path — WaitGroup.Done, a channel
+// receive/select/range, or all sends provably buffered.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+func compute() int { return 42 }
+
+// LeakFireAndForget launches a function value: unresolvable statically.
+func LeakFireAndForget(work func()) {
+	go work() // want goroleak "cannot resolve"
+}
+
+// LeakNoSignal resolves but shows no join evidence.
+func LeakNoSignal() {
+	go func() { // want goroleak "no provable join"
+		_ = compute()
+	}()
+}
+
+// UnbufferedSend blocks forever once the receiver gives up.
+func UnbufferedSend() chan int {
+	out := make(chan int)
+	go func() { out <- compute() }() // want goroleak "no provable join"
+	return out
+}
+
+// JoinWaitGroup is the classic join.
+func JoinWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = compute()
+		}()
+	}
+	wg.Wait()
+}
+
+// CancelCtx has a ctx-done select.
+func CancelCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// DrainRange ranges over a channel until it closes.
+func DrainRange(ch chan int) int {
+	done := make(chan struct{}, 1)
+	go func() {
+		sum := 0
+		for v := range ch {
+			sum += v
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	return 0
+}
+
+// BufferedSends sizes the buffer to the fan-out: losers cannot block.
+func BufferedSends(n int) chan int {
+	out := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) { out <- i }(i)
+	}
+	return out
+}
+
+// worker.loop is joined via its quit channel; start's `go w.loop()` must
+// be resolved through the call graph to see it.
+type worker struct {
+	quit chan struct{}
+	reqs chan int
+}
+
+func (w *worker) loop() {
+	for {
+		select {
+		case <-w.quit:
+			return
+		case r := <-w.reqs:
+			_ = r
+		}
+	}
+}
+
+func (w *worker) start() {
+	go w.loop()
+}
+
+// Pump runs for the process lifetime on purpose; the suppression records
+// why a human vouches for it.
+func Pump(lines chan int) {
+	//lint:ignore qatklint/goroleak fixture: process-lifetime pump, killed with the process
+	go func() {
+		for {
+			lines <- compute()
+		}
+	}()
+}

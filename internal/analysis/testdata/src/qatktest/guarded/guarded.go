@@ -1,0 +1,100 @@
+// Package guarded exercises the guardedby analyzer: fields annotated
+// //qatk:guardedby <lock> may only be touched while the named sibling
+// lock is statically held; writes need the exclusive lock; *Locked
+// functions and composite-literal construction are exempt.
+package guarded
+
+import "sync"
+
+// counter machine-checks its mutable state against mu.
+type counter struct {
+	mu   sync.RWMutex
+	n    int      //qatk:guardedby mu
+	log  []string //qatk:guardedby mu
+	name string   // unannotated: free access
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.log = append(c.log, c.name)
+}
+
+func (c *counter) read() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+func (c *counter) bad() int {
+	return c.n // want guardedby "requires holding mu"
+}
+
+func (c *counter) badWrite() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.n = 0 // want guardedby "only RLock is held"
+}
+
+func (c *counter) afterUnlock() {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	c.log = nil // want guardedby "requires holding mu"
+}
+
+// resetLocked follows the caller-holds-the-lock convention: exempt.
+func (c *counter) resetLocked() {
+	c.n = 0
+	c.log = c.log[:0]
+}
+
+func (c *counter) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.resetLocked()
+}
+
+// newCounter constructs via composite literal: initialization before the
+// value is shared is not an access.
+func newCounter() *counter {
+	return &counter{name: "fresh", log: make([]string, 0, 4)}
+}
+
+// aliased locks through a local alias; lock and access must key to the
+// same root object.
+type wrapper struct{ c *counter }
+
+func (w *wrapper) aliased() int {
+	c := w.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// goroutineEscape: the launched body does not inherit the critical
+// section.
+func (c *counter) goroutineEscape() chan struct{} {
+	done := make(chan struct{}, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n = 2 // want guardedby "requires holding mu"
+		done <- struct{}{}
+	}()
+	c.n = 3
+	return done
+}
+
+// badAnnotation names a lock that is not a sibling field.
+type badAnnotation struct {
+	mu sync.Mutex
+	v  int //qatk:guardedby missing // want guardedby "sibling field"
+}
+
+// monitor tolerates a racy read; the suppression records why.
+func (c *counter) monitor() int {
+	//lint:ignore qatklint/guardedby fixture: racy monitoring read tolerated by design
+	return c.n
+}

@@ -1,0 +1,55 @@
+// Package hotalloc exercises the hotalloc analyzer: //qatk:hotpath
+// functions are gated on the compiler's escape analysis. Box and
+// Escape demonstrate the gate failing when a hot function heap-allocates;
+// Sum stays on the stack; Acknowledged and Tolerated show the two escape
+// hatches (//qatk:allowalloc and //lint:ignore).
+package hotalloc
+
+// Box boxes its argument into an interface: one heap allocation per call.
+//
+//qatk:hotpath
+func Box(v int) any {
+	return v // want hotalloc "escapes to heap"
+}
+
+// Escape returns the address of a local, forcing it to the heap.
+//
+//qatk:hotpath
+func Escape() *int {
+	x := 42 // want hotalloc "moved to heap"
+	return &x
+}
+
+// Sum never allocates: the gate stays quiet.
+//
+//qatk:hotpath
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Acknowledged returns fresh memory on purpose; allowalloc records why.
+//
+//qatk:hotpath
+func Acknowledged(n int) []int {
+	//qatk:allowalloc the result buffer is the function's product
+	return make([]int, n)
+}
+
+// Tolerated keeps a known escape under a reasoned lint suppression.
+//
+//qatk:hotpath
+func Tolerated() *int {
+	//lint:ignore qatklint/hotalloc fixture: demonstrating suppression of the gate
+	y := 7
+	return &y
+}
+
+// Cold allocates freely: no annotation, no gate.
+func Cold() *int {
+	z := 9
+	return &z
+}

@@ -17,7 +17,7 @@ func (e *Engine) Process(c *cas.CAS) error {
 	e.last = c                       // want casretain "struct field"
 	lastSeen = c                     // want casretain "package-level variable"
 	e.tokens = c.Segments()          // want casretain "struct field"
-	go func() { _ = c.Segments() }() // want casretain "goroutine"
+	go func() { _ = c.Segments() }() // want casretain "goroutine" // want goroleak "no provable join"
 	return nil
 }
 

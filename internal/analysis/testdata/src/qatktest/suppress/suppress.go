@@ -5,7 +5,10 @@
 // comments.)
 package suppress
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Wrapped carries a sanctioned suppression with a reason.
 func Wrapped(err error) error {
@@ -25,3 +28,19 @@ func UnknownCheck(err error) error {
 	//lint:ignore qatklint/nosuchcheck the check name is misspelled
 	return fmt.Errorf("legacy: %v", err)
 }
+
+// Unused carries a suppression that matches nothing: the wrapped error
+// below is errattr-clean, so the stale comment is itself a finding.
+func Unused(err error) error {
+	//lint:ignore qatklint/errattr nothing below actually trips errattr
+	return fmt.Errorf("suppress: wrapped: %w", err)
+}
+
+// mutexed lets lockcopy fire on the same line as an errattr finding.
+type mutexed struct{ mu sync.Mutex }
+
+// MultiDiag puts two analyzers on one statement line: the suppression
+// names only errattr, so the lockcopy finding on the same line survives.
+//
+//lint:ignore qatklint/errattr the legacy log format is parsed downstream
+func MultiDiag(m mutexed, err error) error { return fmt.Errorf("legacy: %v", err) }

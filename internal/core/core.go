@@ -13,7 +13,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"repro/internal/kb"
 )
@@ -91,12 +92,19 @@ type scoredNode struct {
 
 // rankNodes computes pairwise similarities for the candidate set and sorts
 // descending (ties broken by error code, then node ID, for determinism).
+// The comparator is a total order — every tie is broken down to the
+// globally unique node ID — so the unstable generic sort yields the same
+// bit-identical ranking sort.Slice did.
+//
+//qatk:hotpath
 func (c *Classifier) rankNodes(partID string, features []string) []scoredNode {
+	//qatk:allowalloc the feature set and scored list are the ranking workspace, sized once per query
 	featSet := make(map[string]bool, len(features))
 	for _, f := range features {
 		featSet[f] = true
 	}
 	cands := c.Store.Candidates(partID, features)
+	//qatk:allowalloc the ranked slice is the function's product
 	scored := make([]scoredNode, 0, len(cands))
 	for _, n := range cands {
 		shared := 0
@@ -108,15 +116,14 @@ func (c *Classifier) rankNodes(partID string, features []string) []scoredNode {
 		s := c.Sim.Score(shared, len(features), len(n.Features))
 		scored = append(scored, scoredNode{node: n, score: s})
 	}
-	sort.Slice(scored, func(i, j int) bool {
-		a, b := scored[i], scored[j]
+	slices.SortFunc(scored, func(a, b scoredNode) int {
 		if a.score != b.score {
-			return a.score > b.score
+			return cmp.Compare(b.score, a.score)
 		}
 		if a.node.ErrorCode != b.node.ErrorCode {
-			return a.node.ErrorCode < b.node.ErrorCode
+			return cmp.Compare(a.node.ErrorCode, b.node.ErrorCode)
 		}
-		return a.node.ID < b.node.ID
+		return cmp.Compare(a.node.ID, b.node.ID)
 	})
 	return scored
 }
@@ -152,7 +159,10 @@ func (c *Classifier) RecommendNodes(partID string, features []string) []ScoredNo
 
 // CodesFromNodes collapses a ranked node list to the distinct error codes
 // in rank order, each carrying the score of its best node.
+//
+//qatk:hotpath
 func CodesFromNodes(nodes []ScoredNode) []ScoredCode {
+	//qatk:allowalloc the dedup set and result list are the function's product, bounded by the node cutoff
 	seen := make(map[string]bool, len(nodes))
 	out := make([]ScoredCode, 0, len(nodes))
 	for _, sn := range nodes {

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -50,6 +51,7 @@ func TestChaosCollectionRun(t *testing.T) {
 	var dead []pipeline.DeadLetter
 	consumed := map[string]bool{}
 	stats, err := p.RunWithConfig(
+		context.Background(),
 		&pipeline.SliceReader{CASes: makeDocs(nDocs)},
 		pipeline.ConsumerFunc(func(c *cas.CAS) error {
 			consumed[c.Metadata(pipeline.MetaDocID)] = true
@@ -129,6 +131,7 @@ func TestChaosRetryAbsorbsTransientFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	stats, err := p.RunWithConfig(
+		context.Background(),
 		&pipeline.SliceReader{CASes: makeDocs(nDocs)}, nil,
 		pipeline.RunConfig{DeadLetter: func(pipeline.DeadLetter) error { return nil }})
 	if err != nil {
@@ -174,6 +177,7 @@ func TestChaosPersistenceConsumer(t *testing.T) {
 	}
 	var dead []pipeline.DeadLetter
 	stats, err := p.RunWithConfig(
+		context.Background(),
 		&pipeline.SliceReader{CASes: makeDocs(nDocs)},
 		pipeline.ConsumerFunc(func(c *cas.CAS) error {
 			return in.Do("insert", func() error {

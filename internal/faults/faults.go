@@ -150,6 +150,7 @@ func (in *Injector) inject(op string) error {
 	case faultError:
 		return &InjectedError{Op: op, Seq: seq, Transient: in.cfg.Transient}
 	case faultStall:
+		//lint:ignore qatklint/ctxflow the stall IS the injected fault: chaos tests need a sleep that ignores cancellation to prove the watchdog catches wedged engines
 		time.Sleep(in.cfg.Stall)
 	}
 	return nil

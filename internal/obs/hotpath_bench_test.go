@@ -1,0 +1,73 @@
+package obs
+
+import "testing"
+
+// The //qatk:hotpath metric mutators in numbers: every benchmark here
+// must report 0 allocs/op, in both the live and the disabled (nil
+// handle) state. `make bench-alloc` asserts exactly that via benchjson
+// -assert-zero-allocs, turning the hotalloc analyzer's static contract
+// into a measured one.
+
+func BenchmarkHotCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHotCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("bench_add_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(3)
+	}
+}
+
+func BenchmarkHotCounterIncDisabled(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHotGaugeSet(b *testing.B) {
+	g := NewRegistry().Gauge("bench_gauge")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkHotGaugeAdd(b *testing.B) {
+	g := NewRegistry().Gauge("bench_gauge_add")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Add(0.5)
+	}
+}
+
+func BenchmarkHotGaugeSetDisabled(b *testing.B) {
+	var g *Gauge
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(1)
+	}
+}
+
+func BenchmarkHotHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.042)
+	}
+}
+
+func BenchmarkHotHistogramObserveDisabled(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.042)
+	}
+}

@@ -66,7 +66,7 @@ var ScrapeBuckets = []float64{0.00001, 0.0001, 0.001, 0.01, 0.1, 1}
 // state: every lookup returns a nil handle.
 type Registry struct {
 	mu       sync.Mutex
-	families map[string]*family
+	families map[string]*family //qatk:guardedby mu
 	clock    func() time.Time
 }
 
@@ -171,9 +171,13 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 }
 
 // Inc adds one.
+//
+//qatk:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // Add increases the counter by n.
+//
+//qatk:hotpath
 func (c *Counter) Add(n uint64) {
 	if c == nil {
 		return
@@ -202,6 +206,8 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 }
 
 // Set stores v.
+//
+//qatk:hotpath
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
@@ -210,6 +216,8 @@ func (g *Gauge) Set(v float64) {
 }
 
 // Add increments the gauge by delta (negative deltas decrement).
+//
+//qatk:hotpath
 func (g *Gauge) Add(delta float64) {
 	if g == nil {
 		return
@@ -255,6 +263,8 @@ func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *H
 
 // Observe records one observation. A value exactly on a bucket's upper
 // bound counts into that bucket (le is inclusive, as in Prometheus).
+//
+//qatk:hotpath
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return

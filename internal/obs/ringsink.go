@@ -18,10 +18,10 @@ import (
 // the serving or pipeline hot path.
 type RingSink struct {
 	mu     sync.Mutex
-	ring   []string
-	next   int
-	count  int
-	closed bool
+	ring   []string //qatk:guardedby mu
+	next   int      //qatk:guardedby mu
+	count  int      //qatk:guardedby mu
+	closed bool     //qatk:guardedby mu
 
 	dropped atomic.Uint64
 	counter *Counter // optional drop counter (obs_log_dropped_total)

@@ -51,10 +51,10 @@ type Tracer struct {
 	nextID atomic.Uint64
 
 	mu    sync.Mutex
-	ring  []SpanData
-	next  int
-	count int // spans currently in the ring
-	stats map[string]*SpanStat
+	ring  []SpanData           //qatk:guardedby mu
+	next  int                  //qatk:guardedby mu
+	count int                  //qatk:guardedby mu — spans currently in the ring
+	stats map[string]*SpanStat //qatk:guardedby mu
 }
 
 // TracerOption configures a Tracer.

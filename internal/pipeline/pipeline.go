@@ -7,6 +7,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -154,7 +155,7 @@ func (f ConsumerFunc) Consume(c *cas.CAS) error { return f(c) }
 // (and reference number, when the reader set one); use RunWithConfig for
 // fault-isolated collection processing.
 func (p *Pipeline) Run(r Reader, consumer Consumer) (int, error) {
-	stats, err := p.RunWithConfig(r, consumer, RunConfig{})
+	stats, err := p.RunWithConfig(context.Background(), r, consumer, RunConfig{})
 	return stats.Processed, err
 }
 

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"io"
 	"strings"
@@ -107,6 +108,38 @@ func TestEnginesNames(t *testing.T) {
 	}
 }
 
+// TestRunCancellationStopsAtDocumentBoundary: a context cancelled mid-run
+// stops the pipeline before the next document is pulled, returning the
+// stats accumulated so far and an error chaining to context.Canceled.
+func TestRunCancellationStopsAtDocumentBoundary(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	processed := 0
+	tripwire := EngineFunc{EngineName: "tripwire", Fn: func(c *cas.CAS) error {
+		processed++
+		if processed == 2 {
+			cancel() // cancel mid-run: documents 3..5 must never start
+		}
+		return nil
+	}}
+	p, err := New(tripwire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader := &SliceReader{CASes: []*cas.CAS{
+		cas.New("1"), cas.New("2"), cas.New("3"), cas.New("4"), cas.New("5"),
+	}}
+	stats, err := p.RunWithConfig(ctx, reader, nil, RunConfig{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want chain to context.Canceled", err)
+	}
+	if processed != 2 {
+		t.Errorf("engine ran %d times, want 2 (no documents after cancel)", processed)
+	}
+	if stats.Read != 2 || stats.Processed != 2 {
+		t.Errorf("stats = %+v, want Read=2 Processed=2", stats)
+	}
+}
+
 // TestRunRecordsSpansAndMetrics: a traced run produces the span hierarchy
 // run → document → engine and the pipeline counters.
 func TestRunRecordsSpansAndMetrics(t *testing.T) {
@@ -121,7 +154,7 @@ func TestRunRecordsSpansAndMetrics(t *testing.T) {
 	reg := obs.NewRegistry()
 	tr := obs.NewTracer(64)
 	reader := &SliceReader{CASes: []*cas.CAS{cas.New("1"), cas.New("2"), cas.New("3")}}
-	stats, err := p.RunWithConfig(reader, nil, RunConfig{Metrics: reg, Tracer: tr})
+	stats, err := p.RunWithConfig(context.Background(), reader, nil, RunConfig{Metrics: reg, Tracer: tr})
 	if err != nil || stats.Processed != 3 {
 		t.Fatalf("stats=%+v err=%v", stats, err)
 	}
@@ -185,7 +218,7 @@ func TestSpanReportReproducesTimedTotals(t *testing.T) {
 	)
 	tr := obs.NewTracer(64)
 	reader := &SliceReader{CASes: []*cas.CAS{cas.New("1"), cas.New("bad"), cas.New("2")}}
-	stats, err := p.RunWithConfig(reader, nil, RunConfig{
+	stats, err := p.RunWithConfig(context.Background(), reader, nil, RunConfig{
 		Tracer:     tr,
 		DeadLetter: func(DeadLetter) error { return nil },
 	})
@@ -231,7 +264,7 @@ func TestRunObsDeadLetterEvents(t *testing.T) {
 		Logger:      obs.NewLogger(&logged, obs.LevelInfo),
 	}
 	reader := &SliceReader{CASes: []*cas.CAS{cas.New("1"), cas.New("2"), cas.New("3")}}
-	_, err := p.RunWithConfig(reader, nil, cfg)
+	_, err := p.RunWithConfig(context.Background(), reader, nil, cfg)
 	if !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("err = %v", err)
 	}
@@ -330,7 +363,7 @@ func TestCircuitBreakerTriggersFlightBundle(t *testing.T) {
 		Flight:      fr,
 	}
 	reader := &SliceReader{CASes: []*cas.CAS{cas.New("1"), cas.New("2"), cas.New("3")}}
-	if _, err := p.RunWithConfig(reader, nil, cfg); !errors.Is(err, ErrCircuitOpen) {
+	if _, err := p.RunWithConfig(context.Background(), reader, nil, cfg); !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("err = %v", err)
 	}
 	bdir := fr.LastBundleDir()
@@ -365,7 +398,7 @@ func TestRunHeartbeatsStallGuard(t *testing.T) {
 	defer fr.Close()
 	p, _ := New(appendEngine("a", "x"))
 	reader := &SliceReader{CASes: []*cas.CAS{cas.New("1"), cas.New("2")}}
-	if _, err := p.RunWithConfig(reader, nil, RunConfig{Flight: fr}); err != nil {
+	if _, err := p.RunWithConfig(context.Background(), reader, nil, RunConfig{Flight: fr}); err != nil {
 		t.Fatal(err)
 	}
 	now = now.Add(time.Hour)

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"io"
 	"testing"
@@ -185,7 +186,7 @@ func TestRunWithConfigDeadLettersAndReconciles(t *testing.T) {
 	p, _ := New(fail)
 	var dead []DeadLetter
 	consumed := 0
-	stats, err := p.RunWithConfig(&SliceReader{CASes: docs},
+	stats, err := p.RunWithConfig(context.Background(), &SliceReader{CASes: docs},
 		ConsumerFunc(func(*cas.CAS) error { consumed++; return nil }),
 		RunConfig{DeadLetter: func(d DeadLetter) error { dead = append(dead, d); return nil }})
 	if err != nil {
@@ -215,6 +216,7 @@ func TestRunWithConfigConsumerFailureDeadLetters(t *testing.T) {
 	p, _ := New(appendEngine("a", "A"))
 	var dead []DeadLetter
 	stats, err := p.RunWithConfig(
+		context.Background(),
 		&SliceReader{CASes: []*cas.CAS{cas.New("1"), cas.New("2")}},
 		ConsumerFunc(func(c *cas.CAS) error {
 			if c.Text() == "1" {
@@ -243,7 +245,7 @@ func TestCircuitBreakerTripsOnConsecutiveFailures(t *testing.T) {
 	alwaysFail := EngineFunc{EngineName: "f", Fn: func(*cas.CAS) error { return boom }}
 	p, _ := New(alwaysFail)
 	dead := 0
-	stats, err := p.RunWithConfig(&SliceReader{CASes: docs}, nil,
+	stats, err := p.RunWithConfig(context.Background(), &SliceReader{CASes: docs}, nil,
 		RunConfig{
 			DeadLetter:  func(DeadLetter) error { dead++; return nil },
 			ErrorBudget: 5,
@@ -267,7 +269,7 @@ func TestCircuitBreakerErrorKeepsDocumentChain(t *testing.T) {
 	}
 	alwaysFail := EngineFunc{EngineName: "f", Fn: func(*cas.CAS) error { return boom }}
 	p, _ := New(alwaysFail)
-	_, err := p.RunWithConfig(&SliceReader{CASes: docs}, nil,
+	_, err := p.RunWithConfig(context.Background(), &SliceReader{CASes: docs}, nil,
 		RunConfig{
 			DeadLetter:  func(DeadLetter) error { return nil },
 			ErrorBudget: 3,
@@ -303,7 +305,7 @@ func TestCircuitBreakerResetsOnSuccess(t *testing.T) {
 		docs = append(docs, cas.New("d"))
 	}
 	p, _ := New(e)
-	stats, err := p.RunWithConfig(&SliceReader{CASes: docs}, nil,
+	stats, err := p.RunWithConfig(context.Background(), &SliceReader{CASes: docs}, nil,
 		RunConfig{DeadLetter: func(DeadLetter) error { return nil }, ErrorBudget: 2})
 	if err != nil {
 		t.Fatalf("breaker tripped on non-consecutive failures: %v (stats %+v)", err, stats)
@@ -317,7 +319,7 @@ func TestRunWithConfigDeadLetterSinkErrorAborts(t *testing.T) {
 	boom := errors.New("bad")
 	sinkErr := errors.New("sink broken")
 	p, _ := New(EngineFunc{EngineName: "f", Fn: func(*cas.CAS) error { return boom }})
-	_, err := p.RunWithConfig(&SliceReader{CASes: []*cas.CAS{cas.New("1")}}, nil,
+	_, err := p.RunWithConfig(context.Background(), &SliceReader{CASes: []*cas.CAS{cas.New("1")}}, nil,
 		RunConfig{DeadLetter: func(DeadLetter) error { return sinkErr }})
 	if !errors.Is(err, sinkErr) {
 		t.Fatalf("err = %v", err)
@@ -328,7 +330,7 @@ func TestRunWithConfigCountsRetries(t *testing.T) {
 	boom := errors.New("transient")
 	re := Retry(flaky("f", 2, boom), noSleepPolicy(Policy{MaxAttempts: 5}))
 	p, _ := New(re)
-	stats, err := p.RunWithConfig(&SliceReader{CASes: []*cas.CAS{cas.New("1")}}, nil, RunConfig{})
+	stats, err := p.RunWithConfig(context.Background(), &SliceReader{CASes: []*cas.CAS{cas.New("1")}}, nil, RunConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +352,7 @@ func (r *errReader) Next() (*cas.CAS, error) {
 
 func TestReaderErrorsStayFatal(t *testing.T) {
 	p, _ := New(appendEngine("a", "A"))
-	stats, err := p.RunWithConfig(&errReader{}, nil,
+	stats, err := p.RunWithConfig(context.Background(), &errReader{}, nil,
 		RunConfig{DeadLetter: func(DeadLetter) error { return nil }})
 	if err == nil || errors.Is(err, io.EOF) {
 		t.Fatalf("err = %v, want fatal reader error", err)

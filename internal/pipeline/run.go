@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -133,12 +134,17 @@ const (
 // errors other than io.EOF remain fatal — a broken source cannot be skipped
 // past. The returned Stats are valid even when the run aborts early.
 //
+// Cancellation is honored at document boundaries: when ctx is done the
+// run stops before pulling the next document and returns ctx's error
+// (wrapped) alongside the Stats accumulated so far. A long ingest can
+// therefore be shut down without waiting for the corpus to drain.
+//
 // Observability rides on the config: a root span covers the run, each
 // document gets a child span, each engine invocation a grandchild, and
 // counters/log events record documents, dead letters, circuit breaks and
 // retries. All of it is nil-safe — a zero RunConfig processes documents on
 // the exact pre-observability path.
-func (p *Pipeline) RunWithConfig(r Reader, consumer Consumer, cfg RunConfig) (stats Stats, err error) {
+func (p *Pipeline) RunWithConfig(ctx context.Context, r Reader, consumer Consumer, cfg RunConfig) (stats Stats, err error) {
 	consecutive := 0
 	docsRead := cfg.Metrics.Counter(MetricDocumentsTotal)
 	deadLetters := cfg.Metrics.Counter(MetricDeadLettersTotal)
@@ -157,6 +163,9 @@ func (p *Pipeline) RunWithConfig(r Reader, consumer Consumer, cfg RunConfig) (st
 		run.End(err)
 	}()
 	for index := 0; ; index++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return stats, fmt.Errorf("pipeline: run cancelled after %d documents: %w", stats.Read, cerr)
+		}
 		c, rerr := r.Next()
 		if errors.Is(rerr, io.EOF) {
 			return stats, nil

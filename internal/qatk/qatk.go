@@ -7,6 +7,7 @@
 package qatk
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/annotate"
@@ -156,7 +157,7 @@ func (t *Toolkit) Features(b *bundle.Bundle, sources []bundle.Source) ([]string,
 // bundle aborts training; use TrainRun for fault-isolated training over
 // messy collections.
 func (t *Toolkit) Train(bundles []*bundle.Bundle) (*kb.Memory, error) {
-	mem, _, err := t.TrainRun(bundles, pipeline.RunConfig{})
+	mem, _, err := t.TrainRun(context.Background(), bundles, pipeline.RunConfig{})
 	if err != nil {
 		return nil, err
 	}
@@ -166,8 +167,9 @@ func (t *Toolkit) Train(bundles []*bundle.Bundle) (*kb.Memory, error) {
 // TrainRun is Train with collection-level fault isolation: bundles that
 // fail an engine (or arrive without an error code) are routed to the run
 // config's dead-letter consumer instead of aborting training, and the
-// run's statistics are returned alongside the knowledge base.
-func (t *Toolkit) TrainRun(bundles []*bundle.Bundle, cfg pipeline.RunConfig) (*kb.Memory, pipeline.Stats, error) {
+// run's statistics are returned alongside the knowledge base. ctx cancels
+// the run at a bundle boundary.
+func (t *Toolkit) TrainRun(ctx context.Context, bundles []*bundle.Bundle, cfg pipeline.RunConfig) (*kb.Memory, pipeline.Stats, error) {
 	p, err := t.Pipeline()
 	if err != nil {
 		return nil, pipeline.Stats{}, err
@@ -182,7 +184,7 @@ func (t *Toolkit) TrainRun(bundles []*bundle.Bundle, cfg pipeline.RunConfig) (*k
 		mem.AddBundle(c.Metadata(bundle.MetaPartID), code, t.extractor.Features(c))
 		return nil
 	})
-	stats, err := p.RunWithConfig(reader, consumer, cfg)
+	stats, err := p.RunWithConfig(ctx, reader, consumer, cfg)
 	if err != nil {
 		return nil, stats, err
 	}

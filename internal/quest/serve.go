@@ -41,6 +41,12 @@ func serveUntil(serve func() error, srv *http.Server, shutdownTimeout time.Durat
 		return err
 	case <-stop:
 	}
+	// Deriving the drain budget from context.Background() is correct here,
+	// and qatklint/ctxflow agrees by construction: its request-path roots
+	// are scoped to request entry points (handlers, Router methods,
+	// RunWithConfig), so lifecycle code like this shutdown path is exempt
+	// by design — the in-flight request contexts are exactly what this
+	// fresh timeout exists to outlive.
 	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

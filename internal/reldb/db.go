@@ -77,7 +77,7 @@ type DB struct {
 
 	gen       uint64 // current snapshot generation
 	staleWAL  bool   // recovery found a WAL predating the snapshot
-	failed    error  // latched fatal I/O error; non-nil refuses writes
+	failed    error  //qatk:guardedby mu — latched fatal I/O error; non-nil refuses writes
 	committer *committer
 
 	// Observability, attached after Open via Instrument (all nil-safe).
@@ -96,7 +96,7 @@ type DB struct {
 	// bundle's FlightInfo provider needs db.mu.RLock itself.
 	flightMu     sync.Mutex
 	flightRec    *flight.Recorder
-	pendingLatch error
+	pendingLatch error //qatk:guardedby flightMu
 }
 
 // Open opens (or creates) a database in dir with default durability

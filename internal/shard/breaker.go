@@ -26,11 +26,11 @@ type Breaker struct {
 	clock    func() time.Time
 
 	mu          sync.Mutex
-	state       string
-	consecutive int
-	openedAt    time.Time
-	probing     bool
-	lastErr     error
+	state       string    //qatk:guardedby mu
+	consecutive int       //qatk:guardedby mu
+	openedAt    time.Time //qatk:guardedby mu
+	probing     bool      //qatk:guardedby mu
+	lastErr     error     //qatk:guardedby mu
 }
 
 // NewBreaker builds a closed breaker tripping after budget consecutive

@@ -1,9 +1,11 @@
 package shard
 
 import (
+	"cmp"
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"sync/atomic"
@@ -293,25 +295,29 @@ func (r *Router) Query(ctx context.Context, partID string, features []string) (*
 // ID (globally unique, preserved by kb.Subset) — and applies the node
 // cutoff. Every input list is already cut to the same cutoff and sorted
 // under the same order, so the merge is deterministic and identical to
-// ranking the union store.
+// ranking the union store. The comparator is a total order (node IDs are
+// globally unique), so the unstable generic sort preserves the
+// bit-identical ranking sort.Slice produced.
+//
+//qatk:hotpath
 func mergeNodes(lists [][]core.ScoredNode, cutoff int) []core.ScoredNode {
 	total := 0
 	for _, l := range lists {
 		total += len(l)
 	}
+	//qatk:allowalloc the merged ranking is the function's product, bounded by shards x cutoff
 	merged := make([]core.ScoredNode, 0, total)
 	for _, l := range lists {
 		merged = append(merged, l...)
 	}
-	sort.Slice(merged, func(i, j int) bool {
-		a, b := merged[i], merged[j]
+	slices.SortFunc(merged, func(a, b core.ScoredNode) int {
 		if a.Score != b.Score {
-			return a.Score > b.Score
+			return cmp.Compare(b.Score, a.Score)
 		}
 		if a.Code != b.Code {
-			return a.Code < b.Code
+			return cmp.Compare(a.Code, b.Code)
 		}
-		return a.ID < b.ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	if len(merged) > cutoff {
 		merged = merged[:cutoff]

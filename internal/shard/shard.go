@@ -32,6 +32,7 @@ var ErrShardClosed = errors.New("shard: router closed")
 
 // request is one sub-query travelling from the router to a shard worker.
 type request struct {
+	//lint:ignore qatklint/ctxflow the sanctioned channel-request exception: the request struct is the call — it carries the caller's ctx across the worker channel for exactly one dispatch and is never retained
 	ctx      context.Context
 	partID   string
 	features []string
