@@ -37,9 +37,14 @@ crash:
 	CRASH_RANDOM_SEED=1 $(GO) test -run 'TestPowerCutSmokeRandomSeed' -count 1 ./internal/reldb/crashharness
 
 ## chaos: the shard fault matrix under the race detector — {slow, error,
-## wedged} × {owning, non-owning} plus hedging/breaker/goroutine hygiene
+## wedged} × {owning, non-owning} plus hedging/breaker/goroutine hygiene.
+## On failure the chaos fixture dumps its tail-sample wide-event ring to
+## chaos_requests.json as a single-file flight bundle (render it with
+## `qatk requests chaos_requests.json`); CI uploads it as an artifact.
 chaos:
-	$(GO) test -race -count 1 ./internal/shard
+	@rm -f chaos_requests.json
+	CHAOS_ARTIFACT=$(CURDIR)/chaos_requests.json $(GO) test -race -count 1 ./internal/shard || \
+	  { [ -f chaos_requests.json ] && echo "chaos: tail-sample ring -> chaos_requests.json"; exit 1; }
 
 ## check: the pre-merge tier — vet, qatklint, the race-enabled suite, the
 ## crash harness and the shard chaos matrix
@@ -54,12 +59,14 @@ bench:
 	  $(GO) run ./cmd/benchjson -o BENCH_pr5.json
 
 ## bench-load: closed-loop load against a 4-shard in-process server with
-## one artificially slow shard -> BENCH_pr6.json. The hedged fan-out must
-## keep p99 inside the 50ms SLO despite the 50ms-slow shard.
+## one artificially slow shard -> BENCH_pr8.json. The hedged fan-out must
+## keep p99 inside the 50ms SLO despite the 50ms-slow shard; the line also
+## carries the wide-event per-stage breakdown (stage-*-ms) plus the
+## hedged/degraded counts.
 bench-load:
 	$(GO) run ./cmd/loadgen -shards 4 -slow-shard 2 -slow-delay 50ms \
 	  -rps 200 -duration 10s -slo-p99 50ms | \
-	  $(GO) run ./cmd/benchjson -o BENCH_pr6.json
+	  $(GO) run ./cmd/benchjson -o BENCH_pr8.json
 
 ## bench-alloc: the //qatk:hotpath contract in numbers -> BENCH_pr7.json.
 ## Runs the hot-path benchmarks with -benchmem and fails unless every
@@ -67,6 +74,6 @@ bench-load:
 ## (*Disabled) reports exactly 0 allocs/op.
 bench-alloc:
 	$(GO) test -run '^$$' -bench 'BenchmarkHot|Disabled$$' -benchmem \
-	  ./internal/obs ./internal/obs/flight ./internal/pipeline | \
+	  ./internal/obs ./internal/obs/flight ./internal/obs/reqlog ./internal/pipeline | \
 	  $(GO) run ./cmd/benchjson -assert-zero-allocs '/BenchmarkHot|Disabled$$' \
 	  -o BENCH_pr7.json

@@ -5,7 +5,7 @@
 // -bench` text format so cmd/benchjson can turn it into a committed
 // BENCH file:
 //
-//	loadgen -shards 4 -slow-shard 2 -rps 200 -duration 10s | benchjson -o BENCH_pr6.json
+//	loadgen -shards 4 -slow-shard 2 -rps 200 -duration 10s | benchjson -o BENCH_pr8.json
 //
 // By default loadgen is self-contained: it synthesizes a deterministic
 // knowledge base, partitions it across -shards in-process shard workers
@@ -38,6 +38,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/kb"
 	"repro/internal/obs"
+	"repro/internal/obs/reqlog"
 	"repro/internal/quest"
 	"repro/internal/reldb"
 	"repro/internal/shard"
@@ -107,8 +108,9 @@ func buildKB(seed int64, parts int) *kb.Memory {
 }
 
 // selfContained stands up the in-process target: synthetic KB, sharded
-// router (with the optional slow-shard fault), QUEST server.
-func selfContained(o options) (baseURL string, stop func(), err error) {
+// router (with the optional slow-shard fault), QUEST server. The wide-event
+// request log rides along so the run can report the per-stage breakdown.
+func selfContained(o options, rl *reqlog.Log) (baseURL string, stop func(), err error) {
 	db, err := reldb.Open("")
 	if err != nil {
 		return "", nil, err
@@ -137,7 +139,7 @@ func selfContained(o options) (baseURL string, stop func(), err error) {
 		db.Close()
 		return "", nil, err
 	}
-	srv, err := quest.NewServer(quest.Config{DB: db, Shards: router})
+	srv, err := quest.NewServer(quest.Config{DB: db, Shards: router, Requests: rl})
 	if err != nil {
 		router.Close()
 		db.Close()
@@ -163,10 +165,12 @@ type result struct {
 
 func run(o options, out io.Writer) error {
 	base := o.url
+	var reqLog *reqlog.Log
 	if base == "" {
+		reqLog = reqlog.New(reqlog.Config{})
 		var stop func()
 		var err error
-		base, stop, err = selfContained(o)
+		base, stop, err = selfContained(o, reqLog)
 		if err != nil {
 			return err
 		}
@@ -313,12 +317,21 @@ func run(o options, out io.Writer) error {
 	achieved := float64(total) / wall.Seconds()
 	avgNs := float64(sum.Nanoseconds()) / float64(total)
 
+	// The wide-event stage totals (self-contained mode only: a remote
+	// questd keeps its request log on its own debug mux) become extra
+	// value-unit pairs, average milliseconds per timed request.
+	stageCols := ""
+	for _, st := range reqLog.StageTotals() {
+		avgMs := st.Total.Seconds() * 1000 / float64(st.Count)
+		stageCols += fmt.Sprintf("\t%.4f stage-%s-ms", avgMs, st.Name)
+	}
+
 	// `go test -bench` text format, one synthetic result line, so the
 	// stream pipes straight into cmd/benchjson.
 	fmt.Fprintln(out, "pkg: repro/cmd/loadgen")
 	fmt.Fprintf(out,
-		"BenchmarkQuestRecommendLoad \t%8d\t%12.0f ns/op\t%8.1f rps\t%.4f p50-s\t%.4f p95-s\t%.4f p99-s\t%d errors\t%d degraded\t%d hedged\n",
-		total, avgNs, achieved, p50, p95, p99, errors, degraded, hedged)
+		"BenchmarkQuestRecommendLoad \t%8d\t%12.0f ns/op\t%8.1f rps\t%.4f p50-s\t%.4f p95-s\t%.4f p99-s\t%d errors\t%d degraded\t%d hedged%s\n",
+		total, avgNs, achieved, p50, p95, p99, errors, degraded, hedged, stageCols)
 
 	if errors > 0 {
 		return fmt.Errorf("%d/%d requests failed", errors, total)

@@ -8,6 +8,7 @@
 //	qatk -data ./data export                  dump bundles as TSV interchange files
 //	qatk -data ./data import                  load bundles from TSV interchange files
 //	qatk diagnose <bundle>                    render a flight-recorder bundle as an incident report
+//	qatk requests <url|bundle>                render the tail-sampled wide-event request log
 //
 // Flags -model (concepts|words) and -sim (jaccard|overlap) select the
 // classifier variant; the default is the industrial configuration of the
@@ -24,10 +25,15 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bundle"
@@ -36,6 +42,7 @@ import (
 	"repro/internal/kb"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/reqlog"
 	"repro/internal/pipeline"
 	"repro/internal/qatk"
 	"repro/internal/reldb"
@@ -78,6 +85,10 @@ func main() {
 		// Reads a bundle from disk; needs no database, logger, or live
 		// recorder, so it must work even when -data points nowhere.
 		err = diagnose(rest)
+	} else if cmd == "requests" {
+		// Reads the wide-event request log from a live questd or a frozen
+		// flight bundle; like diagnose it needs no database.
+		err = requests(rest)
 	} else {
 		err = run(o, cmd, rest)
 	}
@@ -106,6 +117,65 @@ func diagnose(args []string) error {
 	return flight.WriteReport(os.Stdout, b, *verbose)
 }
 
+// requests implements `qatk requests [-reason r] [-n N] <url|bundle>`:
+// it renders the tail-sampled wide-event request log, fetched either
+// live from a questd debug listener (any http(s) URL; /debug/requests is
+// appended when missing) or from a frozen flight-recorder bundle
+// (directory or single-file JSON export).
+func requests(args []string) error {
+	fs := flag.NewFlagSet("requests", flag.ContinueOnError)
+	reason := fs.String("reason", "", "only events retained for this reason (slow | degraded | hedged | status | panic | breaker | always | head_sample)")
+	n := fs.Int("n", 0, "at most N newest events (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: qatk requests [-reason r] [-n N] <url or flight bundle>")
+	}
+	arg := fs.Arg(0)
+	var events []reqlog.Event
+	if strings.HasPrefix(arg, "http://") || strings.HasPrefix(arg, "https://") {
+		target := strings.TrimRight(arg, "/")
+		if !strings.HasSuffix(target, "/debug/requests") {
+			target += "/debug/requests"
+		}
+		q := url.Values{}
+		if *reason != "" {
+			q.Set("reason", *reason)
+		}
+		if *n > 0 {
+			q.Set("n", strconv.Itoa(*n))
+		}
+		if enc := q.Encode(); enc != "" {
+			target += "?" + enc
+		}
+		resp, err := http.Get(target)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("requests: %s answered %s", target, resp.Status)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+			return fmt.Errorf("requests: decode %s: %w", target, err)
+		}
+	} else {
+		b, err := flight.ReadBundle(arg)
+		if err != nil {
+			return err
+		}
+		events = b.Requests
+		if *reason != "" {
+			events = reqlog.FilterByReason(events, *reason)
+		}
+		if *n > 0 && *n < len(events) {
+			events = events[:*n]
+		}
+	}
+	return reqlog.WriteReport(os.Stdout, events)
+}
+
 func run(o options, cmd string, rest []string) error {
 	logger, sink, closeLogs, err := flight.NewLogging(o.logLevel, o.logFile)
 	if err != nil {
@@ -114,6 +184,7 @@ func run(o options, cmd string, rest []string) error {
 	defer closeLogs()
 	metrics := obs.NewRegistry()
 	tracer := obs.NewTracer(256)
+	tracer.Instrument(metrics.Counter(obs.MetricSpanNamesDroppedTotal))
 	pipeline.RegisterMetrics(metrics)
 
 	recorder := flight.New(flight.Config{
@@ -354,6 +425,6 @@ func run(o options, cmd string, rest []string) error {
 			1000*res.SecPerBundle, res.KBNodes)
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (train | classify | recommend | evaluate | export | import | sql | diagnose)", cmd)
+		return fmt.Errorf("unknown command %q (train | classify | recommend | evaluate | export | import | sql | diagnose | requests)", cmd)
 	}
 }

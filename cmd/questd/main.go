@@ -18,8 +18,17 @@
 // the pre-registered pipeline families), structured key=value logs go to
 // stderr (tune with -log-level, redirect with -log-file), and -debug-addr
 // optionally serves net/http/pprof plus GET /debug/bundle (on-demand
-// flight-recorder capture + download) on a separate loopback-only
-// listener.
+// flight-recorder capture + download) and GET /debug/requests (the
+// tail-sampled wide-event ring, read it with `qatk requests`) on a
+// separate loopback-only listener.
+//
+// Wide events: every request assembles one structured event along the
+// whole serving path (stage timers, per-shard attempts, degradation).
+// A tail sampler retains the interesting ones — slow against a rolling
+// p99-proportional threshold, degraded, hedged, non-2xx, panicking —
+// in a -req-ring sized ring; -req-sample N head-samples 1 in N requests
+// regardless, and -exemplars attaches the retained requests' trace IDs
+// to /metrics latency buckets as OpenMetrics exemplars.
 //
 // Flight recorder: -flight-dir arms a black-box recorder that retains
 // recent spans, log lines, and metric deltas, and snapshots a diagnostic
@@ -49,6 +58,7 @@ import (
 	"repro/internal/nhtsa"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/reqlog"
 	"repro/internal/pipeline"
 	"repro/internal/quest"
 	"repro/internal/reldb"
@@ -69,6 +79,8 @@ type options struct {
 	flightInterval, stallDeadline time.Duration
 	shards                        int
 	hedgeAfter, shardTimeout      time.Duration
+	reqRing, reqSample            int
+	exemplars                     bool
 }
 
 func main() {
@@ -90,6 +102,9 @@ func main() {
 	flag.IntVar(&o.shards, "shards", 1, "shard count for the live /api/recommend fan-out tier")
 	flag.DurationVar(&o.hedgeAfter, "hedge-after", shard.DefaultHedgeAfter, "delay before a shard sub-query is hedged with a second attempt (0 disables hedging)")
 	flag.DurationVar(&o.shardTimeout, "shard-timeout", shard.DefaultShardTimeout, "per-shard sub-query deadline")
+	flag.IntVar(&o.reqRing, "req-ring", reqlog.DefaultCapacity, "retained wide-event ring capacity for /debug/requests")
+	flag.IntVar(&o.reqSample, "req-sample", 0, "head-sample 1 in N requests into the wide-event ring regardless of tail criteria (0 disables)")
+	flag.BoolVar(&o.exemplars, "exemplars", false, "attach OpenMetrics trace exemplars to retained requests' latency buckets on /metrics")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -118,10 +133,20 @@ func run(o options) error {
 	defer closeLogs()
 	metrics := obs.NewRegistry()
 	tracer := obs.NewTracer(1024)
+	tracer.Instrument(metrics.Counter(obs.MetricSpanNamesDroppedTotal))
 	// Pre-register the pipeline families: questd does not run collection
 	// processing itself, but the exposition presents the full QATK metric
 	// inventory so dashboards bind to stable names.
 	pipeline.RegisterMetrics(metrics)
+
+	// The wide-event request log: one canonical event per request, tail
+	// sampled into a fixed ring, served at /debug/requests on the debug mux
+	// and frozen into flight-recorder bundles.
+	reqLog := reqlog.New(reqlog.Config{
+		Capacity:  o.reqRing,
+		HeadEvery: o.reqSample,
+		Registry:  metrics,
+	})
 
 	// The flight recorder runs whenever a bundle directory OR the debug
 	// mux could use it; without -flight-dir triggers still log and count
@@ -135,6 +160,7 @@ func run(o options) error {
 		SLOTarget:     o.sloP99,
 		SLOWindow:     o.sloWindow,
 		StallDeadline: o.stallDeadline,
+		Requests:      reqLog,
 	})
 	defer recorder.Close()
 	recorder.Watch(o.flightInterval)
@@ -154,6 +180,7 @@ func run(o options) error {
 	cfg := quest.Config{
 		DB: db, RequestTimeout: o.requestTimeout,
 		Logger: logger, Metrics: metrics, Tracer: tracer, Flight: recorder,
+		Requests: reqLog, Exemplars: o.exemplars,
 	}
 	if internal, public, err := buildComparison(o.data, db); err != nil {
 		fmt.Fprintf(os.Stderr, "comparison screen disabled: %v\n", err)
@@ -198,6 +225,7 @@ func run(o options) error {
 	if o.debugAddr != "" {
 		mux := pprofMux()
 		mux.Handle("/debug/bundle", recorder.Handler())
+		mux.Handle("/debug/requests", reqLog.Handler())
 		dbg := &http.Server{Addr: o.debugAddr, Handler: mux}
 		//lint:ignore qatklint/goroleak the debug listener is process-lifetime by design: it dies with the daemon, and tearing it down on drain would cut off pprof exactly when a stuck shutdown needs diagnosing
 		go func() {
@@ -205,7 +233,7 @@ func run(o options) error {
 				logger.Error("debug server failed", obs.L("addr", o.debugAddr), obs.L("err", err.Error()))
 			}
 		}()
-		logger.Info("debug mux listening (pprof + /debug/bundle)", obs.L("addr", o.debugAddr))
+		logger.Info("debug mux listening (pprof + /debug/bundle + /debug/requests)", obs.L("addr", o.debugAddr))
 	}
 
 	// WriteTimeout must outlast the handler budget, or the timeout

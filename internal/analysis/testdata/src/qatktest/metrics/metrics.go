@@ -18,6 +18,12 @@ const (
 	MetricShardHedges     = "quest_shard_hedges_total"
 	MetricShardDuration   = "quest_shard_query_duration_seconds"
 	MetricShardInflight   = "quest_shard_queries_inflight"
+	MetricSpanNamesDrop   = "obs_span_names_dropped_total"
+	MetricReqObserved     = "obs_req_observed_total"
+	MetricReqRetained     = "obs_req_retained_total"
+	MetricReqDropped      = "obs_req_dropped_total"
+	MetricReqThreshold    = "obs_req_tail_threshold_seconds"
+	MetricReqExemplars    = "quest_req_exemplars_total"
 	MetricBuildInfo       = "build_info" // sanctioned prefix-free exception
 	metricNoPrefixTotal   = "pipeline_runs_total"
 	metricNoUnit          = "qatk_pipeline_runs"
@@ -37,6 +43,12 @@ func Register(r *obs.Registry) {
 	r.Counter(MetricShardHedges, obs.L("shard", "0"))
 	r.Histogram(MetricShardDuration, []float64{0.01, 0.1})
 	r.Gauge(MetricShardInflight)
+	r.Counter(MetricSpanNamesDrop)
+	r.Counter(MetricReqObserved)
+	r.Counter(MetricReqRetained, obs.L("reason", "slow"))
+	r.Counter(MetricReqDropped)
+	r.Gauge(MetricReqThreshold)
+	r.Counter(MetricReqExemplars)
 	r.Gauge(MetricBuildInfo).Set(1)
 
 	r.Counter("qatk_inline_total")    // want metricname "package-level constant"

@@ -17,6 +17,7 @@ import (
 	"slices"
 
 	"repro/internal/kb"
+	"repro/internal/obs/reqlog"
 )
 
 // Similarity scores two feature sets from their intersection size and
@@ -94,10 +95,13 @@ type scoredNode struct {
 // descending (ties broken by error code, then node ID, for determinism).
 // The comparator is a total order — every tie is broken down to the
 // globally unique node ID — so the unstable generic sort yields the same
-// bit-identical ranking sort.Slice did.
+// bit-identical ranking sort.Slice did. sc (nil when request logging is
+// off) splits the work into the score and rank stages of the request's
+// wide event; the timing is observation-only and never alters the ranking.
 //
 //qatk:hotpath
-func (c *Classifier) rankNodes(partID string, features []string) []scoredNode {
+func (c *Classifier) rankNodes(sc *reqlog.StageClock, partID string, features []string) []scoredNode {
+	t := sc.Start()
 	//qatk:allowalloc the feature set and scored list are the ranking workspace, sized once per query
 	featSet := make(map[string]bool, len(features))
 	for _, f := range features {
@@ -116,6 +120,7 @@ func (c *Classifier) rankNodes(partID string, features []string) []scoredNode {
 		s := c.Sim.Score(shared, len(features), len(n.Features))
 		scored = append(scored, scoredNode{node: n, score: s})
 	}
+	t = sc.Lap(reqlog.StageScore, t)
 	slices.SortFunc(scored, func(a, b scoredNode) int {
 		if a.score != b.score {
 			return cmp.Compare(b.score, a.score)
@@ -125,6 +130,7 @@ func (c *Classifier) rankNodes(partID string, features []string) []scoredNode {
 		}
 		return cmp.Compare(a.node.ID, b.node.ID)
 	})
+	sc.Lap(reqlog.StageRank, t)
 	return scored
 }
 
@@ -142,11 +148,19 @@ type ScoredNode struct {
 // NodeCutoff) in rank order, before codes are deduplicated. Recommend is
 // CodesFromNodes(RecommendNodes(...)).
 func (c *Classifier) RecommendNodes(partID string, features []string) []ScoredNode {
+	return c.RecommendNodesTimed(nil, partID, features)
+}
+
+// RecommendNodesTimed is RecommendNodes with per-stage attribution: the
+// scoring loop and ranking sort are credited to the request's wide event
+// through sc. A nil clock (request logging off, or callers outside the
+// serving path) makes the timing free.
+func (c *Classifier) RecommendNodesTimed(sc *reqlog.StageClock, partID string, features []string) []ScoredNode {
 	cutoff := c.NodeCutoff
 	if cutoff <= 0 {
 		cutoff = DefaultNodeCutoff
 	}
-	scored := c.rankNodes(partID, features)
+	scored := c.rankNodes(sc, partID, features)
 	if len(scored) > cutoff {
 		scored = scored[:cutoff]
 	}
@@ -193,7 +207,7 @@ func (c *Classifier) MajorityVote(partID string, features []string, k int) strin
 	if k <= 0 {
 		k = 6
 	}
-	scored := c.rankNodes(partID, features)
+	scored := c.rankNodes(nil, partID, features)
 	if len(scored) == 0 {
 		return ""
 	}
@@ -236,7 +250,7 @@ func (c *Classifier) WeightedVote(partID string, features []string, k int) strin
 	if k <= 0 {
 		k = 6
 	}
-	scored := c.rankNodes(partID, features)
+	scored := c.rankNodes(nil, partID, features)
 	if len(scored) == 0 {
 		return ""
 	}

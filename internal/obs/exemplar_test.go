@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHistogramExemplarGolden pins the OpenMetrics exemplar rendering
+// byte for byte: the bucket covering the exemplar's value carries
+// `# {trace_id="..."} value timestamp`, other buckets are untouched, and
+// a later exemplar in the same bucket replaces the earlier one.
+func TestHistogramExemplarGolden(t *testing.T) {
+	r := NewRegistry().WithClock(func() time.Time { return time.Unix(0, 0) })
+	h := r.Histogram("quest_http_request_duration_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+	ts := time.Unix(1754600000, 250_000_000)
+	h.Exemplar(0.5, "00000000000000ff", ts)
+	h.Exemplar(2, "0000000000000abc", ts.Add(time.Second))
+	// Same-bucket replacement: only the latest exemplar survives.
+	h.Exemplar(0.3, "0000000000000042", ts.Add(2*time.Second))
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE quest_http_request_duration_seconds histogram
+quest_http_request_duration_seconds_bucket{le="0.1"} 1
+quest_http_request_duration_seconds_bucket{le="1"} 2 # {trace_id="0000000000000042"} 0.3 1754600002.250
+quest_http_request_duration_seconds_bucket{le="+Inf"} 3 # {trace_id="0000000000000abc"} 2 1754600001.250
+quest_http_request_duration_seconds_sum 2.55
+quest_http_request_duration_seconds_count 3
+`
+	got := sb.String()
+	if i := strings.Index(got, "# TYPE quest_http"); i >= 0 {
+		got = got[i:]
+	}
+	if got != want {
+		t.Errorf("exemplar exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestHistogramExemplarNoOpPaths: a nil histogram and an empty trace ID
+// record nothing, and a histogram without exemplars renders exactly as
+// before the feature existed.
+func TestHistogramExemplarNoOpPaths(t *testing.T) {
+	var nilH *Histogram
+	nilH.Exemplar(1, "abc", time.Unix(0, 0)) // must not panic
+
+	r := NewRegistry().WithClock(func() time.Time { return time.Unix(0, 0) })
+	h := r.Histogram("quest_http_request_duration_seconds", []float64{0.1, 1})
+	h.Observe(0.5)
+	h.Exemplar(0.5, "", time.Unix(0, 0)) // empty trace ID ignored
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "#  {") || strings.Contains(sb.String(), "trace_id") {
+		t.Errorf("exemplar-free histogram rendered an exemplar:\n%s", sb.String())
+	}
+}
+
+// TestTracerSpanNameCap is the regression test for the unbounded
+// per-name stats map: distinct names beyond the cap get no stat entry,
+// the overflow counter increments, established names keep aggregating,
+// and the ring still records every span.
+func TestTracerSpanNameCap(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(8, WithClock(func() time.Time { return time.Unix(0, 0) }), WithMaxSpanNames(2))
+	tr.Instrument(r.Counter(MetricSpanNamesDroppedTotal))
+
+	tr.Start(nil, "a").End(nil)
+	tr.Start(nil, "b").End(nil)
+	tr.Start(nil, "c").End(nil) // over the cap: dropped from stats
+	tr.Start(nil, "a").End(nil) // established name still aggregates
+
+	stats := tr.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats holds %d names, want 2: %+v", len(stats), stats)
+	}
+	for _, st := range stats {
+		if st.Name == "c" {
+			t.Fatalf("over-cap name leaked into stats: %+v", stats)
+		}
+		if st.Name == "a" && st.Count != 2 {
+			t.Fatalf("established name stopped aggregating: %+v", st)
+		}
+	}
+	if got := r.Counter(MetricSpanNamesDroppedTotal).Value(); got != 1 {
+		t.Fatalf("dropped counter = %d, want 1", got)
+	}
+	if got := len(tr.Snapshot()); got != 4 {
+		t.Fatalf("ring holds %d spans, want 4 (cap must not touch the ring)", got)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/reqlog"
 )
 
 // BundleSchema versions the bundle layout; qatk diagnose refuses bundles
@@ -63,6 +64,10 @@ type Bundle struct {
 	// Extras carries per-subsystem state from registered info providers
 	// (e.g. reldb WAL/sync stats), keyed provider name → field → value.
 	Extras map[string]map[string]string `json:"extras,omitempty"`
+	// Requests freezes the tail-sampled wide-event ring (newest first) —
+	// the same records /debug/requests serves, so `qatk requests` reads a
+	// bundle and a live server identically.
+	Requests []reqlog.Event `json:"requests,omitempty"`
 }
 
 // manifest is the directory form's header file: the scalar fields of a
@@ -92,6 +97,7 @@ const (
 	metricsFile    = "metrics.json"
 	goroutinesFile = "goroutines.txt"
 	extrasFile     = "extras.json"
+	requestsFile   = "requests.json"
 )
 
 // DirName renders the timestamped directory name for this bundle:
@@ -154,6 +160,11 @@ func (b *Bundle) WriteDir(parent string) (string, error) {
 	}
 	if len(b.Extras) > 0 {
 		if err := writeJSONFile(filepath.Join(dir, extrasFile), b.Extras); err != nil {
+			return "", err
+		}
+	}
+	if len(b.Requests) > 0 {
+		if err := writeJSONFile(filepath.Join(dir, requestsFile), b.Requests); err != nil {
 			return "", err
 		}
 	}
@@ -223,6 +234,7 @@ func ReadBundle(path string) (*Bundle, error) {
 	}
 	_ = readJSONFile(filepath.Join(path, metricsFile), &b.Metrics)
 	_ = readJSONFile(filepath.Join(path, extrasFile), &b.Extras)
+	_ = readJSONFile(filepath.Join(path, requestsFile), &b.Requests)
 	if data, err := os.ReadFile(filepath.Join(path, logsFileName)); err == nil && len(data) > 0 {
 		b.Logs = strings.Split(strings.TrimRight(string(data), "\n"), "\n")
 	}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/reqlog"
 )
 
 // Metric names the flight recorder emits (qatklint/metricname: constants,
@@ -97,6 +98,9 @@ type Config struct {
 	Registry *obs.Registry
 	Tracer   *obs.Tracer
 	Logs     *obs.RingSink
+	// Requests is the tail-sampled wide-event log; a capture freezes its
+	// retained ring into the bundle's requests section.
+	Requests *reqlog.Log
 	// Logger receives the recorder's own events (bundle written, trigger
 	// suppressed). Nil disables them.
 	Logger *obs.Logger
@@ -510,6 +514,7 @@ func (r *Recorder) captureLocked(reason string, details []obs.Label) *Bundle {
 			b.Extras[p.name] = p.fn()
 		}
 	}
+	b.Requests = r.cfg.Requests.Snapshot()
 	return b
 }
 

@@ -242,10 +242,20 @@ func (g *Gauge) Value() float64 {
 // Histogram counts observations into fixed cumulative buckets. A nil
 // *Histogram is a no-op.
 type Histogram struct {
-	bounds  []float64 // ascending upper bounds (le); +Inf implicit
-	counts  []atomic.Uint64
-	sumBits atomic.Uint64
-	count   atomic.Uint64
+	bounds    []float64 // ascending upper bounds (le); +Inf implicit
+	counts    []atomic.Uint64
+	sumBits   atomic.Uint64
+	count     atomic.Uint64
+	exemplars []atomic.Pointer[exemplar] // one slot per bucket + the +Inf overflow
+}
+
+// exemplar is one traced observation pinned to a histogram bucket, in the
+// OpenMetrics sense: the observed value, the trace that produced it, and
+// when. Buckets keep only the most recent exemplar.
+type exemplar struct {
+	value   float64
+	traceID string
+	ts      time.Time
 }
 
 // Histogram returns the histogram series for name+labels with the given
@@ -256,7 +266,11 @@ func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *H
 		buckets = DefBuckets
 	}
 	s, _ := r.lookup(name, kindHistogram, buckets, labels, func(bounds []float64) any {
-		return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+		return &Histogram{
+			bounds:    bounds,
+			counts:    make([]atomic.Uint64, len(bounds)),
+			exemplars: make([]atomic.Pointer[exemplar], len(bounds)+1),
+		}
 	}).(*Histogram)
 	return s
 }
@@ -283,6 +297,26 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// Exemplar pins a traced observation to the bucket covering v, replacing
+// any previous exemplar there. The bucket line then carries an
+// OpenMetrics exemplar (`# {trace_id="..."} value timestamp`) so a scrape
+// links the latency distribution back to a concrete retained trace.
+// Callers gate this on their own opt-in flag; the histogram itself stays
+// format-compatible when no exemplar was ever recorded.
+func (h *Histogram) Exemplar(v float64, traceID string, ts time.Time) {
+	if h == nil || traceID == "" {
+		return
+	}
+	i := len(h.bounds) // +Inf overflow slot
+	for j, b := range h.bounds {
+		if v <= b {
+			i = j
+			break
+		}
+	}
+	h.exemplars[i].Store(&exemplar{value: v, traceID: traceID, ts: ts})
 }
 
 // Count reads the total number of observations.
@@ -380,7 +414,7 @@ func writeSeries(w io.Writer, name, sig string, series any) error {
 		for i, b := range s.bounds {
 			cumulative += s.counts[i].Load()
 			le := L("le", formatFloat(b))
-			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, braced(joinSig(sig, le)), cumulative); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, braced(joinSig(sig, le)), cumulative, exemplarSuffix(s, i)); err != nil {
 				return err
 			}
 		}
@@ -392,7 +426,7 @@ func writeSeries(w io.Writer, name, sig string, series any) error {
 		if cumulative > count {
 			count = cumulative
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, braced(joinSig(sig, L("le", "+Inf"))), count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, braced(joinSig(sig, L("le", "+Inf"))), count, exemplarSuffix(s, len(s.bounds))); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, braced(sig), formatFloat(s.Sum())); err != nil {
@@ -402,6 +436,18 @@ func writeSeries(w io.Writer, name, sig string, series any) error {
 		return err
 	}
 	return nil
+}
+
+// exemplarSuffix renders the OpenMetrics exemplar annotation for one
+// bucket line, or "" when the bucket has none. Timestamps render as
+// seconds with millisecond precision, per the OpenMetrics text format.
+func exemplarSuffix(h *Histogram, i int) string {
+	e := h.exemplars[i].Load()
+	if e == nil {
+		return ""
+	}
+	ts := float64(e.ts.UnixMilli()) / 1000
+	return fmt.Sprintf(" # {trace_id=%q} %s %s", e.traceID, formatFloat(e.value), strconv.FormatFloat(ts, 'f', 3, 64))
 }
 
 // braced wraps a non-empty rendered label set in {…}.

@@ -1,0 +1,59 @@
+package reqlog
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the retained events as JSON, newest first:
+//
+//	GET /debug/requests            every retained event
+//	GET /debug/requests?reason=slow  only events retained as slow
+//	GET /debug/requests?n=10       at most 10 events
+//
+// The body is a JSON array of Event — the same records a flight bundle
+// freezes and `qatk requests` renders. A nil log answers 503 so probes
+// can tell "disabled" from "broken".
+func (l *Log) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if l == nil {
+			http.Error(w, "request log disabled", http.StatusServiceUnavailable)
+			return
+		}
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		events := l.Snapshot()
+		if reason := r.URL.Query().Get("reason"); reason != "" {
+			events = FilterByReason(events, reason)
+		}
+		if nStr := r.URL.Query().Get("n"); nStr != "" {
+			if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(events) {
+				events = events[:n]
+			}
+		}
+		if events == nil {
+			events = []Event{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(events)
+	})
+}
+
+// FilterByReason keeps the events retained for the given reason.
+func FilterByReason(events []Event, reason string) []Event {
+	var out []Event
+	for _, ev := range events {
+		for _, r := range ev.Reasons {
+			if r == reason {
+				out = append(out, ev)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package reqlog
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkHotStageClockLap measures the enabled stage-timing path: one
+// clock read plus one atomic add per lap. bench-alloc asserts 0
+// allocs/op — the wide event must not cost the classifier allocations.
+func BenchmarkHotStageClockLap(b *testing.B) {
+	l := New(Config{Capacity: 4})
+	sc := l.Begin("GET", "/bench").Clock()
+	b.ReportAllocs()
+	t := sc.Start()
+	for i := 0; i < b.N; i++ {
+		t = sc.Lap(StageScore, t)
+	}
+}
+
+// BenchmarkStageClockLapDisabled measures the disabled path: a nil
+// clock extracted from a bare context, as the classifier sees it when
+// request logging is off. Must be 0 allocs/op and never read the wall
+// clock.
+func BenchmarkStageClockLapDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc := ClockFrom(ctx)
+		t := sc.Start()
+		sc.Lap(StageScore, t)
+	}
+}
+
+// BenchmarkBuilderRecordDisabled measures the router's recording calls
+// against a nil builder — the shape the whole serving path takes when
+// request logging is off. Must be 0 allocs/op: the ShardAttempt literal
+// must stay on the stack.
+func BenchmarkBuilderRecordDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rb := From(ctx)
+		rb.Attempt(ShardAttempt{Shard: 1, Attempt: 1, Breaker: "closed", Duration: time.Millisecond})
+		rb.MarkWinner(1, 1)
+		rb.Outcome(false, false, false, nil)
+	}
+}

@@ -1,0 +1,124 @@
+package reqlog
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteReport pretty-prints retained wide events, newest first — the
+// read side of the request log (`qatk requests <url|bundle>`). One block
+// per event: the request line with trace ID and retention reasons, then
+// the stage breakdown, then per-shard attempt outcomes.
+func WriteReport(w io.Writer, events []Event) error {
+	if len(events) == 0 {
+		_, err := fmt.Fprintln(w, "no retained requests")
+		return err
+	}
+	for i, ev := range events {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := writeEvent(w, ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeEvent renders one event block.
+func writeEvent(w io.Writer, ev Event) error {
+	line := fmt.Sprintf("%s %s -> %d in %s  trace=%s  [%s]",
+		ev.Method, ev.Route, ev.Status, fmtDur(ev.Duration),
+		ev.TraceID, strings.Join(ev.Reasons, ","))
+	if _, err := fmt.Fprintln(w, line); err != nil {
+		return err
+	}
+	if !ev.Start.IsZero() {
+		if _, err := fmt.Fprintf(w, "  at %s\n", ev.Start.UTC().Format(time.RFC3339Nano)); err != nil {
+			return err
+		}
+	}
+	if ev.Part != "" {
+		if _, err := fmt.Fprintf(w, "  query part=%s features=%d\n", ev.Part, ev.Features); err != nil {
+			return err
+		}
+	}
+	var flags []string
+	if ev.Degraded {
+		flags = append(flags, "degraded")
+	}
+	if ev.Scatter {
+		flags = append(flags, "scatter")
+	}
+	if ev.Hedged {
+		flags = append(flags, "hedged")
+	}
+	if len(ev.FailedShards) > 0 {
+		flags = append(flags, "failed_shards="+intList(ev.FailedShards))
+	}
+	if len(ev.BreakerTrips) > 0 {
+		flags = append(flags, "breaker_trips="+intList(ev.BreakerTrips))
+	}
+	if ev.Panic != "" {
+		flags = append(flags, "panic="+ev.Panic)
+	}
+	if len(flags) > 0 {
+		if _, err := fmt.Fprintf(w, "  outcome %s\n", strings.Join(flags, " ")); err != nil {
+			return err
+		}
+	}
+	if len(ev.Stages) > 0 {
+		parts := make([]string, 0, len(ev.Stages))
+		for _, st := range ev.Stages {
+			parts = append(parts, st.Name+"="+fmtDur(st.Duration))
+		}
+		if _, err := fmt.Fprintf(w, "  stages %s\n", strings.Join(parts, " ")); err != nil {
+			return err
+		}
+	}
+	for _, a := range ev.Shards {
+		role := "primary"
+		if a.Hedged || a.Attempt > 1 {
+			role = "hedge"
+		}
+		if a.Attempt == 0 {
+			role = "rejected"
+		}
+		line := fmt.Sprintf("  shard %d %s %s", a.Shard, role, fmtDur(a.Duration))
+		if a.Winner {
+			line += " winner"
+		}
+		if a.Breaker != "" {
+			line += " breaker=" + a.Breaker
+		}
+		if a.Deadline > 0 {
+			line += " deadline=" + fmtDur(a.Deadline)
+		}
+		if a.Err != "" {
+			line += " err=" + a.Err
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtDur renders a duration rounded to microseconds for readability.
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+// intList renders a comma-separated int list.
+func intList(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}

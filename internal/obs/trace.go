@@ -15,6 +15,18 @@ import (
 // per-engine timing report the old pipeline.Timed wrapper produced,
 // exactly, no matter how many documents streamed through.
 
+// DefaultMaxSpanNames bounds the per-name aggregation: spans with names
+// beyond the cap still enter the ring but create no new stat entry. The
+// cap exists because span names are caller-controlled strings — a caller
+// interpolating an ID into a span name would otherwise grow the stats
+// map without bound for the life of the process.
+const DefaultMaxSpanNames = 512
+
+// MetricSpanNamesDroppedTotal counts spans whose name overflowed the
+// per-name aggregation cap (the span itself is still recorded in the
+// ring; only its stat line is lost).
+const MetricSpanNamesDroppedTotal = "obs_span_names_dropped_total"
+
 // SpanData is one finished (or in-flight) span.
 type SpanData struct {
 	TraceID  uint64
@@ -49,12 +61,15 @@ func (s SpanStat) Per() time.Duration {
 type Tracer struct {
 	clock  func() time.Time
 	nextID atomic.Uint64
+	// maxNames bounds the stats map; set at construction, immutable after.
+	maxNames int
 
-	mu    sync.Mutex
-	ring  []SpanData           //qatk:guardedby mu
-	next  int                  //qatk:guardedby mu
-	count int                  //qatk:guardedby mu — spans currently in the ring
-	stats map[string]*SpanStat //qatk:guardedby mu
+	mu           sync.Mutex
+	ring         []SpanData           //qatk:guardedby mu
+	next         int                  //qatk:guardedby mu
+	count        int                  //qatk:guardedby mu — spans currently in the ring
+	stats        map[string]*SpanStat //qatk:guardedby mu
+	namesDropped *Counter             //qatk:guardedby mu — nil until Instrument
 }
 
 // TracerOption configures a Tracer.
@@ -66,6 +81,16 @@ func WithClock(clock func() time.Time) TracerOption {
 	return func(t *Tracer) { t.clock = clock }
 }
 
+// WithMaxSpanNames overrides the distinct-span-name cap on the per-name
+// aggregation (default DefaultMaxSpanNames; values < 1 keep the default).
+func WithMaxSpanNames(n int) TracerOption {
+	return func(t *Tracer) {
+		if n >= 1 {
+			t.maxNames = n
+		}
+	}
+}
+
 // NewTracer builds a tracer whose ring buffer holds up to capacity
 // finished spans (older spans are evicted first; capacity < 1 is raised
 // to 1). The per-name aggregation is unbounded and unaffected by
@@ -75,14 +100,27 @@ func NewTracer(capacity int, opts ...TracerOption) *Tracer {
 		capacity = 1
 	}
 	t := &Tracer{
-		clock: time.Now,
-		ring:  make([]SpanData, capacity),
-		stats: make(map[string]*SpanStat),
+		clock:    time.Now,
+		ring:     make([]SpanData, capacity),
+		stats:    make(map[string]*SpanStat),
+		maxNames: DefaultMaxSpanNames,
 	}
 	for _, o := range opts {
 		o(t)
 	}
 	return t
+}
+
+// Instrument wires the overflow counter (normally the registry's
+// MetricSpanNamesDroppedTotal series) so name-cap drops are visible in
+// the exposition. Nil-safe on both sides.
+func (t *Tracer) Instrument(dropped *Counter) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.namesDropped = dropped
+	t.mu.Unlock()
 }
 
 // Span is one in-flight operation. A nil *Span is a no-op.
@@ -158,6 +196,13 @@ func (s *Span) End(err error) {
 	}
 	st, ok := t.stats[s.data.Name]
 	if !ok {
+		// Cap distinct names: a new name past the cap keeps its ring entry
+		// but gets no stat line (evict-none — established names keep
+		// aggregating), and the overflow is counted so it is diagnosable.
+		if len(t.stats) >= t.maxNames {
+			t.namesDropped.Inc()
+			return
+		}
 		st = &SpanStat{Name: s.data.Name}
 		t.stats[s.data.Name] = st
 	}

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime/pprof"
 	"strconv"
 
 	"repro/internal/cas"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/reqlog"
 )
 
 // Fault-isolated collection processing. The paper positions the QATK at
@@ -178,19 +180,27 @@ func (p *Pipeline) RunWithConfig(ctx context.Context, r Reader, consumer Consume
 		guard.Beat()
 
 		doc := cfg.Tracer.Start(run, spanDocument)
-		docErr := p.process(c, cfg.Tracer, doc)
+		// The document work runs under pprof labels so CPU profiles
+		// attribute engine and consumer time to pipeline documents, the way
+		// shard workers label their serving goroutines. The stage clock (nil
+		// unless this run serves a live request) credits the tokenize and
+		// annotate engines to the request's wide event.
+		var docErr error
 		engine := ""
-		if docErr != nil {
-			var ee *EngineError
-			if errors.As(docErr, &ee) {
-				engine = ee.Engine
+		pprof.Do(ctx, pprof.Labels("pipeline", "document"), func(ctx context.Context) {
+			docErr = p.process(c, cfg.Tracer, doc, reqlog.ClockFrom(ctx))
+			if docErr != nil {
+				var ee *EngineError
+				if errors.As(docErr, &ee) {
+					engine = ee.Engine
+				}
+			} else if consumer != nil {
+				if cerr := consumer.Consume(c); cerr != nil {
+					docErr = fmt.Errorf("pipeline: consumer: %w", cerr)
+					engine = consumerEngine
+				}
 			}
-		} else if consumer != nil {
-			if cerr := consumer.Consume(c); cerr != nil {
-				docErr = fmt.Errorf("pipeline: consumer: %w", cerr)
-				engine = consumerEngine
-			}
-		}
+		})
 		doc.End(docErr)
 
 		if docErr == nil {

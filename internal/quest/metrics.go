@@ -16,4 +16,7 @@ const (
 	MetricPanicsTotal = "quest_panics_total"
 	// MetricTimeoutsTotal counts requests cut short by WithTimeout.
 	MetricTimeoutsTotal = "quest_timeouts_total"
+	// MetricReqExemplarsTotal counts latency-histogram exemplars recorded
+	// from retained wide events (only with exemplars enabled).
+	MetricReqExemplarsTotal = "quest_req_exemplars_total"
 )

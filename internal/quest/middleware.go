@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/reqlog"
 )
 
 // HTTP hardening for the QUEST serving tier: the quality experts' web UI
@@ -44,6 +45,9 @@ func Recover(logger *obs.Logger, panics *obs.Counter, fr *flight.Recorder, next 
 				panic(rec)
 			}
 			panics.Inc()
+			// A recovered panic is a hard retention reason for the request's
+			// wide event (nil-safe when request logging is off).
+			reqlog.From(r.Context()).SetPanic(fmt.Sprint(rec))
 			logger.Error("panic serving request",
 				obs.L("method", r.Method),
 				obs.L("path", r.URL.Path),
@@ -128,17 +132,29 @@ func (sr *statusRecorder) Unwrap() http.ResponseWriter {
 // It sits outermost in the chain so that panics recovered further in are
 // still counted with their 500. Nil registry and tracer disable the
 // respective signal.
-func Instrument(reg *obs.Registry, tr *obs.Tracer, fr *flight.Recorder, next http.Handler) http.Handler {
+//
+// rl (nil = off) opens one wide event per request and carries its builder
+// on the request context for the layers below to fill in; the event is
+// sealed here with the status, trace ID and total latency. When an event
+// is retained and exemplars is set, the latency histogram bucket gains an
+// OpenMetrics exemplar carrying the event's trace ID — so a scrape links
+// a tail bucket to a concrete request in /debug/requests.
+func Instrument(reg *obs.Registry, tr *obs.Tracer, fr *flight.Recorder, rl *reqlog.Log, exemplars bool, next http.Handler) http.Handler {
 	inflight := reg.Gauge(MetricHTTPRequestsInflight)
 	duration := reg.Histogram(MetricHTTPRequestDurationSeconds, obs.DefBuckets)
 	// Pre-touch the one series every deployment serves, so the family
 	// renders on a scrape that precedes the first completed request.
 	reg.Counter(MetricHTTPRequestsTotal, obs.L("code", "200"))
+	exemplarCount := reg.Counter(MetricReqExemplarsTotal)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		inflight.Add(1)
 		span := tr.Start(nil, spanHTTPRequest,
 			obs.L("method", r.Method), obs.L("path", r.URL.Path))
+		b := rl.Begin(r.Method, r.URL.Path)
+		if b != nil {
+			r = r.WithContext(reqlog.NewContext(r.Context(), b))
+		}
 		rec := &statusRecorder{ResponseWriter: w}
 		defer func() {
 			if rec.status == 0 {
@@ -152,6 +168,10 @@ func Instrument(reg *obs.Registry, tr *obs.Tracer, fr *flight.Recorder, next htt
 			reg.Counter(MetricHTTPRequestsTotal, obs.L("code", code)).Inc()
 			span.SetAttr("code", code)
 			span.End(nil)
+			if b.Finish(rec.status, span.TraceID(), elapsed) && exemplars {
+				duration.Exemplar(elapsed.Seconds(), reqlog.TraceIDString(span.TraceID()), start.Add(elapsed))
+				exemplarCount.Inc()
+			}
 		}()
 		next.ServeHTTP(rec, r)
 	})

@@ -179,7 +179,7 @@ func TestInstrumentMiddleware(t *testing.T) {
 		w.WriteHeader(http.StatusTeapot)
 	})
 	rec := httptest.NewRecorder()
-	Instrument(reg, tr, nil, inner).ServeHTTP(rec, httptest.NewRequest("GET", "/bundle/R1", nil))
+	Instrument(reg, tr, nil, nil, false, inner).ServeHTTP(rec, httptest.NewRequest("GET", "/bundle/R1", nil))
 
 	if rec.Code != http.StatusTeapot {
 		t.Fatalf("status = %d", rec.Code)
@@ -230,7 +230,7 @@ func TestInstrumentPreservesFlusher(t *testing.T) {
 		}
 	})
 	rec := httptest.NewRecorder()
-	Instrument(obs.NewRegistry(), obs.NewTracer(8), nil, inner).ServeHTTP(rec, httptest.NewRequest("GET", "/stream", nil))
+	Instrument(obs.NewRegistry(), obs.NewTracer(8), nil, nil, false, inner).ServeHTTP(rec, httptest.NewRequest("GET", "/stream", nil))
 	if !flushed {
 		t.Fatal("handler never reached Flush")
 	}

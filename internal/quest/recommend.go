@@ -3,6 +3,8 @@ package quest
 import (
 	"net/http"
 	"strings"
+
+	"repro/internal/obs/reqlog"
 )
 
 // Live recommendation API over the sharded serving tier (internal/shard):
@@ -54,11 +56,16 @@ func (s *Server) apiRecommend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Record the query identity and outcome on the request's wide event
+	// (nil-safe; the builder rides the context from Instrument).
+	rb := reqlog.From(r.Context())
+	rb.Query(part, len(features))
 	res, err := s.shards.Query(r.Context(), part, features)
 	if err != nil {
 		apiError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
+	rb.Outcome(res.Degraded, res.Hedged, res.Scatter, res.FailedShards)
 	out := apiRecommendation{
 		Part: part, Degraded: res.Degraded, FailedShards: res.FailedShards,
 		Scatter: res.Scatter, Hedged: res.Hedged,

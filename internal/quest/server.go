@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/reqlog"
 	"repro/internal/reldb"
 	"repro/internal/shard"
 )
@@ -66,6 +67,12 @@ type Config struct {
 	// GET /api/recommend and the per-shard readiness section; the
 	// batch-persisted suggestion screens keep working either way.
 	Shards *shard.Router
+	// Requests is the tail-sampled wide-event log: one event per request,
+	// assembled along the serving path. Nil disables request logging.
+	Requests *reqlog.Log
+	// Exemplars attaches OpenMetrics exemplars (trace IDs of retained wide
+	// events) to the request latency histogram. Requires Requests.
+	Exemplars bool
 }
 
 // NewServer builds the application. The database must already contain the
@@ -112,7 +119,7 @@ func NewServer(cfg Config) (*Server, error) {
 		probes.Handle("/metrics", cfg.Metrics.Handler())
 	}
 	probes.Handle("/", WithTimeout(cfg.RequestTimeout, timeouts, logger, s.mux))
-	s.handler = Instrument(cfg.Metrics, cfg.Tracer, cfg.Flight,
+	s.handler = Instrument(cfg.Metrics, cfg.Tracer, cfg.Flight, cfg.Requests, cfg.Exemplars,
 		Recover(logger, panics, cfg.Flight, probes))
 	return s, nil
 }

@@ -1,14 +1,19 @@
 package quest
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/bundle"
 	"repro/internal/core"
@@ -250,5 +255,136 @@ func TestAPIRecommendDisabled(t *testing.T) {
 	}
 	if _, ok := rd["serving"]; ok {
 		t.Error("/readyz reports serving without a router")
+	}
+}
+
+// TestReadyzBreakerArc drives one shard's breaker through its full
+// recovery arc — closed → open → half-open probe → closed — entirely over
+// HTTP, asserting each state through /readyz. The router runs on an
+// injectable clock so the cooldown elapses deterministically, and the
+// fault hook heals on command so the half-open probe succeeds.
+func TestReadyzBreakerArc(t *testing.T) {
+	var clockMu sync.Mutex
+	now := time.Unix(1700000000, 0)
+	clock := func() time.Time { clockMu.Lock(); defer clockMu.Unlock(); return now }
+	advance := func(d time.Duration) { clockMu.Lock(); now = now.Add(d); clockMu.Unlock() }
+
+	var failing atomic.Bool
+	failing.Store(true)
+	hook := func(ctx context.Context, sh, attempt int) error {
+		if sh == 2 && failing.Load() {
+			return errors.New("injected: shard 2 down")
+		}
+		return nil
+	}
+
+	db, err := reldb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := bundle.CreateTables(db); err != nil {
+		t.Fatal(err)
+	}
+	src := shardKB(t)
+	cooldown := time.Second
+	router, err := shard.New(shard.Config{
+		Stores:          shard.PartitionStores(src, 4),
+		Hook:            hook,
+		BreakerBudget:   1,
+		BreakerCooldown: cooldown,
+		Clock:           clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(router.Close)
+	srv, err := NewServer(Config{DB: db, Shards: router})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	var victim string
+	for p := 0; p < 12; p++ {
+		part := fmt.Sprintf("P%02d", p)
+		if src.KnownPart(part) && kb.PartOwner(part, 4) == 2 {
+			victim = part
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("fixture has no parts owned by shard 2")
+	}
+
+	shardState := func() (serving, state string) {
+		t.Helper()
+		var rd struct {
+			Serving string              `json:"serving"`
+			Shards  []shard.ShardHealth `json:"shards"`
+		}
+		if code := getJSON(t, ts.URL+"/readyz", &rd); code != http.StatusOK {
+			t.Fatalf("/readyz = %d, want 200", code)
+		}
+		if len(rd.Shards) != 4 {
+			t.Fatalf("shards = %d entries, want 4", len(rd.Shards))
+		}
+		return rd.Serving, rd.Shards[2].State
+	}
+	recommend := func() apiRecommendation {
+		t.Helper()
+		var out apiRecommendation
+		u := ts.URL + "/api/recommend?part=" + url.QueryEscape(victim) + "&features=f01,f02,f03"
+		if code := getJSON(t, u, &out); code != http.StatusOK {
+			t.Fatalf("recommend = %d, want 200", code)
+		}
+		return out
+	}
+
+	// 1. Closed: healthy report before any traffic.
+	if serving, state := shardState(); serving != "ok" || state != shard.StateClosed {
+		t.Fatalf("initial serving=%q shard2=%q, want ok/closed", serving, state)
+	}
+
+	// 2. One failed sub-query exhausts the budget of 1: closed → open.
+	if out := recommend(); !out.Degraded {
+		t.Fatal("query against downed owner not degraded")
+	}
+	if serving, state := shardState(); serving != "degraded" || state != shard.StateOpen {
+		t.Fatalf("post-trip serving=%q shard2=%q, want degraded/open", serving, state)
+	}
+
+	// 3. Cooldown elapses on the injected clock: /readyz resolves the
+	// breaker as half-open (what Allow would grant next) without traffic.
+	advance(cooldown)
+	if _, state := shardState(); state != shard.StateHalfOpen {
+		t.Fatalf("post-cooldown shard2=%q, want half-open", state)
+	}
+
+	// 4. Shard heals; the next query is the half-open probe and closes
+	// the breaker: half-open → closed, response no longer degraded.
+	failing.Store(false)
+	if out := recommend(); out.Degraded {
+		t.Fatal("probe query still degraded after shard healed")
+	}
+	if serving, state := shardState(); serving != "ok" || state != shard.StateClosed {
+		t.Fatalf("recovered serving=%q shard2=%q, want ok/closed", serving, state)
+	}
+
+	// And the re-open branch: a failed probe sends half-open back to open.
+	failing.Store(true)
+	if out := recommend(); !out.Degraded {
+		t.Fatal("query against re-downed owner not degraded")
+	}
+	advance(cooldown)
+	if _, state := shardState(); state != shard.StateHalfOpen {
+		t.Fatalf("second cooldown shard2=%q, want half-open", state)
+	}
+	if out := recommend(); !out.Degraded {
+		t.Fatal("failed probe should leave the response degraded")
+	}
+	if _, state := shardState(); state != shard.StateOpen {
+		t.Fatalf("after failed probe shard2=%q, want open (re-opened)", state)
 	}
 }

@@ -2,10 +2,13 @@ package shard
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"os"
 	"reflect"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -14,6 +17,7 @@ import (
 	"repro/internal/kb"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/reqlog"
 )
 
 // The deterministic chaos matrix (acceptance criteria): for each of
@@ -75,6 +79,11 @@ type chaosEnv struct {
 	clock    *fakeClock
 	reg      *obs.Registry
 	recorder *flight.Recorder
+	// reqLog retains every chaos query's wide event; when a chaos test
+	// fails and CHAOS_ARTIFACT names a path, the ring is dumped there as
+	// JSON so the failed run's per-shard attempt record survives CI.
+	reqLog *reqlog.Log
+	seq    atomic.Uint64
 	// ownedPart is a part the knowledge base knows; owner is its shard.
 	// unknownPart is owned by no shard (scatter); scatterVictim is a
 	// non-owning shard in that scatter.
@@ -98,6 +107,31 @@ func newChaosEnv(t *testing.T, mut func(*Config)) *chaosEnv {
 		MinInterval: -1, // every trigger fires; tests assert exact counts
 	})
 	t.Cleanup(e.recorder.Close)
+	e.reqLog = reqlog.New(reqlog.Config{SampleAll: true})
+	t.Cleanup(func() {
+		path := os.Getenv("CHAOS_ARTIFACT")
+		if path == "" || !t.Failed() {
+			return
+		}
+		// The dump is a single-file flight bundle so the standard reader
+		// renders it: `qatk requests <path>`.
+		dump := flight.Bundle{
+			Schema:   flight.BundleSchema,
+			Reason:   "chaos-test-failure",
+			Time:     time.Now(),
+			Requests: e.reqLog.Snapshot(),
+		}
+		data, err := json.MarshalIndent(dump, "", "  ")
+		if err != nil {
+			t.Logf("chaos artifact: marshal ring: %v", err)
+			return
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Logf("chaos artifact: write %s: %v", path, err)
+			return
+		}
+		t.Logf("chaos artifact: tail-sample ring written to %s", path)
+	})
 	cfg := Config{
 		Stores:          PartitionStores(e.src, 4),
 		ShardTimeout:    30 * time.Millisecond,
@@ -139,9 +173,23 @@ func (e *chaosEnv) query(t *testing.T, part string) (*Result, error) {
 	budget := 2 * time.Second
 	ctx, cancel := context.WithTimeout(context.Background(), budget)
 	defer cancel()
+	// Every chaos query assembles a wide event so a failed matrix run can
+	// ship its per-shard attempt record as the CHAOS_ARTIFACT ring dump.
+	b := e.reqLog.Begin("CHAOS", t.Name())
+	b.Query(part, 4)
+	ctx = reqlog.NewContext(ctx, b)
 	start := time.Now()
 	res, err := e.router.Query(ctx, part, []string{"f01", "f07", "f21", "f33"})
-	if elapsed := time.Since(start); elapsed >= budget {
+	elapsed := time.Since(start)
+	status := 200
+	if err != nil {
+		status = 503
+	}
+	if res != nil {
+		b.Outcome(res.Degraded, res.Hedged, res.Scatter, res.FailedShards)
+	}
+	b.Finish(status, e.seq.Add(1), elapsed)
+	if elapsed >= budget {
 		t.Fatalf("query overran the request deadline: %v >= %v", elapsed, budget)
 	}
 	return res, err

@@ -15,6 +15,7 @@ import (
 	"repro/internal/kb"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/reqlog"
 )
 
 // Defaults for zero Config fields. DefaultHedgeAfter is NOT applied to a
@@ -225,11 +226,14 @@ func (r *Router) Query(ctx context.Context, partID string, features []string) (*
 		span.End(qerr)
 	}()
 
+	sc := reqlog.ClockFrom(ctx)
 	owner := kb.PartOwner(partID, len(r.shards))
 	out, hedged, err := r.queryShard(ctx, span, owner, partID, features, false)
 	res.Hedged = res.Hedged || hedged
 	if err == nil && out.known {
+		t := sc.Start()
 		res.Codes = core.CodesFromNodes(out.nodes)
+		sc.Lap(reqlog.StageDedup, t)
 		return res, nil
 	}
 	skip := -1
@@ -280,7 +284,11 @@ func (r *Router) Query(ctx context.Context, partID string, features []string) (*
 	if cutoff <= 0 {
 		cutoff = core.DefaultNodeCutoff
 	}
-	res.Codes = core.CodesFromNodes(mergeNodes(lists, cutoff))
+	t := sc.Start()
+	merged := mergeNodes(lists, cutoff)
+	t = sc.Lap(reqlog.StageMerge, t)
+	res.Codes = core.CodesFromNodes(merged)
+	sc.Lap(reqlog.StageDedup, t)
 	if res.Degraded {
 		r.degraded.Inc()
 		r.cfg.Logger.Warn("degraded shard response",
@@ -341,8 +349,17 @@ type attemptOut struct {
 func (r *Router) queryShard(ctx context.Context, parent *obs.Span, idx int, partID string, features []string, scatter bool) (response, bool, error) {
 	h := r.shards[idx]
 	h.requests.Inc()
+	// The wide-event builder rides the request context; everything it needs
+	// beyond the attempt outcome itself (breaker state at admission, the
+	// effective deadline) is computed only when request logging is on.
+	rb := reqlog.From(ctx)
+	var bstate string
+	if rb != nil {
+		bstate = h.breaker.State()
+	}
 	if !h.breaker.Allow() {
 		h.failures.Inc()
+		rb.Attempt(reqlog.ShardAttempt{Shard: idx, Breaker: bstate, Err: ErrShardBroken.Error()})
 		return response{}, false, fmt.Errorf("%w: shard %d", ErrShardBroken, idx)
 	}
 
@@ -359,9 +376,34 @@ func (r *Router) queryShard(ctx context.Context, parent *obs.Span, idx int, part
 		span := r.cfg.Tracer.Start(parent, spanShardAttempt,
 			obs.L("shard", strconv.Itoa(idx)),
 			obs.L("attempt", strconv.Itoa(attempt)))
+		var astart time.Time
+		var deadline time.Duration
+		if rb != nil {
+			astart = time.Now()
+			deadline = r.cfg.ShardTimeout
+			if d, ok := ctx.Deadline(); ok {
+				if rem := time.Until(d); rem < deadline {
+					deadline = rem
+				}
+			}
+		}
 		go func() {
 			out, err := h.worker.query(actx, partID, features, scatter, attempt)
 			span.End(err)
+			// Record the attempt before handing the outcome to the select
+			// loop, so a winning attempt is already in the event when the
+			// loop marks it. A cancelled loser records its cancellation; a
+			// loser drained after Finish is harmlessly dropped.
+			if rb != nil {
+				a := reqlog.ShardAttempt{
+					Shard: idx, Attempt: attempt, Hedged: attempt > 1,
+					Breaker: bstate, Deadline: deadline, Duration: time.Since(astart),
+				}
+				if err != nil {
+					a.Err = err.Error()
+				}
+				rb.Attempt(a)
+			}
 			outc <- attemptOut{attempt: attempt, out: out, err: err}
 		}()
 	}
@@ -398,6 +440,7 @@ func (r *Router) queryShard(ctx context.Context, parent *obs.Span, idx int, part
 				if ao.attempt == 2 {
 					h.hedgeWins.Inc()
 				}
+				rb.MarkWinner(idx, ao.attempt)
 				h.breaker.Success()
 				h.stallLatched.Store(false)
 				return ao.out, hedged, nil
@@ -438,6 +481,7 @@ func (r *Router) shardFailed(ctx context.Context, h *handle, idx int, err error)
 	r.cfg.Logger.Warn("shard sub-query failed", shardLabel, obs.L("err", err.Error()))
 	if tripped := h.breaker.Failure(err); tripped {
 		h.breakerOpens.Inc()
+		reqlog.From(ctx).BreakerTrip(h.worker.id)
 		r.cfg.Logger.Error("shard circuit breaker tripped",
 			shardLabel, obs.L("err", err.Error()))
 		r.cfg.Flight.Trigger(flight.ReasonCircuitBreaker,

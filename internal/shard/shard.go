@@ -14,10 +14,13 @@ package shard
 import (
 	"context"
 	"errors"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/kb"
+	"repro/internal/obs/reqlog"
 )
 
 // FaultHook runs at the start of every shard query attempt; the chaos
@@ -57,6 +60,7 @@ type response struct {
 // until WAL-shipped replicas land.
 type worker struct {
 	id      int
+	idStr   string // pre-rendered for pprof labels
 	clf     *core.Classifier
 	reqs    chan request
 	hook    FaultHook
@@ -67,11 +71,12 @@ type worker struct {
 // newWorker builds and starts one shard with `pool` serving goroutines.
 func newWorker(id int, store kb.Store, sim core.Similarity, cutoff, pool int, hook FaultHook) *worker {
 	w := &worker{
-		id:   id,
-		clf:  &core.Classifier{Store: store, Sim: sim, NodeCutoff: cutoff},
-		reqs: make(chan request),
-		hook: hook,
-		quit: make(chan struct{}),
+		id:    id,
+		idStr: strconv.Itoa(id),
+		clf:   &core.Classifier{Store: store, Sim: sim, NodeCutoff: cutoff},
+		reqs:  make(chan request),
+		hook:  hook,
+		quit:  make(chan struct{}),
 	}
 	for i := 0; i < pool; i++ {
 		go w.loop()
@@ -92,13 +97,26 @@ func (w *worker) loop() {
 }
 
 // serve answers one request. The response channel is buffered, so the
-// send never blocks even when the caller has already given up.
+// send never blocks even when the caller has already given up. The work
+// runs under pprof labels (shard ID, primary vs hedge role) so CPU
+// profiles attribute serving time per shard and show what hedges cost.
 func (w *worker) serve(req request) {
 	if req.ctx.Err() != nil {
 		return // the caller's deadline already expired in the queue
 	}
+	role := "primary"
+	if req.attempt > 1 {
+		role = "hedge"
+	}
+	pprof.Do(req.ctx, pprof.Labels("shard", w.idStr, "role", role), func(ctx context.Context) {
+		w.answer(ctx, req)
+	})
+}
+
+// answer produces the response for one labeled request.
+func (w *worker) answer(ctx context.Context, req request) {
 	if w.hook != nil {
-		if err := w.hook(req.ctx, w.id, req.attempt); err != nil {
+		if err := w.hook(ctx, w.id, req.attempt); err != nil {
 			req.resp <- response{err: err}
 			return
 		}
@@ -111,7 +129,10 @@ func (w *worker) serve(req request) {
 		req.resp <- response{known: false}
 		return
 	}
-	req.resp <- response{nodes: w.clf.RecommendNodes(req.partID, req.features), known: known}
+	// The stage clock rides the request context from the quest middleware;
+	// nil (request logging off) makes the classifier's timing free.
+	sc := reqlog.ClockFrom(ctx)
+	req.resp <- response{nodes: w.clf.RecommendNodesTimed(sc, req.partID, req.features), known: known}
 }
 
 // query dispatches one attempt and waits for the answer or the attempt
