@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-json race crash chaos check bench bench-load bench-alloc
+.PHONY: build test vet lint lint-json race crash chaos chaos-repl check bench bench-load bench-alloc
 
 ## build: compile every package and command
 build:
@@ -46,9 +46,21 @@ chaos:
 	CHAOS_ARTIFACT=$(CURDIR)/chaos_requests.json $(GO) test -race -count 1 ./internal/shard || \
 	  { [ -f chaos_requests.json ] && echo "chaos: tail-sample ring -> chaos_requests.json"; exit 1; }
 
+## chaos-repl: the replication fault matrix under the race detector —
+## {link drop, link delay, truncate-mid-frame, replica wedge, primary
+## fsync latch, replica crash mid-apply} — asserting the router answers
+## throughout (degraded/stale at worst, never divergent) and every broken
+## replica re-syncs to the primary's exact state digest. On failure the
+## fixture dumps its wide-event ring to repl_requests.json (render it
+## with `qatk requests repl_requests.json`); CI uploads it as an artifact.
+chaos-repl:
+	@rm -f repl_requests.json
+	CHAOS_ARTIFACT=$(CURDIR)/repl_requests.json $(GO) test -race -count 1 ./internal/repl || \
+	  { [ -f repl_requests.json ] && echo "chaos-repl: tail-sample ring -> repl_requests.json"; exit 1; }
+
 ## check: the pre-merge tier — vet, qatklint, the race-enabled suite, the
-## crash harness and the shard chaos matrix
-check: vet lint race crash chaos
+## crash harness, and the shard + replication chaos matrices
+check: vet lint race crash chaos chaos-repl
 
 ## bench: full benchmark suite -> BENCH_pr5.json (see EXPERIMENTS.md).
 ## The root-package paper replications are full 5-fold CVs, so they run
@@ -59,14 +71,16 @@ bench:
 	  $(GO) run ./cmd/benchjson -o BENCH_pr5.json
 
 ## bench-load: closed-loop load against a 4-shard in-process server with
-## one artificially slow shard -> BENCH_pr8.json. The hedged fan-out must
-## keep p99 inside the 50ms SLO despite the 50ms-slow shard; the line also
-## carries the wide-event per-stage breakdown (stage-*-ms) plus the
-## hedged/degraded counts.
+## one artificially slow shard and two WAL-shipped read replicas ->
+## BENCH_pr9.json. The hedged fan-out must keep p99 inside the 50ms SLO
+## despite the 50ms-slow primary, with the hedges served by a fresh
+## replica (the replica-served column); the line also carries the
+## wide-event per-stage breakdown (stage-*-ms) plus the hedged/degraded/
+## stale counts.
 bench-load:
 	$(GO) run ./cmd/loadgen -shards 4 -slow-shard 2 -slow-delay 50ms \
-	  -rps 200 -duration 10s -slo-p99 50ms | \
-	  $(GO) run ./cmd/benchjson -o BENCH_pr8.json
+	  -replicas 2 -rps 200 -duration 10s -slo-p99 50ms | \
+	  $(GO) run ./cmd/benchjson -o BENCH_pr9.json
 
 ## bench-alloc: the //qatk:hotpath contract in numbers -> BENCH_pr7.json.
 ## Runs the hot-path benchmarks with -benchmem and fails unless every
@@ -74,6 +88,6 @@ bench-load:
 ## (*Disabled) reports exactly 0 allocs/op.
 bench-alloc:
 	$(GO) test -run '^$$' -bench 'BenchmarkHot|Disabled$$' -benchmem \
-	  ./internal/obs ./internal/obs/flight ./internal/obs/reqlog ./internal/pipeline | \
+	  ./internal/obs ./internal/obs/flight ./internal/obs/reqlog ./internal/pipeline ./internal/repl | \
 	  $(GO) run ./cmd/benchjson -assert-zero-allocs '/BenchmarkHot|Disabled$$' \
 	  -o BENCH_pr7.json

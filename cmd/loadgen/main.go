@@ -13,8 +13,12 @@
 // serves it from an in-process QUEST server — so a run measures the
 // serving architecture, not a network. -slow-shard injects a
 // deterministic slow-primary fault (internal/faults) into one shard to
-// demonstrate the hedge keeping tail latency inside the SLO. Point it at
-// a running questd instead with -url.
+// demonstrate the hedge keeping tail latency inside the SLO. With
+// -replicas N the knowledge base is additionally persisted to a
+// throwaway reldb primary and N WAL-shipped read replicas
+// (internal/repl) tail it as hedge/failover targets — a slow-primary run
+// then shows hedged reads rescued by a replica (the replica-served
+// column). Point it at a running questd instead with -url.
 //
 // With -slo-p99 the run fails (exit 1) when the measured p99 exceeds the
 // budget, making the SLO check scriptable.
@@ -41,6 +45,7 @@ import (
 	"repro/internal/obs/reqlog"
 	"repro/internal/quest"
 	"repro/internal/reldb"
+	"repro/internal/repl"
 	"repro/internal/shard"
 
 	"repro/internal/bundle"
@@ -57,6 +62,8 @@ type options struct {
 	hedgeAfter   time.Duration
 	shardTimeout time.Duration
 	poolSize     int
+	replicas     int
+	maxApplyLag  time.Duration
 	parts        int
 	seed         int64
 	sloP99       time.Duration
@@ -74,6 +81,8 @@ func main() {
 	flag.DurationVar(&o.hedgeAfter, "hedge-after", 5*time.Millisecond, "router hedge delay (self-contained mode)")
 	flag.DurationVar(&o.shardTimeout, "shard-timeout", shard.DefaultShardTimeout, "router per-shard deadline (self-contained mode)")
 	flag.IntVar(&o.poolSize, "workers-per-shard", 8, "shard worker-pool size — the in-process replica capacity hedges draw on (self-contained mode)")
+	flag.IntVar(&o.replicas, "replicas", 0, "WAL-shipped read replicas tailing a throwaway persisted primary as hedge/failover targets (0 disables; self-contained mode)")
+	flag.DurationVar(&o.maxApplyLag, "max-apply-lag", shard.DefaultMaxApplyLag, "replica staleness bound (self-contained mode)")
 	flag.IntVar(&o.parts, "parts", 40, "distinct part IDs in the synthetic knowledge base")
 	flag.Int64Var(&o.seed, "seed", 1, "workload seed")
 	flag.DurationVar(&o.sloP99, "slo-p99", 0, "fail the run when measured p99 exceeds this budget (0 disables)")
@@ -119,6 +128,68 @@ func selfContained(o options, rl *reqlog.Log) (baseURL string, stop func(), err 
 		db.Close()
 		return "", nil, err
 	}
+	src := buildKB(o.seed, o.parts)
+	// -replicas: persist the workload KB into a throwaway durable primary
+	// and stand up WAL-shipped read replicas tailing it; the router hedges
+	// to them when a primary attempt is slow.
+	var targets []shard.ReplicaTarget
+	var reps []*repl.Replica
+	var repClose func()
+	if o.replicas > 0 {
+		dir, err := os.MkdirTemp("", "loadgen-kb-*")
+		if err != nil {
+			db.Close()
+			return "", nil, err
+		}
+		pdb, err := reldb.Open(dir)
+		if err == nil {
+			err = kb.CreateTables(pdb)
+		}
+		if err == nil {
+			err = kb.Persist(pdb, src)
+		}
+		if err != nil {
+			db.Close()
+			os.RemoveAll(dir)
+			return "", nil, err
+		}
+		primary, err := repl.NewPrimary(pdb)
+		if err != nil {
+			pdb.Close()
+			db.Close()
+			os.RemoveAll(dir)
+			return "", nil, err
+		}
+		for i := 0; i < o.replicas; i++ {
+			rep, err := repl.New(repl.Config{ID: fmt.Sprintf("r%d", i), Link: primary})
+			if err != nil {
+				db.Close()
+				os.RemoveAll(dir)
+				return "", nil, err
+			}
+			rep.Start()
+			reps = append(reps, rep)
+			targets = append(targets, rep)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for _, rep := range reps {
+			for !(rep.Ready() && rep.ApplyLag() < o.maxApplyLag) {
+				if time.Now().After(deadline) {
+					db.Close()
+					os.RemoveAll(dir)
+					return "", nil, fmt.Errorf("replica %s never caught up", rep.ID())
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		repClose = func() {
+			for _, rep := range reps {
+				rep.Close()
+			}
+			pdb.Close()
+			os.RemoveAll(dir)
+		}
+	}
 	var hook shard.FaultHook
 	if o.slowShard >= 0 {
 		// FirstAttempts=1 slows only each sub-query's primary attempt: the
@@ -129,24 +200,39 @@ func selfContained(o options, rl *reqlog.Log) (baseURL string, stop func(), err 
 		})
 	}
 	router, err := shard.New(shard.Config{
-		Stores:          shard.PartitionStores(buildKB(o.seed, o.parts), o.shards),
+		Stores:          shard.PartitionStores(src, o.shards),
 		WorkersPerShard: o.poolSize,
 		ShardTimeout:    o.shardTimeout,
 		HedgeAfter:      o.hedgeAfter,
 		Hook:            hook,
+		Replicas:        targets,
+		MaxApplyLag:     o.maxApplyLag,
 	})
 	if err != nil {
+		if repClose != nil {
+			repClose()
+		}
 		db.Close()
 		return "", nil, err
 	}
 	srv, err := quest.NewServer(quest.Config{DB: db, Shards: router, Requests: rl})
 	if err != nil {
 		router.Close()
+		if repClose != nil {
+			repClose()
+		}
 		db.Close()
 		return "", nil, err
 	}
 	ts := httptest.NewServer(srv)
-	return ts.URL, func() { ts.Close(); router.Close(); db.Close() }, nil
+	return ts.URL, func() {
+		ts.Close()
+		router.Close()
+		if repClose != nil {
+			repClose()
+		}
+		db.Close()
+	}, nil
 }
 
 // decodeJSON decodes a response body, tolerating trailing data.
@@ -160,6 +246,8 @@ type result struct {
 	status   int
 	degraded bool
 	hedged   bool
+	replica  bool
+	stale    bool
 	err      bool
 }
 
@@ -221,6 +309,8 @@ func run(o options, out io.Writer) error {
 					var env struct {
 						Degraded bool `json:"degraded"`
 						Hedged   bool `json:"hedged"`
+						Replica  bool `json:"replica"`
+						Stale    bool `json:"stale"`
 					}
 					dec := decodeJSON(resp.Body, &env)
 					resp.Body.Close()
@@ -228,6 +318,7 @@ func run(o options, out io.Writer) error {
 						res.err = true
 					}
 					res.degraded, res.hedged = env.Degraded, env.Hedged
+					res.replica, res.stale = env.Replica, env.Stale
 				}
 				results <- res
 			}
@@ -263,6 +354,7 @@ func run(o options, out io.Writer) error {
 	counts := make([]uint64, len(bounds)+1) // +Inf overflow bucket
 	var (
 		total, errors, degraded, hedged uint64
+		replicaServed, stale            uint64
 		sum                             time.Duration
 		maxLat                          time.Duration
 	)
@@ -279,6 +371,12 @@ func run(o options, out io.Writer) error {
 			}
 			if res.hedged {
 				hedged++
+			}
+			if res.replica {
+				replicaServed++
+			}
+			if res.stale {
+				stale++
 			}
 			sum += res.latency
 			if res.latency > maxLat {
@@ -330,8 +428,8 @@ func run(o options, out io.Writer) error {
 	// stream pipes straight into cmd/benchjson.
 	fmt.Fprintln(out, "pkg: repro/cmd/loadgen")
 	fmt.Fprintf(out,
-		"BenchmarkQuestRecommendLoad \t%8d\t%12.0f ns/op\t%8.1f rps\t%.4f p50-s\t%.4f p95-s\t%.4f p99-s\t%d errors\t%d degraded\t%d hedged%s\n",
-		total, avgNs, achieved, p50, p95, p99, errors, degraded, hedged, stageCols)
+		"BenchmarkQuestRecommendLoad \t%8d\t%12.0f ns/op\t%8.1f rps\t%.4f p50-s\t%.4f p95-s\t%.4f p99-s\t%d errors\t%d degraded\t%d hedged\t%d replica-served\t%d stale%s\n",
+		total, avgNs, achieved, p50, p95, p99, errors, degraded, hedged, replicaServed, stale, stageCols)
 
 	if errors > 0 {
 		return fmt.Errorf("%d/%d requests failed", errors, total)

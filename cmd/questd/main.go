@@ -62,6 +62,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/quest"
 	"repro/internal/reldb"
+	"repro/internal/repl"
 	"repro/internal/shard"
 	"repro/internal/taxonomy"
 )
@@ -79,6 +80,8 @@ type options struct {
 	flightInterval, stallDeadline time.Duration
 	shards                        int
 	hedgeAfter, shardTimeout      time.Duration
+	replicas                      int
+	maxApplyLag                   time.Duration
 	reqRing, reqSample            int
 	exemplars                     bool
 }
@@ -102,6 +105,8 @@ func main() {
 	flag.IntVar(&o.shards, "shards", 1, "shard count for the live /api/recommend fan-out tier")
 	flag.DurationVar(&o.hedgeAfter, "hedge-after", shard.DefaultHedgeAfter, "delay before a shard sub-query is hedged with a second attempt (0 disables hedging)")
 	flag.DurationVar(&o.shardTimeout, "shard-timeout", shard.DefaultShardTimeout, "per-shard sub-query deadline")
+	flag.IntVar(&o.replicas, "replicas", 0, "WAL-shipped read replicas tailing the database as hedge/failover targets (0 disables)")
+	flag.DurationVar(&o.maxApplyLag, "max-apply-lag", shard.DefaultMaxApplyLag, "replica staleness bound: beyond it a replica only serves rescues, flagged stale")
 	flag.IntVar(&o.reqRing, "req-ring", reqlog.DefaultCapacity, "retained wide-event ring capacity for /debug/requests")
 	flag.IntVar(&o.reqSample, "req-sample", 0, "head-sample 1 in N requests into the wide-event ring regardless of tail criteria (0 disables)")
 	flag.BoolVar(&o.exemplars, "exemplars", false, "attach OpenMetrics trace exemplars to retained requests' latency buckets on /metrics")
@@ -197,10 +202,50 @@ func run(o options) error {
 	if store, err := kb.OpenDB(db); err != nil {
 		fmt.Fprintf(os.Stderr, "sharded serving disabled: %v\n", err)
 	} else {
+		// -replicas N stands up N in-memory read replicas tailing the
+		// serving database's WAL over an in-process link: snapshot
+		// bootstrap, then continuous apply. The router hedges to fresh
+		// replicas and rescues from stale ones (flagged), and the flight
+		// recorder hard-triggers when the worst apply lag stays beyond the
+		// bound for consecutive watchdog ticks.
+		var targets []shard.ReplicaTarget
+		if o.replicas > 0 {
+			primary, err := repl.NewPrimary(db)
+			if err != nil {
+				return fmt.Errorf("replication: %w", err)
+			}
+			for i := 0; i < o.replicas; i++ {
+				rep, err := repl.New(repl.Config{
+					ID:      "r" + strconv.Itoa(i),
+					Link:    primary,
+					Metrics: metrics,
+					Logger:  logger,
+				})
+				if err != nil {
+					return fmt.Errorf("replication: %w", err)
+				}
+				rep.Start()
+				defer rep.Close()
+				targets = append(targets, rep)
+			}
+			reps := targets
+			recorder.WatchReplicaLag(func() (time.Duration, string) {
+				worst, id := time.Duration(0), ""
+				for _, t := range reps {
+					r := t.(*repl.Replica)
+					if lag := r.ApplyLag(); lag > worst {
+						worst, id = lag, r.ID()
+					}
+				}
+				return worst, id
+			}, o.maxApplyLag, flight.DefaultReplicaLagTicks)
+		}
 		router, err := shard.New(shard.Config{
 			Stores:       shard.PartitionStores(store, o.shards),
 			ShardTimeout: o.shardTimeout,
 			HedgeAfter:   o.hedgeAfter,
+			Replicas:     targets,
+			MaxApplyLag:  o.maxApplyLag,
 			Metrics:      metrics,
 			Tracer:       tracer,
 			Logger:       logger,
@@ -213,6 +258,7 @@ func run(o options) error {
 		cfg.Shards = router
 		logger.Info("sharded serving enabled",
 			obs.L("shards", strconv.Itoa(router.Shards())),
+			obs.L("replicas", strconv.Itoa(len(targets))),
 			obs.L("hedge_after", o.hedgeAfter.String()),
 			obs.L("shard_timeout", o.shardTimeout.String()))
 	}

@@ -24,6 +24,8 @@ const (
 	MetricReqDropped      = "obs_req_dropped_total"
 	MetricReqThreshold    = "obs_req_tail_threshold_seconds"
 	MetricReqExemplars    = "quest_req_exemplars_total"
+	MetricApplyLag        = "repl_apply_lag_seconds"
+	MetricAppliedFrames   = "repl_applied_frames_total"
 	MetricBuildInfo       = "build_info" // sanctioned prefix-free exception
 	metricNoPrefixTotal   = "pipeline_runs_total"
 	metricNoUnit          = "qatk_pipeline_runs"
@@ -49,6 +51,8 @@ func Register(r *obs.Registry) {
 	r.Counter(MetricReqDropped)
 	r.Gauge(MetricReqThreshold)
 	r.Counter(MetricReqExemplars)
+	r.Gauge(MetricApplyLag, obs.L("replica", "r0"))
+	r.Counter(MetricAppliedFrames, obs.L("replica", "r0"))
 	r.Gauge(MetricBuildInfo).Set(1)
 
 	r.Counter("qatk_inline_total")    // want metricname "package-level constant"

@@ -1,0 +1,149 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/repl"
+)
+
+// LinkMode selects the failure behavior of a FaultyLink. Modes are
+// switchable at runtime so one chaos scenario can break the link, observe
+// the replica degrade, heal it, and observe recovery.
+type LinkMode int
+
+const (
+	// LinkHealthy passes calls through untouched.
+	LinkHealthy LinkMode = iota
+	// LinkDrop fails every call with ErrLinkDropped (a severed network).
+	LinkDrop
+	// LinkDelay sleeps the configured delay before forwarding (a congested
+	// or rerouted network); cancellation is honored during the sleep.
+	LinkDelay
+	// LinkTruncate cuts the final shipped frame short mid-frame: the
+	// replica's ApplyFrame sees a CRC/length mismatch and must answer with
+	// a re-sync, never a partial apply.
+	LinkTruncate
+	// LinkWedge blocks every call until its context is cancelled — the
+	// connection is alive but nothing moves (a black-holed route).
+	LinkWedge
+)
+
+// ErrLinkDropped is the error a dropped replication link returns; it is
+// transient (retryable at the same offset), not a re-sync condition.
+var ErrLinkDropped = errors.New("faults: replication link dropped")
+
+// FaultyLink wraps a repl.Link with deterministic, runtime-switchable
+// replication-path faults for the chaos matrix. The zero mode is healthy;
+// all methods are safe for concurrent use.
+type FaultyLink struct {
+	inner repl.Link
+
+	mu    sync.Mutex
+	mode  LinkMode
+	delay time.Duration
+	calls int // calls observed since the last SetMode (scenario accounting)
+}
+
+// NewFaultyLink wraps inner, starting healthy.
+func NewFaultyLink(inner repl.Link) *FaultyLink {
+	return &FaultyLink{inner: inner, delay: time.Millisecond}
+}
+
+// SetMode switches the fault mode and resets the call counter.
+func (l *FaultyLink) SetMode(mode LinkMode) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.mode = mode
+	l.calls = 0
+}
+
+// SetDelay sets the LinkDelay sleep (default 1ms).
+func (l *FaultyLink) SetDelay(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.delay = d
+}
+
+// Calls reports how many link calls ran since the last SetMode.
+func (l *FaultyLink) Calls() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.calls
+}
+
+// gate applies the current mode before a call proceeds. It returns a
+// non-nil error when the call must fail, and reports whether the payload
+// should be truncated (LinkTruncate).
+func (l *FaultyLink) gate(ctx context.Context) (truncate bool, err error) {
+	l.mu.Lock()
+	mode, delay := l.mode, l.delay
+	l.calls++
+	l.mu.Unlock()
+	switch mode {
+	case LinkDrop:
+		return false, ErrLinkDropped
+	case LinkDelay:
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return false, ctx.Err()
+		case <-t.C:
+		}
+	case LinkWedge:
+		<-ctx.Done()
+		return false, ctx.Err()
+	case LinkTruncate:
+		return true, nil
+	}
+	return false, nil
+}
+
+// Snapshot implements repl.Link. A truncating link cuts the last snapshot
+// frame short, so bootstrap fails loudly (and is retried) rather than
+// building a silently partial replica.
+func (l *FaultyLink) Snapshot(ctx context.Context) (*repl.Snapshot, error) {
+	truncate, err := l.gate(ctx)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := l.inner.Snapshot(ctx)
+	if err != nil || !truncate || len(snap.Frames) == 0 {
+		return snap, err
+	}
+	out := *snap
+	out.Frames = append([][]byte(nil), snap.Frames...)
+	out.Frames[len(out.Frames)-1] = truncateFrame(out.Frames[len(out.Frames)-1])
+	return &out, nil
+}
+
+// ReadWAL implements repl.Link, truncating the final shipped frame
+// mid-frame under LinkTruncate.
+func (l *FaultyLink) ReadWAL(ctx context.Context, gen uint64, offset int64, max int) ([]repl.Frame, error) {
+	truncate, err := l.gate(ctx)
+	if err != nil {
+		return nil, err
+	}
+	frames, err := l.inner.ReadWAL(ctx, gen, offset, max)
+	if err != nil || !truncate || len(frames) == 0 {
+		return frames, err
+	}
+	out := append([]repl.Frame(nil), frames...)
+	last := out[len(out)-1]
+	last.Raw = truncateFrame(last.Raw)
+	out[len(out)-1] = last
+	return out, nil
+}
+
+// truncateFrame cuts a shipped frame mid-payload (keeping the header, so
+// the declared length no longer matches — the cheapest detectable tear).
+func truncateFrame(raw []byte) []byte {
+	cut := len(raw) - 1
+	if cut < 0 {
+		cut = 0
+	}
+	return append([]byte(nil), raw[:cut]...)
+}

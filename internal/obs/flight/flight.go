@@ -67,8 +67,14 @@ const (
 	ReasonFsyncLatch     = "fsync_latch"
 	ReasonGoroutineSpike = "goroutine_spike"
 	ReasonShardStall     = "shard_stall"
+	ReasonReplicaLag     = "replica_lag"
 	ReasonOnDemand       = "on_demand"
 )
+
+// DefaultReplicaLagTicks is how many consecutive watchdog passes a
+// replica must breach its apply-lag bound before the hard trigger fires
+// (WatchReplicaLag with ticks <= 0).
+const DefaultReplicaLagTicks = 3
 
 // Defaults for zero Config fields.
 const (
@@ -161,6 +167,7 @@ type Recorder struct {
 	metricHist  []MetricCapture
 	guards      map[*Guard]struct{}
 	infos       []infoProvider
+	lagWatches  []*replicaLagWatch
 	lastAuto    time.Time
 	lastDir     string
 	goroLatched bool
@@ -248,6 +255,35 @@ func (r *Recorder) AddInfo(name string, fn func() map[string]string) {
 	}
 	r.mu.Lock()
 	r.infos = append(r.infos, infoProvider{name: name, fn: fn})
+	r.mu.Unlock()
+}
+
+// replicaLagWatch is one registered replication-lag watchdog; streak is
+// guarded by the recorder's mu.
+type replicaLagWatch struct {
+	fn     func() (time.Duration, string)
+	max    time.Duration
+	ticks  int
+	streak int
+}
+
+// WatchReplicaLag registers a replication-lag hard trigger: fn reports
+// the worst apply lag across the replica set plus the lagging replica's
+// ID, and when that lag exceeds max for `ticks` consecutive watchdog
+// passes, a bundle fires with ReasonReplicaLag (streak resets after
+// firing and on any within-bound pass, mirroring the SLO streak). Like
+// AddInfo, registration happens after New — questd builds the recorder
+// before its replicas exist. ticks <= 0 means DefaultReplicaLagTicks; a
+// non-positive max disables the watch.
+func (r *Recorder) WatchReplicaLag(fn func() (time.Duration, string), max time.Duration, ticks int) {
+	if r == nil || fn == nil || max <= 0 {
+		return
+	}
+	if ticks <= 0 {
+		ticks = DefaultReplicaLagTicks
+	}
+	r.mu.Lock()
+	r.lagWatches = append(r.lagWatches, &replicaLagWatch{fn: fn, max: max, ticks: ticks})
 	r.mu.Unlock()
 }
 
@@ -425,6 +461,31 @@ func (r *Recorder) Tick(now time.Time) {
 			r.Trigger(ReasonGoroutineSpike,
 				obs.L("goroutines", strconv.Itoa(n)),
 				obs.L("limit", strconv.Itoa(limit)))
+		}
+	}
+
+	r.mu.Lock()
+	watches := append([]*replicaLagWatch(nil), r.lagWatches...)
+	r.mu.Unlock()
+	for _, w := range watches {
+		lag, replica := w.fn()
+		r.mu.Lock()
+		if lag > w.max {
+			w.streak++
+		} else {
+			w.streak = 0
+		}
+		fire := w.streak >= w.ticks
+		if fire {
+			w.streak = 0
+		}
+		r.mu.Unlock()
+		if fire {
+			r.Trigger(ReasonReplicaLag,
+				obs.L("replica", replica),
+				obs.L("apply_lag", lag.String()),
+				obs.L("max_apply_lag", w.max.String()),
+				obs.L("ticks", strconv.Itoa(w.ticks)))
 		}
 	}
 }

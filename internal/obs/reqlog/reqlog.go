@@ -131,11 +131,15 @@ type StageTiming struct {
 // it took, whether it won the race, and how it failed. An attempt
 // rejected outright by an open breaker records attempt 0.
 type ShardAttempt struct {
-	Shard    int           `json:"shard"`
-	Attempt  int           `json:"attempt"`
-	Hedged   bool          `json:"hedged,omitempty"`
-	Winner   bool          `json:"winner,omitempty"`
-	Breaker  string        `json:"breaker,omitempty"`
+	Shard   int    `json:"shard"`
+	Attempt int    `json:"attempt"`
+	Hedged  bool   `json:"hedged,omitempty"`
+	Winner  bool   `json:"winner,omitempty"`
+	Breaker string `json:"breaker,omitempty"`
+	// Replica names the read replica that served the attempt (hedges
+	// routed to a fresh replica, and attempt-3 rescues); empty for
+	// primary-shard attempts.
+	Replica  string        `json:"replica,omitempty"`
 	Deadline time.Duration `json:"deadline_ns,omitempty"`
 	Duration time.Duration `json:"duration_ns"`
 	Err      string        `json:"err,omitempty"`
@@ -164,6 +168,11 @@ type Event struct {
 	Hedged       bool  `json:"hedged,omitempty"`
 	Scatter      bool  `json:"scatter,omitempty"`
 	FailedShards []int `json:"failed_shards,omitempty"`
+	// Replica marks an answer at least partly served by a read replica;
+	// Stale additionally marks a contributing replica as beyond the
+	// router's apply-lag bound (stale: true in the envelope).
+	Replica bool `json:"replica,omitempty"`
+	Stale   bool `json:"stale,omitempty"`
 
 	// Panic carries the recovered panic value; BreakerTrips the shards
 	// whose breaker tripped open during this request.
@@ -208,6 +217,8 @@ type Builder struct {
 	degraded bool           //qatk:guardedby mu
 	hedged   bool           //qatk:guardedby mu
 	scatter  bool           //qatk:guardedby mu
+	replica  bool           //qatk:guardedby mu
+	stale    bool           //qatk:guardedby mu
 	failed   []int          //qatk:guardedby mu
 	panicMsg string         //qatk:guardedby mu
 	trips    []int          //qatk:guardedby mu
@@ -243,6 +254,18 @@ func (b *Builder) Outcome(degraded, hedged, scatter bool, failedShards []int) {
 	if len(failedShards) > 0 {
 		b.failed = append(b.failed[:0], failedShards...)
 	}
+	b.mu.Unlock()
+}
+
+// ReplicaServed records the replica-serving outcome flags: at least one
+// sub-answer came from a read replica, and whether a contributing
+// replica was beyond the apply-lag bound.
+func (b *Builder) ReplicaServed(replica, stale bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.replica, b.stale = replica, stale
 	b.mu.Unlock()
 }
 
@@ -313,6 +336,8 @@ func (b *Builder) Finish(status int, traceID uint64, d time.Duration) bool {
 		Degraded: b.degraded,
 		Hedged:   b.hedged,
 		Scatter:  b.scatter,
+		Replica:  b.replica,
+		Stale:    b.stale,
 		Panic:    b.panicMsg,
 	}
 	if len(b.failed) > 0 {

@@ -31,6 +31,11 @@ type readiness struct {
 	Serving string `json:"serving,omitempty"`
 	// Shards lists each shard's breaker state, node count and last error.
 	Shards []shard.ShardHealth `json:"shards,omitempty"`
+	// Replicas lists each WAL-shipped read replica's apply position:
+	// last_applied_generation, apply_lag_seconds, and whether it is beyond
+	// the router's staleness bound. A stale replica still serves rescues
+	// (flagged), so staleness does not flip Status.
+	Replicas []shard.ReplicaHealth `json:"replicas,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -56,6 +61,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			rd.Serving = "degraded"
 		}
 		rd.Shards = s.shards.Health()
+		rd.Replicas = s.shards.ReplicaHealth()
 	}
 	writeJSON(w, status, rd)
 }

@@ -29,6 +29,13 @@ type apiRecommendation struct {
 	// Hedged reports that at least one sub-query was answered by a hedged
 	// second attempt.
 	Hedged bool `json:"hedged"`
+	// Replica reports that at least one sub-answer was served by a
+	// WAL-shipped read replica; Stale additionally reports that a
+	// contributing replica was beyond the router's apply-lag bound — the
+	// ranking is a consistent but possibly outdated prefix of the
+	// knowledge base.
+	Replica bool `json:"replica,omitempty"`
+	Stale   bool `json:"stale,omitempty"`
 }
 
 func (s *Server) apiRecommend(w http.ResponseWriter, r *http.Request) {
@@ -66,9 +73,11 @@ func (s *Server) apiRecommend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rb.Outcome(res.Degraded, res.Hedged, res.Scatter, res.FailedShards)
+	rb.ReplicaServed(res.Replica, res.Stale)
 	out := apiRecommendation{
 		Part: part, Degraded: res.Degraded, FailedShards: res.FailedShards,
 		Scatter: res.Scatter, Hedged: res.Hedged,
+		Replica: res.Replica, Stale: res.Stale,
 		Codes: make([]apiSuggestion, 0, len(res.Codes)),
 	}
 	limit := len(res.Codes)

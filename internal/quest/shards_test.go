@@ -388,3 +388,190 @@ func TestReadyzBreakerArc(t *testing.T) {
 		t.Fatalf("after failed probe shard2=%q, want open (re-opened)", state)
 	}
 }
+
+// fakeReplicaTarget is a settable shard.ReplicaTarget serving the full
+// knowledge base — enough to drive /readyz's replica section and the
+// router's rescue path without a live replication link.
+type fakeReplicaTarget struct {
+	id    string
+	store kb.Store
+
+	mu  sync.Mutex
+	lag time.Duration
+	gen uint64
+}
+
+func (f *fakeReplicaTarget) ID() string      { return f.id }
+func (f *fakeReplicaTarget) Ready() bool     { return f.store != nil }
+func (f *fakeReplicaTarget) Store() kb.Store { return f.store }
+func (f *fakeReplicaTarget) ApplyLag() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lag
+}
+func (f *fakeReplicaTarget) Generation() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.gen
+}
+func (f *fakeReplicaTarget) setLag(d time.Duration) {
+	f.mu.Lock()
+	f.lag = d
+	f.mu.Unlock()
+}
+
+// TestReadyzReplicaSection covers the /readyz replica section and the
+// breaker arc it coexists with: a fresh and a lagging replica are both
+// reported with their apply positions and staleness verdicts; a downed
+// owner shard is rescued by the fresh replica (envelope replica:true,
+// stale:false) while its breaker walks closed → open → half-open on the
+// injected clock; with only stale replicas left the rescue is flagged
+// stale:true; and healing the shard closes the breaker again.
+func TestReadyzReplicaSection(t *testing.T) {
+	var clockMu sync.Mutex
+	now := time.Unix(1700000000, 0)
+	clock := func() time.Time { clockMu.Lock(); defer clockMu.Unlock(); return now }
+	advance := func(d time.Duration) { clockMu.Lock(); now = now.Add(d); clockMu.Unlock() }
+
+	var failing atomic.Bool
+	failing.Store(true)
+	hook := func(ctx context.Context, sh, attempt int) error {
+		if sh == 2 && failing.Load() {
+			return errors.New("injected: shard 2 down")
+		}
+		return nil
+	}
+
+	db, err := reldb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := bundle.CreateTables(db); err != nil {
+		t.Fatal(err)
+	}
+	src := shardKB(t)
+	fresh := &fakeReplicaTarget{id: "r0", store: src, lag: time.Millisecond, gen: 3}
+	stale := &fakeReplicaTarget{id: "r1", store: src, lag: 10 * time.Second, gen: 2}
+	cooldown := time.Second
+	router, err := shard.New(shard.Config{
+		Stores:          shard.PartitionStores(src, 4),
+		Hook:            hook,
+		BreakerBudget:   1,
+		BreakerCooldown: cooldown,
+		Clock:           clock,
+		Replicas:        []shard.ReplicaTarget{fresh, stale},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(router.Close)
+	srv, err := NewServer(Config{DB: db, Shards: router})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	var victim string
+	for p := 0; p < 12; p++ {
+		part := fmt.Sprintf("P%02d", p)
+		if src.KnownPart(part) && kb.PartOwner(part, 4) == 2 {
+			victim = part
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("fixture has no parts owned by shard 2")
+	}
+
+	type readyzView struct {
+		Serving  string                `json:"serving"`
+		Shards   []shard.ShardHealth   `json:"shards"`
+		Replicas []shard.ReplicaHealth `json:"replicas"`
+	}
+	readyz := func() readyzView {
+		t.Helper()
+		var rd readyzView
+		if code := getJSON(t, ts.URL+"/readyz", &rd); code != http.StatusOK {
+			t.Fatalf("/readyz = %d, want 200", code)
+		}
+		return rd
+	}
+	recommend := func() apiRecommendation {
+		t.Helper()
+		var out apiRecommendation
+		u := ts.URL + "/api/recommend?part=" + url.QueryEscape(victim) + "&features=f01,f02,f03"
+		if code := getJSON(t, u, &out); code != http.StatusOK {
+			t.Fatalf("recommend = %d, want 200", code)
+		}
+		return out
+	}
+
+	// 1. Closed, and the replica section reports both apply positions.
+	rd := readyz()
+	if rd.Serving != "ok" || rd.Shards[2].State != shard.StateClosed {
+		t.Fatalf("initial serving=%q shard2=%q, want ok/closed", rd.Serving, rd.Shards[2].State)
+	}
+	if len(rd.Replicas) != 2 {
+		t.Fatalf("replicas = %d entries, want 2", len(rd.Replicas))
+	}
+	r0, r1 := rd.Replicas[0], rd.Replicas[1]
+	if r0.ID != "r0" || !r0.Ready || r0.Stale || r0.LastAppliedGeneration != 3 {
+		t.Fatalf("fresh replica health = %+v, want ready, non-stale, gen 3", r0)
+	}
+	if r0.ApplyLagSeconds <= 0 || r0.ApplyLagSeconds > 0.5 {
+		t.Fatalf("fresh replica apply_lag_seconds = %v, want ~0.001", r0.ApplyLagSeconds)
+	}
+	if r1.ID != "r1" || !r1.Stale || r1.LastAppliedGeneration != 2 {
+		t.Fatalf("lagging replica health = %+v, want stale, gen 2", r1)
+	}
+
+	// 2. The downed owner is rescued by the fresh replica: not degraded,
+	// replica:true stale:false — but the primary failure still trips the
+	// budget-1 breaker: closed → open.
+	out := recommend()
+	if out.Degraded || !out.Replica || out.Stale {
+		t.Fatalf("rescued envelope degraded=%v replica=%v stale=%v, want false/true/false",
+			out.Degraded, out.Replica, out.Stale)
+	}
+	rd = readyz()
+	if rd.Serving != "degraded" || rd.Shards[2].State != shard.StateOpen {
+		t.Fatalf("post-trip serving=%q shard2=%q, want degraded/open", rd.Serving, rd.Shards[2].State)
+	}
+	if len(rd.Replicas) != 2 {
+		t.Fatalf("replica section lost while degraded: %d entries", len(rd.Replicas))
+	}
+
+	// 3. Cooldown elapses on the injected clock: half-open, no traffic.
+	advance(cooldown)
+	if rd = readyz(); rd.Shards[2].State != shard.StateHalfOpen {
+		t.Fatalf("post-cooldown shard2=%q, want half-open", rd.Shards[2].State)
+	}
+
+	// 4. The fresh replica falls behind too: the failed half-open probe is
+	// rescued by a stale replica, flagged in the envelope.
+	fresh.setLag(10 * time.Second)
+	out = recommend()
+	if out.Degraded || !out.Replica || !out.Stale {
+		t.Fatalf("stale rescue envelope degraded=%v replica=%v stale=%v, want false/true/true",
+			out.Degraded, out.Replica, out.Stale)
+	}
+	if rd = readyz(); rd.Replicas[0].Stale != true {
+		t.Fatalf("replica r0 not reported stale after lag grew: %+v", rd.Replicas[0])
+	}
+
+	// 5. Shard heals; the next half-open probe closes the breaker and the
+	// answer comes from the primary again.
+	failing.Store(false)
+	advance(cooldown)
+	out = recommend()
+	if out.Degraded || out.Replica || out.Stale {
+		t.Fatalf("healed envelope degraded=%v replica=%v stale=%v, want all false",
+			out.Degraded, out.Replica, out.Stale)
+	}
+	rd = readyz()
+	if rd.Serving != "ok" || rd.Shards[2].State != shard.StateClosed {
+		t.Fatalf("recovered serving=%q shard2=%q, want ok/closed", rd.Serving, rd.Shards[2].State)
+	}
+}

@@ -1,0 +1,32 @@
+package repl
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+type nopLink struct{}
+
+func (nopLink) Snapshot(ctx context.Context) (*Snapshot, error) { return &Snapshot{}, nil }
+func (nopLink) ReadWAL(ctx context.Context, gen uint64, offset int64, max int) ([]Frame, error) {
+	return nil, nil
+}
+
+// BenchmarkHotReplProgress covers the per-frame accounting on the apply
+// hot path; `make bench-alloc` asserts it stays at zero allocations.
+func BenchmarkHotReplProgress(b *testing.B) {
+	r, err := New(Config{ID: "bench", Link: nopLink{}, Metrics: obs.NewRegistry()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.noteApplied(4096)
+	}
+	if r.frames.Value() == 0 {
+		b.Fatal("counter never advanced")
+	}
+}

@@ -1,0 +1,22 @@
+package repl
+
+// Metric names the replication layer emits, following the repository
+// convention enforced by qatklint's metricname analyzer: snake_case,
+// subsystem prefix (repl_), conventional unit suffix, declared as
+// package-level constants. All families carry a "replica" label.
+const (
+	// MetricApplyLagSeconds gauges how far a replica's applied state
+	// trails the primary's log head (time since the replica last drained
+	// the log on a successful poll).
+	MetricApplyLagSeconds = "repl_apply_lag_seconds"
+	// MetricAppliedFramesTotal counts WAL frames applied.
+	MetricAppliedFramesTotal = "repl_applied_frames_total"
+	// MetricAppliedBytesTotal counts raw WAL bytes applied.
+	MetricAppliedBytesTotal = "repl_applied_bytes_total"
+	// MetricResyncsTotal counts full snapshot re-syncs (bootstrap after a
+	// generation mismatch, corruption, or crash — never the steady state).
+	MetricResyncsTotal = "repl_resyncs_total"
+	// MetricLinkErrorsTotal counts link faults the replica retried
+	// through (drops, delays surfacing as deadline errors, wedges).
+	MetricLinkErrorsTotal = "repl_link_errors_total"
+)

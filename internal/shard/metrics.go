@@ -24,6 +24,13 @@ const (
 	// MetricShardDegradedTotal counts router responses served degraded
 	// (partial results after a shard failure).
 	MetricShardDegradedTotal = "quest_shard_degraded_responses_total"
+	// MetricShardReplicaReadsTotal counts sub-queries dispatched to a read
+	// replica on a shard's behalf — hedged attempts and rescues (label
+	// "shard").
+	MetricShardReplicaReadsTotal = "quest_shard_replica_reads_total"
+	// MetricShardStaleTotal counts router responses served from a replica
+	// lagging beyond MaxApplyLag, flagged stale in the envelope.
+	MetricShardStaleTotal = "quest_shard_stale_responses_total"
 	// MetricShardQueryDurationSeconds observes end-to-end router query
 	// latency, fan-out and merge included.
 	MetricShardQueryDurationSeconds = "quest_shard_query_duration_seconds"

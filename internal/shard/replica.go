@@ -1,0 +1,200 @@
+package shard
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/kb"
+)
+
+// DefaultMaxApplyLag is the staleness bound replicas are held to before a
+// read served from them is flagged stale (-max-apply-lag in questd).
+const DefaultMaxApplyLag = 500 * time.Millisecond
+
+// ReplicaTarget is what the router needs from a WAL-shipped read replica
+// (internal/repl.Replica implements it structurally; the interface lives
+// here so shard does not import the replication layer). A target serves
+// the FULL knowledge base — the router carves the per-shard view itself —
+// and may swap its backing store at any time (re-sync), so Store is
+// fetched per query, never cached.
+type ReplicaTarget interface {
+	// ID names the replica in health, metrics, and wide events.
+	ID() string
+	// Ready reports whether the replica has state to serve at all.
+	Ready() bool
+	// ApplyLag reports how far the replica's applied state trails the
+	// primary's log head; the router compares it to MaxApplyLag to decide
+	// fresh (hedge-eligible) vs stale (rescue-only, flagged).
+	ApplyLag() time.Duration
+	// Generation reports the primary generation last applied (/readyz).
+	Generation() uint64
+	// Store returns the current serving view (nil when not Ready).
+	Store() kb.Store
+}
+
+// ReplicaHealth is one replica's health view, served by /readyz.
+type ReplicaHealth struct {
+	ID                    string  `json:"id"`
+	Ready                 bool    `json:"ready"`
+	LastAppliedGeneration uint64  `json:"last_applied_generation"`
+	ApplyLagSeconds       float64 `json:"apply_lag_seconds"`
+	// Stale marks a replica lagging beyond the router's MaxApplyLag: it
+	// still serves rescues, but its answers carry stale: true.
+	Stale bool `json:"stale"`
+}
+
+// ReplicaHealth reports every configured replica's apply position.
+func (r *Router) ReplicaHealth() []ReplicaHealth {
+	out := make([]ReplicaHealth, len(r.cfg.Replicas))
+	for i, t := range r.cfg.Replicas {
+		lag := t.ApplyLag()
+		out[i] = ReplicaHealth{
+			ID:                    t.ID(),
+			Ready:                 t.Ready(),
+			LastAppliedGeneration: t.Generation(),
+			ApplyLagSeconds:       lag.Seconds(),
+			Stale:                 lag > r.cfg.MaxApplyLag,
+		}
+	}
+	return out
+}
+
+// replicaStore is shard idx's live view over a replica: the same
+// partition slice kb.Subset materializes, carved on the fly so a re-sync
+// swapping the replica's backing store is picked up on the next call.
+// Node IDs pass through untouched, so rankings served from a replica
+// merge bit-identically with primary-shard rankings.
+type replicaStore struct {
+	t     ReplicaTarget
+	shard int
+	n     int
+}
+
+// view fetches the replica's current store (nil while bootstrapping).
+func (s *replicaStore) view() kb.Store { return s.t.Store() }
+
+// owned reports whether this shard's slice holds partID.
+func (s *replicaStore) owned(partID string) bool {
+	return kb.PartOwner(partID, s.n) == s.shard
+}
+
+// KnownPart implements kb.Store: known iff the part belongs to this
+// shard's slice and the replicated KB holds nodes for it — exactly
+// subsetStore's answer for the same shard.
+func (s *replicaStore) KnownPart(partID string) bool {
+	v := s.view()
+	return v != nil && s.owned(partID) && v.KnownPart(partID)
+}
+
+// Candidates implements kb.Store under the standard contract: the
+// inverted index drives selection for a known part; an unknown part falls
+// back to every node of this shard's slice (the scatter path).
+func (s *replicaStore) Candidates(partID string, features []string) []*kb.Node {
+	v := s.view()
+	if v == nil {
+		return nil
+	}
+	if s.owned(partID) && v.KnownPart(partID) {
+		return v.Candidates(partID, features)
+	}
+	return s.AllNodes()
+}
+
+// AllNodes implements kb.Store: the slice of the replicated KB this shard
+// owns.
+func (s *replicaStore) AllNodes() []*kb.Node {
+	v := s.view()
+	if v == nil {
+		return nil
+	}
+	all := v.AllNodes()
+	out := make([]*kb.Node, 0, len(all))
+	for _, node := range all {
+		if kb.PartOwner(node.PartID, s.n) == s.shard {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// NodeCount implements kb.Store (health/debug only; not on the serving
+// path).
+func (s *replicaStore) NodeCount() int { return len(s.AllNodes()) }
+
+// CodeFrequencies implements kb.Store: a known owned part answers from
+// the replicated frequencies; anything else aggregates over the owned
+// slice, mirroring subsetStore's shard-local view of the world.
+func (s *replicaStore) CodeFrequencies(partID string) []kb.CodeCount {
+	v := s.view()
+	if v == nil {
+		return nil
+	}
+	if s.owned(partID) && v.KnownPart(partID) {
+		return v.CodeFrequencies(partID)
+	}
+	agg := map[string]int{}
+	for _, node := range s.AllNodes() {
+		agg[node.ErrorCode]++
+	}
+	out := make([]kb.CodeCount, 0, len(agg))
+	for code, n := range agg {
+		out = append(out, kb.CodeCount{Code: code, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Code < out[j].Code
+	})
+	return out
+}
+
+// BundleCount implements kb.Store (health/debug only): the owned share of
+// the replicated bundle counts.
+func (s *replicaStore) BundleCount() int {
+	v := s.view()
+	if v == nil {
+		return 0
+	}
+	seen := map[string]bool{}
+	total := 0
+	for _, node := range s.AllNodes() {
+		if seen[node.PartID] {
+			continue
+		}
+		seen[node.PartID] = true
+		for _, cc := range v.CodeFrequencies(node.PartID) {
+			total += cc.Count
+		}
+	}
+	return total
+}
+
+// replicaHandle is one shard's serving wrapper around one replica: a
+// single-goroutine worker over the shard's live slice of that replica.
+type replicaHandle struct {
+	t ReplicaTarget
+	w *worker
+}
+
+// pickReplica chooses the serving replica for shard h: the ready target
+// with the smallest apply lag, optionally restricted to fresh ones (lag
+// within MaxApplyLag). The second return is the chosen target's lag at
+// pick time — the staleness verdict the response carries.
+func (r *Router) pickReplica(h *handle, requireFresh bool) (*replicaHandle, time.Duration) {
+	var best *replicaHandle
+	var bestLag time.Duration
+	for _, rh := range h.replicas {
+		if !rh.t.Ready() {
+			continue
+		}
+		lag := rh.t.ApplyLag()
+		if requireFresh && lag > r.cfg.MaxApplyLag {
+			continue
+		}
+		if best == nil || lag < bestLag {
+			best, bestLag = rh, lag
+		}
+	}
+	return best, bestLag
+}

@@ -60,8 +60,18 @@ type Config struct {
 	BreakerBudget   int
 	BreakerCooldown time.Duration
 	// Hook injects deterministic chaos into every attempt (see FaultHook);
-	// nil means healthy shards.
+	// nil means healthy shards. Replica attempts do not run the hook —
+	// replication-path faults are injected at the Link instead
+	// (faults.FaultyLink).
 	Hook FaultHook
+	// Replicas are WAL-shipped read replicas (internal/repl) serving the
+	// full knowledge base; the router carves each shard's live slice out of
+	// them and uses them as hedge and failover targets.
+	Replicas []ReplicaTarget
+	// MaxApplyLag bounds replica staleness (default DefaultMaxApplyLag):
+	// within it a replica is "fresh" and hedge-eligible; beyond it the
+	// replica only serves rescues, with the response flagged stale.
+	MaxApplyLag time.Duration
 	// Observability, all nil-safe: quest_shard_* metrics, one span per
 	// query plus one per attempt, structured failure events, and flight
 	// hard triggers on breaker trips and shard stalls.
@@ -79,12 +89,17 @@ type handle struct {
 	worker  *worker
 	breaker *Breaker
 	nodes   int
+	// replicas are this shard's serving wrappers over the configured
+	// replica targets, consulted for hedged attempts (fresh only) and
+	// last-resort rescues (stale allowed, flagged).
+	replicas []*replicaHandle
 
 	requests     *obs.Counter
 	failures     *obs.Counter
 	hedges       *obs.Counter
 	hedgeWins    *obs.Counter
 	breakerOpens *obs.Counter
+	replicaReads *obs.Counter
 
 	// stallLatched keeps the flight stall trigger to the transition into
 	// the stalled state (deadline expiry on every attempt) rather than
@@ -100,6 +115,7 @@ type Router struct {
 	duration *obs.Histogram
 	inflight *obs.Gauge
 	degraded *obs.Counter
+	stale    *obs.Counter
 }
 
 // Result is one answered query, carrying the degradation contract: Codes
@@ -118,6 +134,14 @@ type Result struct {
 	Scatter bool
 	// Hedged reports that at least one hedged second attempt was issued.
 	Hedged bool
+	// Replica reports that at least one sub-answer was served by a read
+	// replica (hedge win or rescue) rather than a primary shard.
+	Replica bool
+	// Stale reports that a contributing replica was beyond the router's
+	// MaxApplyLag bound when it answered: the result is a consistent but
+	// possibly outdated prefix of the knowledge base (mirrored into the
+	// API envelope as stale: true).
+	Stale bool
 }
 
 // ShardHealth is one shard's health view, served by /readyz.
@@ -144,15 +168,20 @@ func New(cfg Config) (*Router, error) {
 	if cfg.ShardTimeout <= 0 {
 		cfg.ShardTimeout = DefaultShardTimeout
 	}
+	if cfg.MaxApplyLag <= 0 {
+		cfg.MaxApplyLag = DefaultMaxApplyLag
+	}
 	r := &Router{
 		cfg:      cfg,
 		duration: cfg.Metrics.Histogram(MetricShardQueryDurationSeconds, obs.DefBuckets),
 		inflight: cfg.Metrics.Gauge(MetricShardQueriesInflight),
 		degraded: cfg.Metrics.Counter(MetricShardDegradedTotal),
+		stale:    cfg.Metrics.Counter(MetricShardStaleTotal),
 	}
+	n := len(cfg.Stores)
 	for i, store := range cfg.Stores {
 		label := obs.L("shard", strconv.Itoa(i))
-		r.shards = append(r.shards, &handle{
+		h := &handle{
 			worker:       newWorker(i, store, cfg.Sim, cfg.NodeCutoff, cfg.WorkersPerShard, cfg.Hook),
 			breaker:      NewBreaker(cfg.BreakerBudget, cfg.BreakerCooldown, cfg.Clock),
 			nodes:        store.NodeCount(),
@@ -161,7 +190,17 @@ func New(cfg Config) (*Router, error) {
 			hedges:       cfg.Metrics.Counter(MetricShardHedgesTotal, label),
 			hedgeWins:    cfg.Metrics.Counter(MetricShardHedgeWinsTotal, label),
 			breakerOpens: cfg.Metrics.Counter(MetricShardBreakerOpensTotal, label),
-		})
+			replicaReads: cfg.Metrics.Counter(MetricShardReplicaReadsTotal, label),
+		}
+		for _, t := range cfg.Replicas {
+			// One single-goroutine worker per shard x replica, over the
+			// shard's live slice of the replicated KB. No fault hook: chaos
+			// on the replication path is injected at the Link.
+			rw := newWorker(i, &replicaStore{t: t, shard: i, n: n}, cfg.Sim, cfg.NodeCutoff, 1, nil)
+			rw.replica = true
+			h.replicas = append(h.replicas, &replicaHandle{t: t, w: rw})
+		}
+		r.shards = append(r.shards, h)
 	}
 	return r, nil
 }
@@ -169,10 +208,14 @@ func New(cfg Config) (*Router, error) {
 // Shards reports the shard count.
 func (r *Router) Shards() int { return len(r.shards) }
 
-// Close stops every shard's worker pool.
+// Close stops every shard's worker pool, replica workers included (the
+// replicas themselves — the apply loops — belong to their owner).
 func (r *Router) Close() {
 	for _, h := range r.shards {
 		h.worker.close()
+		for _, rh := range h.replicas {
+			rh.w.close()
+		}
 	}
 }
 
@@ -231,6 +274,10 @@ func (r *Router) Query(ctx context.Context, partID string, features []string) (*
 	out, hedged, err := r.queryShard(ctx, span, owner, partID, features, false)
 	res.Hedged = res.Hedged || hedged
 	if err == nil && out.known {
+		res.Replica, res.Stale = out.replica, out.stale
+		if res.Stale {
+			r.stale.Inc()
+		}
 		t := sc.Start()
 		res.Codes = core.CodesFromNodes(out.nodes)
 		sc.Lap(reqlog.StageDedup, t)
@@ -273,6 +320,8 @@ func (r *Router) Query(ctx context.Context, partID string, features []string) (*
 			res.FailedShards = append(res.FailedShards, so.idx)
 			continue
 		}
+		res.Replica = res.Replica || so.out.replica
+		res.Stale = res.Stale || so.out.stale
 		lists = append(lists, so.out.nodes)
 	}
 	sort.Ints(res.FailedShards)
@@ -289,6 +338,9 @@ func (r *Router) Query(ctx context.Context, partID string, features []string) (*
 	t = sc.Lap(reqlog.StageMerge, t)
 	res.Codes = core.CodesFromNodes(merged)
 	sc.Lap(reqlog.StageDedup, t)
+	if res.Stale {
+		r.stale.Inc()
+	}
 	if res.Degraded {
 		r.degraded.Inc()
 		r.cfg.Logger.Warn("degraded shard response",
@@ -343,9 +395,13 @@ type attemptOut struct {
 // queryShard runs one robust sub-query against shard idx: breaker
 // admission, a per-attempt deadline derived from the request budget, and
 // a hedged second attempt after HedgeAfter (first-response-wins, the
-// loser cancelled via its attempt context). The breaker records one
-// outcome per sub-query, not per attempt. The bool reports whether a
-// hedged attempt was issued.
+// loser cancelled via its attempt context). A fresh replica — ready and
+// within MaxApplyLag — is preferred as the hedge target; and when the
+// shard fails outright (breaker open, or every attempt burned), the best
+// available replica serves a last-resort rescue, flagged stale when it
+// lags beyond the bound. The breaker records one outcome per sub-query,
+// not per attempt, and a rescue never resets it: the primary is still
+// broken. The bool reports whether a hedged attempt was issued.
 func (r *Router) queryShard(ctx context.Context, parent *obs.Span, idx int, partID string, features []string, scatter bool) (response, bool, error) {
 	h := r.shards[idx]
 	h.requests.Inc()
@@ -360,6 +416,9 @@ func (r *Router) queryShard(ctx context.Context, parent *obs.Span, idx int, part
 	if !h.breaker.Allow() {
 		h.failures.Inc()
 		rb.Attempt(reqlog.ShardAttempt{Shard: idx, Breaker: bstate, Err: ErrShardBroken.Error()})
+		if out, ok := r.rescue(ctx, parent, h, idx, partID, features, scatter, bstate); ok {
+			return out, false, nil
+		}
 		return response{}, false, fmt.Errorf("%w: shard %d", ErrShardBroken, idx)
 	}
 
@@ -370,12 +429,17 @@ func (r *Router) queryShard(ctx context.Context, parent *obs.Span, idx int, part
 			cancel()
 		}
 	}()
-	launch := func(attempt int) {
+	launch := func(attempt int, w *worker, replicaID string) {
 		actx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
 		cancels = append(cancels, cancel)
-		span := r.cfg.Tracer.Start(parent, spanShardAttempt,
+		spanLabels := []obs.Label{
 			obs.L("shard", strconv.Itoa(idx)),
-			obs.L("attempt", strconv.Itoa(attempt)))
+			obs.L("attempt", strconv.Itoa(attempt)),
+		}
+		if replicaID != "" {
+			spanLabels = append(spanLabels, obs.L("replica", replicaID))
+		}
+		span := r.cfg.Tracer.Start(parent, spanShardAttempt, spanLabels...)
 		var astart time.Time
 		var deadline time.Duration
 		if rb != nil {
@@ -388,7 +452,10 @@ func (r *Router) queryShard(ctx context.Context, parent *obs.Span, idx int, part
 			}
 		}
 		go func() {
-			out, err := h.worker.query(actx, partID, features, scatter, attempt)
+			out, err := w.query(actx, partID, features, scatter, attempt)
+			if err == nil && replicaID != "" {
+				out.replica = true
+			}
 			span.End(err)
 			// Record the attempt before handing the outcome to the select
 			// loop, so a winning attempt is already in the event when the
@@ -396,7 +463,7 @@ func (r *Router) queryShard(ctx context.Context, parent *obs.Span, idx int, part
 			// loser drained after Finish is harmlessly dropped.
 			if rb != nil {
 				a := reqlog.ShardAttempt{
-					Shard: idx, Attempt: attempt, Hedged: attempt > 1,
+					Shard: idx, Attempt: attempt, Hedged: attempt > 1, Replica: replicaID,
 					Breaker: bstate, Deadline: deadline, Duration: time.Since(astart),
 				}
 				if err != nil {
@@ -407,7 +474,7 @@ func (r *Router) queryShard(ctx context.Context, parent *obs.Span, idx int, part
 			outc <- attemptOut{attempt: attempt, out: out, err: err}
 		}()
 	}
-	launch(1)
+	launch(1, h.worker, "")
 
 	var hedgeC <-chan time.Time
 	if r.cfg.HedgeAfter > 0 {
@@ -422,7 +489,16 @@ func (r *Router) queryShard(ctx context.Context, parent *obs.Span, idx int, part
 		hedgeC = nil
 		hedged = true
 		h.hedges.Inc()
-		launch(2)
+		// A fresh replica beats the shard's own second worker as the hedge
+		// target: it cannot be wedged on the same state the primary attempt
+		// is stuck on. Staleness beyond the bound disqualifies — hedges
+		// must not quietly trade latency for freshness.
+		if rh, _ := r.pickReplica(h, true); rh != nil {
+			h.replicaReads.Inc()
+			launch(2, rh.w, rh.t.ID())
+		} else {
+			launch(2, h.worker, "")
+		}
 		pending++
 	}
 	for {
@@ -454,13 +530,76 @@ func (r *Router) queryShard(ctx context.Context, parent *obs.Span, idx int, part
 				hedge()
 				continue
 			}
-			return response{}, hedged, r.shardFailed(ctx, h, idx, ao.err)
+			ferr := r.shardFailed(ctx, h, idx, ao.err)
+			if out, ok := r.rescue(ctx, parent, h, idx, partID, features, scatter, bstate); ok {
+				return out, hedged, nil
+			}
+			return response{}, hedged, ferr
 		case <-ctx.Done():
 			// The request budget expired; attempt contexts are children
-			// of ctx, so the workers unwind on their own.
+			// of ctx, so the workers unwind on their own — and there is no
+			// budget left to spend on a rescue.
 			return response{}, hedged, r.shardFailed(ctx, h, idx, ctx.Err())
 		}
 	}
+}
+
+// rescue is the last line of the degradation ladder: after the shard
+// itself failed (or its breaker rejected the sub-query), serve from the
+// best available replica — ready, smallest apply lag, stale allowed. A
+// stale rescue is flagged on the response (stale: true in the envelope)
+// rather than refused: a consistent-but-outdated answer beats no answer,
+// and never diverges (the replica holds an exact prefix of the primary's
+// history). Rescue success deliberately leaves the breaker and the stall
+// latch untouched — the primary shard is still broken.
+func (r *Router) rescue(ctx context.Context, parent *obs.Span, h *handle, idx int, partID string, features []string, scatter bool, bstate string) (response, bool) {
+	if ctx.Err() != nil {
+		return response{}, false
+	}
+	rh, lag := r.pickReplica(h, false)
+	if rh == nil {
+		return response{}, false
+	}
+	const attempt = 3 // after the primary (1) and the hedge (2)
+	h.replicaReads.Inc()
+	actx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+	defer cancel()
+	span := r.cfg.Tracer.Start(parent, spanShardAttempt,
+		obs.L("shard", strconv.Itoa(idx)),
+		obs.L("attempt", strconv.Itoa(attempt)),
+		obs.L("replica", rh.t.ID()))
+	rb := reqlog.From(ctx)
+	var astart time.Time
+	if rb != nil {
+		astart = time.Now()
+	}
+	out, err := rh.w.query(actx, partID, features, scatter, attempt)
+	span.End(err)
+	if rb != nil {
+		a := reqlog.ShardAttempt{
+			Shard: idx, Attempt: attempt, Replica: rh.t.ID(),
+			Breaker: bstate, Deadline: r.cfg.ShardTimeout, Duration: time.Since(astart),
+		}
+		if err != nil {
+			a.Err = err.Error()
+		}
+		rb.Attempt(a)
+	}
+	if err != nil {
+		r.cfg.Logger.Warn("replica rescue failed",
+			obs.L("shard", strconv.Itoa(idx)),
+			obs.L("replica", rh.t.ID()),
+			obs.L("err", err.Error()))
+		return response{}, false
+	}
+	out.replica = true
+	out.stale = lag > r.cfg.MaxApplyLag
+	rb.MarkWinner(idx, attempt)
+	r.cfg.Logger.Warn("sub-query rescued by replica",
+		obs.L("shard", strconv.Itoa(idx)),
+		obs.L("replica", rh.t.ID()),
+		obs.L("stale", strconv.FormatBool(out.stale)))
+	return out, true
 }
 
 // shardFailed accounts one sub-query failure: counters, breaker, the

@@ -51,16 +51,24 @@ type response struct {
 	nodes []core.ScoredNode
 	known bool
 	err   error
+	// replica marks an answer served by a read replica; stale additionally
+	// marks the replica as lagging beyond the router's MaxApplyLag bound
+	// when it answered.
+	replica bool
+	stale   bool
 }
 
-// worker is one in-process shard: a store partition, its own classifier
-// state, and a small pool of serving goroutines pulled from one request
-// channel — so a wedged request occupies one goroutine while the hedged
-// attempt proceeds on another, the in-process stand-in for a replica
-// until WAL-shipped replicas land.
+// worker is one in-process serving unit: a store partition (or a shard's
+// live slice of a replica), its own classifier state, and a small pool of
+// serving goroutines pulled from one request channel — so a wedged
+// request occupies one goroutine while the hedged attempt proceeds on
+// another. Routers also run one worker per shard x replica over the
+// replica's live view; those carry the replica marker for pprof role
+// attribution.
 type worker struct {
 	id      int
 	idStr   string // pre-rendered for pprof labels
+	replica bool   // serving a replica slice, not a primary partition
 	clf     *core.Classifier
 	reqs    chan request
 	hook    FaultHook
@@ -105,7 +113,10 @@ func (w *worker) serve(req request) {
 		return // the caller's deadline already expired in the queue
 	}
 	role := "primary"
-	if req.attempt > 1 {
+	switch {
+	case w.replica:
+		role = "replica"
+	case req.attempt > 1:
 		role = "hedge"
 	}
 	pprof.Do(req.ctx, pprof.Labels("shard", w.idStr, "role", role), func(ctx context.Context) {
