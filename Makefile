@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-json race crash chaos chaos-repl check bench bench-load bench-alloc
+# PR is the ordinal stamped into freshly written benchmark baselines
+# (BENCH_pr$(PR).json); bump it per PR so benchtrend orders them.
+PR ?= 10
+
+.PHONY: build test vet lint lint-json race crash chaos chaos-repl check bench bench-load bench-alloc bench-trend bench-gate prof-smoke
 
 ## build: compile every package and command
 build:
@@ -59,16 +63,37 @@ chaos-repl:
 	  { [ -f repl_requests.json ] && echo "chaos-repl: tail-sample ring -> repl_requests.json"; exit 1; }
 
 ## check: the pre-merge tier — vet, qatklint, the race-enabled suite, the
-## crash harness, and the shard + replication chaos matrices
-check: vet lint race crash chaos chaos-repl
+## crash harness, the shard + replication chaos matrices, and the
+## benchmark regression gate
+check: vet lint race crash chaos chaos-repl bench-gate
 
-## bench: full benchmark suite -> BENCH_pr5.json (see EXPERIMENTS.md).
-## The root-package paper replications are full 5-fold CVs, so they run
-## -benchtime=1x; the micro benchmarks use the default sampling.
+# The full benchmark sweep shared by bench (committing a baseline) and
+# bench-gate (comparing a fresh run against one). The root-package paper
+# replications are full 5-fold CVs, so they run -benchtime=1x; the micro
+# benchmarks use the default sampling.
+BENCH_SWEEP = { $(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . ; \
+	  $(GO) test -run '^$$' -bench . -benchmem ./internal/... ; }
+
+## bench: full benchmark suite -> BENCH_pr$(PR).json (see EXPERIMENTS.md),
+## stamped with the PR ordinal so benchtrend orders baselines structurally.
 bench:
-	{ $(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . ; \
-	  $(GO) test -run '^$$' -bench . -benchmem ./internal/... ; } | \
-	  $(GO) run ./cmd/benchjson -o BENCH_pr5.json
+	$(BENCH_SWEEP) | $(GO) run ./cmd/benchjson -pr $(PR) -o BENCH_pr$(PR).json
+
+## bench-trend: render the cross-PR trend table (ns/op, B/op, allocs/op,
+## acc@k, stage timings) over every committed baseline -> benchtrend-report.md
+bench-trend:
+	$(GO) run ./cmd/benchtrend -dir . -o benchtrend-report.md
+
+## bench-gate: the benchmark regression gate — run the sweep fresh and
+## compare against the newest committed BENCH_pr*.json. Hard-fails on
+## allocs/op growth and acc@k drift (both machine-independent); ns/op only
+## fails beyond a generous growth threshold (wall clock varies by runner).
+## Always writes benchtrend-report.md (trend + gate verdict); the fresh
+## run survives as bench_fresh.json on failure for diffing.
+bench-gate:
+	$(BENCH_SWEEP) | $(GO) run ./cmd/benchjson -pr $(PR) -o bench_fresh.json
+	$(GO) run ./cmd/benchtrend -dir . -gate -fresh bench_fresh.json -o benchtrend-report.md
+	@rm -f bench_fresh.json
 
 ## bench-load: closed-loop load against a 4-shard in-process server with
 ## one artificially slow shard and two WAL-shipped read replicas ->
@@ -88,6 +113,33 @@ bench-load:
 ## (*Disabled) reports exactly 0 allocs/op.
 bench-alloc:
 	$(GO) test -run '^$$' -bench 'BenchmarkHot|Disabled$$' -benchmem \
-	  ./internal/obs ./internal/obs/flight ./internal/obs/reqlog ./internal/pipeline ./internal/repl | \
+	  ./internal/obs ./internal/obs/flight ./internal/obs/prof ./internal/obs/reqlog ./internal/pipeline ./internal/repl | \
 	  $(GO) run ./cmd/benchjson -assert-zero-allocs '/BenchmarkHot|Disabled$$' \
 	  -o BENCH_pr7.json
+
+## prof-smoke: boot questd against a tiny generated corpus with a fast
+## profiler cadence, render one live capture through `qatk prof`, and
+## assert the ring is non-empty. The run arms -flight-dir so a crash
+## during the smoke leaves a diagnosable bundle behind (CI uploads it).
+prof-smoke:
+	@rm -rf .profsmoke && mkdir -p .profsmoke/flight
+	$(GO) run ./cmd/datagen -small -out .profsmoke/data
+	$(GO) build -o .profsmoke/questd ./cmd/questd
+	$(GO) build -o .profsmoke/qatk ./cmd/qatk
+	@set -e; \
+	.profsmoke/questd -data .profsmoke/data -addr 127.0.0.1:18080 \
+	  -debug-addr 127.0.0.1:16060 -flight-dir .profsmoke/flight \
+	  -prof-interval 150ms -prof-window 50ms -prof-ring 4 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT INT TERM; \
+	ok=0; \
+	for i in $$(seq 1 60); do \
+	  sleep 0.25; \
+	  if .profsmoke/qatk prof http://127.0.0.1:16060 > .profsmoke/report.txt 2>/dev/null \
+	     && grep -q 'CONTINUOUS PROFILE' .profsmoke/report.txt; then ok=1; break; fi; \
+	done; \
+	if [ $$ok -ne 1 ]; then \
+	  echo "prof-smoke: /debug/prof never served a non-empty ring"; \
+	  cat .profsmoke/report.txt 2>/dev/null; exit 1; \
+	fi; \
+	head -20 .profsmoke/report.txt; \
+	echo "prof-smoke: OK"

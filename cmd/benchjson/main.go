@@ -38,26 +38,40 @@ type Result struct {
 
 // File is the committed JSON document.
 type File struct {
+	// PR is the monotonically increasing PR ordinal this baseline was
+	// committed under (-pr flag). benchtrend orders baselines by it
+	// structurally; 0 means unstamped (pre-PR 10 files), for which
+	// benchtrend falls back to parsing the BENCH_pr<N>.json filename.
+	PR         int               `json:"pr,omitempty"`
 	Go         string            `json:"go,omitempty"`
 	GOOS       string            `json:"goos,omitempty"`
 	GOARCH     string            `json:"goarch,omitempty"`
 	CPU        string            `json:"cpu,omitempty"`
+	GOMAXPROCS int               `json:"gomaxprocs,omitempty"`
+	NumCPU     int               `json:"num_cpu,omitempty"`
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout only echoes input)")
+	pr := flag.Int("pr", 0, "PR ordinal stamped into the output so benchtrend orders baselines structurally (0 = unstamped)")
 	assertZero := flag.String("assert-zero-allocs", "",
 		"regexp of benchmark keys (pkg/BenchmarkName) that must report 0 allocs/op; any violation, or a match without an allocs/op column, fails the run")
 	flag.Parse()
-	if err := run(os.Stdin, os.Stdout, *out, *assertZero); err != nil {
+	if err := run(os.Stdin, os.Stdout, *out, *pr, *assertZero); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in *os.File, echo *os.File, outPath, assertZero string) error {
-	doc := File{Go: runtime.Version(), Benchmarks: map[string]Result{}}
+func run(in *os.File, echo *os.File, outPath string, pr int, assertZero string) error {
+	doc := File{
+		PR:         pr,
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Benchmarks: map[string]Result{},
+	}
 	pkg := ""
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)

@@ -1,0 +1,449 @@
+// Command benchtrend turns the committed BENCH_pr*.json baselines into a
+// per-benchmark trend report and, in -gate mode, a regression gate for a
+// fresh `make bench` run:
+//
+//	benchtrend -dir . -o benchtrend-report.md
+//	benchtrend -dir . -gate -fresh /tmp/BENCH_fresh.json -o benchtrend-report.md
+//
+// The trend report tabulates ns/op, B/op, allocs/op and every custom
+// b.ReportMetric unit (acc@k, ms/bundle, stage timings, ...) across PRs, so
+// a drift in any of them is visible in one table instead of N file diffs.
+//
+// The gate compares the fresh run against the newest committed baseline and
+// fails hard on allocs/op growth and on acc@k movement beyond -acc-epsilon
+// (accuracy is deterministic — any drift is a behavior change, not noise),
+// while ns/op only fails beyond -ns-threshold percent growth (wall-clock is
+// machine-dependent; the default is deliberately generous so CI across
+// heterogeneous runners only trips on order-of-magnitude regressions).
+//
+// Baselines are ordered by the `pr` field benchjson stamps since PR 10;
+// older unstamped files fall back to the BENCH_pr<N>.json filename.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result mirrors benchjson's Result; the two commands share a committed
+// file format (EXPERIMENTS.md) rather than a Go package, so each side
+// only declares the fields it reads.
+type result struct {
+	Pkg      string             `json:"pkg"`
+	Name     string             `json:"name"`
+	NsPerOp  float64            `json:"ns_per_op"`
+	BytesOp  float64            `json:"bytes_per_op"`
+	AllocsOp *float64           `json:"allocs_per_op"`
+	Metrics  map[string]float64 `json:"metrics"`
+}
+
+// benchFile mirrors benchjson's File.
+type benchFile struct {
+	PR         int               `json:"pr"`
+	Go         string            `json:"go"`
+	CPU        string            `json:"cpu"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"num_cpu"`
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+// baseline is one committed benchmark file with its resolved PR ordinal.
+type baseline struct {
+	Path string
+	PR   int
+	File benchFile
+}
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding committed BENCH_pr*.json baselines")
+	out := flag.String("o", "", "write the trend report to this file (default stdout)")
+	format := flag.String("format", "md", "report format: md or text")
+	gate := flag.Bool("gate", false, "compare -fresh against the newest baseline and exit 1 on regression")
+	fresh := flag.String("fresh", "", "fresh benchjson output to gate (required with -gate)")
+	nsThreshold := flag.Float64("ns-threshold", 400, "max allowed ns/op growth over baseline, percent")
+	accEpsilon := flag.Float64("acc-epsilon", 1e-6, "max allowed absolute acc@k movement")
+	flag.Parse()
+	if err := run(os.Stdout, *dir, *out, *format, *gate, *fresh, *nsThreshold, *accEpsilon); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtrend:", err)
+		os.Exit(1)
+	}
+}
+
+func run(stdout io.Writer, dir, outPath, format string, gate bool, freshPath string, nsThreshold, accEpsilon float64) error {
+	if format != "md" && format != "text" {
+		return fmt.Errorf("unknown -format %q (want md or text)", format)
+	}
+	bases, err := loadBaselines(dir)
+	if err != nil {
+		return err
+	}
+	var report strings.Builder
+	writeTrend(&report, bases, format == "md")
+
+	var violations []string
+	if gate {
+		if freshPath == "" {
+			return fmt.Errorf("-gate requires -fresh")
+		}
+		var freshDoc benchFile
+		if err := readJSON(freshPath, &freshDoc); err != nil {
+			return err
+		}
+		newest := bases[len(bases)-1]
+		violations, err = gateRun(freshDoc, newest, nsThreshold, accEpsilon)
+		if err != nil {
+			return err
+		}
+		writeGateSection(&report, newest, freshPath, violations, format == "md")
+	}
+
+	if outPath != "" {
+		if err := os.WriteFile(outPath, []byte(report.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "benchtrend: wrote report to %s\n", outPath)
+	} else {
+		fmt.Fprint(stdout, report.String())
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("gate failed with %d regression(s):\n  %s",
+			len(violations), strings.Join(violations, "\n  "))
+	}
+	if gate {
+		fmt.Fprintf(stdout, "benchtrend: gate passed against %s\n", filepath.Base(newestPath(bases)))
+	}
+	return nil
+}
+
+func newestPath(bases []baseline) string { return bases[len(bases)-1].Path }
+
+var prFromName = regexp.MustCompile(`^BENCH_pr(\d+)\.json$`)
+
+// loadBaselines parses every BENCH_pr*.json in dir and orders them by PR.
+// Files stamped with benchjson's `pr` field are ordered structurally;
+// the seven pre-stamp files fall back to the filename ordinal.
+func loadBaselines(dir string) ([]baseline, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_pr*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no BENCH_pr*.json baselines in %s", dir)
+	}
+	bases := make([]baseline, 0, len(paths))
+	for _, path := range paths {
+		var doc benchFile
+		if err := readJSON(path, &doc); err != nil {
+			return nil, err
+		}
+		pr := doc.PR
+		if pr <= 0 {
+			m := prFromName.FindStringSubmatch(filepath.Base(path))
+			if m == nil {
+				return nil, fmt.Errorf("%s: no pr field and filename does not match BENCH_pr<N>.json", path)
+			}
+			pr, _ = strconv.Atoi(m[1])
+		}
+		bases = append(bases, baseline{Path: path, PR: pr, File: doc})
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i].PR < bases[j].PR })
+	for i := 1; i < len(bases); i++ {
+		if bases[i].PR == bases[i-1].PR {
+			return nil, fmt.Errorf("duplicate PR ordinal %d: %s and %s", bases[i].PR, bases[i-1].Path, bases[i].Path)
+		}
+	}
+	return bases, nil
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// --- trend report -----------------------------------------------------------
+
+// cell extractors: each section of the report maps (benchmark result) to an
+// optional value. A benchmark absent from a PR renders as a dot.
+type section struct {
+	Title string
+	Get   func(r result) (float64, bool)
+	Fmt   func(v float64) string
+}
+
+func writeTrend(w *strings.Builder, bases []baseline, md bool) {
+	if md {
+		fmt.Fprintf(w, "# Benchmark trend\n\n")
+	} else {
+		fmt.Fprintf(w, "BENCHMARK TREND\n\n")
+	}
+	fmt.Fprintf(w, "%d baselines, PR %d..%d.", len(bases), bases[0].PR, bases[len(bases)-1].PR)
+	newest := bases[len(bases)-1].File
+	if newest.CPU != "" {
+		fmt.Fprintf(w, " Newest: %s, %s, GOMAXPROCS=%d/%d.", newest.Go, newest.CPU, newest.GOMAXPROCS, newest.NumCPU)
+	}
+	fmt.Fprint(w, "\n\n")
+
+	sections := []section{
+		{"ns/op", func(r result) (float64, bool) { return r.NsPerOp, r.NsPerOp > 0 }, fmtNum},
+		{"B/op", func(r result) (float64, bool) { return r.BytesOp, r.BytesOp > 0 }, fmtNum},
+		{"allocs/op", func(r result) (float64, bool) {
+			if r.AllocsOp == nil {
+				return 0, false
+			}
+			return *r.AllocsOp, true
+		}, fmtNum},
+	}
+	for _, s := range sections {
+		writeSection(w, bases, s, md)
+	}
+	writeMetricSection(w, bases, md)
+}
+
+// writeSection renders one value (ns/op, B/op, allocs/op) for every
+// benchmark that reports it, one column per PR.
+func writeSection(w *strings.Builder, bases []baseline, s section, md bool) {
+	keys := map[string]bool{}
+	for _, b := range bases {
+		for k, r := range b.File.Benchmarks {
+			if _, ok := s.Get(r); ok {
+				keys[k] = true
+			}
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+	rows := make([][]string, 0, len(keys))
+	for _, key := range sortedKeys(keys) {
+		row := []string{shortKey(key)}
+		for _, b := range bases {
+			row = append(row, cellFor(b, key, s))
+		}
+		rows = append(rows, row)
+	}
+	writeTable(w, s.Title, headerRow(bases), rows, md)
+}
+
+// writeMetricSection renders every custom b.ReportMetric unit — acc@k,
+// ms/bundle, stage-*-ms, throughput counters — as "benchmark · unit" rows.
+func writeMetricSection(w *strings.Builder, bases []baseline, md bool) {
+	type mkey struct{ bench, unit string }
+	keys := map[mkey]bool{}
+	for _, b := range bases {
+		for k, r := range b.File.Benchmarks {
+			for unit := range r.Metrics {
+				keys[mkey{k, unit}] = true
+			}
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+	ordered := make([]mkey, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].bench != ordered[j].bench {
+			return ordered[i].bench < ordered[j].bench
+		}
+		return ordered[i].unit < ordered[j].unit
+	})
+	rows := make([][]string, 0, len(ordered))
+	for _, k := range ordered {
+		row := []string{shortKey(k.bench) + " " + k.unit}
+		for _, b := range bases {
+			cell := "·"
+			if r, ok := b.File.Benchmarks[k.bench]; ok {
+				if v, ok := r.Metrics[k.unit]; ok {
+					cell = fmtNum(v)
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	writeTable(w, "reported metrics", headerRow(bases), rows, md)
+}
+
+func cellFor(b baseline, key string, s section) string {
+	r, ok := b.File.Benchmarks[key]
+	if !ok {
+		return "·"
+	}
+	v, ok := s.Get(r)
+	if !ok {
+		return "·"
+	}
+	return s.Fmt(v)
+}
+
+func headerRow(bases []baseline) []string {
+	h := []string{"benchmark"}
+	for _, b := range bases {
+		h = append(h, fmt.Sprintf("pr%d", b.PR))
+	}
+	return h
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// shortKey drops the module prefix: repro/internal/reldb/BenchmarkInsert
+// becomes internal/reldb/BenchmarkInsert, root benchmarks keep their name.
+func shortKey(key string) string {
+	key = strings.TrimPrefix(key, "repro/")
+	return key
+}
+
+// fmtNum renders values compactly: integers bare, large numbers with few
+// decimals, small fractions with enough precision to see acc@k movement.
+func fmtNum(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	case math.Abs(v) >= 100:
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	case math.Abs(v) >= 1:
+		return strconv.FormatFloat(v, 'f', 2, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', 4, 64)
+	}
+}
+
+func writeTable(w *strings.Builder, title string, header []string, rows [][]string, md bool) {
+	if md {
+		fmt.Fprintf(w, "## %s\n\n", title)
+		fmt.Fprintf(w, "| %s |\n", strings.Join(header, " | "))
+		seps := make([]string, len(header))
+		for i := range seps {
+			seps[i] = "---"
+			if i > 0 {
+				seps[i] = "---:"
+			}
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+		for _, row := range rows {
+			fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+		}
+		fmt.Fprint(w, "\n")
+		return
+	}
+	fmt.Fprintf(w, "%s\n", strings.ToUpper(title))
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i == 0 {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = fmt.Sprintf("%*s", widths[i], c)
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(header)
+	for _, row := range rows {
+		line(row)
+	}
+	fmt.Fprint(w, "\n")
+}
+
+// --- regression gate --------------------------------------------------------
+
+// gateRun compares a fresh run against the newest committed baseline.
+// Only benchmarks present in BOTH are judged (benchmarks come and go
+// across PRs); an empty intersection is an error, not a pass — a gate
+// that compared nothing would green-light anything.
+func gateRun(fresh benchFile, base baseline, nsThresholdPct, accEpsilon float64) ([]string, error) {
+	shared := make([]string, 0, len(fresh.Benchmarks))
+	for key := range fresh.Benchmarks {
+		if _, ok := base.File.Benchmarks[key]; ok {
+			shared = append(shared, key)
+		}
+	}
+	if len(shared) == 0 {
+		return nil, fmt.Errorf("gate is vacuous: no benchmark shared between fresh run and %s", base.Path)
+	}
+	sort.Strings(shared)
+	var violations []string
+	for _, key := range shared {
+		f, b := fresh.Benchmarks[key], base.File.Benchmarks[key]
+		// allocs/op growth is a hard failure: allocation counts are
+		// deterministic per build, so any increase is a real change.
+		if f.AllocsOp != nil && b.AllocsOp != nil && *f.AllocsOp > *b.AllocsOp {
+			violations = append(violations, fmt.Sprintf(
+				"%s: allocs/op grew %g -> %g", shortKey(key), *b.AllocsOp, *f.AllocsOp))
+		}
+		// acc@k drift is a hard failure beyond epsilon: the evaluation is
+		// bit-identical by contract, so accuracy moving means the model
+		// changed, not the machine.
+		for unit, bv := range b.Metrics {
+			if !strings.Contains(unit, "acc@") {
+				continue
+			}
+			if fv, ok := f.Metrics[unit]; ok && math.Abs(fv-bv) > accEpsilon {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %s drifted %g -> %g (|Δ| > %g)", shortKey(key), unit, bv, fv, accEpsilon))
+			}
+		}
+		// ns/op is machine-dependent; only order-of-magnitude growth fails.
+		if b.NsPerOp > 0 && f.NsPerOp > 0 {
+			limit := b.NsPerOp * (1 + nsThresholdPct/100)
+			if f.NsPerOp > limit {
+				violations = append(violations, fmt.Sprintf(
+					"%s: ns/op grew %s -> %s (limit %s at +%g%%)",
+					shortKey(key), fmtNum(b.NsPerOp), fmtNum(f.NsPerOp), fmtNum(limit), nsThresholdPct))
+			}
+		}
+	}
+	return violations, nil
+}
+
+func writeGateSection(w *strings.Builder, base baseline, freshPath string, violations []string, md bool) {
+	if md {
+		fmt.Fprint(w, "## gate\n\n")
+	} else {
+		fmt.Fprint(w, "GATE\n")
+	}
+	fmt.Fprintf(w, "Fresh run %s vs baseline %s (pr%d): ", filepath.Base(freshPath), filepath.Base(base.Path), base.PR)
+	if len(violations) == 0 {
+		fmt.Fprint(w, "PASS\n")
+		return
+	}
+	fmt.Fprintf(w, "FAIL (%d regressions)\n\n", len(violations))
+	for _, v := range violations {
+		fmt.Fprintf(w, "- %s\n", v)
+	}
+}

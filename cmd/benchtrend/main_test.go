@@ -1,0 +1,196 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const pr1Body = `{
+  "go": "go1.24.0",
+  "benchmarks": {
+    "repro/BenchmarkScore": {"pkg": "repro", "name": "BenchmarkScore", "iterations": 100,
+      "ns_per_op": 1000, "bytes_per_op": 64, "allocs_per_op": 2,
+      "metrics": {"acc@1": 0.516, "ms/bundle": 1.5}},
+    "repro/internal/kb/BenchmarkLookupDisabled": {"pkg": "repro/internal/kb",
+      "name": "BenchmarkLookupDisabled", "iterations": 100, "ns_per_op": 5, "allocs_per_op": 0}
+  }
+}`
+
+// pr2 carries a stamped pr field (post-PR 10 format) under a filename
+// whose ordinal would sort it WRONG if filenames were still authoritative.
+const pr2Body = `{
+  "pr": 12,
+  "go": "go1.24.0",
+  "gomaxprocs": 8,
+  "num_cpu": 8,
+  "benchmarks": {
+    "repro/BenchmarkScore": {"pkg": "repro", "name": "BenchmarkScore", "iterations": 100,
+      "ns_per_op": 900, "bytes_per_op": 64, "allocs_per_op": 2,
+      "metrics": {"acc@1": 0.516, "ms/bundle": 1.4}},
+    "repro/internal/kb/BenchmarkLookupDisabled": {"pkg": "repro/internal/kb",
+      "name": "BenchmarkLookupDisabled", "iterations": 100, "ns_per_op": 5, "allocs_per_op": 0}
+  }
+}`
+
+func loadTwo(t *testing.T) (string, []baseline) {
+	t.Helper()
+	dir := t.TempDir()
+	writeBaseline(t, dir, "BENCH_pr1.json", pr1Body)
+	// Filename says pr2; the stamped field says pr12. The field must win.
+	writeBaseline(t, dir, "BENCH_pr2.json", pr2Body)
+	bases, err := loadBaselines(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, bases
+}
+
+func TestLoadBaselinesOrdersByStampedPRWithFilenameFallback(t *testing.T) {
+	_, bases := loadTwo(t)
+	if len(bases) != 2 {
+		t.Fatalf("got %d baselines", len(bases))
+	}
+	if bases[0].PR != 1 || bases[1].PR != 12 {
+		t.Fatalf("order = pr%d, pr%d; want pr1 (filename fallback), pr12 (stamped field)", bases[0].PR, bases[1].PR)
+	}
+}
+
+func TestTrendReportTabulatesAllValueKinds(t *testing.T) {
+	_, bases := loadTwo(t)
+	var sb strings.Builder
+	writeTrend(&sb, bases, true)
+	out := sb.String()
+	for _, want := range []string{
+		"## ns/op", "## B/op", "## allocs/op", "## reported metrics",
+		"| pr1 | pr12 |",
+		"BenchmarkScore acc@1", "0.516",
+		"BenchmarkScore ms/bundle",
+		"internal/kb/BenchmarkLookupDisabled",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trend report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestGatePassesOnIdenticalRun: a fresh run identical to the newest
+// baseline clears the gate.
+func TestGatePassesOnIdenticalRun(t *testing.T) {
+	dir, bases := loadTwo(t)
+	fresh := writeBaseline(t, dir, "fresh.json", pr2Body)
+	var doc benchFile
+	if err := readJSON(fresh, &doc); err != nil {
+		t.Fatal(err)
+	}
+	violations, err := gateRun(doc, bases[len(bases)-1], 400, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("identical run flagged: %v", violations)
+	}
+}
+
+// TestGateFailsOnInjectedRegressions is the meta-test for the gate
+// itself: a fresh run with 10x ns/op, +1 allocs/op, and drifted acc@1
+// must produce one violation per regression, and run() must exit non-nil.
+func TestGateFailsOnInjectedRegressions(t *testing.T) {
+	dir, bases := loadTwo(t)
+	freshBody := `{
+  "pr": 13,
+  "benchmarks": {
+    "repro/BenchmarkScore": {"pkg": "repro", "name": "BenchmarkScore", "iterations": 100,
+      "ns_per_op": 9000, "bytes_per_op": 64, "allocs_per_op": 3,
+      "metrics": {"acc@1": 0.511, "ms/bundle": 1.4}},
+    "repro/internal/kb/BenchmarkLookupDisabled": {"pkg": "repro/internal/kb",
+      "name": "BenchmarkLookupDisabled", "iterations": 100, "ns_per_op": 5, "allocs_per_op": 0}
+  }
+}`
+	fresh := writeBaseline(t, dir, "fresh.json", freshBody)
+	var doc benchFile
+	if err := readJSON(fresh, &doc); err != nil {
+		t.Fatal(err)
+	}
+	violations, err := gateRun(doc, bases[len(bases)-1], 400, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 3 {
+		t.Fatalf("want 3 violations (allocs, acc@1, ns/op), got %d: %v", len(violations), violations)
+	}
+	joined := strings.Join(violations, "\n")
+	for _, want := range []string{"allocs/op grew 2 -> 3", "acc@1 drifted", "ns/op grew"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("violations missing %q:\n%s", want, joined)
+		}
+	}
+
+	// End-to-end: run() in gate mode writes the report with a FAIL
+	// section and returns an error so main exits 1.
+	report := filepath.Join(dir, "report.md")
+	var stdout strings.Builder
+	err = run(&stdout, dir, report, "md", true, fresh, 400, 1e-6)
+	if err == nil || !strings.Contains(err.Error(), "3 regression(s)") {
+		t.Fatalf("run() err = %v, want gate failure", err)
+	}
+	data, rerr := os.ReadFile(report)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if !strings.Contains(string(data), "FAIL (3 regressions)") {
+		t.Fatalf("report missing gate FAIL section:\n%s", data)
+	}
+}
+
+// TestGateRejectsVacuousComparison: no shared benchmark keys is an error,
+// not a silent pass.
+func TestGateRejectsVacuousComparison(t *testing.T) {
+	_, bases := loadTwo(t)
+	doc := benchFile{Benchmarks: map[string]result{
+		"repro/BenchmarkRenamedAway": {Pkg: "repro", Name: "BenchmarkRenamedAway", NsPerOp: 1},
+	}}
+	if _, err := gateRun(doc, bases[len(bases)-1], 400, 1e-6); err == nil {
+		t.Fatal("vacuous gate passed")
+	}
+}
+
+// TestGateAgainstCommittedBaselines: the repo's own newest committed
+// baseline gates cleanly against itself — proving `make bench-gate`
+// cannot fail on re-running an unchanged tree except through genuine
+// machine-noise beyond the generous ns/op threshold.
+func TestGateAgainstCommittedBaselines(t *testing.T) {
+	repoRoot := filepath.Join("..", "..")
+	bases, err := loadBaselines(repoRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newest := bases[len(bases)-1]
+	violations, err := gateRun(newest.File, newest, 400, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("committed baseline fails against itself: %v", violations)
+	}
+
+	// The trend report over the real baselines must mention every PR.
+	var sb strings.Builder
+	writeTrend(&sb, bases, false)
+	for _, b := range bases {
+		if !strings.Contains(sb.String(), "pr"+strconv.Itoa(b.PR)) {
+			t.Fatalf("trend report missing pr%d column", b.PR)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 //	qatk -data ./data import                  load bundles from TSV interchange files
 //	qatk diagnose <bundle>                    render a flight-recorder bundle as an incident report
 //	qatk requests <url|bundle>                render the tail-sampled wide-event request log
+//	qatk prof <url|bundle>                    render the continuous-profiler ring (top frames, heap deltas, goroutine growth)
 //
 // Flags -model (concepts|words) and -sim (jaccard|overlap) select the
 // classifier variant; the default is the industrial configuration of the
@@ -42,6 +43,7 @@ import (
 	"repro/internal/kb"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/prof"
 	"repro/internal/obs/reqlog"
 	"repro/internal/pipeline"
 	"repro/internal/qatk"
@@ -89,6 +91,10 @@ func main() {
 		// Reads the wide-event request log from a live questd or a frozen
 		// flight bundle; like diagnose it needs no database.
 		err = requests(rest)
+	} else if cmd == "prof" {
+		// Reads the continuous-profiler ring from a live questd or a
+		// frozen flight bundle; like diagnose it needs no database.
+		err = profCmd(rest)
 	} else {
 		err = run(o, cmd, rest)
 	}
@@ -174,6 +180,74 @@ func requests(args []string) error {
 		}
 	}
 	return reqlog.WriteReport(os.Stdout, events)
+}
+
+// profCmd implements `qatk prof [-v] [-cpu out.pprof] <url|bundle>`: it
+// renders the continuous-profiler capture — goroutine growth across the
+// ring, heap deltas between the newest snapshots, and top frames per
+// profile — fetched either live from a questd debug listener (any
+// http(s) URL; /debug/prof is appended when missing) or from a frozen
+// flight-recorder bundle's profiles section. -cpu extracts the raw
+// gzipped pprof CPU profile (the breach window when present, otherwise
+// the newest ring snapshot) for `go tool pprof`.
+func profCmd(args []string) error {
+	fs := flag.NewFlagSet("prof", flag.ContinueOnError)
+	verbose := fs.Bool("v", false, "include the full ring history")
+	cpuOut := fs.String("cpu", "", "write the raw CPU pprof profile to this file (live URLs also capture a fresh window)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: qatk prof [-v] [-cpu out.pprof] <url or flight bundle>")
+	}
+	arg := fs.Arg(0)
+	var capture *prof.Capture
+	if strings.HasPrefix(arg, "http://") || strings.HasPrefix(arg, "https://") {
+		target := strings.TrimRight(arg, "/")
+		if !strings.HasSuffix(target, "/debug/prof") {
+			target += "/debug/prof"
+		}
+		if *cpuOut != "" {
+			// Ask the sampler for a fresh breach-window CPU capture so the
+			// extracted profile covers "now", not the last sampling tick.
+			target += "?cpu=1"
+		}
+		resp, err := http.Get(target)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("prof: %s answered %s", target, resp.Status)
+		}
+		capture = &prof.Capture{}
+		if err := json.NewDecoder(resp.Body).Decode(capture); err != nil {
+			return fmt.Errorf("prof: decode %s: %w", target, err)
+		}
+	} else {
+		b, err := flight.ReadBundle(arg)
+		if err != nil {
+			return err
+		}
+		if b.Profiles == nil {
+			return fmt.Errorf("prof: bundle %s has no profiles section (captured before PR 10, or the profiler was disabled)", arg)
+		}
+		capture = b.Profiles
+	}
+	if *cpuOut != "" {
+		raw := capture.BreachCPU
+		if len(raw) == 0 && len(capture.Ring) > 0 {
+			raw = capture.Ring[len(capture.Ring)-1].CPUPprof
+		}
+		if len(raw) == 0 {
+			return fmt.Errorf("prof: capture carries no CPU profile to extract")
+		}
+		if err := os.WriteFile(*cpuOut, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d-byte CPU profile to %s (inspect with `go tool pprof %s`)\n", len(raw), *cpuOut, *cpuOut)
+	}
+	return prof.WriteReport(os.Stdout, capture, *verbose)
 }
 
 func run(o options, cmd string, rest []string) error {
@@ -425,6 +499,6 @@ func run(o options, cmd string, rest []string) error {
 			1000*res.SecPerBundle, res.KBNodes)
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (train | classify | recommend | evaluate | export | import | sql | diagnose | requests)", cmd)
+		return fmt.Errorf("unknown command %q (train | classify | recommend | evaluate | export | import | sql | diagnose | requests | prof)", cmd)
 	}
 }

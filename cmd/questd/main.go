@@ -18,9 +18,10 @@
 // the pre-registered pipeline families), structured key=value logs go to
 // stderr (tune with -log-level, redirect with -log-file), and -debug-addr
 // optionally serves net/http/pprof plus GET /debug/bundle (on-demand
-// flight-recorder capture + download) and GET /debug/requests (the
-// tail-sampled wide-event ring, read it with `qatk requests`) on a
-// separate loopback-only listener.
+// flight-recorder capture + download), GET /debug/requests (the
+// tail-sampled wide-event ring, read it with `qatk requests`), and
+// GET /debug/prof (the continuous-profiler ring, read it with
+// `qatk prof`) on a separate loopback-only listener.
 //
 // Wide events: every request assembles one structured event along the
 // whole serving path (stage timers, per-shard attempts, degradation).
@@ -35,6 +36,13 @@
 // bundle (read it with `qatk diagnose <dir>`) when an anomaly fires — the
 // serving p99 exceeding -slo-p99 for consecutive windows, a recovered
 // handler panic, a reldb fsync-failure latch, or a goroutine-count spike.
+//
+// Continuous profiling: unless -prof-interval is 0, a background sampler
+// captures a CPU window plus heap/mutex/block/goroutine summaries every
+// -prof-interval into a -prof-ring sized ring, computing heap deltas
+// between consecutive snapshots. Breach-class flight triggers freeze the
+// ring (plus a fresh breach-window CPU profile) into the bundle's
+// profiles section.
 package main
 
 import (
@@ -58,6 +66,7 @@ import (
 	"repro/internal/nhtsa"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	obsprof "repro/internal/obs/prof"
 	"repro/internal/obs/reqlog"
 	"repro/internal/pipeline"
 	"repro/internal/quest"
@@ -84,6 +93,8 @@ type options struct {
 	maxApplyLag                   time.Duration
 	reqRing, reqSample            int
 	exemplars                     bool
+	profInterval, profWindow      time.Duration
+	profRing                      int
 }
 
 func main() {
@@ -110,6 +121,9 @@ func main() {
 	flag.IntVar(&o.reqRing, "req-ring", reqlog.DefaultCapacity, "retained wide-event ring capacity for /debug/requests")
 	flag.IntVar(&o.reqSample, "req-sample", 0, "head-sample 1 in N requests into the wide-event ring regardless of tail criteria (0 disables)")
 	flag.BoolVar(&o.exemplars, "exemplars", false, "attach OpenMetrics trace exemplars to retained requests' latency buckets on /metrics")
+	flag.DurationVar(&o.profInterval, "prof-interval", obsprof.DefaultInterval, "continuous-profiler sampling cadence (0 disables the profiler)")
+	flag.DurationVar(&o.profWindow, "prof-window", obsprof.DefaultWindowSize, "CPU capture window per continuous-profiler sample")
+	flag.IntVar(&o.profRing, "prof-ring", obsprof.DefaultRing, "retained continuous-profiler snapshot ring size")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -153,6 +167,22 @@ func run(o options) error {
 		Registry:  metrics,
 	})
 
+	// The continuous profiler keeps a bounded ring of recent CPU windows
+	// and heap/mutex/block/goroutine summaries so a breach bundle carries
+	// the minutes BEFORE the trigger, not just the moment of capture.
+	var profiler *obsprof.Sampler
+	if o.profInterval > 0 {
+		profiler = obsprof.New(obsprof.Config{
+			Interval:   o.profInterval,
+			WindowSize: o.profWindow,
+			Ring:       o.profRing,
+			Registry:   metrics,
+			Logger:     logger,
+		})
+		profiler.Start()
+		defer profiler.Close()
+	}
+
 	// The flight recorder runs whenever a bundle directory OR the debug
 	// mux could use it; without -flight-dir triggers still log and count
 	// but nothing is persisted.
@@ -166,6 +196,7 @@ func run(o options) error {
 		SLOWindow:     o.sloWindow,
 		StallDeadline: o.stallDeadline,
 		Requests:      reqLog,
+		Profiles:      profiler,
 	})
 	defer recorder.Close()
 	recorder.Watch(o.flightInterval)
@@ -272,6 +303,7 @@ func run(o options) error {
 		mux := pprofMux()
 		mux.Handle("/debug/bundle", recorder.Handler())
 		mux.Handle("/debug/requests", reqLog.Handler())
+		mux.Handle("/debug/prof", profiler.Handler())
 		dbg := &http.Server{Addr: o.debugAddr, Handler: mux}
 		//lint:ignore qatklint/goroleak the debug listener is process-lifetime by design: it dies with the daemon, and tearing it down on drain would cut off pprof exactly when a stuck shutdown needs diagnosing
 		go func() {
@@ -279,7 +311,7 @@ func run(o options) error {
 				logger.Error("debug server failed", obs.L("addr", o.debugAddr), obs.L("err", err.Error()))
 			}
 		}()
-		logger.Info("debug mux listening (pprof + /debug/bundle + /debug/requests)", obs.L("addr", o.debugAddr))
+		logger.Info("debug mux listening (pprof + /debug/bundle + /debug/requests + /debug/prof)", obs.L("addr", o.debugAddr))
 	}
 
 	// WriteTimeout must outlast the handler budget, or the timeout

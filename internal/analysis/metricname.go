@@ -17,7 +17,7 @@ import (
 var MetricName = &Analyzer{
 	Name: "metricname",
 	Doc: "metric names passed to obs.Registry Counter/Gauge/Histogram must be package-level " +
-		"string constants, snake_case, prefixed qatk_/quest_/reldb_/repl_/obs_ and suffixed with a unit " +
+		"string constants, snake_case, prefixed qatk_/quest_/reldb_/repl_/obs_/prof_ and suffixed with a unit " +
 		"(_total, _seconds, _bytes, _info, _inflight); build_info is the one sanctioned exception.",
 	Run: runMetricName,
 }
@@ -27,7 +27,7 @@ var MetricName = &Analyzer{
 var instrumentMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
 
 // metricPrefixes are the sanctioned subsystem prefixes.
-var metricPrefixes = []string{"qatk_", "quest_", "reldb_", "repl_", "obs_"}
+var metricPrefixes = []string{"qatk_", "quest_", "reldb_", "repl_", "obs_", "prof_"}
 
 // metricSuffixes are the conventional unit suffixes.
 var metricSuffixes = []string{"_total", "_seconds", "_bytes", "_info", "_inflight"}

@@ -26,6 +26,9 @@ const (
 	MetricReqExemplars    = "quest_req_exemplars_total"
 	MetricApplyLag        = "repl_apply_lag_seconds"
 	MetricAppliedFrames   = "repl_applied_frames_total"
+	MetricProfCaptures    = "prof_captures_total"
+	MetricProfRingBytes   = "prof_ring_bytes"
+	MetricProfCaptureSec  = "prof_capture_seconds"
 	MetricBuildInfo       = "build_info" // sanctioned prefix-free exception
 	metricNoPrefixTotal   = "pipeline_runs_total"
 	metricNoUnit          = "qatk_pipeline_runs"
@@ -53,6 +56,9 @@ func Register(r *obs.Registry) {
 	r.Counter(MetricReqExemplars)
 	r.Gauge(MetricApplyLag, obs.L("replica", "r0"))
 	r.Counter(MetricAppliedFrames, obs.L("replica", "r0"))
+	r.Counter(MetricProfCaptures, obs.L("profile", "cpu"))
+	r.Gauge(MetricProfRingBytes)
+	r.Histogram(MetricProfCaptureSec, []float64{0.01, 0.25})
 	r.Gauge(MetricBuildInfo).Set(1)
 
 	r.Counter("qatk_inline_total")    // want metricname "package-level constant"

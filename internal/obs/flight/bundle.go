@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 	"repro/internal/obs/reqlog"
 )
 
@@ -68,6 +69,12 @@ type Bundle struct {
 	// the same records /debug/requests serves, so `qatk requests` reads a
 	// bundle and a live server identically.
 	Requests []reqlog.Event `json:"requests,omitempty"`
+	// Profiles freezes the continuous profiler's snapshot ring (plus a
+	// fresh breach-window CPU capture for breach triggers) — the same
+	// Capture /debug/prof serves, so `qatk prof` reads a bundle and a
+	// live server identically. Additive since PR 10: bundles written
+	// before it simply lack the section, and ReadBundle leaves it nil.
+	Profiles *prof.Capture `json:"profiles,omitempty"`
 }
 
 // manifest is the directory form's header file: the scalar fields of a
@@ -98,6 +105,7 @@ const (
 	goroutinesFile = "goroutines.txt"
 	extrasFile     = "extras.json"
 	requestsFile   = "requests.json"
+	profilesFile   = "profiles.json"
 )
 
 // DirName renders the timestamped directory name for this bundle:
@@ -168,6 +176,11 @@ func (b *Bundle) WriteDir(parent string) (string, error) {
 			return "", err
 		}
 	}
+	if b.Profiles != nil {
+		if err := writeJSONFile(filepath.Join(dir, profilesFile), b.Profiles); err != nil {
+			return "", err
+		}
+	}
 	logs := strings.Join(b.Logs, "\n")
 	if logs != "" {
 		logs += "\n"
@@ -235,6 +248,7 @@ func ReadBundle(path string) (*Bundle, error) {
 	_ = readJSONFile(filepath.Join(path, metricsFile), &b.Metrics)
 	_ = readJSONFile(filepath.Join(path, extrasFile), &b.Extras)
 	_ = readJSONFile(filepath.Join(path, requestsFile), &b.Requests)
+	_ = readJSONFile(filepath.Join(path, profilesFile), &b.Profiles)
 	if data, err := os.ReadFile(filepath.Join(path, logsFileName)); err == nil && len(data) > 0 {
 		b.Logs = strings.Split(strings.TrimRight(string(data), "\n"), "\n")
 	}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 	"repro/internal/obs/reqlog"
 )
 
@@ -107,6 +108,11 @@ type Config struct {
 	// Requests is the tail-sampled wide-event log; a capture freezes its
 	// retained ring into the bundle's requests section.
 	Requests *reqlog.Log
+	// Profiles is the continuous profiler; a capture freezes its
+	// snapshot ring into the bundle's profiles section, and breach-window
+	// triggers (SLO breach, stall, breaker trip, shard stall, replica
+	// lag) add a fresh CPU capture of the incident window.
+	Profiles *prof.Sampler
 	// Logger receives the recorder's own events (bundle written, trigger
 	// suppressed). Nil disables them.
 	Logger *obs.Logger
@@ -576,7 +582,20 @@ func (r *Recorder) captureLocked(reason string, details []obs.Label) *Bundle {
 		}
 	}
 	b.Requests = r.cfg.Requests.Snapshot()
+	b.Profiles = r.cfg.Profiles.Freeze(breachCPUReasons[reason])
 	return b
+}
+
+// breachCPUReasons are the trigger reasons whose bundle gets a fresh
+// CPU capture of the breach window on top of the frozen profile ring:
+// the anomalies where "where are the cycles going *right now*" is the
+// first question an on-call engineer asks.
+var breachCPUReasons = map[string]bool{
+	ReasonSLOBreach:      true,
+	ReasonStall:          true,
+	ReasonShardStall:     true,
+	ReasonCircuitBreaker: true,
+	ReasonReplicaLag:     true,
 }
 
 // goroutineDump renders all goroutine stacks.

@@ -1,0 +1,178 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/prof"
+)
+
+// Two canned heap profiles whose diff is a single obvious grower, so
+// the bundle's heap delta is deterministic.
+const profHeapA = `heap profile: 1: 4096 [2: 8192] @ heap/1048576
+1: 4096 [2: 8192] @ 0x4a2b10 0x4632c1
+#	0x4a2b0f	repro/internal/kb.Build+0x2ef	/root/repo/internal/kb/kb.go:120
+`
+
+const profHeapB = `heap profile: 3: 147456 [6: 294912] @ heap/1048576
+3: 147456 [6: 294912] @ 0x4a2b10 0x4632c1
+#	0x4a2b0f	repro/internal/kb.Build+0x2ef	/root/repo/internal/kb/kb.go:120
+`
+
+const profGoroutines = `goroutine profile: total 4
+4 @ 0x4632c1
+#	0x4632c0	repro/internal/quest.Serve+0x40	/root/repo/internal/quest/serve.go:10
+`
+
+// newTestSampler builds a profiler on canned captures: the CPU bytes
+// name which call produced them, so the test can tell the periodic
+// window from the fresh breach-window capture.
+func newTestSampler(t *testing.T) *prof.Sampler {
+	t.Helper()
+	heaps := []string{profHeapA, profHeapB}
+	calls := 0
+	cpuCalls := 0
+	s := prof.New(prof.Config{
+		Ring:     4,
+		Registry: obs.NewRegistry(),
+		Logger:   obs.NewLogger(io.Discard, obs.LevelError),
+		CaptureCPU: func(time.Duration) ([]byte, error) {
+			cpuCalls++
+			if cpuCalls > 2 {
+				return []byte("breach-window-cpu"), nil
+			}
+			return []byte("periodic-cpu"), nil
+		},
+		Profile: func(name string) ([]byte, error) {
+			if name == "heap" {
+				text := heaps[min(calls, len(heaps)-1)]
+				calls++
+				return []byte(text), nil
+			}
+			if name == "goroutine" {
+				return []byte(profGoroutines), nil
+			}
+			return []byte(""), nil
+		},
+	})
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestSLOBreachBundleCarriesProfiles is the acceptance test for the
+// profiler/flight coupling: a deterministic SLO breach freezes the
+// profile ring — with heap deltas — plus a fresh CPU capture of the
+// breach window into the bundle, the bundle round-trips through both
+// serializations, and the `qatk prof` renderer reads it.
+func TestSLOBreachBundleCarriesProfiles(t *testing.T) {
+	sampler := newTestSampler(t)
+	r, clock, _, dir := newTestRecorder(t, func(c *Config) {
+		c.SLOTarget = 100 * time.Millisecond
+		c.SLOWindow = 10 * time.Second
+		c.SLOBreaches = 1
+		c.SLOMinSamples = 1
+		c.Profiles = sampler
+	})
+
+	// Two periodic samples so the newest snapshot carries a heap delta.
+	sampler.SampleNow()
+	sampler.SampleNow()
+
+	// One over-budget window fires the breach.
+	r.Tick(clock.Now())
+	for i := 0; i < 20; i++ {
+		r.ObserveLatency(500 * time.Millisecond)
+	}
+	r.Tick(clock.Advance(10 * time.Second))
+
+	bundles := listBundles(t, dir)
+	if len(bundles) != 1 || !strings.HasSuffix(bundles[0], "-slo_breach") {
+		t.Fatalf("bundles = %v, want one slo_breach", bundles)
+	}
+	b, err := ReadBundle(filepath.Join(dir, bundles[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := b.Profiles
+	if pr == nil || len(pr.Ring) != 2 {
+		t.Fatalf("bundle profiles = %+v, want a 2-snapshot ring", pr)
+	}
+	if string(pr.BreachCPU) != "breach-window-cpu" {
+		t.Fatalf("breach CPU = %q, want the fresh breach-window capture", pr.BreachCPU)
+	}
+	newest := pr.Ring[len(pr.Ring)-1]
+	if string(newest.CPUPprof) != "periodic-cpu" {
+		t.Fatalf("ring CPU = %q, want the periodic capture", newest.CPUPprof)
+	}
+	if len(newest.HeapDelta) == 0 {
+		t.Fatalf("newest snapshot has no heap delta")
+	}
+	if d := newest.HeapDelta[0]; d.Func != "repro/internal/kb.Build" || d.DeltaBytes != 147456-4096 {
+		t.Fatalf("heap delta[0] = %+v", d)
+	}
+
+	// The same section survives the single-JSON form.
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(t.TempDir(), "bundle.json")
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := ReadBundle(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Profiles == nil || string(b2.Profiles.BreachCPU) != "breach-window-cpu" {
+		t.Fatalf("JSON round-trip lost the profiles section: %+v", b2.Profiles)
+	}
+
+	// The `qatk prof` renderer reads the frozen capture.
+	var report bytes.Buffer
+	if err := prof.WriteReport(&report, b.Profiles, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CONTINUOUS PROFILE", "HEAP DELTA", "repro/internal/kb.Build", "breach_cpu"} {
+		if !strings.Contains(report.String(), want) {
+			t.Fatalf("prof report missing %q:\n%s", want, report.String())
+		}
+	}
+
+	// And `qatk diagnose` summarizes it inline.
+	var diag bytes.Buffer
+	if err := WriteReport(&diag, b, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(diag.String(), "PROFILES (2 snapshots") {
+		t.Fatalf("diagnose report missing profiles section:\n%s", diag.String())
+	}
+}
+
+// TestOnDemandCaptureFreezesRingWithoutBreachCPU: the on-demand reason
+// is not a breach trigger, so the bundle carries the ring but no fresh
+// CPU window.
+func TestOnDemandCaptureFreezesRingWithoutBreachCPU(t *testing.T) {
+	sampler := newTestSampler(t)
+	r, _, _, _ := newTestRecorder(t, func(c *Config) {
+		c.Profiles = sampler
+	})
+	sampler.SampleNow()
+	b, _, err := r.CaptureNow(ReasonOnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Profiles == nil || len(b.Profiles.Ring) != 1 {
+		t.Fatalf("on-demand profiles = %+v", b.Profiles)
+	}
+	if b.Profiles.BreachCPU != nil {
+		t.Fatalf("on-demand capture took a breach CPU window: %q", b.Profiles.BreachCPU)
+	}
+}

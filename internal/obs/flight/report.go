@@ -127,6 +127,28 @@ func WriteReport(w io.Writer, b *Bundle, verbose bool) error {
 		}
 	}
 
+	if pr := b.Profiles; pr != nil && len(pr.Ring) > 0 {
+		newest := &pr.Ring[len(pr.Ring)-1]
+		p.head("PROFILES (%d snapshots — render with `qatk prof <bundle>`)", len(pr.Ring))
+		p.kv("goroutines", fmt.Sprintf("%d -> %d across the ring",
+			pr.Ring[0].Goroutines, newest.Goroutines))
+		p.kv("heap_inuse", fmt.Sprintf("%s in %d objects",
+			byteSize(uint64(newest.Heap.TotalBytes)), newest.Heap.Total))
+		if len(pr.BreachCPU) > 0 {
+			p.kv("breach_cpu", fmt.Sprintf("%d bytes raw pprof of the breach window", len(pr.BreachCPU)))
+		}
+		limit := len(newest.HeapDelta)
+		if !verbose && limit > 5 {
+			limit = 5
+		}
+		for _, d := range newest.HeapDelta[:limit] {
+			p.line("  %+12d B  %s", d.DeltaBytes, d.Func)
+		}
+		if limit < len(newest.HeapDelta) {
+			p.line("  … %d more heap movers (rerun with -v, or `qatk prof`)", len(newest.HeapDelta)-limit)
+		}
+	}
+
 	if len(b.Logs) > 0 {
 		p.head("LOG TAIL (%d lines retained)", len(b.Logs))
 		logs := b.Logs

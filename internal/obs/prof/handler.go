@@ -1,0 +1,33 @@
+package prof
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the current ring as a frozen Capture in JSON:
+//
+//	GET /debug/prof          the retained ring
+//	GET /debug/prof?cpu=1    plus a fresh breach-window CPU capture
+//
+// The body is the same Capture a flight bundle freezes into its
+// profiles section, so `qatk prof` reads a live server and a bundle
+// identically. A nil sampler answers 503 so probes can tell "disabled"
+// from "broken".
+func (s *Sampler) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s == nil {
+			http.Error(w, "continuous profiler disabled", http.StatusServiceUnavailable)
+			return
+		}
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		c := s.Freeze(r.URL.Query().Get("cpu") == "1")
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(c)
+	})
+}

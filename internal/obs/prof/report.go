@@ -1,0 +1,139 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteReport pretty-prints a frozen capture: goroutine growth across
+// the ring, the newest snapshot's top frames per profile, and the heap
+// deltas of the most recent window. This is the read side of the
+// continuous profiler — `qatk prof <url|bundle>`.
+func WriteReport(w io.Writer, c *Capture, verbose bool) error {
+	if c == nil || len(c.Ring) == 0 {
+		_, err := fmt.Fprintln(w, "no profile snapshots captured (sampler disabled or ring empty)")
+		return err
+	}
+	p := &printer{w: w}
+	first, last := &c.Ring[0], &c.Ring[len(c.Ring)-1]
+
+	p.head("CONTINUOUS PROFILE — %d snapshots over %s",
+		len(c.Ring), last.Time.Sub(first.Time).Round(time.Millisecond))
+	p.kv("newest", last.Time.UTC().Format(time.RFC3339))
+	p.kv("cpu_window", time.Duration(c.WindowNs).String())
+	if len(c.BreachCPU) > 0 {
+		p.kv("breach_cpu", fmt.Sprintf("%d bytes (extract with `qatk prof -cpu out.pprof`, then `go tool pprof out.pprof`)", len(c.BreachCPU)))
+	}
+	if len(last.CPUPprof) > 0 {
+		p.kv("newest_cpu", fmt.Sprintf("%d bytes raw pprof", len(last.CPUPprof)))
+	}
+
+	p.head("GOROUTINE GROWTH")
+	for i := range c.Ring {
+		s := &c.Ring[i]
+		marker := ""
+		if i > 0 {
+			if d := s.Goroutines - c.Ring[i-1].Goroutines; d != 0 {
+				marker = fmt.Sprintf("  (%+d)", d)
+			}
+		}
+		p.line("  %s  %6d goroutines%s", s.Time.UTC().Format("15:04:05"), s.Goroutines, marker)
+	}
+
+	if len(last.HeapDelta) > 0 {
+		p.head("HEAP DELTA (newest window)")
+		for _, d := range last.HeapDelta {
+			p.line("  %+12s  %+6d objs  %s (now %s)",
+				byteDelta(d.DeltaBytes), d.DeltaValue, d.Func, byteSize(d.NowBytes))
+		}
+	} else {
+		p.head("HEAP DELTA (newest window)")
+		p.line("  no movement between the last two snapshots")
+	}
+
+	p.profSection("HEAP IN-USE (top frames)", &last.Heap, true)
+	p.profSection("GOROUTINES (top frames)", &last.Goroutine, false)
+	p.profSection("MUTEX CONTENTION (top frames, cycles)", &last.Mutex, false)
+	p.profSection("BLOCKING (top frames, cycles)", &last.Block, false)
+
+	if verbose && len(c.Ring) > 1 {
+		p.head("RING HISTORY")
+		for i := range c.Ring {
+			s := &c.Ring[i]
+			p.line("  %s  heap %s in %d objs, %d goroutines, cpu %d bytes",
+				s.Time.UTC().Format(time.RFC3339), byteSize(s.Heap.TotalBytes),
+				s.Heap.Total, s.Goroutines, len(s.CPUPprof))
+		}
+	}
+	p.line("")
+	return p.err
+}
+
+// profSection renders one summary's top frames; heap shows bytes.
+func (p *printer) profSection(title string, s *ProfileSummary, heap bool) {
+	if len(s.Top) == 0 {
+		return
+	}
+	p.head("%s", title)
+	if heap {
+		p.kv("total", fmt.Sprintf("%s in %d objects", byteSize(s.TotalBytes), s.Total))
+	} else {
+		p.kv("total", fmt.Sprintf("%d", s.Total))
+	}
+	for _, f := range s.Top {
+		if heap {
+			p.line("  %12s  %8d objs  %s", byteSize(f.Bytes), f.Value, f.Func)
+		} else {
+			p.line("  %12d  %s", f.Value, f.Func)
+		}
+	}
+}
+
+// printer accumulates the first write error so report code stays linear
+// (same shape as the flight report's printer).
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) line(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format+"\n", args...)
+}
+
+func (p *printer) head(format string, args ...any) {
+	p.line("")
+	p.line("== "+format+" ==", args...)
+}
+
+func (p *printer) kv(k, v string) { p.line("  %-20s %s", k, v) }
+
+// byteSize renders a byte count with a binary unit.
+func byteSize(n int64) string {
+	if n < 0 {
+		return "-" + byteSize(-n)
+	}
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}
+
+// byteDelta renders a signed byte movement.
+func byteDelta(n int64) string {
+	s := byteSize(n)
+	if n >= 0 && !strings.HasPrefix(s, "+") {
+		return "+" + s
+	}
+	return s
+}

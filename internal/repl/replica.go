@@ -3,6 +3,7 @@ package repl
 import (
 	"context"
 	"errors"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -210,7 +211,10 @@ func (r *Replica) Start() {
 	//lint:ignore qatklint/goroleak the apply loop's join is the done channel closed on exit: Stop/Crash/Close cancel ctx and block on <-done before returning
 	go func() {
 		defer close(done)
-		r.run(ctx)
+		// Label the apply loop so the continuous profiler's goroutine and
+		// CPU profiles attribute replication work to a concrete replica
+		// (debug=1 goroutine dumps show `labels: {"repl_id":..., "repl_role":...}`).
+		pprof.Do(ctx, pprof.Labels("repl_id", r.cfg.ID, "repl_role", "apply"), r.run)
 	}()
 }
 
@@ -319,8 +323,17 @@ func (r *Replica) run(ctx context.Context) {
 	}
 }
 
-// bootstrap streams a snapshot into a fresh instance and swaps it in.
-func (r *Replica) bootstrap(ctx context.Context) error {
+// bootstrap streams a snapshot into a fresh instance and swaps it in,
+// relabeling the goroutine for the duration so profiles separate the
+// bulk snapshot load from steady-state tailing.
+func (r *Replica) bootstrap(ctx context.Context) (err error) {
+	pprof.Do(ctx, pprof.Labels("repl_id", r.cfg.ID, "repl_role", "bootstrap"), func(ctx context.Context) {
+		err = r.bootstrapOnce(ctx)
+	})
+	return err
+}
+
+func (r *Replica) bootstrapOnce(ctx context.Context) error {
 	snap, err := r.cfg.Link.Snapshot(ctx)
 	if err != nil {
 		return err
